@@ -1,0 +1,121 @@
+"""ABL-AUG — ablation: capability-based query augmentation.
+
+§2.1.5's design choice: push the supported query fragment to the source,
+post-process the rest client-side.  The ablation compares three ways of
+answering ``Context=Title&Content=<term>`` over the same corpus:
+
+* **native** — the corpus lives in a full NETMARK node (upper bound);
+* **augmented** — the corpus lives behind a content-only search box, the
+  router pushes the content fragment and refines client-side (the
+  NETMARK design);
+* **fetch-all** — no native push-down at all: fetch every document and
+  process client-side (what augmentation saves).
+
+Claims checked: augmented recall equals native recall exactly, and the
+push-down prefilter shrinks residual work versus fetch-all.
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.federation import ContentOnlySource, NetmarkSource, execute_augmented
+from repro.federation.augment import AugmentationReport
+from repro.query.language import parse_query
+from repro.store import XmlStore
+from repro.workloads import generate_lessons
+
+TERMS = ("engine", "thermal", "guidance")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_lessons(60, seed=700)
+
+
+@pytest.fixture(scope="module")
+def native_source(corpus):
+    store = XmlStore()
+    for name, text in corpus.items():
+        store.store_text(text, name)
+    return NetmarkSource("native", store)
+
+
+@pytest.fixture(scope="module")
+def legacy_source(corpus):
+    return ContentOnlySource("legacy", corpus)
+
+
+class _FetchAllSource(ContentOnlySource):
+    """A content-only source whose search capability we refuse to use."""
+
+    def __init__(self, documents):
+        super().__init__("fetchall", documents)
+        from repro.federation.capabilities import Capability
+
+        self.capabilities = Capability.DOCUMENT_FETCH
+
+
+def test_report_ablation_augmentation(benchmark, corpus, native_source, legacy_source):
+    def report():
+        fetchall_source = _FetchAllSource(corpus)
+        rows = []
+        for term in TERMS:
+            query = parse_query(f"Context=Title&Content={term}")
+            native_answer = {
+                match.file_name for match in native_source.native_search(query)
+            }
+            report = AugmentationReport()
+            start = time.perf_counter()
+            augmented = execute_augmented(query, legacy_source, report)
+            augmented_time = time.perf_counter() - start
+            augmented_answer = {match.file_name for match in augmented}
+
+            fetchall_report = AugmentationReport()
+            start = time.perf_counter()
+            fetchall = execute_augmented(query, fetchall_source, fetchall_report)
+            fetchall_time = time.perf_counter() - start
+
+            assert augmented_answer == native_answer  # recall parity
+            assert {m.file_name for m in fetchall} == native_answer
+
+            rows.append(
+                [
+                    term,
+                    len(native_answer),
+                    report.residual_documents,
+                    fetchall_report.residual_documents,
+                    f"{augmented_time * 1000:.1f}ms",
+                    f"{fetchall_time * 1000:.1f}ms",
+                ]
+            )
+        print_table(
+            "ABL-AUG: augmented vs fetch-all residual work",
+            ["term", "answers", "aug-docs-fetched", "fetchall-docs-fetched",
+             "aug-time", "fetchall-time"],
+            rows,
+        )
+        # Shape: the push-down prefilter fetches a strict subset.
+        for row in rows:
+            assert row[2] <= row[3]
+        assert any(row[2] < row[3] for row in rows)
+        # Fetch-all always re-parses the whole corpus.
+        assert all(row[3] == len(corpus) for row in rows)
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_bench_native(benchmark, native_source):
+    query = parse_query("Context=Title&Content=engine")
+    benchmark(native_source.native_search, query)
+
+
+def test_bench_augmented(benchmark, legacy_source):
+    query = parse_query("Context=Title&Content=engine")
+    benchmark(execute_augmented, query, legacy_source)
+
+
+def test_bench_fetch_all(benchmark, corpus):
+    source = _FetchAllSource(corpus)
+    query = parse_query("Context=Title&Content=engine")
+    benchmark(execute_augmented, query, source)

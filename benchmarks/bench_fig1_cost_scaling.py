@@ -1,0 +1,102 @@
+"""FIG1 — Costs of data integration (paper Fig 1).
+
+Regenerates both curves of the figure:
+
+* the **current trend**: cumulative integration cost under a GAV mediator
+  grows linearly with the number of consumers (applications), because
+  every application re-pays schema + mapping engineering;
+* the **cost-scaling vision**: under NETMARK the per-consumer cost falls,
+  because reaching a source costs one databank line.
+
+Costs are *measured artifact counts* from actually-constructed
+integrations (``repro.costmodel.accounting``), weighted by typical spec
+sizes — not asserted constants.
+"""
+
+from conftest import print_table
+
+from repro.costmodel import (
+    GrowthScenario,
+    artifact_curves,
+    build_gav_integration,
+    build_netmark_integration,
+    consumer_cost_curves,
+    is_linear_growth,
+    scaling_advantage,
+    shows_economies_of_scale,
+)
+
+SOURCE_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+def test_report_fig1_artifacts_vs_sources(benchmark):
+    """Measured integration artifacts as the enterprise adds sources."""
+    def report():
+        curves = artifact_curves(SOURCE_COUNTS)
+        rows = []
+        for gav, netmark in zip(curves["gav"], curves["netmark"]):
+            rows.append(
+                [
+                    gav.sources,
+                    gav.artifacts,
+                    gav.spec_lines,
+                    netmark.artifacts,
+                    netmark.spec_lines,
+                    f"{gav.spec_lines / netmark.spec_lines:.1f}x",
+                ]
+            )
+        print_table(
+            "FIG1a: integration artifacts vs sources",
+            ["sources", "gav-artifacts", "gav-spec-lines",
+             "nm-artifacts", "nm-spec-lines", "gap"],
+            rows,
+        )
+        # Shape: GAV grows ~5 artifacts/source, NETMARK exactly 1/source.
+        gav_slope = (
+            (curves["gav"][-1].artifacts - curves["gav"][0].artifacts)
+            / (SOURCE_COUNTS[-1] - SOURCE_COUNTS[0])
+        )
+        netmark_slope = (
+            (curves["netmark"][-1].artifacts - curves["netmark"][0].artifacts)
+            / (SOURCE_COUNTS[-1] - SOURCE_COUNTS[0])
+        )
+        assert netmark_slope == 1.0
+        assert gav_slope >= 4 * netmark_slope
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_fig1_cost_vs_consumers(benchmark):
+    """The figure itself: cumulative cost as consumers are added."""
+    def report():
+        curves = consumer_cost_curves(GrowthScenario(applications=16))
+        rows = []
+        for gav_point, netmark_point in zip(curves["gav"], curves["netmark"]):
+            rows.append(
+                [
+                    gav_point.consumers,
+                    f"{gav_point.cumulative_cost:.0f}",
+                    f"{gav_point.cost_per_consumer:.0f}",
+                    f"{netmark_point.cumulative_cost:.0f}",
+                    f"{netmark_point.cost_per_consumer:.1f}",
+                ]
+            )
+        print_table(
+            "FIG1b: cumulative cost vs # of consumers (spec lines)",
+            ["consumers", "gav-total", "gav-per-consumer",
+             "nm-total", "nm-per-consumer"],
+            rows,
+        )
+        assert is_linear_growth(curves["gav"])
+        assert shows_economies_of_scale(curves["netmark"], curves["gav"])
+        assert scaling_advantage(curves["gav"], curves["netmark"]) > 10
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_bench_build_gav_integration(benchmark):
+    """Cost (time) of standing up the GAV side at 16 sources."""
+    benchmark(build_gav_integration, 16)
+
+
+def test_bench_build_netmark_integration(benchmark):
+    """Cost (time) of standing up the NETMARK side at 16 sources."""
+    benchmark(build_netmark_integration, 16)

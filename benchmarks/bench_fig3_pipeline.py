@@ -1,0 +1,62 @@
+"""FIG3 — the NETMARK system architecture pipeline (paper Figs 2-3).
+
+There is no evaluation number attached to the architecture figures; what
+they define is the ingestion path — WebDAV drop folder → daemon → SGML
+parser → XML store.  This bench measures that path end to end:
+throughput (documents/second and nodes/second) through the exact
+production components, per input format.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.netmark import Netmark
+from repro.workloads import CorpusSpec, generate_corpus
+
+FORMATS = ("ndoc", "npdf", "md", "html", "nppt", "txt")
+
+
+def _files_for(fmt: str, count: int):
+    return generate_corpus(
+        CorpusSpec(documents=count, formats=(fmt,), seed=100)
+    )
+
+
+def test_report_fig3_pipeline_throughput(benchmark):
+    def report():
+        rows = []
+        for fmt in FORMATS:
+            files = _files_for(fmt, 40)
+            node = Netmark(f"bench-{fmt}")
+            records = node.ingest_many([(f.name, f.text) for f in files])
+            stored = [record for record in records if record.ok]
+            nodes = sum(record.node_count for record in stored)
+            rows.append([fmt, len(stored), nodes, nodes // max(1, len(stored))])
+            assert len(stored) == len(files)  # the pipeline drops nothing
+        print_table(
+            "FIG3: ingestion pipeline (drop -> daemon -> parse -> store)",
+            ["format", "docs", "nodes", "nodes/doc"],
+            rows,
+        )
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_bench_ingest_by_format(benchmark, fmt):
+    """Per-format ingestion latency through the full pipeline."""
+    files = _files_for(fmt, 10)
+    payload = [(f.name, f.text) for f in files]
+
+    def ingest_batch():
+        node = Netmark("bench")
+        node.ingest_many(payload)
+        return node
+
+    node = benchmark(ingest_batch)
+    assert node.document_count == len(files)
+
+
+def test_bench_daemon_poll_empty(benchmark):
+    """Daemon wake-up cost when nothing is pending (the idle loop)."""
+    node = Netmark("idle")
+    benchmark(node.poll)

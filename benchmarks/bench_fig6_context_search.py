@@ -1,0 +1,108 @@
+"""FIG6 — context search across a document collection (paper Fig 6).
+
+"A context search query, such as Context=Introduction, will return the
+content portion in the 'Introduction' sections in all the documents in a
+document collection."
+
+The bench loads mixed-format corpora of growing size and measures:
+
+* context-search latency via the production path (text index + ROWID
+  traversal) versus the full-scan fallback — the index path must win by a
+  factor that *grows* with corpus size;
+* recall correctness against the generator's ground truth (every document
+  generated with the heading must be found).
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.query.engine import QueryEngine
+from repro.store import XmlStore
+from repro.workloads import CorpusSpec, generate_corpus
+
+SIZES = (50, 150, 400)
+HEADING = "Budget"
+
+
+def _loaded_store(size: int) -> tuple[XmlStore, int]:
+    files = generate_corpus(CorpusSpec(documents=size, seed=200))
+    store = XmlStore()
+    expected = 0
+    for file in files:
+        store.store_text(file.text, file.name)
+        if HEADING in file.headings:
+            expected += 1
+    return store, expected
+
+
+@pytest.fixture(scope="module")
+def stores():
+    return {size: _loaded_store(size) for size in SIZES}
+
+
+def _timed(callable_, repeats=5):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_report_fig6_context_search(benchmark, stores):
+    def report():
+        rows = []
+        for size in SIZES:
+            store, expected = stores[size]
+            indexed = QueryEngine(store, use_index=True)
+            scanning = QueryEngine(store, use_index=False)
+            indexed_time, indexed_result = _timed(
+                lambda engine=indexed: engine.execute(f"Context={HEADING}")
+            )
+            scan_time, scan_result = _timed(
+                lambda engine=scanning: engine.execute(f"Context={HEADING}"),
+                repeats=2,
+            )
+            assert len(indexed_result) == expected  # perfect recall
+            assert len(scan_result) == expected
+            rows.append(
+                [
+                    size,
+                    expected,
+                    f"{indexed_time * 1000:.2f}ms",
+                    f"{scan_time * 1000:.2f}ms",
+                    f"{scan_time / indexed_time:.1f}x",
+                ]
+            )
+        print_table(
+            f"FIG6: Context={HEADING} over growing collections",
+            ["docs", "matches", "index-path", "scan-path", "speedup"],
+            rows,
+        )
+        # Shape: the index path wins everywhere.
+        for row in rows:
+            assert float(row[4][:-1]) > 1.0
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_context_search_indexed(benchmark, stores, size):
+    store, expected = stores[size]
+    engine = QueryEngine(store)
+    result = benchmark(engine.execute, f"Context={HEADING}")
+    assert len(result) == expected
+
+
+def test_bench_combined_search(benchmark, stores):
+    store, _ = stores[SIZES[-1]]
+    engine = QueryEngine(store)
+    benchmark(engine.execute, f"Context={HEADING}&Content=resource")
+
+
+def test_bench_content_search(benchmark, stores):
+    store, _ = stores[SIZES[-1]]
+    engine = QueryEngine(store)
+    benchmark(engine.execute, "Content=shuttle")

@@ -1,0 +1,118 @@
+"""FIG8 — highly scalable and flexible integration (paper Fig 8).
+
+Applications ↔ thin routers ↔ data sources.  The bench grows the number
+of sources in one databank and measures:
+
+* fan-out query latency versus source count (should grow ~linearly — the
+  router adds no super-linear coordination cost);
+* the marginal cost of declaring a new source (constant, one line);
+* mixed-capability fan-out: adding capability-limited sources keeps
+  working, with augmentation confined to those sources.
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.federation import ContentOnlySource, NetmarkSource, Router
+from repro.store import XmlStore
+from repro.workloads import CorpusSpec, generate_corpus
+
+SOURCE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _netmark_source(index: int) -> NetmarkSource:
+    store = XmlStore()
+    files = generate_corpus(
+        CorpusSpec(documents=10, seed=400 + index, formats=("md",))
+    )
+    for file in files:
+        store.store_text(file.text, f"s{index}-{file.name}")
+    return NetmarkSource(f"src{index:02d}", store)
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return [_netmark_source(index) for index in range(max(SOURCE_COUNTS))]
+
+
+def test_report_fig8_fanout_scaling(benchmark, sources):
+    def report():
+        rows = []
+        times = {}
+        for count in SOURCE_COUNTS:
+            router = Router()
+            bank = router.create_databank("app")
+            for source in sources[:count]:
+                bank.add_source(source)
+            start = time.perf_counter()
+            results = router.execute("Context=Budget&databank=app")
+            elapsed = time.perf_counter() - start
+            times[count] = elapsed
+            assert router.last_report.fan_out == count
+            rows.append(
+                [count, len(results), f"{elapsed * 1000:.2f}ms",
+                 f"{elapsed * 1000 / count:.2f}ms"]
+            )
+        print_table(
+            "FIG8: databank fan-out vs number of sources",
+            ["sources", "matches", "latency", "latency/source"],
+            rows,
+        )
+        # Shape: ~linear scaling — per-source latency does not blow up.
+        per_source = [times[count] / count for count in SOURCE_COUNTS]
+        assert max(per_source) < 10 * min(per_source)
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_fig8_mixed_capabilities(benchmark, sources):
+    def report():
+        router = Router()
+        bank = router.create_databank("mixed")
+        for source in sources[:4]:
+            bank.add_source(source)
+        legacy = ContentOnlySource(
+            "legacy",
+            {
+                f"l{i}.md": f"# Budget\nlegacy dollars {i}\n\n# Other\nnoise\n"
+                for i in range(5)
+            },
+        )
+        bank.add_source(legacy)
+        results = router.execute("Context=Budget&Content=dollars&databank=mixed")
+        report = router.last_report
+        print_table(
+            "FIG8: mixed-capability fan-out",
+            ["source", "matches", "augmented"],
+            [
+                [name, count, "yes" if name in report.augmented_sources else "no"]
+                for name, count in report.source_matches.items()
+            ],
+        )
+        assert report.augmented_sources == ["legacy"]
+        assert report.source_matches["legacy"] == 5
+        assert len(results) >= 5
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("count", SOURCE_COUNTS)
+def test_bench_fanout(benchmark, sources, count):
+    router = Router()
+    bank = router.create_databank("app")
+    for source in sources[:count]:
+        bank.add_source(source)
+    benchmark(router.execute, "Context=Budget&databank=app")
+
+
+def test_bench_declare_source(benchmark, sources):
+    """The marginal integration act: one databank line."""
+    router = Router()
+    counter = [0]
+
+    def declare():
+        bank = router.create_databank(f"app{counter[0]}")
+        counter[0] += 1
+        bank.add_source(sources[0])
+
+    benchmark(declare)

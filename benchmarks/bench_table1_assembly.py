@@ -1,0 +1,154 @@
+"""TBL1 — NASA integration applications and assembly effort (paper Table 1).
+
+The paper reports human assembly times: Proposal Financial Management
+~1 hour, Risk Assessment ~1 day, Integrated Budget Performance Document
+~1 week (Anomaly Tracking's cell is illegible in the scan; we treat it as
+~1 day, matching its two-source scope — recorded in EXPERIMENTS.md).
+
+Human hours are unrecoverable; what is measurable and machine-checkable
+is the *relative* effort: declarative assembly steps, application-specific
+extraction code, and automated assembly runtime.  The paper's ordering
+(Proposal < Risk ≈ Anomaly < IBPD) must hold on the effort proxy.
+"""
+
+import inspect
+import time
+
+from conftest import print_table
+
+from repro.apps import (
+    AnomalyTrackingApp,
+    IbpdAssembler,
+    ProposalFinancialManagement,
+    RiskAssessmentApp,
+)
+from repro.apps import anomaly_tracking, ibpd, proposal_financial, risk_assessment
+from repro.workloads import (
+    CorpusSpec,
+    generate_corpus,
+    generate_proposals,
+    generate_task_plans,
+    generate_tracker_a,
+    generate_tracker_b,
+)
+
+PAPER_TIMES = {
+    "Proposal Financial Management": "1 hour",
+    "Risk Assessment": "1 day",
+    "Anomaly Tracking": "1 day (assumed; cell illegible)",
+    "Integrated Budget Performance Document": "1 week",
+}
+
+
+def _loc(module) -> int:
+    """Application-specific code size (a proxy for hand-written effort)."""
+    return len(inspect.getsource(module).splitlines())
+
+
+def _run_proposal():
+    files, _ = generate_proposals(30, seed=61)
+    app = ProposalFinancialManagement()
+    start = time.perf_counter()
+    app.load_proposals(files)
+    report = app.build_report()
+    elapsed = time.perf_counter() - start
+    assert report.records
+    return app.netmark.assembly_steps, elapsed, _loc(proposal_financial)
+
+
+def _run_risk():
+    files = generate_corpus(CorpusSpec(documents=30, seed=62))
+    app = RiskAssessmentApp()
+    start = time.perf_counter()
+    app.load_documents(files)
+    report = app.build_report()
+    elapsed = time.perf_counter() - start
+    assert report.findings
+    return app.netmark.assembly_steps, elapsed, _loc(risk_assessment)
+
+
+def _run_anomaly():
+    app = AnomalyTrackingApp(
+        generate_tracker_a(30, seed=63), generate_tracker_b(30, seed=64)
+    )
+    start = time.perf_counter()
+    hits = app.search_descriptions("anomaly")
+    elapsed = time.perf_counter() - start
+    assert hits
+    return app.netmark.assembly_steps, elapsed, _loc(anomaly_tracking)
+
+
+def _run_ibpd():
+    files, _ = generate_task_plans(60, seed=65)
+    assembler = IbpdAssembler()
+    start = time.perf_counter()
+    assembler.load_task_plans(files)
+    result = assembler.assemble()
+    elapsed = time.perf_counter() - start
+    assert result.chapter_count == 60
+    return assembler.netmark.assembly_steps, elapsed, _loc(ibpd)
+
+
+def test_report_table1_assembly(benchmark):
+    def report():
+        runs = {
+            "Proposal Financial Management": _run_proposal(),
+            "Risk Assessment": _run_risk(),
+            "Anomaly Tracking": _run_anomaly(),
+            "Integrated Budget Performance Document": _run_ibpd(),
+        }
+        rows = []
+        for name, (steps, elapsed, loc) in runs.items():
+            rows.append(
+                [name, PAPER_TIMES[name], steps, loc, f"{elapsed * 1000:.0f}ms"]
+            )
+        print_table(
+            "TABLE 1: NASA integration applications",
+            ["application", "paper-assembly-time", "declarative-steps",
+             "app-code-lines", "automated-runtime"],
+            rows,
+        )
+        # Shape: the paper's effort ordering holds on the code-size proxy —
+        # Proposal is the smallest, IBPD the largest.
+        loc_of = {name: loc for name, (_, _, loc) in runs.items()}
+        assert loc_of["Proposal Financial Management"] <= loc_of[
+            "Integrated Budget Performance Document"
+        ]
+        assert loc_of["Risk Assessment"] <= loc_of[
+            "Integrated Budget Performance Document"
+        ]
+        # Every application is assembled with a handful of declarative steps —
+        # the lean-middleware claim in one line.
+        assert all(steps <= 4 for steps, _, _ in runs.values())
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_bench_assemble_proposal_app(benchmark):
+    files, _ = generate_proposals(15, seed=66)
+
+    def assemble():
+        app = ProposalFinancialManagement()
+        app.load_proposals(files)
+        return app.build_report()
+
+    report = benchmark(assemble)
+    assert report.total_requested > 0
+
+
+def test_bench_assemble_ibpd(benchmark):
+    files, _ = generate_task_plans(20, seed=67)
+
+    def assemble():
+        assembler = IbpdAssembler()
+        assembler.load_task_plans(files)
+        return assembler.assemble()
+
+    result = benchmark(assemble)
+    assert result.grand_total > 0
+
+
+def test_bench_anomaly_query(benchmark):
+    app = AnomalyTrackingApp(
+        generate_tracker_a(30, seed=68), generate_tracker_b(30, seed=69)
+    )
+    benchmark(app.search_descriptions, "anomaly")

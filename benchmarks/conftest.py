@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one table or figure of the paper (see
+DESIGN.md §4).  Conventions:
+
+* ``test_report_*`` functions print the paper-style rows/series (run with
+  ``pytest benchmarks/ --benchmark-only -s`` to see them) and assert the
+  *shape* claims — who wins, by roughly what factor, where the curves
+  bend.  Absolute numbers are environment-specific and never asserted.
+* ``test_bench_*`` functions time the underlying operations with
+  pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+# Capture manager handle, filled in by pytest_configure, so experiment
+# tables stay visible even though pytest captures test stdout.
+_CAPTURE = [None]
+
+
+def pytest_configure(config):
+    _CAPTURE[0] = config.pluginmanager.getplugin("capturemanager")
+
+
+def _emit(text: str) -> None:
+    manager = _CAPTURE[0]
+    if manager is not None:
+        with manager.global_and_fixture_disabled():
+            print(text)
+    else:  # pragma: no cover - plugin always present under pytest
+        print(text)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print one aligned experiment table (bypasses pytest capture)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[index]) for row in rendered)) if rendered
+        else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    _emit("\n".join(lines))

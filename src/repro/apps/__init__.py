@@ -1,0 +1,33 @@
+"""The NASA integration applications of Table 1."""
+
+from repro.apps.anomaly_tracking import AnomalyHit, AnomalyTrackingApp
+from repro.apps.ibpd import BudgetLine, IbpdAssembler, IbpdResult, IBPD_STYLESHEET
+from repro.apps.proposal_financial import (
+    ProposalFinancialManagement,
+    ProposalRecord,
+    ProposalReport,
+)
+from repro.apps.risk_assessment import (
+    RISK_CONTEXTS,
+    RISK_TERMS,
+    RiskAssessmentApp,
+    RiskFinding,
+    RiskReport,
+)
+
+__all__ = [
+    "AnomalyHit",
+    "AnomalyTrackingApp",
+    "BudgetLine",
+    "IBPD_STYLESHEET",
+    "IbpdAssembler",
+    "IbpdResult",
+    "ProposalFinancialManagement",
+    "ProposalRecord",
+    "ProposalReport",
+    "RISK_CONTEXTS",
+    "RISK_TERMS",
+    "RiskAssessmentApp",
+    "RiskFinding",
+    "RiskReport",
+]

@@ -1,0 +1,106 @@
+"""Anomaly Tracking (Table 1).
+
+"An application that allows integrated querying of two NASA (web
+accessible) data sources that are essentially anomaly tracking databases.
+The application facilitates more sophisticated querying than provided by
+either original source and also facilitates simultaneous querying of both
+sources."
+
+Assembly is one databank declaring the two trackers.  The vocabulary
+mismatch between them (``Description``/``Severity`` versus
+``Summary``/``Criticality``) is spanned the NETMARK way — context
+alternatives in the query, no virtual views (§4's discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.federation.sources import Record, StructuredSource
+from repro.netmark import Netmark
+from repro.query.results import ResultSet, SectionMatch
+
+#: The two trackers' names for the same concepts.
+DESCRIPTION_FIELDS = ("Description", "Summary")
+SEVERITY_FIELDS = ("Severity", "Criticality")
+
+DATABANK = "anomalies"
+
+
+@dataclass(frozen=True)
+class AnomalyHit:
+    """One anomaly surfaced by an integrated query."""
+
+    tracker: str
+    record_key: str
+    description: str
+
+
+class AnomalyTrackingApp:
+    """Simultaneous querying over two anomaly trackers."""
+
+    def __init__(
+        self,
+        tracker_a: list[Record],
+        tracker_b: list[Record],
+        netmark: Netmark | None = None,
+    ) -> None:
+        self.netmark = netmark or Netmark("anomaly-tracking")
+        self.source_a = StructuredSource("tracker-a", tracker_a)
+        self.source_b = StructuredSource("tracker-b", tracker_b)
+        self.netmark.create_databank(DATABANK, "two anomaly trackers")
+        self.netmark.add_source(DATABANK, self.source_a)
+        self.netmark.add_source(DATABANK, self.source_b)
+
+    def search_descriptions(self, keyword: str) -> list[AnomalyHit]:
+        """Find anomalies whose description/summary mentions ``keyword``.
+
+        This is the "more sophisticated querying than provided by either
+        original source": one request, both vocabularies, both trackers.
+        """
+        query = (
+            f"Context={'|'.join(DESCRIPTION_FIELDS)}"
+            f"&Content={keyword}&databank={DATABANK}"
+        )
+        return [self._to_hit(match) for match in self.netmark.federated_search(query)]
+
+    def all_with_severity(self, level: str) -> list[AnomalyHit]:
+        """Anomalies at a given severity/criticality across both trackers."""
+        query = (
+            f"Context={'|'.join(SEVERITY_FIELDS)}"
+            f"&Content={level}&databank={DATABANK}"
+        )
+        hits = []
+        for match in self.netmark.federated_search(query):
+            # The matched section is the severity field; surface the
+            # record's description alongside for a useful answer.
+            hits.append(
+                AnomalyHit(
+                    tracker=match.source,
+                    record_key=match.file_name,
+                    description=self._description_of(match),
+                )
+            )
+        return hits
+
+    def raw_search(self, query: str) -> ResultSet:
+        """Escape hatch: any XDB query against the databank."""
+        return self.netmark.federated_search(query, DATABANK)
+
+    # -- internals ---------------------------------------------------------
+
+    def _to_hit(self, match: SectionMatch) -> AnomalyHit:
+        return AnomalyHit(
+            tracker=match.source,
+            record_key=match.file_name,
+            description=match.content,
+        )
+
+    def _description_of(self, match: SectionMatch) -> str:
+        source = self.source_a if match.source == "tracker-a" else self.source_b
+        for record in source._records:
+            if record.key == match.file_name:
+                for name, value in record.fields:
+                    if name in DESCRIPTION_FIELDS:
+                        return value
+        return match.content

@@ -1,0 +1,116 @@
+"""Proposal Financial Management (Table 1, assembled in ~1 hour).
+
+An information system over submitted proposals (Word/PDF inputs) that
+answers "aggregated and statistical information about the proposals such
+as proposal numbers by NASA division type, dollar amounts requested etc."
+
+Assembly is pure NETMARK usage — drop the documents, then ask context
+queries; the only application code is two regexes that read facts out of
+the returned sections.  That is why the paper could stand this up in an
+hour.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.netmark import Netmark
+from repro.workloads.corpus import GeneratedFile
+
+_DIVISION_RE = re.compile(r"submitted by the ([A-Za-z ]+?) division")
+_PI_RE = re.compile(r"principal investigator is ([A-Za-z .']+?)\.")
+_AMOUNT_RE = re.compile(r"requests a total of \$([\d,]+)")
+_PROPOSAL_ID_RE = re.compile(r"Proposal ([A-Z]+-\d+-\d+)")
+
+
+@dataclass(frozen=True)
+class ProposalRecord:
+    """Facts extracted from one stored proposal."""
+
+    file_name: str
+    proposal_id: str
+    division: str
+    principal_investigator: str
+    amount: int
+
+
+@dataclass
+class ProposalReport:
+    """The application's aggregate answers."""
+
+    records: list[ProposalRecord] = field(default_factory=list)
+
+    @property
+    def total_requested(self) -> int:
+        return sum(record.amount for record in self.records)
+
+    def count_by_division(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.division] = counts.get(record.division, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def amount_by_division(self) -> dict[str, int]:
+        amounts: dict[str, int] = {}
+        for record in self.records:
+            amounts[record.division] = (
+                amounts.get(record.division, 0) + record.amount
+            )
+        return dict(sorted(amounts.items()))
+
+    def over_threshold(self, threshold: int) -> list[ProposalRecord]:
+        return sorted(
+            (record for record in self.records if record.amount > threshold),
+            key=lambda record: record.amount,
+            reverse=True,
+        )
+
+
+class ProposalFinancialManagement:
+    """The assembled application."""
+
+    def __init__(self, netmark: Netmark | None = None) -> None:
+        self.netmark = netmark or Netmark("proposal-financial")
+
+    def load_proposals(self, files: list[GeneratedFile]) -> int:
+        """Ingest the proposal documents through the daemon path."""
+        records = self.netmark.ingest_many(
+            [(file.name, file.text) for file in files]
+        )
+        return sum(1 for record in records if record.ok)
+
+    def build_report(self) -> ProposalReport:
+        """Extract facts via context queries and aggregate them."""
+        admin_sections = {
+            match.file_name: match.content
+            for match in self.netmark.search("Context=Administrative Summary")
+        }
+        budget_sections = {
+            match.file_name: match.content
+            for match in self.netmark.search("Context=Budget")
+        }
+        report = ProposalReport()
+        for file_name, admin_text in sorted(admin_sections.items()):
+            budget_text = budget_sections.get(file_name, "")
+            division = _search(_DIVISION_RE, admin_text)
+            investigator = _search(_PI_RE, admin_text)
+            proposal_id = _search(_PROPOSAL_ID_RE, admin_text)
+            amount_text = _search(_AMOUNT_RE, budget_text)
+            if not (division and amount_text):
+                continue
+            report.records.append(
+                ProposalRecord(
+                    file_name=file_name,
+                    proposal_id=proposal_id or file_name,
+                    division=division,
+                    principal_investigator=investigator or "unknown",
+                    amount=int(amount_text.replace(",", "")),
+                )
+            )
+        return report
+
+
+def _search(pattern: re.Pattern[str], text: str) -> str:
+    match = pattern.search(text)
+    return match.group(1).strip() if match else ""

@@ -1,0 +1,27 @@
+"""Comparison systems: relational shredding storage and a GAV mediator."""
+
+from repro.baselines.gav import (
+    FilterPredicate,
+    GavMapping,
+    GlobalSchema,
+    Mediator,
+    RelationSchema,
+    SourceQuery,
+    SourceSchema,
+    helper_source_query,
+)
+from repro.baselines.shredded import ShredResult, ShreddedXmlStore, table_name_for
+
+__all__ = [
+    "FilterPredicate",
+    "GavMapping",
+    "GlobalSchema",
+    "Mediator",
+    "RelationSchema",
+    "ShredResult",
+    "ShreddedXmlStore",
+    "SourceQuery",
+    "SourceSchema",
+    "helper_source_query",
+    "table_name_for",
+]

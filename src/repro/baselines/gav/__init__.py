@@ -1,0 +1,21 @@
+"""A working GAV mediator — the heavy-middleware comparison system."""
+
+from repro.baselines.gav.mappings import FilterPredicate, GavMapping, SourceQuery
+from repro.baselines.gav.mediator import (
+    Mediator,
+    RegisteredSource,
+    helper_source_query,
+)
+from repro.baselines.gav.schema import GlobalSchema, RelationSchema, SourceSchema
+
+__all__ = [
+    "FilterPredicate",
+    "GavMapping",
+    "GlobalSchema",
+    "Mediator",
+    "RegisteredSource",
+    "RelationSchema",
+    "SourceQuery",
+    "SourceSchema",
+    "helper_source_query",
+]

@@ -1,0 +1,130 @@
+"""GAV view definitions (Global-as-View mappings).
+
+A global relation is defined as a **union of conjunctive queries over
+source relations**.  Each :class:`SourceQuery` selects rows from one
+source relation, optionally filters them, and renames attributes into the
+global vocabulary — exactly the machinery behind the paper's "Top
+Employees of NASA" example:
+
+    Top Employees = σ(rating='excellent') Ames.Employees
+                  ∪ σ(score<=2)          Johnson.Personnel
+                  ∪ σ(rating>='very good') Kennedy.Employees
+
+Filters are restricted to attribute/constant comparisons, which keeps the
+mapping language declarative, printable and countable — every mapping is
+an engineering artifact the FIG1 experiment tallies.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import MappingError
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class FilterPredicate:
+    """``attribute op constant`` over a source relation's rows."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise MappingError(f"unknown filter operator {self.op!r}")
+        object.__setattr__(self, "attribute", self.attribute.upper())
+
+    def accepts(self, row: Mapping[str, Any]) -> bool:
+        actual = row.get(self.attribute)
+        if actual is None:
+            return False
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def describe(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class SourceQuery:
+    """One disjunct: select-project-rename over one source relation.
+
+    ``projection`` maps *global attribute -> source attribute*.
+    """
+
+    source_name: str
+    relation_name: str
+    projection: tuple[tuple[str, str], ...]
+    filters: tuple[FilterPredicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relation_name", self.relation_name.upper())
+        normalized = tuple(
+            (global_attr.upper(), source_attr.upper())
+            for global_attr, source_attr in self.projection
+        )
+        if not normalized:
+            raise MappingError("a source query must project at least one attribute")
+        object.__setattr__(self, "projection", normalized)
+
+    def apply(self, rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        output: list[dict[str, Any]] = []
+        for row in rows:
+            if all(predicate.accepts(row) for predicate in self.filters):
+                output.append(
+                    {
+                        global_attr: row.get(source_attr)
+                        for global_attr, source_attr in self.projection
+                    }
+                )
+        return output
+
+    def describe(self) -> str:
+        parts = [f"{self.source_name}.{self.relation_name}"]
+        if self.filters:
+            parts.append(
+                "WHERE " + " AND ".join(f.describe() for f in self.filters)
+            )
+        renames = ", ".join(
+            f"{src}->{dst}" for dst, src in self.projection if src != dst
+        )
+        if renames:
+            parts.append(f"RENAME {renames}")
+        return " ".join(parts)
+
+
+@dataclass
+class GavMapping:
+    """A global relation's definition: a union of source queries."""
+
+    global_relation: str
+    disjuncts: list[SourceQuery] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.global_relation = self.global_relation.upper()
+
+    def add(self, disjunct: SourceQuery) -> None:
+        self.disjuncts.append(disjunct)
+
+    @property
+    def artifact_count(self) -> int:
+        """One artifact per disjunct (each is a hand-written mapping rule)."""
+        return len(self.disjuncts)
+
+    def describe(self) -> str:
+        body = "\n  UNION ".join(d.describe() for d in self.disjuncts)
+        return f"{self.global_relation} :=\n  {body}"

@@ -1,0 +1,92 @@
+"""Schemas for the GAV-mediator baseline.
+
+The heavy-weight approach the paper contrasts with: "the approach in [MIX]
+and [Nimble] absolutely requires us to formally define schemas (source
+views) for the three information sources, define a virtual 'Top Employees'
+view and specify the relationships between the virtual and source views."
+
+A :class:`RelationSchema` is a named attribute list; a
+:class:`SourceSchema` is a named set of relations exported by one source;
+a :class:`GlobalSchema` is the mediated vocabulary applications query.
+Every one of these is an *engineering artifact* — the registry counts them
+for the FIG1 cost experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """One relation: a name and its attribute names (ordered)."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.upper())
+        attrs = tuple(attribute.upper() for attribute in self.attributes)
+        if len(set(attrs)) != len(attrs):
+            raise MappingError(f"duplicate attribute in relation {self.name}")
+        if not attrs:
+            raise MappingError(f"relation {self.name} has no attributes")
+        object.__setattr__(self, "attributes", attrs)
+
+    def has_attribute(self, name: str) -> bool:
+        return name.upper() in self.attributes
+
+
+@dataclass
+class SourceSchema:
+    """The relations one source exports (its *source view*)."""
+
+    source_name: str
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+
+    def add_relation(self, relation: RelationSchema) -> None:
+        if relation.name in self.relations:
+            raise MappingError(
+                f"source {self.source_name!r} already exports {relation.name}"
+            )
+        self.relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name.upper()]
+        except KeyError:
+            raise MappingError(
+                f"source {self.source_name!r} exports no relation "
+                f"{name.upper()!r}"
+            ) from None
+
+    @property
+    def artifact_count(self) -> int:
+        """Engineering artifacts: the schema itself + one per relation."""
+        return 1 + len(self.relations)
+
+
+@dataclass
+class GlobalSchema:
+    """The mediated (virtual) vocabulary."""
+
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+
+    def add_relation(self, relation: RelationSchema) -> None:
+        if relation.name in self.relations:
+            raise MappingError(f"global relation {relation.name} already defined")
+        self.relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name.upper()]
+        except KeyError:
+            raise MappingError(
+                f"no global relation {name.upper()!r}"
+            ) from None
+
+    @property
+    def artifact_count(self) -> int:
+        return len(self.relations)

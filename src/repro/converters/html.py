@@ -1,0 +1,109 @@
+"""HTML converter.
+
+Runs the tolerant SGML parser, then restructures the tree by heading:
+every ``<h1>``-``<h6>`` starts a section whose level is the heading depth;
+flow content between headings becomes the section body.  Emphasis elements
+survive as ``**span**`` markers so the section builder re-emits them as
+INTENSE nodes — the round trip HTML → sections → canonical XML preserves
+what the queries can see.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.converters.base import Converter, Section, registry
+from repro.sgml.dom import Element, Node, Text
+from repro.sgml.parser import parse_html
+
+_HEADING_RE = re.compile(r"^h([1-6])$")
+_SKIP_TAGS = frozenset({"script", "style", "head"})
+_EMPHASIS_TAGS = frozenset({"b", "strong", "em", "i", "mark"})
+_BLOCK_TAGS = frozenset(
+    {"p", "div", "li", "tr", "table", "ul", "ol", "blockquote", "pre",
+     "section", "article", "body", "html"}
+)
+
+
+def _inline_text(element: Element) -> str:
+    """Flatten an element to text, wrapping emphasis in ** markers."""
+    parts: list[str] = []
+    for child in element.children:
+        if isinstance(child, Text):
+            parts.append(child.data)
+        elif isinstance(child, Element):
+            if child.tag in _SKIP_TAGS:
+                continue
+            inner = _inline_text(child)
+            if child.tag in _EMPHASIS_TAGS and inner.strip():
+                parts.append(f"**{inner.strip()}**")
+            else:
+                parts.append(inner)
+    return "".join(parts)
+
+
+def _normalize(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()
+
+
+class HtmlConverter(Converter):
+    """Upmark ``.html`` files through the tolerant parser."""
+
+    format_name = "html"
+    extensions = ("html", "htm")
+    sniff_priority = 80
+
+    def sniff(self, text: str) -> bool:
+        head = text.lstrip()[:200].lower()
+        return head.startswith("<!doctype html") or "<html" in head
+
+    def metadata(self, text: str, name: str) -> dict[str, Any]:
+        meta = super().metadata(text, name)
+        title = parse_html(text).find("title")
+        if title is not None:
+            meta["title"] = _normalize(title.text_content())
+        return meta
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        document = parse_html(text, name=name)
+        sections: list[Section] = [Section(title="", level=1)]
+        self._walk(document.root, sections)
+        return [section for section in sections if section.blocks or section.title]
+
+    def _walk(self, node: Node, sections: list[Section]) -> None:
+        if isinstance(node, Text):
+            block = _normalize(node.data)
+            if block:
+                sections[-1].add(block)
+            return
+        assert isinstance(node, Element)
+        if node.tag in _SKIP_TAGS or node.tag == "title":
+            return
+        heading = _HEADING_RE.match(node.tag)
+        if heading:
+            title = _normalize(_inline_text(node).replace("**", ""))
+            sections.append(Section(title=title, level=int(heading.group(1))))
+            return
+        if node.tag in _BLOCK_TAGS:
+            # Recurse: block children become separate blocks, but leaf
+            # blocks flatten their inline content into one block.
+            if any(
+                isinstance(child, Element) and child.tag in _BLOCK_TAGS
+                or isinstance(child, Element) and _HEADING_RE.match(child.tag)
+                for child in node.children
+            ):
+                for child in node.children:
+                    self._walk(child, sections)
+            else:
+                block = _normalize(_inline_text(node))
+                if block:
+                    sections[-1].add(block)
+            return
+        # Inline or unknown element at block position: flatten it.
+        block = _normalize(_inline_text(node))
+        if block:
+            sections[-1].add(block)
+
+
+registry.register(HtmlConverter())

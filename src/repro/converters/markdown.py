@@ -1,0 +1,93 @@
+"""Markdown converter.
+
+Handles the Markdown subset enterprise documents actually use: ``#``
+headings (levels 1-6), Setext underlines, paragraph grouping, ``-``/``*``
+bullet lists (flattened to sentence-per-bullet blocks), fenced code blocks
+(kept verbatim as one block), and ``**bold**`` emphasis, which the section
+builder renders as INTENSE nodes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.converters.base import Converter, Section, registry
+
+_ATX_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_BULLET_RE = re.compile(r"^\s*[-*+]\s+(.*)$")
+_SETEXT_RE = re.compile(r"^\s*(={3,}|-{3,})\s*$")
+_FENCE_RE = re.compile(r"^```")
+
+
+class MarkdownConverter(Converter):
+    """Upmark ``.md`` files."""
+
+    format_name = "markdown"
+    extensions = ("md", "markdown")
+    sniff_priority = 40
+
+    def sniff(self, text: str) -> bool:
+        return bool(re.search(r"^#{1,6}\s+\S", text, re.MULTILINE))
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        sections: list[Section] = [Section(title="", level=1)]
+        paragraph: list[str] = []
+        in_fence = False
+        fence_lines: list[str] = []
+        lines = text.splitlines()
+
+        def flush_paragraph() -> None:
+            if paragraph:
+                sections[-1].add(" ".join(paragraph))
+                paragraph.clear()
+
+        index = 0
+        while index < len(lines):
+            line = lines[index]
+            if _FENCE_RE.match(line):
+                if in_fence:
+                    sections[-1].add("\n".join(fence_lines))
+                    fence_lines.clear()
+                    in_fence = False
+                else:
+                    flush_paragraph()
+                    in_fence = True
+                index += 1
+                continue
+            if in_fence:
+                fence_lines.append(line)
+                index += 1
+                continue
+            heading = _ATX_RE.match(line)
+            if heading:
+                flush_paragraph()
+                sections.append(
+                    Section(title=heading.group(2), level=len(heading.group(1)))
+                )
+                index += 1
+                continue
+            next_line = lines[index + 1] if index + 1 < len(lines) else ""
+            if line.strip() and _SETEXT_RE.match(next_line):
+                flush_paragraph()
+                level = 1 if next_line.strip().startswith("=") else 2
+                sections.append(Section(title=line.strip(), level=level))
+                index += 2
+                continue
+            bullet = _BULLET_RE.match(line)
+            if bullet:
+                flush_paragraph()
+                sections[-1].add(bullet.group(1))
+                index += 1
+                continue
+            if not line.strip():
+                flush_paragraph()
+            else:
+                paragraph.append(line.strip())
+            index += 1
+        if in_fence and fence_lines:
+            sections[-1].add("\n".join(fence_lines))
+        flush_paragraph()
+        return [section for section in sections if section.blocks or section.title]
+
+
+registry.register(MarkdownConverter())

@@ -1,0 +1,102 @@
+"""PDF converter (synthetic ``.npdf`` format).
+
+Real PDF extraction yields text runs with font sizes; headings are the
+runs set in larger type.  **NPDF** serialises exactly that signal: each
+line is ``[F<size>] text``::
+
+    %NPDF-1.0
+    [F24] Integrated Budget Performance Document
+    [F14] Executive Summary
+    [F10] This document unifies previously disconnected budgets.
+    [F14] Task Plans
+    [F10] Totals are aggregated per NASA center.
+
+The converter infers the *body* size as the most frequent font size, then
+maps every larger size to a heading level by descending rank — the same
+dominant-font heuristic real PDF upmarkers use.  Consecutive body lines
+merge into paragraphs; a blank line separates paragraphs.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+from repro.converters.base import Converter, Section, registry
+from repro.errors import ConverterError
+
+_LINE_RE = re.compile(r"^\[F(\d+(?:\.\d+)?)\]\s?(.*)$")
+
+MAGIC = "%NPDF"
+
+
+class PdfConverter(Converter):
+    """Upmark ``.npdf`` documents by font-size ranking."""
+
+    format_name = "pdf"
+    extensions = ("npdf", "pdf")
+    sniff_priority = 100
+
+    def sniff(self, text: str) -> bool:
+        return text.lstrip().startswith(MAGIC)
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        lines = text.splitlines()
+        if not lines or not lines[0].strip().startswith(MAGIC):
+            raise ConverterError(
+                f"{name!r} is not an NPDF file (missing {MAGIC} header)"
+            )
+        runs: list[tuple[float | None, str]] = []
+        for raw_line in lines[1:]:
+            if not raw_line.strip():
+                runs.append((None, ""))  # paragraph break
+                continue
+            match = _LINE_RE.match(raw_line.strip())
+            if match is None:
+                raise ConverterError(
+                    f"{name!r}: NPDF line missing [F<size>] marker: "
+                    f"{raw_line.strip()[:40]!r}"
+                )
+            runs.append((float(match.group(1)), match.group(2).strip()))
+
+        # The body size is the one carrying the most *characters* (heading
+        # lines are short); ties break toward the smaller size, since body
+        # text is never set larger than headings.
+        sizes: Counter[float] = Counter()
+        for size, text_run in runs:
+            if size is not None and text_run:
+                sizes[size] += len(text_run)
+        if not sizes:
+            return []
+        body_size = min(
+            sizes, key=lambda size: (-sizes[size], size)
+        )
+        heading_sizes = sorted(
+            {size for size in sizes if size > body_size}, reverse=True
+        )
+        level_of = {size: rank + 1 for rank, size in enumerate(heading_sizes)}
+
+        sections: list[Section] = [Section(title="", level=1)]
+        paragraph: list[str] = []
+
+        def flush() -> None:
+            if paragraph:
+                sections[-1].add(" ".join(paragraph))
+                paragraph.clear()
+
+        for size, text_run in runs:
+            if size is None:
+                flush()
+                continue
+            if not text_run:
+                continue
+            if size in level_of:
+                flush()
+                sections.append(Section(title=text_run, level=level_of[size]))
+            else:
+                paragraph.append(text_run)
+        flush()
+        return [section for section in sections if section.blocks or section.title]
+
+
+registry.register(PdfConverter())

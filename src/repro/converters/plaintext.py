@@ -1,0 +1,85 @@
+"""Plain-text converter.
+
+Detects headings from layout cues only (there is no markup):
+
+* underlined lines (``====`` or ``----`` under a short line),
+* numbered headings (``1. Introduction``, ``2.3 Query Processing``),
+* short ALL-CAPS lines.
+
+Everything else groups into paragraphs under the nearest heading.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.converters.base import Converter, Section, registry
+
+_NUMBERED_RE = re.compile(r"^\s*(\d+(?:\.\d+)*)[.)]?\s+(\S.*)$")
+_UNDERLINE_RE = re.compile(r"^\s*(={3,}|-{3,})\s*$")
+
+
+def _is_all_caps_heading(line: str) -> bool:
+    stripped = line.strip()
+    if not (3 <= len(stripped) <= 60):
+        return False
+    letters = [char for char in stripped if char.isalpha()]
+    return bool(letters) and all(char.isupper() for char in letters)
+
+
+class PlainTextConverter(Converter):
+    """Upmark ``.txt`` files using layout heuristics."""
+
+    format_name = "text"
+    extensions = ("txt", "text")
+    sniff_priority = 0
+
+    def sniff(self, text: str) -> bool:
+        # Plain text is the fallback of last resort: accept anything that
+        # is not markup-like.
+        return not text.lstrip().startswith("<")
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        sections: list[Section] = [Section(title="", level=1)]
+        paragraph: list[str] = []
+        lines = text.splitlines()
+
+        def flush_paragraph() -> None:
+            if paragraph:
+                sections[-1].add(" ".join(paragraph))
+                paragraph.clear()
+
+        index = 0
+        while index < len(lines):
+            line = lines[index]
+            next_line = lines[index + 1] if index + 1 < len(lines) else ""
+            stripped = line.strip()
+            if not stripped:
+                flush_paragraph()
+                index += 1
+                continue
+            if _UNDERLINE_RE.match(next_line) and len(stripped) <= 80:
+                flush_paragraph()
+                level = 1 if next_line.strip().startswith("=") else 2
+                sections.append(Section(title=stripped, level=level))
+                index += 2
+                continue
+            numbered = _NUMBERED_RE.match(line)
+            if numbered and len(stripped) <= 80 and not stripped.endswith("."):
+                flush_paragraph()
+                depth = numbered.group(1).count(".") + 1
+                sections.append(Section(title=numbered.group(2), level=depth))
+                index += 1
+                continue
+            if _is_all_caps_heading(line):
+                flush_paragraph()
+                sections.append(Section(title=stripped.title(), level=1))
+                index += 1
+                continue
+            paragraph.append(stripped)
+            index += 1
+        flush_paragraph()
+        return [section for section in sections if section.blocks or section.title]
+
+
+registry.register(PlainTextConverter())

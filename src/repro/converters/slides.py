@@ -1,0 +1,75 @@
+"""Presentation converter (synthetic ``.nppt`` format).
+
+PowerPoint upmarking in the paper maps slide titles to contexts and slide
+bodies to content.  **NPPT** carries that structure in text form::
+
+    #NPPT
+    == Slide 1: Project Overview ==
+    * Integrated access to 40 sources
+    * Schema-less storage
+    notes: emphasise the cost curve
+
+    == Slide 2: Architecture ==
+    * Daemon -> SGML parser -> XML store
+
+Each slide becomes one section (level 1) titled by the slide title; its
+bullets and free lines become content blocks.  ``notes:`` lines become a
+trailing block prefixed ``Speaker notes:`` so they remain searchable — the
+paper's applications routinely query presentation content.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.converters.base import Converter, Section, registry
+from repro.errors import ConverterError
+
+_SLIDE_RE = re.compile(r"^==\s*(?:Slide\s+\d+:\s*)?(.*?)\s*==\s*$")
+_BULLET_RE = re.compile(r"^\s*[*\-]\s+(.*)$")
+_NOTES_RE = re.compile(r"^notes:\s*(.*)$", re.IGNORECASE)
+
+MAGIC = "#NPPT"
+
+
+class SlidesConverter(Converter):
+    """Upmark ``.nppt`` slide decks, one section per slide."""
+
+    format_name = "slides"
+    extensions = ("nppt", "ppt", "pptx")
+    sniff_priority = 100
+
+    def sniff(self, text: str) -> bool:
+        return text.lstrip().startswith(MAGIC)
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        lines = text.splitlines()
+        if not lines or not lines[0].strip().startswith(MAGIC):
+            raise ConverterError(
+                f"{name!r} is not an NPPT file (missing {MAGIC} header)"
+            )
+        sections: list[Section] = []
+        for raw_line in lines[1:]:
+            line = raw_line.rstrip()
+            if not line.strip():
+                continue
+            slide = _SLIDE_RE.match(line.strip())
+            if slide:
+                sections.append(Section(title=slide.group(1), level=1))
+                continue
+            if not sections:
+                sections.append(Section(title="", level=1))
+            notes = _NOTES_RE.match(line.strip())
+            if notes:
+                if notes.group(1):
+                    sections[-1].add(f"Speaker notes: {notes.group(1)}")
+                continue
+            bullet = _BULLET_RE.match(line)
+            if bullet:
+                sections[-1].add(bullet.group(1))
+            else:
+                sections[-1].add(line.strip())
+        return [section for section in sections if section.blocks or section.title]
+
+
+registry.register(SlidesConverter())

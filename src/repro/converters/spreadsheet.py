@@ -1,0 +1,122 @@
+"""Spreadsheet converter (CSV/TSV).
+
+The paper's motivating data "could well be stored in a spreadsheet";
+proposal budgets at NASA arrive as spreadsheets that must still answer
+context searches.  The upmark rule: the header row names the columns,
+and **each data row becomes one section** whose context is the row's
+first-column value and whose content lists ``Header: value`` pairs.
+A row keyed ``Travel`` in a budget sheet is thereby found by
+``Context=Travel`` exactly like a "Travel" heading in a Word document —
+the uniformity that lets NETMARK integrate spreadsheets and documents in
+one query.
+
+Quoting follows RFC 4180: fields may be double-quoted, quotes escape by
+doubling, and quoted fields may contain the delimiter and newlines.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.converters.base import Converter, Section, registry
+from repro.errors import ConverterError
+
+
+def parse_delimited(text: str, delimiter: str = ",") -> list[list[str]]:
+    """Parse RFC-4180-style delimited text into rows of fields."""
+    rows: list[list[str]] = []
+    field_chars: list[str] = []
+    row: list[str] = []
+    in_quotes = False
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if in_quotes:
+            if char == '"':
+                if index + 1 < length and text[index + 1] == '"':
+                    field_chars.append('"')
+                    index += 2
+                    continue
+                in_quotes = False
+                index += 1
+                continue
+            field_chars.append(char)
+            index += 1
+            continue
+        if char == '"' and not field_chars:
+            in_quotes = True
+            index += 1
+            continue
+        if char == delimiter:
+            row.append("".join(field_chars))
+            field_chars = []
+            index += 1
+            continue
+        if char == "\n" or (char == "\r" and index + 1 < length and text[index + 1] == "\n"):
+            row.append("".join(field_chars))
+            field_chars = []
+            rows.append(row)
+            row = []
+            index += 2 if char == "\r" else 1
+            continue
+        if char == "\r":
+            row.append("".join(field_chars))
+            field_chars = []
+            rows.append(row)
+            row = []
+            index += 1
+            continue
+        field_chars.append(char)
+        index += 1
+    if in_quotes:
+        raise ConverterError("unterminated quoted field in delimited input")
+    if field_chars or row:
+        row.append("".join(field_chars))
+        rows.append(row)
+    return [r for r in rows if any(fieldvalue.strip() for fieldvalue in r)]
+
+
+class SpreadsheetConverter(Converter):
+    """Upmark CSV/TSV sheets, one section per data row."""
+
+    format_name = "spreadsheet"
+    extensions = ("csv", "tsv")
+
+    def _delimiter(self, name: str, text: str) -> str:
+        if name.lower().endswith(".tsv"):
+            return "\t"
+        # Sniff: a tab in the first line with no comma means TSV content.
+        first_line = text.splitlines()[0] if text.splitlines() else ""
+        if "\t" in first_line and "," not in first_line:
+            return "\t"
+        return ","
+
+    def metadata(self, text: str, name: str) -> dict[str, Any]:
+        meta = super().metadata(text, name)
+        rows = parse_delimited(text, self._delimiter(name, text))
+        meta["row_count"] = max(0, len(rows) - 1)
+        meta["column_count"] = len(rows[0]) if rows else 0
+        return meta
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        rows = parse_delimited(text, self._delimiter(name, text))
+        if not rows:
+            return []
+        header = [fieldvalue.strip() for fieldvalue in rows[0]]
+        sections: list[Section] = []
+        for row in rows[1:]:
+            title = row[0].strip() if row else ""
+            section = Section(title=title, level=1)
+            pairs = []
+            for column, value in zip(header[1:], row[1:]):
+                value = value.strip()
+                if value:
+                    pairs.append(f"{column}: {value}")
+            if pairs:
+                section.add("; ".join(pairs))
+            sections.append(section)
+        return [section for section in sections if section.blocks or section.title]
+
+
+registry.register(SpreadsheetConverter())

@@ -1,0 +1,94 @@
+r"""Word-processor converter (synthetic ``.ndoc`` format).
+
+The paper ingests real Microsoft Word files; their binary format is not
+available here, so this reproduction defines **NDOC**, a minimal
+text-serialised stand-in that preserves the one thing the upmark pipeline
+consumes from Word: *named paragraph styles*.  A ``.ndoc`` file is a
+sequence of style-tagged paragraphs::
+
+    {\ndoc1}
+    {\meta author D. Maluf}
+    {\style Title}Proposal 0042: Lean Middleware
+    {\style Heading1}Budget
+    {\style Normal}We request **$1.2M** over two years.
+    {\style Heading2}Travel
+    {\style Normal}Two conferences per year.
+
+``Title`` and ``HeadingN`` styles become CONTEXT sections at the matching
+level; ``Normal`` (and any unknown style) paragraphs become content
+blocks.  ``{\meta key value}`` lines populate document metadata.  This
+preserves the paper-relevant behaviour: heading styles are the formatting
+cue Word parsers use to upmark documents.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.converters.base import Converter, Section, registry
+from repro.errors import ConverterError
+
+_DIRECTIVE_RE = re.compile(r"^\{\\(\w+)(?:\s+([^}]*))?\}(.*)$")
+_HEADING_STYLE_RE = re.compile(r"^heading(\d)$", re.IGNORECASE)
+
+MAGIC = r"{\ndoc1}"
+
+
+class WordDocConverter(Converter):
+    """Upmark ``.ndoc`` word-processor documents by paragraph style."""
+
+    format_name = "word"
+    extensions = ("ndoc", "doc")
+    sniff_priority = 100
+
+    def sniff(self, text: str) -> bool:
+        return text.lstrip().startswith(MAGIC)
+
+    def metadata(self, text: str, name: str) -> dict[str, Any]:
+        meta = super().metadata(text, name)
+        for line in text.splitlines():
+            match = _DIRECTIVE_RE.match(line.strip())
+            if match and match.group(1) == "meta" and match.group(2):
+                key, _, value = match.group(2).partition(" ")
+                meta[key.strip()] = value.strip()
+        return meta
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        lines = text.splitlines()
+        if not lines or not lines[0].strip().startswith(MAGIC):
+            raise ConverterError(
+                f"{name!r} is not an NDOC file (missing {MAGIC} header)"
+            )
+        sections: list[Section] = [Section(title="", level=1)]
+        for raw_line in lines[1:]:
+            line = raw_line.rstrip()
+            if not line.strip():
+                continue
+            match = _DIRECTIVE_RE.match(line.strip())
+            if match is None:
+                # Continuation of the previous paragraph.
+                sections[-1].add(line.strip())
+                continue
+            directive, argument, rest = match.groups()
+            rest = (rest or "").strip()
+            if directive == "meta":
+                continue
+            if directive != "style":
+                raise ConverterError(
+                    f"{name!r}: unknown NDOC directive \\{directive}"
+                )
+            style = (argument or "Normal").strip()
+            if style.lower() == "title":
+                sections.append(Section(title=rest, level=1))
+                continue
+            heading = _HEADING_STYLE_RE.match(style)
+            if heading:
+                sections.append(Section(title=rest, level=int(heading.group(1))))
+                continue
+            if rest:
+                sections[-1].add(rest)
+        return [section for section in sections if section.blocks or section.title]
+
+
+registry.register(WordDocConverter())

@@ -1,0 +1,45 @@
+"""XML pass-through converter.
+
+Well-formed XML already carries its own structure; NETMARK stores it
+as-is (the schema-less store accepts *any* element tree).  The converter
+therefore parses strictly and returns the document unchanged — no
+section synthesis.  ``convert`` is overridden because the upmark/build
+pipeline in :class:`~repro.converters.base.Converter` assumes section
+flattening, which would destroy arbitrary XML structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.converters.base import Converter, Section, registry
+from repro.sgml.dom import Document
+from repro.sgml.parser import parse_xml
+
+
+class XmlConverter(Converter):
+    """Accept well-formed XML verbatim."""
+
+    format_name = "xml"
+    extensions = ("xml",)
+    sniff_priority = 60
+
+    def sniff(self, text: str) -> bool:
+        head = text.lstrip()
+        return head.startswith("<?xml") or (
+            head.startswith("<") and not head.lower().startswith("<!doctype html")
+        )
+
+    def upmark(self, text: str, name: str) -> list[Section]:  # pragma: no cover
+        raise NotImplementedError("XmlConverter overrides convert() directly")
+
+    def metadata(self, text: str, name: str) -> dict[str, Any]:
+        return super().metadata(text, name)
+
+    def convert(self, text: str, name: str) -> Document:
+        document = parse_xml(text, name=name)
+        document.metadata.update(self.metadata(text, name))
+        return document
+
+
+registry.register(XmlConverter())

@@ -1,0 +1,39 @@
+"""Integration-cost accounting and the Fig 1 cost curves."""
+
+from repro.costmodel.accounting import (
+    DATABANK_LINE,
+    GAV_MAPPING_LINES,
+    GAV_SCHEMA_LINES,
+    IntegrationBuild,
+    artifact_curves,
+    build_gav_integration,
+    build_netmark_integration,
+)
+from repro.costmodel.model import (
+    CostPoint,
+    GrowthScenario,
+    consumer_cost_curves,
+    gav_marginal_cost,
+    is_linear_growth,
+    netmark_marginal_cost,
+    scaling_advantage,
+    shows_economies_of_scale,
+)
+
+__all__ = [
+    "CostPoint",
+    "DATABANK_LINE",
+    "GAV_MAPPING_LINES",
+    "GAV_SCHEMA_LINES",
+    "GrowthScenario",
+    "IntegrationBuild",
+    "artifact_curves",
+    "build_gav_integration",
+    "build_netmark_integration",
+    "consumer_cost_curves",
+    "gav_marginal_cost",
+    "is_linear_growth",
+    "netmark_marginal_cost",
+    "scaling_advantage",
+    "shows_economies_of_scale",
+]

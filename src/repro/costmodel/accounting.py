@@ -1,0 +1,124 @@
+"""Measured integration-artifact accounting.
+
+FIG1's input data: for a given number of sources, *actually build* both
+integrations and count the artifacts each one required.  Nothing here is
+asserted — the numbers come out of the constructed systems' own ledgers
+(:attr:`Mediator.engineering_artifacts`,
+:attr:`DatabankRegistry.total_artifacts`).
+
+The synthetic enterprise: every source exports two relations
+(``DOCS(doc_id, title, division, amount)`` and
+``SECTIONS(doc_id, heading, body)``); an integration application needs a
+global view over each.  That is the *minimal* GAV footprint — real
+deployments add more relations and more mappings, so the measured gap is
+a lower bound on the paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gav import (
+    GavMapping,
+    Mediator,
+    RelationSchema,
+    SourceQuery,
+    SourceSchema,
+)
+from repro.federation.databank import DatabankRegistry
+from repro.federation.sources import ContentOnlySource
+
+
+@dataclass(frozen=True)
+class IntegrationBuild:
+    """Artifact counts for one constructed integration."""
+
+    system: str
+    sources: int
+    artifacts: int
+    spec_lines: int  # artifacts weighted by typical spec size
+
+
+#: Typical specification sizes per artifact kind, in lines of spec text.
+#: These are the only modelled constants; everything else is measured.
+GAV_SCHEMA_LINES = 12       # a source schema/view definition
+GAV_MAPPING_LINES = 6       # one mapping rule (rename + filter)
+DATABANK_LINE = 1           # one databank source declaration
+
+
+def build_gav_integration(source_count: int) -> tuple[Mediator, IntegrationBuild]:
+    """Stand up a GAV mediator over ``source_count`` sources."""
+    mediator = Mediator()
+    mediator.define_global_relation(
+        RelationSchema("G_DOCS", ("DOC_ID", "TITLE", "DIVISION", "AMOUNT"))
+    )
+    mediator.define_global_relation(
+        RelationSchema("G_SECTIONS", ("DOC_ID", "HEADING", "BODY"))
+    )
+    docs_mapping = GavMapping("G_DOCS")
+    sections_mapping = GavMapping("G_SECTIONS")
+    for index in range(source_count):
+        source_name = f"src{index:03d}"
+        schema = SourceSchema(source_name)
+        # Sources disagree on attribute names — the reconciliation work
+        # GAV mappings exist to do.
+        doc_attrs = ("ID", "NAME", "ORG", "DOLLARS") if index % 2 else (
+            "DOC_ID", "TITLE", "DIVISION", "AMOUNT"
+        )
+        schema.add_relation(RelationSchema("DOCS", doc_attrs))
+        schema.add_relation(RelationSchema("SECTIONS", ("DOC_ID", "HEADING", "BODY")))
+        mediator.register_source(schema)
+        mediator.bind_extension(source_name, "DOCS", list)
+        mediator.bind_extension(source_name, "SECTIONS", list)
+        docs_mapping.add(
+            SourceQuery(
+                source_name,
+                "DOCS",
+                tuple(
+                    zip(("DOC_ID", "TITLE", "DIVISION", "AMOUNT"), doc_attrs)
+                ),
+            )
+        )
+        sections_mapping.add(
+            SourceQuery(
+                source_name,
+                "SECTIONS",
+                (("DOC_ID", "DOC_ID"), ("HEADING", "HEADING"), ("BODY", "BODY")),
+            )
+        )
+    mediator.define_mapping(docs_mapping)
+    mediator.define_mapping(sections_mapping)
+    artifacts = mediator.engineering_artifacts
+    # Weight: schemas and relations at schema cost, mappings at rule cost.
+    schema_artifacts = sum(
+        source.schema.artifact_count for source in mediator._sources.values()
+    ) + mediator.global_schema.artifact_count
+    mapping_artifacts = artifacts - schema_artifacts
+    spec_lines = (
+        schema_artifacts * GAV_SCHEMA_LINES
+        + mapping_artifacts * GAV_MAPPING_LINES
+    )
+    return mediator, IntegrationBuild("gav", source_count, artifacts, spec_lines)
+
+
+def build_netmark_integration(
+    source_count: int,
+) -> tuple[DatabankRegistry, IntegrationBuild]:
+    """Stand up a NETMARK databank over ``source_count`` sources."""
+    registry = DatabankRegistry()
+    databank = registry.create("application", "synthetic integration app")
+    for index in range(source_count):
+        databank.add_source(ContentOnlySource(f"src{index:03d}"))
+    artifacts = registry.total_artifacts
+    return registry, IntegrationBuild(
+        "netmark", source_count, artifacts, artifacts * DATABANK_LINE
+    )
+
+
+def artifact_curves(
+    source_counts: list[int],
+) -> dict[str, list[IntegrationBuild]]:
+    """Measured artifact counts for both systems across source counts."""
+    gav_builds = [build_gav_integration(k)[1] for k in source_counts]
+    netmark_builds = [build_netmark_integration(k)[1] for k in source_counts]
+    return {"gav": gav_builds, "netmark": netmark_builds}

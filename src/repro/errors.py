@@ -1,0 +1,154 @@
+"""Exception hierarchy for the Lean Middleware reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at the public-API boundary.  Each subsystem raises the
+most specific subclass that applies; messages always carry the offending
+name or value so failures are diagnosable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# ORDBMS substrate
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the ORDBMS substrate."""
+
+
+class CatalogError(DatabaseError):
+    """A schema object (table, index, column) is missing or duplicated."""
+
+
+class SchemaError(DatabaseError):
+    """A table or column definition is invalid."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value does not conform to the declared column type."""
+
+
+class ConstraintError(DatabaseError):
+    """A NOT NULL, primary-key, or unique constraint was violated."""
+
+
+class RowIdError(DatabaseError):
+    """A physical ROWID is malformed or refers to a missing row."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. commit with no begin)."""
+
+
+class QueryPlanError(DatabaseError):
+    """The executor was given an inconsistent or unsupported plan."""
+
+
+# ---------------------------------------------------------------------------
+# SGML / document layer
+# ---------------------------------------------------------------------------
+
+
+class SgmlError(ReproError):
+    """Base class for SGML/XML parsing errors."""
+
+
+class SgmlSyntaxError(SgmlError):
+    """The input could not be parsed even under tolerant rules."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ConverterError(ReproError):
+    """A document converter failed or no converter matched the input."""
+
+
+class UnsupportedFormatError(ConverterError):
+    """No registered converter recognises the document format."""
+
+
+# ---------------------------------------------------------------------------
+# XML store and query engine
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for NETMARK XML Store failures."""
+
+
+class DocumentNotFoundError(StoreError):
+    """A document id or name does not exist in the store."""
+
+
+class QueryError(ReproError):
+    """Base class for XDB Query failures."""
+
+
+class QuerySyntaxError(QueryError):
+    """An XDB query string could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# XSLT subset
+# ---------------------------------------------------------------------------
+
+
+class XsltError(ReproError):
+    """Base class for stylesheet compilation/execution failures."""
+
+
+class XPathError(XsltError):
+    """An XPath expression is outside the supported subset or malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Server / federation
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for the WebDAV/HTTP server layer."""
+
+
+class WebDavError(ServerError):
+    """A WebDAV request failed; carries the HTTP-style status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"{status}: {message}")
+
+
+class FederationError(ReproError):
+    """Base class for databank/router failures."""
+
+
+class UnknownDatabankError(FederationError):
+    """A query named a databank that was never registered."""
+
+
+class CapabilityError(FederationError):
+    """A source was asked to execute a query it does not support natively."""
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+class MediatorError(ReproError):
+    """Base class for the GAV-mediator baseline."""
+
+
+class MappingError(MediatorError):
+    """A GAV view mapping is inconsistent with the declared schemas."""

@@ -1,0 +1,55 @@
+"""Client-side, on-the-fly integration: databanks, augmentation, routing."""
+
+from repro.federation.aliases import ContextAliasRegistry
+from repro.federation.augment import (
+    AugmentationPlan,
+    AugmentationReport,
+    execute_augmented,
+    plan,
+)
+from repro.federation.capabilities import (
+    CONTENT_ONLY,
+    FULL,
+    Capability,
+    check_supports,
+    required_for,
+    supports,
+)
+from repro.federation.databank import Databank, DatabankRegistry
+from repro.federation.router import Router, RoutingReport
+from repro.federation.spec import SpecReport, dump_spec, load_spec
+from repro.federation.sources import (
+    ContentOnlySource,
+    InformationSource,
+    NetmarkSource,
+    Record,
+    SourceStats,
+    StructuredSource,
+)
+
+__all__ = [
+    "AugmentationPlan",
+    "AugmentationReport",
+    "CONTENT_ONLY",
+    "Capability",
+    "ContentOnlySource",
+    "ContextAliasRegistry",
+    "Databank",
+    "DatabankRegistry",
+    "FULL",
+    "InformationSource",
+    "NetmarkSource",
+    "Record",
+    "Router",
+    "RoutingReport",
+    "SourceStats",
+    "SpecReport",
+    "StructuredSource",
+    "check_supports",
+    "dump_spec",
+    "execute_augmented",
+    "load_spec",
+    "plan",
+    "required_for",
+    "supports",
+]

@@ -1,0 +1,73 @@
+"""Source capability model.
+
+"For each data source that is accessed, an administrator will have to
+look at the query capabilities of that source and engineer what query
+processing can be used from the source and what must further be augmented
+by Netmark."
+
+A capability names one kind of query a source can answer *natively*.
+The administrator declares a source's :class:`CapabilitySet`; the
+augmenter plans around it mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import CapabilityError
+from repro.query.ast import XdbQuery
+
+
+class Capability(enum.Flag):
+    """One natively-supported query feature."""
+
+    NONE = 0
+    #: Keyword search over document content ("Content=Shuttle").
+    CONTENT_SEARCH = enum.auto()
+    #: Heading-based section search ("Context=Budget").
+    CONTEXT_SEARCH = enum.auto()
+    #: Exact phrase matching within content.
+    PHRASE_SEARCH = enum.auto()
+    #: The source can return the full text of a named document —
+    #: the hook client-side augmentation needs.
+    DOCUMENT_FETCH = enum.auto()
+
+
+#: What a full NETMARK node offers.
+FULL = (
+    Capability.CONTENT_SEARCH
+    | Capability.CONTEXT_SEARCH
+    | Capability.PHRASE_SEARCH
+    | Capability.DOCUMENT_FETCH
+)
+
+#: A content-only source such as the NASA Lessons Learned server.
+CONTENT_ONLY = Capability.CONTENT_SEARCH | Capability.DOCUMENT_FETCH
+
+
+def required_for(query: XdbQuery) -> Capability:
+    """The capabilities a source needs to answer ``query`` natively."""
+    needed = Capability.NONE
+    if query.context is not None:
+        needed |= Capability.CONTEXT_SEARCH
+    if query.content is not None:
+        needed |= Capability.CONTENT_SEARCH
+        if query.content.mode == "phrase":
+            needed |= Capability.PHRASE_SEARCH
+    return needed
+
+
+def supports(capabilities: Capability, query: XdbQuery) -> bool:
+    """True when ``query`` can run natively under ``capabilities``."""
+    needed = required_for(query)
+    return (capabilities & needed) == needed
+
+
+def check_supports(capabilities: Capability, query: XdbQuery, source: str) -> None:
+    """Raise :class:`CapabilityError` when the query exceeds the source."""
+    if not supports(capabilities, query):
+        missing = required_for(query) & ~capabilities
+        raise CapabilityError(
+            f"source {source!r} cannot natively answer this query; "
+            f"missing {missing!r}"
+        )

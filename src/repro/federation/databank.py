@@ -1,0 +1,89 @@
+"""Databanks: declarative application-to-sources bindings.
+
+"Integrated query access to multiple information sources ... is done
+through a simple declarative process where an administrator creates a
+'Databank' for an application.  The databank specifies what sources are to
+be queried when a user fires a query to that application."
+
+This is the *entire* per-source integration artifact in NETMARK — one
+registry line.  The registry counts those lines (`artifact_count`) because
+they are exactly what the FIG1 cost experiment compares against the GAV
+baseline's schemas and mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FederationError, UnknownDatabankError
+from repro.federation.sources import InformationSource
+
+
+@dataclass
+class Databank:
+    """One application's declared source set."""
+
+    name: str
+    description: str = ""
+    sources: list[InformationSource] = field(default_factory=list)
+
+    def add_source(self, source: InformationSource) -> None:
+        """Declare one more source — one line of integration work."""
+        if any(existing.name == source.name for existing in self.sources):
+            raise FederationError(
+                f"databank {self.name!r} already contains source "
+                f"{source.name!r}"
+            )
+        self.sources.append(source)
+
+    def source_names(self) -> list[str]:
+        return [source.name for source in self.sources]
+
+    @property
+    def artifact_count(self) -> int:
+        """Integration artifacts this databank cost: one per source line."""
+        return len(self.sources)
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+
+class DatabankRegistry:
+    """All databanks of one NETMARK deployment."""
+
+    def __init__(self) -> None:
+        self._databanks: dict[str, Databank] = {}
+
+    def create(self, name: str, description: str = "") -> Databank:
+        if name in self._databanks:
+            raise FederationError(f"databank {name!r} already exists")
+        databank = Databank(name=name, description=description)
+        self._databanks[name] = databank
+        return databank
+
+    def get(self, name: str) -> Databank:
+        try:
+            return self._databanks[name]
+        except KeyError:
+            raise UnknownDatabankError(f"no databank named {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._databanks:
+            raise UnknownDatabankError(f"no databank named {name!r}")
+        del self._databanks[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._databanks)
+
+    def __len__(self) -> int:
+        return len(self._databanks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._databanks
+
+    @property
+    def total_artifacts(self) -> int:
+        """All integration artifacts across databanks (FIG1 numerator)."""
+        return sum(
+            databank.artifact_count for databank in self._databanks.values()
+        )

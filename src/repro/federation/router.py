@@ -1,0 +1,88 @@
+"""The thin router.
+
+"Middleware requirements are reduced to needing just a thin router
+capability across the various information sources." (§2.1.5)
+
+The router is deliberately dumb: given a query naming a databank, it fans
+the query out to every declared source, augmenting per source capability,
+and concatenates the answers in stable (source, document, context) order.
+There is no global schema, no view unfolding, no reconciliation — the
+paper's whole point.  What little state it has is bookkeeping for the
+FIG8 benchmark (per-source match counts and augmentation reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.federation.augment import AugmentationReport, execute_augmented, plan
+from repro.federation.databank import Databank, DatabankRegistry
+from repro.query.ast import XdbQuery
+from repro.query.language import format_query, parse_query
+from repro.query.results import ResultSet, SectionMatch
+
+
+@dataclass
+class RoutingReport:
+    """What one fan-out did, per source."""
+
+    databank: str = ""
+    source_matches: dict[str, int] = field(default_factory=dict)
+    augmented_sources: list[str] = field(default_factory=list)
+    augmentation: dict[str, AugmentationReport] = field(default_factory=dict)
+
+    @property
+    def fan_out(self) -> int:
+        return len(self.source_matches)
+
+
+class Router:
+    """Fans XDB queries out across a databank's sources."""
+
+    def __init__(
+        self,
+        registry: DatabankRegistry | None = None,
+        aliases: "ContextAliasRegistry | None" = None,
+    ) -> None:
+        from repro.federation.aliases import ContextAliasRegistry
+
+        # Explicit None tests: an empty registry is falsy (len == 0) but
+        # must still be honoured — the caller will fill it later.
+        self.registry = registry if registry is not None else DatabankRegistry()
+        self.aliases = aliases if aliases is not None else ContextAliasRegistry()
+        self.last_report: RoutingReport | None = None
+
+    # -- administration (delegates kept for a one-stop facade) -----------------
+
+    def create_databank(self, name: str, description: str = "") -> Databank:
+        return self.registry.create(name, description)
+
+    # -- query execution ----------------------------------------------------------
+
+    def execute(self, query: XdbQuery | str, databank: str | None = None) -> ResultSet:
+        """Run ``query`` against ``databank`` (or the query's own databank)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        query = self.aliases.rewrite(query)
+        target = databank or query.databank
+        if target is None:
+            from repro.errors import FederationError
+
+            raise FederationError("query names no databank and none was given")
+        bank = self.registry.get(target)
+        report = RoutingReport(databank=bank.name)
+        matches: list[SectionMatch] = []
+        for source in bank.sources:
+            source_plan = plan(query, source)
+            augmentation = AugmentationReport()
+            source_matches = execute_augmented(query, source, augmentation)
+            report.source_matches[source.name] = len(source_matches)
+            if not source_plan.fully_native:
+                report.augmented_sources.append(source.name)
+                report.augmentation[source.name] = augmentation
+            matches.extend(source_matches)
+        matches.sort(key=lambda match: (match.source, match.file_name, match.context))
+        self.last_report = report
+        result = ResultSet(format_query(query))
+        result.extend(matches)
+        return result.limited(query.limit)

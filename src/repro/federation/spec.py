@@ -1,0 +1,161 @@
+"""Declarative databank specifications.
+
+"This is done through a simple declarative process where an administrator
+creates a 'Databank' for an application."  This module gives that process
+a concrete artifact: a small text format an administrator writes, which
+*is* the entire integration spec for an application::
+
+    # engineering.databank
+    databank engineering "Everything about engines"
+      source ames
+      source llis
+      source tracker
+    alias Budget = Budget | Cost Details | Funding
+    alias Description = Description | Summary
+
+* ``databank NAME ["description"]`` opens a databank; the indented
+  ``source NAME`` lines that follow declare its sources.
+* ``source`` names resolve through a caller-supplied catalog of
+  constructed :class:`~repro.federation.sources.InformationSource`
+  objects — the spec stays declarative, wiring stays in code.
+* ``alias NAME = P1 | P2 | ...`` defines a context alias.
+* ``#`` comments and blank lines are ignored.
+
+:func:`load_spec` applies a spec to a router and returns accounting (how
+many lines of spec bought how much integration), which feeds the FIG1
+experiment's claim that this file is *all* the per-application IT cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import FederationError
+from repro.federation.router import Router
+from repro.federation.sources import InformationSource
+
+
+@dataclass
+class SpecReport:
+    """What one spec load created."""
+
+    databanks: list[str] = field(default_factory=list)
+    sources_bound: int = 0
+    aliases_defined: int = 0
+    spec_lines: int = 0  # meaningful (non-blank, non-comment) lines
+
+    @property
+    def artifact_count(self) -> int:
+        return len(self.databanks) + self.sources_bound + self.aliases_defined
+
+
+def load_spec(
+    text: str,
+    router: Router,
+    catalog: Mapping[str, InformationSource],
+) -> SpecReport:
+    """Parse ``text`` and apply it to ``router``; returns the report."""
+    report = SpecReport()
+    current_databank = None
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        report.spec_lines += 1
+        indented = line[:1].isspace()
+        tokens = line.strip()
+        if tokens.startswith("databank"):
+            name, description = _parse_databank_line(tokens, line_no)
+            current_databank = router.create_databank(name, description)
+            report.databanks.append(name)
+        elif tokens.startswith("source"):
+            if not indented or current_databank is None:
+                raise FederationError(
+                    f"spec line {line_no}: 'source' must be indented under "
+                    "a databank"
+                )
+            source_name = tokens[len("source"):].strip()
+            if not source_name:
+                raise FederationError(
+                    f"spec line {line_no}: source needs a name"
+                )
+            source = catalog.get(source_name)
+            if source is None:
+                raise FederationError(
+                    f"spec line {line_no}: unknown source {source_name!r} "
+                    f"(catalog has: {sorted(catalog)})"
+                )
+            current_databank.add_source(source)
+            report.sources_bound += 1
+        elif tokens.startswith("alias"):
+            name, phrases = _parse_alias_line(tokens, line_no)
+            router.aliases.define(name, *phrases)
+            report.aliases_defined += 1
+        else:
+            raise FederationError(
+                f"spec line {line_no}: unrecognised directive {tokens!r}"
+            )
+    return report
+
+
+def _parse_databank_line(tokens: str, line_no: int) -> tuple[str, str]:
+    rest = tokens[len("databank"):].strip()
+    if not rest:
+        raise FederationError(f"spec line {line_no}: databank needs a name")
+    if '"' in rest:
+        name, _, quoted = rest.partition('"')
+        name = name.strip()
+        description = quoted.rstrip()
+        if not description.endswith('"'):
+            raise FederationError(
+                f"spec line {line_no}: unterminated databank description"
+            )
+        description = description[:-1]
+    else:
+        name, description = rest, ""
+    if not name or " " in name:
+        raise FederationError(
+            f"spec line {line_no}: databank name must be a single word"
+        )
+    return name, description
+
+
+def _parse_alias_line(tokens: str, line_no: int) -> tuple[str, list[str]]:
+    rest = tokens[len("alias"):].strip()
+    if "=" not in rest:
+        raise FederationError(
+            f"spec line {line_no}: alias needs 'NAME = a | b' form"
+        )
+    name, _, expansion = rest.partition("=")
+    phrases = [phrase.strip() for phrase in expansion.split("|")]
+    phrases = [phrase for phrase in phrases if phrase]
+    if not name.strip() or not phrases:
+        raise FederationError(
+            f"spec line {line_no}: alias needs a name and expansion phrases"
+        )
+    return name.strip(), phrases
+
+
+def dump_spec(router: Router) -> str:
+    """Render a router's databanks and aliases back into spec text.
+
+    ``load_spec(dump_spec(router), fresh_router, catalog)`` reproduces the
+    same integration given the same source catalog — the spec format is
+    the complete integration state.
+    """
+    lines: list[str] = []
+    for name in router.registry.names():
+        databank = router.registry.get(name)
+        if databank.description:
+            lines.append(f'databank {name} "{databank.description}"')
+        else:
+            lines.append(f"databank {name}")
+        for source_name in databank.source_names():
+            lines.append(f"  source {source_name}")
+    for alias_name in router.aliases.names():
+        expansion = " | ".join(
+            router.aliases._aliases[alias_name]  # noqa: SLF001 - same module family
+        )
+        lines.append(f"alias {alias_name} = {expansion}")
+    return "\n".join(lines) + ("\n" if lines else "")

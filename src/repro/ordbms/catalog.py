@@ -1,0 +1,56 @@
+"""System catalog: the mapping from names to tables.
+
+The catalog also keeps simple DDL statistics (tables created, indexes
+created) that the cost-model experiments read: the paper's Fig 5 argument
+is precisely that NETMARK's generated schema never grows with new document
+types, while a shredding baseline keeps issuing DDL.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CatalogError
+from repro.ordbms.schema import TableSchema
+from repro.ordbms.table import Table
+
+
+class Catalog:
+    """Name -> :class:`Table` registry with DDL accounting."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self.ddl_statements = 0  # CREATE TABLE / CREATE INDEX issued
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        self.ddl_statements += 1
+        return table
+
+    def drop_table(self, name: str) -> None:
+        name = name.upper()
+        if name not in self._tables:
+            raise CatalogError(f"table {name} does not exist")
+        del self._tables[name]
+        self.ddl_statements += 1
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.upper()]
+        except KeyError:
+            raise CatalogError(f"table {name.upper()} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.upper() in self._tables
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,128 @@
+"""The `Database` facade: catalog + transactional mutation entry points.
+
+This is the single object the rest of the library holds onto.  All
+mutations can run inside a :class:`~repro.ordbms.transaction.Transaction`
+obtained from :meth:`Database.begin`; when no transaction is open,
+mutations auto-commit (each statement is atomic on its own, which matches
+how the table layer already behaves).
+
+The facade also exposes ``stats`` counters (rows read/written, index
+lookups, rowid fetches) that the ablation benchmarks use to show *why* the
+rowid-based traversal wins — operation counts are a machine-independent
+proxy for the I/O the paper's Oracle deployment saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import TransactionError
+from repro.ordbms.catalog import Catalog
+from repro.ordbms.rowid import RowId
+from repro.ordbms.schema import TableSchema
+from repro.ordbms.table import Table
+from repro.ordbms.transaction import Transaction
+
+
+@dataclass
+class DatabaseStats:
+    """Operation counters; reset with :meth:`reset`."""
+
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
+    rowid_fetches: int = 0
+    transactions_committed: int = 0
+    transactions_rolled_back: int = 0
+
+    def reset(self) -> None:
+        for field_name in self.__dataclass_fields__:
+            setattr(self, field_name, 0)
+
+
+@dataclass
+class Database:
+    """An in-process object-relational database instance."""
+
+    name: str = "netmarkdb"
+    catalog: Catalog = field(default_factory=Catalog)
+    stats: DatabaseStats = field(default_factory=DatabaseStats)
+    _current: Transaction | None = None
+
+    # -- DDL ----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        return self.catalog.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # -- transactions ---------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open a transaction; only one may be active at a time."""
+        if self._current is not None and self._current.is_active:
+            raise TransactionError("a transaction is already active")
+        self._current = Transaction(self)
+        return self._current
+
+    def _transaction_closed(self, transaction: Transaction) -> None:
+        if transaction is self._current:
+            self._current = None
+        if transaction._state == "committed":
+            self.stats.transactions_committed += 1
+        else:
+            self.stats.transactions_rolled_back += 1
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._current is not None and self._current.is_active
+
+    # -- DML (transaction-aware) ------------------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> RowId:
+        table = self.table(table_name)
+        rowid = table.insert(values)
+        self.stats.rows_inserted += 1
+        if self.in_transaction:
+            assert self._current is not None
+            self._current.record_undo(
+                f"insert {table.schema.name} {rowid}",
+                lambda: table.delete(rowid),
+            )
+        return rowid
+
+    def update(
+        self, table_name: str, rowid: RowId, changes: Mapping[str, Any]
+    ) -> None:
+        table = self.table(table_name)
+        old = table.fetch(rowid)
+        old.pop("ROWID_", None)
+        table.update(rowid, changes)
+        self.stats.rows_updated += 1
+        if self.in_transaction:
+            assert self._current is not None
+            self._current.record_undo(
+                f"update {table.schema.name} {rowid}",
+                lambda: table.update(rowid, old),
+            )
+
+    def delete(self, table_name: str, rowid: RowId) -> None:
+        table = self.table(table_name)
+        old = table.delete(rowid)
+        self.stats.rows_deleted += 1
+        if self.in_transaction:
+            assert self._current is not None
+            self._current.record_undo(
+                f"delete {table.schema.name} {rowid}",
+                lambda: table.restore(rowid, old),
+            )
+
+    def fetch(self, table_name: str, rowid: RowId) -> dict[str, Any]:
+        """O(1) fetch by physical ROWID (counted in stats)."""
+        self.stats.rowid_fetches += 1
+        return self.table(table_name).fetch(rowid)

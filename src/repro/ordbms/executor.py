@@ -1,0 +1,469 @@
+"""Physical query plans and their iterator-model executor.
+
+Plans are trees of :class:`PlanNode`; ``execute`` walks the tree and yields
+row dicts.  The set of operators covers what the layers above actually
+use — the XML store's traversals, the GAV-mediator baseline's unfolded
+queries, and the NASA example applications' aggregations:
+
+``SeqScan``, ``IndexLookup``, ``TextSearch``, ``Filter``, ``Project``,
+``Sort``, ``Limit``, ``NestedLoopJoin``, ``HashJoin``, ``Aggregate``,
+``Distinct``, ``UnionAll``.
+
+Joins name their inputs with *aliases*; joined rows expose columns as
+``ALIAS.COLUMN`` plus the bare column name when unambiguous, which keeps
+predicates written with :class:`~repro.ordbms.expr.Col` working across
+joins without a full name-resolution pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.errors import QueryPlanError
+from repro.ordbms.expr import Expr
+from repro.ordbms.table import Table
+
+
+class PlanNode:
+    """Base class for physical plan operators."""
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        """Render the plan subtree as an indented text tree."""
+        line = "  " * depth + self._describe()
+        children = "".join(
+            "\n" + child.explain(depth + 1) for child in self._children()
+        )
+        return line + children
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def _children(self) -> Sequence["PlanNode"]:
+        return ()
+
+
+def execute(plan: PlanNode) -> list[dict[str, Any]]:
+    """Run a plan to completion and return its rows as a list."""
+    return list(plan.rows())
+
+
+# ---------------------------------------------------------------------------
+# Leaf operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SeqScan(PlanNode):
+    """Full scan of a table, optionally filtered."""
+
+    table: Table
+    predicate: Expr | None = None
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        yield from self.table.scan(self.predicate)
+
+    def _describe(self) -> str:
+        suffix = f" filter={self.predicate}" if self.predicate else ""
+        return f"SeqScan({self.table.schema.name}{suffix})"
+
+
+@dataclass
+class IndexLookup(PlanNode):
+    """Equality lookup through a B+tree index."""
+
+    table: Table
+    column: str
+    value: Any
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        index = self.table.index_on(self.column)
+        if index is None:
+            raise QueryPlanError(
+                f"no index on {self.table.schema.name}.{self.column.upper()}"
+            )
+        for rowid in index.search(self.value):
+            yield self.table.fetch(rowid)
+
+    def _describe(self) -> str:
+        return (
+            f"IndexLookup({self.table.schema.name}.{self.column.upper()}"
+            f"={self.value!r})"
+        )
+
+
+@dataclass
+class IndexRange(PlanNode):
+    """Range scan through a B+tree index (inclusive bounds)."""
+
+    table: Table
+    column: str
+    low: Any = None
+    high: Any = None
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        index = self.table.index_on(self.column)
+        if index is None:
+            raise QueryPlanError(
+                f"no index on {self.table.schema.name}.{self.column.upper()}"
+            )
+        for _key, rowid in index.range(self.low, self.high):
+            yield self.table.fetch(rowid)
+
+    def _describe(self) -> str:
+        return (
+            f"IndexRange({self.table.schema.name}.{self.column.upper()} "
+            f"in [{self.low!r}, {self.high!r}])"
+        )
+
+
+@dataclass
+class TextSearch(PlanNode):
+    """Keyword/phrase search through an inverted text index.
+
+    ``mode`` is one of ``"all"`` (conjunctive terms), ``"any"``
+    (disjunctive), or ``"phrase"`` (consecutive tokens).
+    """
+
+    table: Table
+    column: str
+    query: str
+    mode: str = "all"
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        index = self.table.text_index_on(self.column)
+        if index is None:
+            raise QueryPlanError(
+                f"no text index on {self.table.schema.name}.{self.column.upper()}"
+            )
+        from repro.ordbms.textindex import tokenize
+
+        if self.mode == "phrase":
+            rowids = index.lookup_phrase(self.query)
+        elif self.mode == "any":
+            rowids = index.lookup_any(tokenize(self.query))
+        elif self.mode == "all":
+            rowids = index.lookup_all(tokenize(self.query))
+        else:
+            raise QueryPlanError(f"unknown text search mode {self.mode!r}")
+        # Sort by physical position for deterministic output.
+        for rowid in sorted(rowids):
+            yield self.table.fetch(rowid)
+
+    def _describe(self) -> str:
+        return (
+            f"TextSearch({self.table.schema.name}.{self.column.upper()} "
+            f"{self.mode} {self.query!r})"
+        )
+
+
+@dataclass
+class Values(PlanNode):
+    """A constant relation (used by tests and the mediator baseline)."""
+
+    data: list[dict[str, Any]]
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for row in self.data:
+            yield dict(row)
+
+    def _describe(self) -> str:
+        return f"Values({len(self.data)} rows)"
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: Expr
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for row in self.child.rows():
+            if self.predicate.evaluate(row):
+                yield row
+
+    def _describe(self) -> str:
+        return f"Filter({self.predicate})"
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+@dataclass
+class Project(PlanNode):
+    """Keep/rename/compute columns.
+
+    ``columns`` maps output name -> input column name or callable(row).
+    """
+
+    child: PlanNode
+    columns: Mapping[str, str | Callable[[Mapping[str, Any]], Any]]
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        specs = [(out.upper(), spec) for out, spec in self.columns.items()]
+        for row in self.child.rows():
+            output: dict[str, Any] = {}
+            for out, spec in specs:
+                if callable(spec):
+                    output[out] = spec(row)
+                else:
+                    output[out] = row.get(spec.upper())
+            yield output
+
+    def _describe(self) -> str:
+        return f"Project({', '.join(self.columns)})"
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode
+    key: str | Callable[[Mapping[str, Any]], Any]
+    descending: bool = False
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        if callable(self.key):
+            key_fn = self.key
+        else:
+            column = self.key.upper()
+
+            def key_fn(row: Mapping[str, Any]) -> Any:
+                value = row.get(column)
+                # Sort NULLs last regardless of direction.
+                return (value is None, value)
+
+        yield from sorted(self.child.rows(), key=key_fn, reverse=self.descending)
+
+    def _describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"Sort({self.key} {direction})"
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    count: int
+    offset: int = 0
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        produced = 0
+        skipped = 0
+        for row in self.child.rows():
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if produced >= self.count:
+                return
+            produced += 1
+            yield row
+
+    def _describe(self) -> str:
+        return f"Limit({self.count}, offset={self.offset})"
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+@dataclass
+class Distinct(PlanNode):
+    """Remove duplicate rows (by the full row's hashable projection)."""
+
+    child: PlanNode
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        seen: set[tuple[tuple[str, Any], ...]] = set()
+        for row in self.child.rows():
+            key = tuple(sorted(row.items(), key=lambda item: item[0]))
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+
+# ---------------------------------------------------------------------------
+# Binary / n-ary operators
+# ---------------------------------------------------------------------------
+
+
+def _qualify(row: Mapping[str, Any], alias: str) -> dict[str, Any]:
+    return {f"{alias.upper()}.{name}": value for name, value in row.items()}
+
+
+def _merge(
+    left: Mapping[str, Any],
+    right: Mapping[str, Any],
+    left_alias: str,
+    right_alias: str,
+) -> dict[str, Any]:
+    merged = _qualify(left, left_alias)
+    merged.update(_qualify(right, right_alias))
+    # Expose unambiguous bare names for predicate convenience.
+    for source in (left, right):
+        for name, value in source.items():
+            if name in left and name in right:
+                continue
+            merged[name] = value
+    return merged
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """General theta join; predicate sees merged (qualified) rows."""
+
+    left: PlanNode
+    right: PlanNode
+    predicate: Expr
+    left_alias: str = "L"
+    right_alias: str = "R"
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        right_rows = list(self.right.rows())
+        for left_row in self.left.rows():
+            for right_row in right_rows:
+                merged = _merge(
+                    left_row, right_row, self.left_alias, self.right_alias
+                )
+                if self.predicate.evaluate(merged):
+                    yield merged
+
+    def _describe(self) -> str:
+        return f"NestedLoopJoin({self.predicate})"
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join on one column from each side."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: str
+    right_key: str
+    left_alias: str = "L"
+    right_alias: str = "R"
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        left_key = self.left_key.upper()
+        right_key = self.right_key.upper()
+        buckets: dict[Any, list[dict[str, Any]]] = {}
+        for right_row in self.right.rows():
+            key = right_row.get(right_key)
+            if key is not None:
+                buckets.setdefault(key, []).append(right_row)
+        for left_row in self.left.rows():
+            key = left_row.get(left_key)
+            if key is None:
+                continue
+            for right_row in buckets.get(key, ()):
+                yield _merge(left_row, right_row, self.left_alias, self.right_alias)
+
+    def _describe(self) -> str:
+        return f"HashJoin({self.left_key.upper()}={self.right_key.upper()})"
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+
+@dataclass
+class UnionAll(PlanNode):
+    children: list[PlanNode] = field(default_factory=list)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for child in self.children:
+            yield from child.rows()
+
+    def _children(self) -> Sequence[PlanNode]:
+        return tuple(self.children)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: ``func`` over ``column`` named ``output``.
+
+    ``func`` is one of count, sum, avg, min, max.  ``column`` may be ``"*"``
+    for count.
+    """
+
+    func: str
+    column: str
+    output: str
+
+    def __post_init__(self) -> None:
+        func = self.func.lower()
+        if func not in {"count", "sum", "avg", "min", "max"}:
+            raise QueryPlanError(f"unknown aggregate function {self.func!r}")
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "column", self.column.upper())
+        object.__setattr__(self, "output", self.output.upper())
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Hash aggregation with optional GROUP BY columns."""
+
+    child: PlanNode
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggSpec, ...]
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        group_cols = tuple(col.upper() for col in self.group_by)
+        groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+        for row in self.child.rows():
+            key = tuple(row.get(col) for col in group_cols)
+            groups.setdefault(key, []).append(row)
+        if not groups and not group_cols:
+            groups[()] = []
+        for key, rows in groups.items():
+            output = dict(zip(group_cols, key))
+            for spec in self.aggregates:
+                output[spec.output] = self._compute(spec, rows)
+            yield output
+
+    @staticmethod
+    def _compute(spec: AggSpec, rows: list[dict[str, Any]]) -> Any:
+        if spec.func == "count":
+            if spec.column == "*":
+                return len(rows)
+            return sum(1 for row in rows if row.get(spec.column) is not None)
+        values = [
+            row[spec.column]
+            for row in rows
+            if row.get(spec.column) is not None
+        ]
+        if not values:
+            return None
+        if spec.func == "sum":
+            return sum(values)
+        if spec.func == "avg":
+            return sum(values) / len(values)
+        if spec.func == "min":
+            return min(values)
+        return max(values)
+
+    def _describe(self) -> str:
+        aggs = ", ".join(f"{s.func}({s.column})" for s in self.aggregates)
+        return f"Aggregate(group_by={list(self.group_by)}, aggs=[{aggs}])"
+
+    def _children(self) -> Sequence[PlanNode]:
+        return (self.child,)

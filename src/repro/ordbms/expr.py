@@ -1,0 +1,230 @@
+"""Predicate expressions for scans and the executor.
+
+Expressions form a tiny AST evaluated against row dictionaries.  They are
+plain data (dataclasses) so the planner can inspect them — e.g. to pull an
+equality on an indexed column out of a conjunction and turn it into an
+index scan.
+
+Comparison semantics follow SQL three-valued logic in the one place it
+matters: any comparison involving ``None`` (NULL) is false, and ``IsNull``
+exists to test for NULL explicitly.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import QueryPlanError
+
+
+class Expr:
+    """Base class for all predicate expressions."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    # Convenience combinators so call sites read naturally.
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """Reference to a column by (upper-cased) name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.upper())
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryPlanError(f"row has no column {self.name!r}") from None
+
+    # Comparison builders: Col("X") == 3 builds a predicate, not a bool.
+    def __eq__(self, other: Any) -> "Compare":  # type: ignore[override]
+        return Compare(self, "=", _lift(other))
+
+    def __ne__(self, other: Any) -> "Compare":  # type: ignore[override]
+        return Compare(self, "!=", _lift(other))
+
+    def __lt__(self, other: Any) -> "Compare":
+        return Compare(self, "<", _lift(other))
+
+    def __le__(self, other: Any) -> "Compare":
+        return Compare(self, "<=", _lift(other))
+
+    def __gt__(self, other: Any) -> "Compare":
+        return Compare(self, ">", _lift(other))
+
+    def __ge__(self, other: Any) -> "Compare":
+        return Compare(self, ">=", _lift(other))
+
+    def __hash__(self) -> int:
+        return hash(("Col", self.name))
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self)
+
+    def like(self, pattern: str) -> "Like":
+        return Like(self, pattern)
+
+    def in_(self, values: tuple[Any, ...]) -> "InList":
+        return InList(self, tuple(values))
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal constant."""
+
+    value: Any
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+
+def _lift(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """A binary comparison; NULL on either side yields False."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise QueryPlanError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        return _OPS[self.op](left, right)
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return bool(self.left.evaluate(row)) and bool(self.right.evaluate(row))
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return bool(self.left.evaluate(row)) or bool(self.right.evaluate(row))
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.operand.evaluate(row) is None
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    values: tuple[Any, ...]
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return value in self.values
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE with ``%`` (any run) and ``_`` (any char), case-insensitive.
+
+    Case-insensitivity matches how the paper's queries treat headings
+    ("Context=Introduction" should match "INTRODUCTION").
+    """
+
+    operand: Expr
+    pattern: str
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None or not isinstance(value, str):
+            return False
+        return self._regex().match(value) is not None
+
+    def _regex(self) -> re.Pattern[str]:
+        parts: list[str] = []
+        for char in self.pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def equality_on(expr: Expr, column: str) -> Any | None:
+    """If ``expr`` is ``Col(column) = literal``, return the literal.
+
+    The planner uses this to recognise index-sargable conjuncts.  Returns
+    ``None`` when the shape does not match (note: a literal ``None`` never
+    appears, because ``= NULL`` is always false in SQL semantics).
+    """
+    column = column.upper()
+    if not isinstance(expr, Compare) or expr.op != "=":
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, Col) and left.name == column and isinstance(right, Lit):
+        return right.value
+    if isinstance(right, Col) and right.name == column and isinstance(left, Lit):
+        return left.value
+    return None

@@ -1,0 +1,654 @@
+"""A SQL subset over the ORDBMS substrate.
+
+The paper's "NETMARK Extensible APIs" expose the store over "a variety of
+protocols based on J2EE, RMI, and ODBC"; ODBC implies a SQL surface.
+This module provides it: a hand-written tokenizer, recursive-descent
+parser, and a planner that lowers statements onto the executor operators
+in :mod:`repro.ordbms.executor`.
+
+Supported grammar (case-insensitive keywords)::
+
+    CREATE TABLE t (col TYPE [NOT NULL] [PRIMARY KEY] [UNIQUE], ...)
+    CREATE [TEXT] INDEX ON t (col)
+    DROP TABLE t
+    INSERT INTO t (c1, c2, ...) VALUES (v1, ...), (v2, ...), ...
+    UPDATE t SET c1 = v1 [, ...] [WHERE pred]
+    DELETE FROM t [WHERE pred]
+    SELECT */cols/aggregates FROM t
+        [JOIN u ON t.a = u.b]
+        [WHERE pred] [GROUP BY cols] [ORDER BY col [ASC|DESC]]
+        [LIMIT n [OFFSET m]]
+
+Predicates: comparisons (= != < <= > >=), AND/OR/NOT, IS [NOT] NULL,
+IN (v, ...), LIKE 'pattern', and ``CONTAINS(col, 'terms')`` which lowers
+onto the inverted text index.  Types: INTEGER, FLOAT, VARCHAR, CLOB,
+TIMESTAMP.
+
+Run statements through :func:`execute_sql`::
+
+    execute_sql(db, "SELECT DEPT, COUNT(*) AS N FROM EMP GROUP BY DEPT")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import QueryPlanError
+from repro.ordbms import types as _types  # submodule import; safe mid-init
+from repro.ordbms.database import Database
+from repro.ordbms.executor import (
+    Aggregate,
+    AggSpec,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+    TextSearch,
+)
+from repro.ordbms.expr import (
+    And,
+    Col,
+    Compare,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Lit,
+    Not,
+    Or,
+    conjuncts,
+    equality_on,
+)
+from repro.ordbms.rowid import RowId
+from repro.ordbms.schema import Column, TableSchema
+from repro.ordbms.table import ROWID_PSEUDO
+
+
+class SqlError(QueryPlanError):
+    """A SQL statement failed to parse or plan."""
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""\s*(
+        '(?:[^']|'')*'              |   # string literal ('' escapes ')
+        \d+\.\d+ | \d+              |   # numbers
+        <> | <= | >= | != | [=<>]   |   # comparison operators
+        [A-Za-z_][A-Za-z0-9_.]*\*?  |   # identifiers / keywords / COUNT(*)
+        \* | \( | \) | , | ; | -        # punctuation, unary minus
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    "select from where and or not in is null like group by order asc desc "
+    "limit offset insert into values update set delete create table drop "
+    "index text on join as contains count sum avg min max integer float "
+    "varchar clob timestamp primary key unique".split()
+)
+
+
+def _tokenize(sql: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            if sql[position:].strip():
+                raise SqlError(f"cannot tokenize SQL at: {sql[position:][:30]!r}")
+            break
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+def _is_identifier(token: str) -> bool:
+    return bool(re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", token)) and (
+        token.lower() not in _KEYWORDS
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parser / planner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SqlResult:
+    """Outcome of one statement."""
+
+    rows: list[dict[str, Any]]
+    rowcount: int = 0
+    command: str = ""
+
+
+class _Parser:
+    def __init__(self, database: Database, sql: str) -> None:
+        self._database = database
+        self._sql = sql
+        self._tokens = _tokenize(sql)
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _peek_kw(self) -> str | None:
+        token = self._peek()
+        return token.lower() if token is not None else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise SqlError(f"unexpected end of statement: {self._sql!r}")
+        self._pos += 1
+        return token
+
+    def _accept(self, keyword: str) -> bool:
+        if self._peek_kw() == keyword.lower():
+            self._pos += 1
+            return True
+        return False
+
+    def _expect(self, expected: str) -> str:
+        token = self._next()
+        if token.lower() != expected.lower():
+            raise SqlError(
+                f"expected {expected!r}, got {token!r} in {self._sql!r}"
+            )
+        return token
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if not _is_identifier(token):
+            raise SqlError(f"expected identifier, got {token!r}")
+        return token.upper()
+
+    def _finish(self) -> None:
+        self._accept(";")
+        if self._peek() is not None:
+            raise SqlError(
+                f"trailing tokens after statement: {self._tokens[self._pos:]}"
+            )
+
+    # -- statement dispatch -----------------------------------------------------
+
+    def statement(self) -> SqlResult:
+        keyword = self._peek_kw()
+        if keyword == "select":
+            return self._select()
+        if keyword == "insert":
+            return self._insert()
+        if keyword == "update":
+            return self._update()
+        if keyword == "delete":
+            return self._delete()
+        if keyword == "create":
+            return self._create()
+        if keyword == "drop":
+            return self._drop()
+        raise SqlError(f"unsupported statement: {self._sql!r}")
+
+    # -- DDL -----------------------------------------------------------------------
+
+    _TYPES = {
+        "integer": _types.INTEGER,
+        "float": _types.FLOAT,
+        "varchar": _types.VARCHAR,
+        "clob": _types.CLOB,
+        "timestamp": _types.TIMESTAMP,
+    }
+
+    def _create(self) -> SqlResult:
+        self._expect("create")
+        if self._accept("table"):
+            return self._create_table()
+        text_index = self._accept("text")
+        self._expect("index")
+        self._expect("on")
+        table_name = self._identifier()
+        self._expect("(")
+        column = self._identifier()
+        self._expect(")")
+        self._finish()
+        table = self._database.table(table_name)
+        if text_index:
+            table.create_text_index(column)
+        else:
+            table.create_index(column)
+        return SqlResult([], 0, "CREATE INDEX")
+
+    def _create_table(self) -> SqlResult:
+        name = self._identifier()
+        self._expect("(")
+        columns: list[Column] = []
+        primary_key: str | None = None
+        unique: list[str] = []
+        while True:
+            column_name = self._identifier()
+            type_token = self._next().lower()
+            dtype = self._TYPES.get(type_token)
+            if dtype is None:
+                raise SqlError(f"unknown column type {type_token!r}")
+            nullable = True
+            while True:
+                if self._accept("not"):
+                    self._expect("null")
+                    nullable = False
+                elif self._accept("primary"):
+                    self._expect("key")
+                    primary_key = column_name
+                    nullable = False
+                elif self._accept("unique"):
+                    unique.append(column_name)
+                else:
+                    break
+            columns.append(Column(column_name, dtype, nullable=nullable))
+            if self._accept(","):
+                continue
+            self._expect(")")
+            break
+        self._finish()
+        self._database.create_table(
+            TableSchema(
+                name,
+                tuple(columns),
+                primary_key=primary_key,
+                unique=tuple(unique),
+            )
+        )
+        return SqlResult([], 0, "CREATE TABLE")
+
+    def _drop(self) -> SqlResult:
+        self._expect("drop")
+        self._expect("table")
+        name = self._identifier()
+        self._finish()
+        self._database.drop_table(name)
+        return SqlResult([], 0, "DROP TABLE")
+
+    # -- DML -------------------------------------------------------------------------
+
+    def _insert(self) -> SqlResult:
+        self._expect("insert")
+        self._expect("into")
+        table_name = self._identifier()
+        self._expect("(")
+        columns = [self._identifier()]
+        while self._accept(","):
+            columns.append(self._identifier())
+        self._expect(")")
+        self._expect("values")
+        count = 0
+        while True:
+            self._expect("(")
+            values = [self._literal()]
+            while self._accept(","):
+                values.append(self._literal())
+            self._expect(")")
+            if len(values) != len(columns):
+                raise SqlError(
+                    f"INSERT has {len(columns)} columns but {len(values)} values"
+                )
+            self._database.insert(table_name, dict(zip(columns, values)))
+            count += 1
+            if not self._accept(","):
+                break
+        self._finish()
+        return SqlResult([], count, "INSERT")
+
+    def _update(self) -> SqlResult:
+        self._expect("update")
+        table_name = self._identifier()
+        self._expect("set")
+        changes: dict[str, Any] = {}
+        while True:
+            column = self._identifier()
+            self._expect("=")
+            changes[column] = self._literal()
+            if not self._accept(","):
+                break
+        predicate = self._optional_where()
+        self._finish()
+        table = self._database.table(table_name)
+        targets = [row[ROWID_PSEUDO] for row in table.scan(predicate)]
+        for rowid in targets:
+            self._database.update(table_name, rowid, changes)
+        return SqlResult([], len(targets), "UPDATE")
+
+    def _delete(self) -> SqlResult:
+        self._expect("delete")
+        self._expect("from")
+        table_name = self._identifier()
+        predicate = self._optional_where()
+        self._finish()
+        table = self._database.table(table_name)
+        targets = [row[ROWID_PSEUDO] for row in table.scan(predicate)]
+        for rowid in targets:
+            self._database.delete(table_name, rowid)
+        return SqlResult([], len(targets), "DELETE")
+
+    def _optional_where(self) -> Expr | None:
+        if self._accept("where"):
+            return self._expression()
+        return None
+
+    # -- SELECT -----------------------------------------------------------------------
+
+    def _select(self) -> SqlResult:
+        self._expect("select")
+        select_items = self._select_items()
+        self._expect("from")
+        plan, default_table = self._from_clause()
+        predicate = self._optional_where()
+        contains, residual = self._split_contains(predicate)
+        plan = self._lower_access_path(plan, default_table, contains, residual)
+
+        group_by: list[str] = []
+        if self._accept("group"):
+            self._expect("by")
+            group_by.append(self._identifier())
+            while self._accept(","):
+                group_by.append(self._identifier())
+
+        aggregates = [item for item in select_items if isinstance(item, AggSpec)]
+        project_spec: dict[str, str] | None = None
+        if aggregates or group_by:
+            plan = Aggregate(plan, tuple(group_by), tuple(aggregates))
+            plain = [
+                item for item in select_items if not isinstance(item, AggSpec)
+            ]
+            for name, _ in plain:
+                if name != "*" and name not in group_by:
+                    raise SqlError(
+                        f"column {name} must appear in GROUP BY or an aggregate"
+                    )
+        elif not (len(select_items) == 1 and select_items[0][0] == "*"):
+            # Defer the projection until after ORDER BY/LIMIT so sorting
+            # may use columns that are not selected (standard SQL).
+            project_spec = {alias: name for name, alias in select_items}
+
+        if self._accept("order"):
+            self._expect("by")
+            column = self._identifier()
+            descending = False
+            if self._accept("desc"):
+                descending = True
+            else:
+                self._accept("asc")
+            plan = Sort(plan, column, descending=descending)
+
+        if self._accept("limit"):
+            count = int(self._next())
+            offset = 0
+            if self._accept("offset"):
+                offset = int(self._next())
+            plan = Limit(plan, count, offset)
+
+        if project_spec is not None:
+            plan = Project(plan, project_spec)
+        self._finish()
+        rows = list(plan.rows())
+        # Strip the ROWID pseudo-column from SELECT * output.
+        for row in rows:
+            row.pop(ROWID_PSEUDO, None)
+        return SqlResult(rows, len(rows), "SELECT")
+
+    def _select_items(self) -> list[Any]:
+        """``*`` | (column|agg) [AS alias], ... — returns mixed items.
+
+        Plain columns come back as ``(name, alias)`` tuples; aggregates as
+        :class:`AggSpec`.
+        """
+        items: list[Any] = []
+        while True:
+            token = self._peek()
+            if token == "*":
+                self._next()
+                items.append(("*", "*"))
+            elif token is not None and token.lower() in {
+                "count", "sum", "avg", "min", "max",
+            }:
+                func = self._next().lower()
+                self._expect("(")
+                argument = self._next()
+                if argument != "*" and not _is_identifier(argument):
+                    raise SqlError(f"bad aggregate argument {argument!r}")
+                self._expect(")")
+                alias = f"{func}_{argument}".upper().replace("*", "ALL")
+                if self._accept("as"):
+                    alias = self._identifier()
+                items.append(AggSpec(func, argument.upper(), alias))
+            else:
+                name = self._identifier()
+                alias = name.split(".")[-1]
+                if self._accept("as"):
+                    alias = self._identifier()
+                items.append((name, alias))
+            if not self._accept(","):
+                return items
+
+    def _from_clause(self) -> tuple[PlanNode, str]:
+        table_name = self._identifier()
+        plan: PlanNode = SeqScan(self._database.table(table_name))
+        left_alias = table_name
+        while self._accept("join"):
+            right_name = self._identifier()
+            self._expect("on")
+            left_key = self._identifier()
+            self._expect("=")
+            right_key = self._identifier()
+            # Keys may be qualified (T.COL); strip to the bare column and
+            # sanity-check the qualifier.
+            left_column = self._join_key(left_key, left_alias, right_name)
+            right_column = self._join_key(right_key, right_name, left_alias)
+            plan = HashJoin(
+                plan,
+                SeqScan(self._database.table(right_name)),
+                left_column,
+                right_column,
+                left_alias=left_alias,
+                right_alias=right_name,
+            )
+            left_alias = f"{left_alias}_{right_name}"
+        return plan, table_name
+
+    @staticmethod
+    def _join_key(key: str, own_table: str, other_table: str) -> str:
+        if "." not in key:
+            return key
+        qualifier, _, column = key.partition(".")
+        if qualifier.upper() not in {own_table.upper(), other_table.upper()}:
+            raise SqlError(f"unknown table qualifier in join key {key!r}")
+        return column
+
+    def _lower_access_path(
+        self,
+        plan: PlanNode,
+        default_table: str,
+        contains: list[tuple[str, str]],
+        residual: Expr | None,
+    ) -> PlanNode:
+        """Use CONTAINS and sargable equalities to pick an access path."""
+        if isinstance(plan, SeqScan) and contains:
+            column, needle = contains[0]
+            table = self._database.table(default_table)
+            plan = TextSearch(table, column, needle, mode="all")
+            for column, needle in contains[1:]:
+                extra = frozenset(
+                    row[ROWID_PSEUDO]
+                    for row in TextSearch(table, column, needle, "all").rows()
+                )
+                plan = Filter(plan, _RowIdIn(extra))
+        elif contains:
+            raise SqlError("CONTAINS() is not supported on joined tables")
+        if residual is not None:
+            plan = Filter(plan, residual)
+        return plan
+
+    def _split_contains(
+        self, predicate: Expr | None
+    ) -> tuple[list[tuple[str, str]], Expr | None]:
+        """Pull top-level CONTAINS conjuncts out of the WHERE clause."""
+        if predicate is None:
+            return [], None
+        contains: list[tuple[str, str]] = []
+        rest: Expr | None = None
+        for conjunct in conjuncts(predicate):
+            if isinstance(conjunct, _Contains):
+                contains.append((conjunct.column, conjunct.needle))
+            else:
+                rest = conjunct if rest is None else And(rest, conjunct)
+        return contains, rest
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept("or"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept("and"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept("not"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        if self._accept("("):
+            inner = self._expression()
+            self._expect(")")
+            return inner
+        if self._peek_kw() == "contains":
+            self._next()
+            self._expect("(")
+            column = self._identifier()
+            self._expect(",")
+            needle = self._literal()
+            self._expect(")")
+            if not isinstance(needle, str):
+                raise SqlError("CONTAINS() needs a string literal")
+            return _Contains(column, needle)
+        left = self._operand()
+        token = self._peek_kw()
+        if token == "is":
+            self._next()
+            negated = self._accept("not")
+            self._expect("null")
+            expr: Expr = IsNull(left)
+            return Not(expr) if negated else expr
+        if token == "in":
+            self._next()
+            self._expect("(")
+            values = [self._literal()]
+            while self._accept(","):
+                values.append(self._literal())
+            self._expect(")")
+            return InList(left, tuple(values))
+        if token == "not":
+            self._next()
+            self._expect("like")
+            pattern = self._literal()
+            return Not(Like(left, str(pattern)))
+        if token == "like":
+            self._next()
+            pattern = self._literal()
+            return Like(left, str(pattern))
+        operator = self._next()
+        if operator == "<>":
+            operator = "!="
+        if operator not in {"=", "!=", "<", "<=", ">", ">="}:
+            raise SqlError(f"expected comparison operator, got {operator!r}")
+        right = self._operand()
+        return Compare(left, operator, right)
+
+    def _operand(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise SqlError("unexpected end of expression")
+        if (
+            token == "-"
+            or token.startswith("'")
+            or re.fullmatch(r"\d+(\.\d+)?", token)
+        ):
+            return Lit(self._literal())
+        return Col(self._identifier())
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token == "-":
+            value = self._literal()
+            if not isinstance(value, (int, float)):
+                raise SqlError("unary minus needs a numeric literal")
+            return -value
+        if token.startswith("'"):
+            return token[1:-1].replace("''", "'")
+        if re.fullmatch(r"\d+", token):
+            return int(token)
+        if re.fullmatch(r"\d+\.\d+", token):
+            return float(token)
+        if token.lower() == "null":
+            return None
+        raise SqlError(f"expected literal, got {token!r}")
+
+
+@dataclass(frozen=True)
+class _Contains(Expr):
+    """CONTAINS(col, 'terms').
+
+    As a top-level conjunct the planner lowers it onto the inverted text
+    index; anywhere else (under OR/NOT) it evaluates in place with the
+    *same* tokenizer the index uses, so semantics never depend on the
+    access path chosen.
+    """
+
+    column: str
+    needle: str
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        from repro.ordbms.textindex import tokenize
+
+        value = row.get(self.column.upper())
+        if not isinstance(value, str):
+            return False
+        tokens = set(tokenize(value, keep_stopwords=True))
+        wanted = tokenize(self.needle)
+        return bool(wanted) and all(term in tokens for term in wanted)
+
+
+@dataclass(frozen=True)
+class _RowIdIn(Expr):
+    """Filter on the ROWID pseudo-column (intersecting CONTAINS hits)."""
+
+    rowids: frozenset[RowId]
+
+    def evaluate(self, row: dict[str, Any]) -> bool:
+        return row.get(ROWID_PSEUDO) in self.rowids
+
+
+def execute_sql(database: Database, sql: str) -> SqlResult:
+    """Parse and execute one SQL statement against ``database``."""
+    return _Parser(database, sql).statement()
+
+
+# Re-export for callers that want to pre-check sargability the way the
+# planner does.
+__all__ = ["SqlError", "SqlResult", "execute_sql", "equality_on"]

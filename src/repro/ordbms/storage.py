@@ -1,0 +1,168 @@
+"""Slotted-page heap storage with physical ROWIDs.
+
+Rows live in fixed-capacity *blocks* grouped into *data files*; a row's
+:class:`~repro.ordbms.rowid.RowId` is its ``(file, block, slot)`` address.
+A fetch by ROWID is two list lookups — the O(1) access path the paper's
+parent/sibling traversal depends on.
+
+Deletions tombstone the slot rather than compacting, so ROWIDs of the
+surviving rows never move (Oracle's heap tables behave the same way).
+Updates are in place when the row stays in its slot; the engine never
+migrates rows, so ROWIDs are stable for the lifetime of a row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import RowIdError
+from repro.ordbms.rowid import RowId
+
+#: Rows per block.  Small enough that multi-block behaviour is exercised by
+#: modest tests, large enough that block overhead stays negligible.
+BLOCK_CAPACITY = 64
+
+#: Blocks per data file before a new file is opened.
+FILE_CAPACITY = 1024
+
+_TOMBSTONE = object()
+
+
+class _Block:
+    """A fixed-capacity array of row slots."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots: list[Any] = []
+
+    @property
+    def full(self) -> bool:
+        return len(self.slots) >= BLOCK_CAPACITY
+
+    def append(self, row: tuple[Any, ...]) -> int:
+        slot_no = len(self.slots)
+        self.slots.append(row)
+        return slot_no
+
+
+class HeapFile:
+    """The physical storage for one table.
+
+    The interface is deliberately tiny: insert returns a ROWID, fetch and
+    delete take one, and ``scan`` yields ``(rowid, row)`` pairs in physical
+    order.  Everything richer (predicates, indexes, constraints) lives in
+    the layers above.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._files: list[list[_Block]] = [[_Block()]]
+        self._live_rows = 0
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, row: tuple[Any, ...]) -> RowId:
+        """Append ``row`` and return its physical address."""
+        file_no = len(self._files) - 1
+        blocks = self._files[file_no]
+        if blocks[-1].full:
+            if len(blocks) >= FILE_CAPACITY:
+                self._files.append([_Block()])
+                file_no += 1
+                blocks = self._files[file_no]
+            else:
+                blocks.append(_Block())
+        block_no = len(blocks) - 1
+        slot_no = blocks[-1].append(row)
+        self._live_rows += 1
+        return RowId(file_no, block_no, slot_no)
+
+    def update(self, rowid: RowId, row: tuple[Any, ...]) -> None:
+        """Replace the row at ``rowid`` in place."""
+        block = self._block(rowid)
+        self._check_live(block, rowid)
+        block.slots[rowid.slot_no] = row
+
+    def delete(self, rowid: RowId) -> tuple[Any, ...]:
+        """Tombstone the row at ``rowid`` and return its former value."""
+        block = self._block(rowid)
+        self._check_live(block, rowid)
+        old = block.slots[rowid.slot_no]
+        block.slots[rowid.slot_no] = _TOMBSTONE
+        self._live_rows -= 1
+        return old
+
+    def restore(self, rowid: RowId, row: tuple[Any, ...]) -> None:
+        """Un-tombstone ``rowid`` with ``row`` (transaction rollback only).
+
+        Restoring into the original slot keeps the ROWID stable, which is
+        what lets undo records later in the log keep referring to it.
+        """
+        block = self._block(rowid)
+        if rowid.slot_no >= len(block.slots):
+            raise RowIdError(
+                f"ROWID {rowid} is out of range for table {self.name}"
+            )
+        if block.slots[rowid.slot_no] is not _TOMBSTONE:
+            raise RowIdError(
+                f"ROWID {rowid} is not a deleted slot in table {self.name}"
+            )
+        block.slots[rowid.slot_no] = row
+        self._live_rows += 1
+
+    # -- access -----------------------------------------------------------
+
+    def fetch(self, rowid: RowId) -> tuple[Any, ...]:
+        """Return the row at ``rowid``; O(1)."""
+        block = self._block(rowid)
+        self._check_live(block, rowid)
+        return block.slots[rowid.slot_no]
+
+    def exists(self, rowid: RowId) -> bool:
+        """True when ``rowid`` addresses a live (non-deleted) row."""
+        try:
+            block = self._block(rowid)
+        except RowIdError:
+            return False
+        if rowid.slot_no >= len(block.slots):
+            return False
+        return block.slots[rowid.slot_no] is not _TOMBSTONE
+
+    def scan(self) -> Iterator[tuple[RowId, tuple[Any, ...]]]:
+        """Yield ``(rowid, row)`` for every live row in physical order."""
+        for file_no, blocks in enumerate(self._files):
+            for block_no, block in enumerate(blocks):
+                for slot_no, row in enumerate(block.slots):
+                    if row is not _TOMBSTONE:
+                        yield RowId(file_no, block_no, slot_no), row
+
+    def __len__(self) -> int:
+        return self._live_rows
+
+    @property
+    def block_count(self) -> int:
+        """Total allocated blocks (a proxy for on-disk footprint)."""
+        return sum(len(blocks) for blocks in self._files)
+
+    # -- internals ---------------------------------------------------------
+
+    def _block(self, rowid: RowId) -> _Block:
+        if not rowid.is_valid:
+            raise RowIdError(f"invalid ROWID {rowid} for table {self.name}")
+        try:
+            return self._files[rowid.file_no][rowid.block_no]
+        except IndexError:
+            raise RowIdError(
+                f"ROWID {rowid} is out of range for table {self.name}"
+            ) from None
+
+    def _check_live(self, block: _Block, rowid: RowId) -> None:
+        if rowid.slot_no >= len(block.slots):
+            raise RowIdError(
+                f"ROWID {rowid} is out of range for table {self.name}"
+            )
+        if block.slots[rowid.slot_no] is _TOMBSTONE:
+            raise RowIdError(
+                f"ROWID {rowid} addresses a deleted row in table {self.name}"
+            )

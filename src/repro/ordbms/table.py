@@ -1,0 +1,216 @@
+"""The table layer: heap storage + constraints + index maintenance.
+
+A :class:`Table` binds a :class:`~repro.ordbms.schema.TableSchema` to a
+:class:`~repro.ordbms.storage.HeapFile` and keeps every secondary
+:class:`~repro.ordbms.btree.BTreeIndex` and
+:class:`~repro.ordbms.textindex.TextIndex` consistent across inserts,
+updates and deletes.  Primary-key and unique constraints are enforced via
+automatically created B+tree indexes, so enforcement is O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import CatalogError, ConstraintError, RowIdError
+from repro.ordbms.btree import BTreeIndex
+from repro.ordbms.expr import Expr
+from repro.ordbms.rowid import RowId
+from repro.ordbms.schema import TableSchema
+from repro.ordbms.storage import HeapFile
+from repro.ordbms.textindex import TextIndex
+
+#: Pseudo-column name under which a row's own physical address is exposed,
+#: mirroring Oracle's ``ROWID`` pseudo-column.
+ROWID_PSEUDO = "ROWID_"
+
+
+class Table:
+    """A heap table with secondary indexes and constraint enforcement."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._heap = HeapFile(schema.name)
+        self._indexes: dict[str, BTreeIndex] = {}
+        self._text_indexes: dict[str, TextIndex] = {}
+        # Unique enforcement piggybacks on B+tree indexes over these columns.
+        self._unique_columns: list[str] = []
+        if schema.primary_key:
+            self._ensure_unique_index(schema.primary_key)
+        for column in schema.unique:
+            self._ensure_unique_index(column)
+
+    def _ensure_unique_index(self, column: str) -> None:
+        if column not in self._indexes:
+            self.create_index(column)
+        if column not in self._unique_columns:
+            self._unique_columns.append(column)
+
+    # -- index management -------------------------------------------------
+
+    def create_index(self, column: str) -> BTreeIndex:
+        """Create (and backfill) a B+tree index over ``column``."""
+        column = column.upper()
+        self.schema.column(column)  # validates existence
+        if column in self._indexes:
+            raise CatalogError(
+                f"index on {self.schema.name}.{column} already exists"
+            )
+        index = BTreeIndex(f"{self.schema.name}_{column}_IDX")
+        position = self.schema.position(column)
+        for rowid, row in self._heap.scan():
+            if row[position] is not None:
+                index.insert(row[position], rowid)
+        self._indexes[column] = index
+        return index
+
+    def create_text_index(self, column: str) -> TextIndex:
+        """Create (and backfill) an inverted text index over ``column``."""
+        column = column.upper()
+        self.schema.column(column)
+        if column in self._text_indexes:
+            raise CatalogError(
+                f"text index on {self.schema.name}.{column} already exists"
+            )
+        index = TextIndex(f"{self.schema.name}_{column}_TXT")
+        position = self.schema.position(column)
+        for rowid, row in self._heap.scan():
+            value = row[position]
+            if isinstance(value, str) and value:
+                index.add(rowid, value)
+        self._text_indexes[column] = index
+        return index
+
+    def index_on(self, column: str) -> BTreeIndex | None:
+        return self._indexes.get(column.upper())
+
+    def text_index_on(self, column: str) -> TextIndex | None:
+        return self._text_indexes.get(column.upper())
+
+    @property
+    def index_columns(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any]) -> RowId:
+        """Validate, constraint-check and store a row; returns its ROWID."""
+        row = self.schema.make_row(values)
+        self._check_unique(row, exclude=None)
+        rowid = self._heap.insert(row)
+        self._index_row(rowid, row)
+        return rowid
+
+    def update(self, rowid: RowId, changes: Mapping[str, Any]) -> None:
+        """Apply ``changes`` (column->value) to the row at ``rowid``."""
+        old_row = self._heap.fetch(rowid)
+        merged = self.schema.row_to_dict(old_row)
+        merged.update({key.upper(): value for key, value in changes.items()})
+        new_row = self.schema.make_row(merged)
+        self._check_unique(new_row, exclude=rowid)
+        self._unindex_row(rowid, old_row)
+        self._heap.update(rowid, new_row)
+        self._index_row(rowid, new_row)
+
+    def delete(self, rowid: RowId) -> dict[str, Any]:
+        """Delete the row at ``rowid``; returns its former values."""
+        old_row = self._heap.delete(rowid)
+        self._unindex_row(rowid, old_row)
+        return self.schema.row_to_dict(old_row)
+
+    def restore(self, rowid: RowId, values: Mapping[str, Any]) -> None:
+        """Undo a delete: put ``values`` back at the original ``rowid``."""
+        row = self.schema.make_row(values)
+        self._check_unique(row, exclude=rowid)
+        self._heap.restore(rowid, row)
+        self._index_row(rowid, row)
+
+    # -- access ---------------------------------------------------------------
+
+    def fetch(self, rowid: RowId) -> dict[str, Any]:
+        """O(1) fetch by physical ROWID, as a column->value dict."""
+        return self._with_rowid(rowid, self._heap.fetch(rowid))
+
+    def try_fetch(self, rowid: RowId) -> dict[str, Any] | None:
+        """Like :meth:`fetch` but returns None for dead/out-of-range rowids."""
+        try:
+            return self.fetch(rowid)
+        except RowIdError:
+            return None
+
+    def exists(self, rowid: RowId) -> bool:
+        return self._heap.exists(rowid)
+
+    def scan(
+        self, predicate: Expr | Callable[[Mapping[str, Any]], bool] | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Yield rows (as dicts, including the ROWID pseudo-column)."""
+        for rowid, row in self._heap.scan():
+            record = self._with_rowid(rowid, row)
+            if predicate is None:
+                yield record
+            elif isinstance(predicate, Expr):
+                if predicate.evaluate(record):
+                    yield record
+            elif predicate(record):
+                yield record
+
+    def lookup(self, column: str, value: Any) -> list[dict[str, Any]]:
+        """Equality lookup, via index when one exists, else a scan."""
+        column = column.upper()
+        index = self._indexes.get(column)
+        if index is not None:
+            return [self.fetch(rowid) for rowid in index.search(value)]
+        position = self.schema.position(column)
+        return [
+            self._with_rowid(rowid, row)
+            for rowid, row in self._heap.scan()
+            if row[position] == value
+        ]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def block_count(self) -> int:
+        return self._heap.block_count
+
+    # -- internals ----------------------------------------------------------
+
+    def _with_rowid(self, rowid: RowId, row: tuple[Any, ...]) -> dict[str, Any]:
+        record = self.schema.row_to_dict(row)
+        record[ROWID_PSEUDO] = rowid
+        return record
+
+    def _check_unique(self, row: tuple[Any, ...], exclude: RowId | None) -> None:
+        for column in self._unique_columns:
+            position = self.schema.position(column)
+            value = row[position]
+            if value is None:
+                continue
+            existing = self._indexes[column].search(value)
+            if any(rowid != exclude for rowid in existing):
+                raise ConstraintError(
+                    f"duplicate value {value!r} for unique column "
+                    f"{self.schema.name}.{column}"
+                )
+
+    def _index_row(self, rowid: RowId, row: tuple[Any, ...]) -> None:
+        for column, index in self._indexes.items():
+            value = row[self.schema.position(column)]
+            if value is not None:
+                index.insert(value, rowid)
+        for column, text_index in self._text_indexes.items():
+            value = row[self.schema.position(column)]
+            if isinstance(value, str) and value:
+                text_index.add(rowid, value)
+
+    def _unindex_row(self, rowid: RowId, row: tuple[Any, ...]) -> None:
+        for column, index in self._indexes.items():
+            value = row[self.schema.position(column)]
+            if value is not None:
+                index.delete(value, rowid)
+        for column, text_index in self._text_indexes.items():
+            value = row[self.schema.position(column)]
+            if isinstance(value, str) and value:
+                text_index.remove(rowid, value)

@@ -1,0 +1,109 @@
+"""Transactions with an undo log.
+
+The NETMARK load path inserts a ``DOC`` row plus hundreds of ``XML`` node
+rows per document; the store wraps each document load in a transaction so a
+mid-load failure never leaves a half-decomposed document behind.
+
+The model is single-writer with logical undo: every mutation appends an
+undo record; rollback replays them in reverse.  Savepoints nest by
+remembering a position in the undo log.  This is all the paper's workload
+needs — NETMARK has no concurrent-writer story and neither do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ordbms.database import Database
+
+
+@dataclass
+class _UndoRecord:
+    """One reversible action; ``undo`` restores the pre-action state."""
+
+    description: str
+    undo: Callable[[], None]
+
+
+@dataclass
+class Transaction:
+    """An open transaction; obtained from :meth:`Database.begin`."""
+
+    database: "Database"
+    _undo_log: list[_UndoRecord] = field(default_factory=list)
+    _savepoints: dict[str, int] = field(default_factory=dict)
+    _state: str = "active"  # active | committed | rolled_back
+
+    @property
+    def is_active(self) -> bool:
+        return self._state == "active"
+
+    def record_undo(self, description: str, undo: Callable[[], None]) -> None:
+        """Register a compensating action for a completed mutation."""
+        self._require_active()
+        self._undo_log.append(_UndoRecord(description, undo))
+
+    def savepoint(self, name: str) -> None:
+        """Mark a point the transaction can partially roll back to."""
+        self._require_active()
+        self._savepoints[name] = len(self._undo_log)
+
+    def rollback_to(self, name: str) -> None:
+        """Undo everything since ``savepoint(name)``; transaction stays open."""
+        self._require_active()
+        try:
+            mark = self._savepoints[name]
+        except KeyError:
+            raise TransactionError(f"no savepoint named {name!r}") from None
+        while len(self._undo_log) > mark:
+            self._undo_log.pop().undo()
+        # Savepoints created after the mark are no longer meaningful.
+        self._savepoints = {
+            sp_name: position
+            for sp_name, position in self._savepoints.items()
+            if position <= mark
+        }
+
+    def commit(self) -> None:
+        """Make all mutations permanent and close the transaction."""
+        self._require_active()
+        self._undo_log.clear()
+        self._savepoints.clear()
+        self._state = "committed"
+        self.database._transaction_closed(self)
+
+    def rollback(self) -> None:
+        """Undo every mutation and close the transaction."""
+        self._require_active()
+        while self._undo_log:
+            self._undo_log.pop().undo()
+        self._savepoints.clear()
+        self._state = "rolled_back"
+        self.database._transaction_closed(self)
+
+    # -- context manager: commit on success, roll back on exception -------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if not self.is_active:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+    def _require_active(self) -> None:
+        if self._state != "active":
+            raise TransactionError(f"transaction is {self._state}, not active")
+
+    @property
+    def pending_undo_count(self) -> int:
+        """Mutations that would be reverted by :meth:`rollback`."""
+        return len(self._undo_log)

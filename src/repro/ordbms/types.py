@@ -1,0 +1,121 @@
+"""Column types for the ORDBMS substrate.
+
+The engine supports a deliberately small set of scalar types — the ones the
+NETMARK generated schema (Fig 5 of the paper) actually needs: integers,
+floats, strings (``VARCHAR``/``CLOB``), timestamps, and ``ROWID`` values
+used for the parent/sibling physical links that make tree traversal fast.
+
+Types are represented as singleton :class:`DataType` instances; columns
+reference them by object identity.  Each type knows how to validate and
+coerce Python values, which keeps the table layer free of per-type
+branching.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+from repro.errors import TypeMismatchError
+from repro.ordbms.rowid import RowId
+
+
+class DataType:
+    """A scalar column type.
+
+    Parameters
+    ----------
+    name:
+        SQL-ish display name, e.g. ``"INTEGER"``.
+    pytypes:
+        Python types accepted for values of this column type.
+    """
+
+    def __init__(self, name: str, pytypes: tuple[type, ...]) -> None:
+        self.name = name
+        self._pytypes = pytypes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataType({self.name})"
+
+    def validate(self, value: Any, column: str = "?") -> Any:
+        """Return ``value`` coerced for storage, or raise.
+
+        ``None`` is always accepted here; NOT NULL enforcement is the
+        table layer's job because it depends on the column definition,
+        not the type.
+        """
+        if value is None:
+            return None
+        coerced = self.coerce(value)
+        if coerced is None:
+            raise TypeMismatchError(
+                f"column {column!r} expects {self.name}, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+        return coerced
+
+    def coerce(self, value: Any) -> Any:
+        """Return the storage representation of ``value`` or ``None``."""
+        if isinstance(value, self._pytypes):
+            return value
+        return None
+
+
+class _IntegerType(DataType):
+    def __init__(self) -> None:
+        super().__init__("INTEGER", (int,))
+
+    def coerce(self, value: Any) -> Any:
+        # bool is an int subclass but almost always a caller bug here.
+        if isinstance(value, bool):
+            return None
+        return super().coerce(value)
+
+
+class _FloatType(DataType):
+    def __init__(self) -> None:
+        super().__init__("FLOAT", (float, int))
+
+    def coerce(self, value: Any) -> Any:
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, int):
+            return float(value)
+        return super().coerce(value)
+
+
+class _VarcharType(DataType):
+    def __init__(self, name: str = "VARCHAR") -> None:
+        super().__init__(name, (str,))
+
+
+class _TimestampType(DataType):
+    def __init__(self) -> None:
+        super().__init__("TIMESTAMP", (_dt.datetime,))
+
+    def coerce(self, value: Any) -> Any:
+        if isinstance(value, str):
+            try:
+                return _dt.datetime.fromisoformat(value)
+            except ValueError:
+                return None
+        return super().coerce(value)
+
+
+class _RowIdType(DataType):
+    def __init__(self) -> None:
+        super().__init__("ROWID", (RowId,))
+
+
+#: Singleton type instances, referenced by :class:`~repro.ordbms.schema.Column`.
+INTEGER = _IntegerType()
+FLOAT = _FloatType()
+VARCHAR = _VarcharType("VARCHAR")
+#: Large text values (node data); identical semantics to VARCHAR here but
+#: kept distinct so the catalog mirrors the paper's Oracle schema.
+CLOB = _VarcharType("CLOB")
+TIMESTAMP = _TimestampType()
+ROWID = _RowIdType()
+
+ALL_TYPES: tuple[DataType, ...] = (INTEGER, FLOAT, VARCHAR, CLOB, TIMESTAMP, ROWID)

@@ -1,0 +1,27 @@
+"""The XDB Query engine: context + content search over the XML store."""
+
+from repro.query.ast import ContentSpec, ContextSpec, XdbQuery
+from repro.query.engine import QueryEngine, phrase_in
+from repro.query.language import (
+    format_query,
+    parse_pairs,
+    parse_query,
+    percent_decode,
+    percent_encode,
+)
+from repro.query.results import ResultSet, SectionMatch
+
+__all__ = [
+    "ContentSpec",
+    "ContextSpec",
+    "QueryEngine",
+    "ResultSet",
+    "SectionMatch",
+    "XdbQuery",
+    "format_query",
+    "parse_pairs",
+    "parse_query",
+    "percent_decode",
+    "percent_encode",
+    "phrase_in",
+]

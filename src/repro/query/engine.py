@@ -1,0 +1,363 @@
+"""XDB Query evaluation (paper §2.1.3-2.1.4).
+
+The engine implements the paper's strategy literally:
+
+1. **Index probe.**  The search key goes to the text index over
+   ``XML.NODEDATA`` — every hit is a TEXT node row.
+2. **Upward traversal.**  Each hit is resolved "based on its designated
+   unique ROWID ... traversing up the tree structure via its parent or
+   sibling node until the first context is found":
+
+   * For a *context* search the hit must be heading text, i.e. have a
+     CONTEXT element among its proper ancestors (content text never does —
+     contexts are siblings of content, not ancestors).
+   * For a *content* search the hit resolves to its
+     :func:`~repro.store.traversal.governing_context` (nearest enclosing or
+     preceding CONTEXT).
+
+3. **Downward sibling walk.**  The matched context's section is collected
+   through ``SIBLINGID`` hops and reconstructed.
+
+A combined ``Context=X&Content=Y`` query intersects: sections whose
+heading matches X *and* whose scope contains Y.
+
+``use_index=False`` switches step 1 to a full table scan — kept only for
+the ABL-IDX ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.ordbms import RowId
+from repro.ordbms.table import ROWID_PSEUDO
+from repro.ordbms.textindex import tokenize
+from repro.query.ast import ContentSpec, ContextSpec, XdbQuery
+from repro.query.language import format_query, parse_query
+from repro.query.results import ResultSet, SectionMatch
+from repro.sgml.nodetypes import NodeType
+from repro.store.traversal import (
+    context_title,
+    governing_context,
+    parent_of,
+    section_text,
+)
+from repro.store.xmlstore import XmlStore
+
+Row = dict[str, Any]
+
+
+def phrase_in(phrase: str, text: str) -> bool:
+    """Token-level phrase containment, case-insensitive.
+
+    ``Budget`` is contained in ``FY04 Budget Summary`` but not in
+    ``Budgetary`` — token boundaries matter, substring match does not.
+    """
+    needle = tokenize(phrase, keep_stopwords=True)
+    haystack = tokenize(text, keep_stopwords=True)
+    if not needle:
+        return False
+    span = len(needle)
+    return any(
+        haystack[start:start + span] == needle
+        for start in range(len(haystack) - span + 1)
+    )
+
+
+class QueryEngine:
+    """Evaluates XDB queries against one :class:`XmlStore`."""
+
+    def __init__(self, store: XmlStore, use_index: bool = True) -> None:
+        self.store = store
+        self.use_index = use_index
+
+    # -- public entry points ------------------------------------------------
+
+    def execute(self, query: XdbQuery | str) -> ResultSet:
+        """Run a parsed query or a raw XDB query string."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.kind == "nodename":
+            assert query.nodename is not None
+            matches = self.nodename_search(query.nodename, query.content)
+        elif query.kind == "context":
+            assert query.context is not None
+            matches = self.context_search(query.context)
+        elif query.kind == "content":
+            assert query.content is not None
+            matches = self.content_search(query.content)
+        else:
+            assert query.context is not None and query.content is not None
+            matches = self.combined_search(query.context, query.content)
+        matches = self._apply_filters(matches, query)
+        result = ResultSet(format_query(query))
+        result.extend(matches)
+        return result.limited(query.limit)
+
+    def _apply_filters(
+        self, matches: list[SectionMatch], query: XdbQuery
+    ) -> list[SectionMatch]:
+        """Apply the Doc= and Format= narrowing filters."""
+        if query.doc:
+            needle = query.doc.lower()
+            matches = [
+                match for match in matches if needle in match.file_name.lower()
+            ]
+        if query.format:
+            wanted = query.format
+            kept = []
+            for match in matches:
+                try:
+                    entry = self.store.describe(match.doc_id)
+                except Exception:
+                    kept.append(match)  # federated matches lack local entries
+                    continue
+                if entry.file_name != match.file_name:
+                    kept.append(match)
+                    continue
+                if entry.format == wanted:
+                    kept.append(match)
+            matches = kept
+        return matches
+
+    # -- the three search kinds -----------------------------------------------
+
+    def context_search(self, spec: ContextSpec) -> list[SectionMatch]:
+        """Sections whose heading matches any phrase in ``spec``."""
+        context_rows = self._matching_contexts(spec)
+        return [self._to_match(row) for row in self._ordered(context_rows)]
+
+    def content_search(self, spec: ContentSpec) -> list[SectionMatch]:
+        """Sections containing the content terms (grouped by context).
+
+        Each match carries a relevance ``score``: 1.0 plus 0.5 for every
+        matching text node set in emphasis markup — the INTENSE node type
+        finally earning its keep.  Result *order* stays the stable
+        (document, node) order; callers wanting relevance order use
+        :meth:`~repro.query.results.ResultSet.ranked`.
+        """
+        hits = self._content_hit_rows(spec)
+        contexts: dict[RowId | None, Row] = {}
+        boosts: dict[RowId, float] = {}
+        doc_level: dict[int, Row] = {}
+        for hit in hits:
+            context = governing_context(self.store.database, hit)
+            if context is None:
+                doc_level.setdefault(hit["DOC_ID"], hit)
+                continue
+            key = context[ROWID_PSEUDO]
+            contexts.setdefault(key, context)
+            if self._is_emphasized(hit):
+                boosts[key] = boosts.get(key, 0.0) + 0.5
+        matches = [
+            self._to_match(row, score=1.0 + boosts.get(row[ROWID_PSEUDO], 0.0))
+            for row in self._ordered(contexts.values())
+            if self._section_satisfies(row, spec)
+        ]
+        for doc_id in sorted(doc_level):
+            matches.append(self._document_match(doc_id, doc_level[doc_id]))
+        return matches
+
+    def _is_emphasized(self, row: Row) -> bool:
+        """True when a text row sits inside INTENSE (emphasis) markup."""
+        current = row
+        while True:
+            parent = parent_of(self.store.database, current)
+            if parent is None:
+                return False
+            if parent["NODETYPE"] == int(NodeType.INTENSE):
+                return True
+            if parent["NODETYPE"] == int(NodeType.CONTEXT):
+                return False
+            current = parent
+
+    def nodename_search(
+        self, nodename: str, content: ContentSpec | None = None
+    ) -> list[SectionMatch]:
+        """Element-instance search: one match per ``<nodename>`` element.
+
+        The match's context is the element's governing context (or its
+        own heading when the element *is* a CONTEXT); the content is the
+        element's text.  With a content spec, only matching instances
+        whose text satisfies it are returned.
+        """
+        from repro.store.traversal import context_title
+
+        from repro.store.compose import compose_node
+
+        database = self.store.database
+        rows = self.store.xml_table.lookup("NODENAME", nodename)
+        matches: list[SectionMatch] = []
+        for row in self._ordered(rows):
+            node = compose_node(database, row)
+            text = re.sub(r"\s+", " ", node.text_content()).strip()
+            if content is not None and not self._text_satisfies(text, content):
+                continue
+            if row["NODETYPE"] == int(NodeType.CONTEXT):
+                heading = context_title(database, row)
+            else:
+                governing = governing_context(database, row)
+                heading = (
+                    context_title(database, governing)
+                    if governing is not None
+                    else self.store.describe(row["DOC_ID"]).file_name
+                )
+            entry = self.store.describe(row["DOC_ID"])
+            matches.append(
+                SectionMatch(
+                    doc_id=entry.doc_id,
+                    file_name=entry.file_name,
+                    context=heading,
+                    content=text,
+                    section=node if hasattr(node, "tag") else None,
+                )
+            )
+        return matches
+
+    def _text_satisfies(self, text: str, spec: ContentSpec) -> bool:
+        tokens = set(tokenize(text, keep_stopwords=True))
+        if spec.mode == "phrase":
+            return phrase_in(spec.text, text)
+        wanted = [term.lower() for term in spec.terms]
+        if spec.mode == "any":
+            return any(term in tokens for term in wanted)
+        return all(term in tokens for term in wanted)
+
+    def combined_search(
+        self, context_spec: ContextSpec, content_spec: ContentSpec
+    ) -> list[SectionMatch]:
+        """Sections matching the context whose scope contains the content.
+
+        Paper example: ``Context=Technology Gap&Content=Shrinking`` returns
+        the Technology Gap sections of documents where "Shrinking" occurs
+        *within* that section.
+        """
+        matches = []
+        for row in self._ordered(self._matching_contexts(context_spec)):
+            if self._section_satisfies(row, content_spec):
+                matches.append(self._to_match(row))
+        return matches
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _matching_contexts(self, spec: ContextSpec) -> list[Row]:
+        """CONTEXT rows whose heading text matches any phrase."""
+        database = self.store.database
+        found: dict[RowId, Row] = {}
+        for phrase in spec.phrases:
+            for hit in self._text_rows_matching(phrase, phrase_mode=True):
+                context = self._context_ancestor(hit)
+                if context is None:
+                    continue
+                rowid = context[ROWID_PSEUDO]
+                if rowid in found:
+                    continue
+                # The index matched one TEXT node; confirm the phrase holds
+                # across the whole (possibly multi-node) heading.
+                if phrase_in(phrase, context_title(database, context)):
+                    found[rowid] = context
+        return list(found.values())
+
+    def _context_ancestor(self, row: Row) -> Row | None:
+        """Nearest proper ancestor with NODETYPE CONTEXT (else None)."""
+        current = row
+        while True:
+            parent = parent_of(self.store.database, current)
+            if parent is None:
+                return None
+            if parent["NODETYPE"] == int(NodeType.CONTEXT):
+                return parent
+            current = parent
+
+    def _content_hit_rows(self, spec: ContentSpec) -> list[Row]:
+        if spec.mode == "phrase":
+            return self._text_rows_matching(spec.text, phrase_mode=True)
+        if spec.mode == "any":
+            rows: dict[RowId, Row] = {}
+            for term in spec.terms:
+                for row in self._text_rows_matching(term, phrase_mode=False):
+                    rows.setdefault(row[ROWID_PSEUDO], row)
+            return list(rows.values())
+        # mode == "all": terms may be satisfied by *different* text nodes of
+        # one section, so collect hits per term and let the section-level
+        # check do the conjunction.
+        rows = {}
+        for term in spec.terms:
+            for row in self._text_rows_matching(term, phrase_mode=False):
+                rows.setdefault(row[ROWID_PSEUDO], row)
+        return list(rows.values())
+
+    def _text_rows_matching(self, key: str, phrase_mode: bool) -> list[Row]:
+        """TEXT rows whose data matches ``key`` (index or scan path)."""
+        xml_table = self.store.xml_table
+        if self.use_index:
+            index = xml_table.text_index_on("NODEDATA")
+            assert index is not None  # created with the schema
+            if phrase_mode:
+                rowids = index.lookup_phrase(key)
+            else:
+                rowids = index.lookup_all(tokenize(key))
+            rows = [xml_table.fetch(rowid) for rowid in rowids]
+        else:
+            rows = list(
+                xml_table.scan(
+                    lambda row: row["NODEDATA"] is not None
+                    and self._scan_match(key, row["NODEDATA"], phrase_mode)
+                )
+            )
+        return [row for row in rows if row["NODETYPE"] == int(NodeType.TEXT)]
+
+    @staticmethod
+    def _scan_match(key: str, data: str, phrase_mode: bool) -> bool:
+        if phrase_mode:
+            return phrase_in(key, data)
+        tokens = set(tokenize(data, keep_stopwords=True))
+        return all(term.lower() in tokens for term in tokenize(key))
+
+    def _section_satisfies(self, context_row: Row, spec: ContentSpec) -> bool:
+        """Does the section under ``context_row`` satisfy the content spec?
+
+        The heading participates: ``Content=Shuttle`` returns documents
+        containing the term *anywhere*, headings included.
+        """
+        heading = context_title(self.store.database, context_row)
+        text = heading + " " + section_text(self.store.database, context_row)
+        tokens = tokenize(text, keep_stopwords=True)
+        token_set = set(tokens)
+        if spec.mode == "phrase":
+            return phrase_in(spec.text, text)
+        wanted = [term.lower() for term in spec.terms]
+        if spec.mode == "any":
+            return any(term in token_set for term in wanted)
+        return all(term in token_set for term in wanted)
+
+    def _ordered(self, rows: Iterable[Row]) -> list[Row]:
+        """Stable order: by document then node id."""
+        return sorted(rows, key=lambda row: (row["DOC_ID"], row["NODEID"]))
+
+    def _to_match(self, context_row: Row, score: float = 1.0) -> SectionMatch:
+        database = self.store.database
+        entry = self.store.describe(context_row["DOC_ID"])
+        section = self.store.section(context_row)
+        return SectionMatch(
+            doc_id=entry.doc_id,
+            file_name=entry.file_name,
+            context=context_title(database, context_row),
+            content=section_text(database, context_row),
+            section=section,
+            score=score,
+        )
+
+    def _document_match(self, doc_id: int, hit: Row) -> SectionMatch:
+        """A content hit with no governing context matches the whole doc."""
+        entry = self.store.describe(doc_id)
+        snippet = (hit["NODEDATA"] or "").strip()
+        snippet = re.sub(r"\s+", " ", snippet)
+        return SectionMatch(
+            doc_id=doc_id,
+            file_name=entry.file_name,
+            context=entry.file_name,
+            content=snippet,
+            section=None,
+        )

@@ -1,0 +1,119 @@
+"""Query result model.
+
+A query returns :class:`SectionMatch` objects — one per matched section
+(the paper: "the context and content search returns a subsection of the
+document where the keyword being searched for occurs").  A
+:class:`ResultSet` groups them, remembers the originating query, and
+renders the canonical result XML that the XSLT composition step (Fig 7)
+consumes::
+
+    <results query="Context=Budget">
+      <result doc="p42.ndoc" source="local">
+        <context>Budget</context>
+        <content>We request $1.2M ...</content>
+      </result>
+      ...
+    </results>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sgml.dom import Document, Element
+
+
+@dataclass(frozen=True)
+class SectionMatch:
+    """One matched section of one document.
+
+    ``section`` is the reconstructed DOM fragment (a ``<section>``
+    element); ``source`` names the information source that produced the
+    match ("local" for the store the query ran against; federation fills
+    in databank source names).
+    """
+
+    doc_id: int
+    file_name: str
+    context: str
+    content: str
+    section: Element | None = None
+    source: str = "local"
+    score: float = 1.0
+
+    def brief(self, width: int = 60) -> str:
+        """One-line human summary used by examples and the CLI surface."""
+        text = self.content if len(self.content) <= width else (
+            self.content[: width - 3] + "..."
+        )
+        return f"[{self.source}:{self.file_name}] {self.context}: {text}"
+
+
+@dataclass
+class ResultSet:
+    """All matches for one query, in stable (source, doc, context) order."""
+
+    query_string: str
+    matches: list[SectionMatch] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def __getitem__(self, index: int) -> SectionMatch:
+        return self.matches[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.matches)
+
+    def add(self, match: SectionMatch) -> None:
+        self.matches.append(match)
+
+    def extend(self, matches: list[SectionMatch]) -> None:
+        self.matches.extend(matches)
+
+    def documents(self) -> list[str]:
+        """Distinct matched document names, preserving first-seen order."""
+        seen: list[str] = []
+        for match in self.matches:
+            if match.file_name not in seen:
+                seen.append(match.file_name)
+        return seen
+
+    def ranked(self) -> list[SectionMatch]:
+        """Matches by descending relevance score (stable within ties)."""
+        return sorted(
+            self.matches,
+            key=lambda match: (-match.score, match.file_name, match.context),
+        )
+
+    def limited(self, limit: int | None) -> "ResultSet":
+        if limit is None or len(self.matches) <= limit:
+            return self
+        return ResultSet(self.query_string, self.matches[:limit])
+
+    def to_xml(self) -> Document:
+        """Render the canonical ``<results>`` tree for XSLT composition."""
+        root = Element("results", {"query": self.query_string})
+        for match in self.matches:
+            result = root.make_child(
+                "result",
+                doc=match.file_name,
+                source=match.source,
+            )
+            context = result.make_child("context")
+            context.append_text(match.context)
+            if match.section is not None:
+                # Clone the reconstructed content elements so downstream
+                # XSLT can see structure (e.g. INTENSE spans), not just
+                # text, and so rendering twice is safe.
+                for child in match.section.children:
+                    if isinstance(child, Element) and child.tag == "context":
+                        continue
+                    result.append(child.clone())
+            else:
+                content = result.make_child("content")
+                content.append_text(match.content)
+        return Document(root, name="results.xml")

@@ -1,0 +1,29 @@
+"""The NETMARK server layer: WebDAV folders, ingestion daemon, HTTP API."""
+
+from repro.server.daemon import IngestRecord, NetmarkDaemon
+from repro.server.http import STYLESHEET_FOLDER, HttpResponse, NetmarkHttpApi
+from repro.server.vfs import (
+    FileEntry,
+    VirtualFileSystem,
+    base_name,
+    normalize_path,
+    parent_path,
+)
+from repro.server.webdav import DavResponse, LockInfo, ResourceProps, WebDavServer
+
+__all__ = [
+    "DavResponse",
+    "FileEntry",
+    "HttpResponse",
+    "IngestRecord",
+    "LockInfo",
+    "NetmarkDaemon",
+    "NetmarkHttpApi",
+    "ResourceProps",
+    "STYLESHEET_FOLDER",
+    "VirtualFileSystem",
+    "WebDavServer",
+    "base_name",
+    "normalize_path",
+    "parent_path",
+]

@@ -1,0 +1,144 @@
+"""The NETMARK daemon: folder watching and ingestion.
+
+"The 'NETMARK DAEMON' periodically picks up these documents, passes them
+onto the 'SGML Parser', which converts the documents into XML.  The XML
+documents are then stored in the 'NETMARK XML Store' in a schema-less
+manner."
+
+:class:`NetmarkDaemon` watches one drop folder on the virtual filesystem.
+Each :meth:`poll` is one daemon wake-up: it finds files that are new or
+modified since their last successful ingestion, runs them through the
+converter registry and the store, and records an :class:`IngestRecord`
+per attempt.  Failures are quarantined (the record carries the error; the
+file moves to the ``errors/`` subfolder so the next poll does not retry a
+poison document forever), successes move to ``processed/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.server.vfs import VirtualFileSystem, base_name, normalize_path
+from repro.store.xmlstore import XmlStore
+
+
+@dataclass(frozen=True)
+class IngestRecord:
+    """Outcome of one ingestion attempt."""
+
+    path: str
+    status: str  # "stored" | "failed"
+    doc_id: int | None = None
+    node_count: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "stored"
+
+
+@dataclass
+class NetmarkDaemon:
+    """Watches ``drop_folder`` and loads documents into ``store``."""
+
+    store: XmlStore
+    vfs: VirtualFileSystem
+    drop_folder: str = "/incoming"
+    keep_originals: bool = True
+    #: When True (default), re-dropping a file whose name is already in
+    #: the store supersedes the stored document (new revision) instead of
+    #: adding a duplicate — the WebDAV collaborative-editing behaviour.
+    replace_existing: bool = True
+    history: list[IngestRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.drop_folder = normalize_path(self.drop_folder)
+        for folder in (self.drop_folder, self.processed_folder, self.error_folder):
+            if not self.vfs.is_dir(folder):
+                self.vfs.mkdir(folder, parents=True)
+
+    @property
+    def processed_folder(self) -> str:
+        return self.drop_folder + "/processed"
+
+    @property
+    def error_folder(self) -> str:
+        return self.drop_folder + "/errors"
+
+    # -- the daemon loop body ---------------------------------------------------
+
+    def pending_files(self) -> list[str]:
+        """Files sitting directly in the drop folder, oldest-name first."""
+        prefix = self.drop_folder + "/"
+        return [
+            path
+            for path in self.vfs.walk_files(self.drop_folder)
+            if "/" not in path[len(prefix):]  # not in processed/ or errors/
+        ]
+
+    def poll(self) -> list[IngestRecord]:
+        """One wake-up: ingest everything pending; returns the records."""
+        records: list[IngestRecord] = []
+        for path in self.pending_files():
+            records.append(self._ingest(path))
+        self.history.extend(records)
+        return records
+
+    def run_until_idle(self, max_polls: int = 100) -> int:
+        """Poll until the drop folder is empty; returns ingested count."""
+        total = 0
+        for _ in range(max_polls):
+            records = self.poll()
+            if not records:
+                break
+            total += sum(1 for record in records if record.ok)
+        return total
+
+    # -- internals ------------------------------------------------------------------
+
+    def _ingest(self, path: str) -> IngestRecord:
+        name = base_name(path)
+        content = self.vfs.read(path)
+        modified = self.vfs.entry(path).modified
+        try:
+            if self.replace_existing:
+                result = self.store.replace_text(
+                    text=content, name=name, file_date=modified
+                )
+            else:
+                result = self.store.store_text(
+                    text=content, name=name, file_date=modified
+                )
+        except ReproError as error:
+            self._move(path, self.error_folder)
+            return IngestRecord(path=path, status="failed", error=str(error))
+        if self.keep_originals:
+            self._move(path, self.processed_folder)
+        else:
+            self.vfs.delete(path)
+        return IngestRecord(
+            path=path,
+            status="stored",
+            doc_id=result.doc_id,
+            node_count=result.node_count,
+        )
+
+    def _move(self, path: str, folder: str) -> None:
+        target = folder + "/" + base_name(path)
+        if self.vfs.exists(target):
+            # Disambiguate repeats with the logical timestamp.
+            stamp = self.vfs.entry(path).modified.strftime("%H%M%S")
+            target = f"{folder}/{stamp}-{base_name(path)}"
+        self.vfs.move(path, target)
+
+    # -- reporting --------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        stored = sum(1 for record in self.history if record.ok)
+        failed = len(self.history) - stored
+        return {
+            "stored": stored,
+            "failed": failed,
+            "nodes": sum(record.node_count for record in self.history),
+        }

@@ -1,0 +1,181 @@
+"""The HTTP-style query endpoint ("NETMARK Extensible APIs").
+
+"Users can access NETMARK documents by simple HTTP requests, in fact HTTP
+provides an extremely simple yet powerful mechanism for users and clients
+to access NETMARK."
+
+:class:`NetmarkHttpApi` routes in-process requests:
+
+* ``GET /search?Context=...&Content=...[&xslt=name][&databank=name]`` —
+  run an XDB query; with ``xslt`` the result XML is transformed by a named
+  stylesheet before returning (Fig 7); with ``databank`` the query fans
+  out through the federation router instead of the local store.
+* ``GET /doc/<id>`` — the reconstructed stored document.
+* ``GET /docs`` — the document catalog as XML.
+* ``PUT /dav/<path>`` / ``GET /dav/<path>`` / ``DELETE /dav/<path>`` /
+  ``MKCOL /dav/<path>`` — pass-through to the WebDAV layer.
+
+Stylesheets are themselves WebDAV resources under ``/stylesheets`` —
+NETMARK really is "nothing more than intelligent storage" plus this thin
+routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import QueryError, QuerySyntaxError, ReproError, XsltError
+from repro.query.engine import QueryEngine
+from repro.query.language import parse_query
+from repro.server.webdav import WebDavServer
+from repro.sgml.serializer import serialize
+from repro.store.xmlstore import XmlStore
+from repro.xslt.processor import transform
+from repro.xslt.stylesheet import compile_stylesheet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.federation.router import Router
+
+STYLESHEET_FOLDER = "/stylesheets"
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    status: int
+    body: str
+    content_type: str = "text/xml"
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class NetmarkHttpApi:
+    """In-process HTTP facade over store, query engine, DAV and router."""
+
+    def __init__(
+        self,
+        store: XmlStore,
+        dav: WebDavServer,
+        router: "Router | None" = None,
+    ) -> None:
+        self.store = store
+        self.dav = dav
+        self.router = router
+        self.engine = QueryEngine(store)
+        if not self.dav.vfs.is_dir(STYLESHEET_FOLDER):
+            self.dav.vfs.mkdir(STYLESHEET_FOLDER, parents=True)
+
+    # -- request routing ---------------------------------------------------
+
+    def request(self, method: str, target: str, body: str = "") -> HttpResponse:
+        method = method.upper()
+        path, _, query_string = target.partition("?")
+        try:
+            if path.startswith("/dav/") or path == "/dav":
+                return self._dav(method, path[len("/dav"):] or "/", body)
+            if method != "GET":
+                return HttpResponse(405, f"method {method} not allowed on {path}")
+            if path == "/search":
+                return self._search(query_string)
+            if path == "/docs":
+                return self._catalog()
+            if path == "/databanks":
+                return self._databanks()
+            if path.startswith("/doc/"):
+                return self._document(path[len("/doc/"):])
+            return HttpResponse(404, f"no route for {path}")
+        except QuerySyntaxError as error:
+            return HttpResponse(400, str(error))
+        except (QueryError, XsltError) as error:
+            return HttpResponse(422, str(error))
+        except ReproError as error:
+            return HttpResponse(500, str(error))
+
+    def get(self, target: str) -> HttpResponse:
+        """Convenience for the common ``GET`` case."""
+        return self.request("GET", target)
+
+    # -- handlers --------------------------------------------------------------
+
+    def _search(self, query_string: str) -> HttpResponse:
+        query = parse_query(query_string)
+        if query.databank:
+            if self.router is None:
+                return HttpResponse(422, "no databanks configured")
+            results = self.router.execute(query)
+        else:
+            results = self.engine.execute(query)
+        document = results.to_xml()
+        if query.stylesheet:
+            stylesheet_path = f"{STYLESHEET_FOLDER}/{query.stylesheet}"
+            response = self.dav.get(stylesheet_path)
+            if not response.ok:
+                return HttpResponse(
+                    404, f"stylesheet not found: {query.stylesheet}"
+                )
+            document = transform(compile_stylesheet(response.body), document)
+        return HttpResponse(200, serialize(document, indent=2))
+
+    def _document(self, raw_id: str) -> HttpResponse:
+        try:
+            doc_id = int(raw_id)
+        except ValueError:
+            return HttpResponse(400, f"bad document id {raw_id!r}")
+        from repro.errors import DocumentNotFoundError
+
+        try:
+            document = self.store.document(doc_id)
+        except DocumentNotFoundError as error:
+            return HttpResponse(404, str(error))
+        return HttpResponse(200, serialize(document, indent=2))
+
+    def _catalog(self) -> HttpResponse:
+        from repro.sgml.dom import Document, Element
+
+        root = Element("documents")
+        for entry in self.store.documents():
+            item = root.make_child(
+                "document",
+                id=str(entry.doc_id),
+                name=entry.file_name,
+                format=entry.format,
+            )
+            if entry.file_size is not None:
+                item.attributes["size"] = str(entry.file_size)
+        return HttpResponse(200, serialize(Document(root), indent=2))
+
+    def _databanks(self) -> HttpResponse:
+        from repro.sgml.dom import Document, Element
+
+        root = Element("databanks")
+        if self.router is not None:
+            for name in self.router.registry.names():
+                databank = self.router.registry.get(name)
+                item = root.make_child("databank", name=name)
+                if databank.description:
+                    item.attributes["description"] = databank.description
+                for source_name in databank.source_names():
+                    item.make_child("source", name=source_name)
+        return HttpResponse(200, serialize(Document(root), indent=2))
+
+    def _dav(self, method: str, dav_path: str, body: str) -> HttpResponse:
+        if method == "PUT":
+            response = self.dav.put(dav_path, body)
+        elif method == "GET":
+            response = self.dav.get(dav_path)
+        elif method == "DELETE":
+            response = self.dav.delete(dav_path)
+        elif method == "MKCOL":
+            response = self.dav.mkcol(dav_path)
+        else:
+            return HttpResponse(405, f"method {method} not allowed on /dav")
+        return HttpResponse(response.status, response.body, "text/plain")
+
+    # -- stylesheet management ----------------------------------------------------
+
+    def install_stylesheet(self, name: str, xml: str) -> None:
+        """Store (and pre-validate) a named composition stylesheet."""
+        compile_stylesheet(xml)  # raises XsltError on a bad sheet
+        self.dav.put(f"{STYLESHEET_FOLDER}/{name}", xml)

@@ -1,0 +1,203 @@
+"""WebDAV verbs over the virtual filesystem.
+
+"Communication between the user folders and the NETMARK server is done
+using WebDAV [12], which is a set of extensions to the HTTP protocol which
+allows users to collaboratively edit and manage files on remote web
+servers."
+
+The server implements the RFC 2518 verb set this workflow exercises —
+``PUT``, ``GET``, ``DELETE``, ``MKCOL``, ``COPY``, ``MOVE``, ``PROPFIND``
+(depth 0/1), ``PROPPATCH``, and class-2 ``LOCK``/``UNLOCK`` (exclusive
+write locks, so two knowledge workers editing the same dropped document
+do not clobber each other) — with HTTP status semantics.  Transport is
+in-process: a request is a method call, a response a dataclass.  The
+*dragging a document into a desktop folder* gesture is therefore
+``dav.put("/incoming/report.ndoc", text)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import WebDavError
+from repro.server.vfs import VirtualFileSystem, base_name, normalize_path
+
+
+@dataclass(frozen=True)
+class DavResponse:
+    """HTTP-style response: status code plus optional body/properties."""
+
+    status: int
+    body: str = ""
+    properties: tuple["ResourceProps", ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclass(frozen=True)
+class ResourceProps:
+    """PROPFIND result for one resource."""
+
+    href: str
+    is_collection: bool
+    size: int = 0
+    modified: str = ""
+    custom: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """An exclusive write lock on one resource."""
+
+    token: str
+    owner: str
+
+
+class WebDavServer:
+    """In-process WebDAV endpoint over one virtual filesystem."""
+
+    def __init__(self, vfs: VirtualFileSystem | None = None) -> None:
+        self.vfs = vfs or VirtualFileSystem()
+        self._locks: dict[str, LockInfo] = {}
+        self._token_counter = itertools.count(1)
+
+    # -- locking (RFC 2518 class 2, exclusive write locks) --------------------
+
+    def lock(self, path: str, owner: str = "") -> DavResponse:
+        """Take an exclusive write lock; body carries the lock token."""
+        path = normalize_path(path)
+        if not self.vfs.is_file(path):
+            return DavResponse(404, f"not found: {path}")
+        if path in self._locks:
+            return DavResponse(423, f"already locked: {path}")
+        token = f"opaquelocktoken:{next(self._token_counter):08d}"
+        self._locks[path] = LockInfo(token, owner)
+        return DavResponse(200, token)
+
+    def unlock(self, path: str, token: str) -> DavResponse:
+        path = normalize_path(path)
+        lock = self._locks.get(path)
+        if lock is None:
+            return DavResponse(409, f"not locked: {path}")
+        if lock.token != token:
+            return DavResponse(403, "lock token mismatch")
+        del self._locks[path]
+        return DavResponse(204)
+
+    def lock_info(self, path: str) -> LockInfo | None:
+        return self._locks.get(normalize_path(path))
+
+    def _write_allowed(self, path: str, token: str | None) -> DavResponse | None:
+        """None when the write may proceed, else the 423 response."""
+        lock = self._locks.get(normalize_path(path))
+        if lock is None or lock.token == token:
+            return None
+        return DavResponse(423, f"locked by {lock.owner or 'another client'}")
+
+    # -- verbs ---------------------------------------------------------------
+
+    def put(
+        self, path: str, content: str, lock_token: str | None = None
+    ) -> DavResponse:
+        """Create or replace a file; 201 on create, 204 on overwrite."""
+        denied = self._write_allowed(path, lock_token)
+        if denied is not None:
+            return denied
+        created = not self.vfs.is_file(path)
+        try:
+            self.vfs.write(path, content)
+        except WebDavError as error:
+            return DavResponse(error.status, str(error))
+        return DavResponse(201 if created else 204)
+
+    def get(self, path: str) -> DavResponse:
+        try:
+            return DavResponse(200, self.vfs.read(path))
+        except WebDavError as error:
+            return DavResponse(error.status, str(error))
+
+    def delete(self, path: str, lock_token: str | None = None) -> DavResponse:
+        denied = self._write_allowed(path, lock_token)
+        if denied is not None:
+            return denied
+        try:
+            self.vfs.delete(path)
+        except WebDavError as error:
+            return DavResponse(error.status, str(error))
+        self._locks.pop(normalize_path(path), None)
+        return DavResponse(204)
+
+    def mkcol(self, path: str) -> DavResponse:
+        try:
+            self.vfs.mkdir(path)
+        except WebDavError as error:
+            return DavResponse(error.status, str(error))
+        return DavResponse(201)
+
+    def move(
+        self, source: str, destination: str, lock_token: str | None = None
+    ) -> DavResponse:
+        denied = self._write_allowed(source, lock_token)
+        if denied is not None:
+            return denied
+        try:
+            self.vfs.move(source, destination)
+        except WebDavError as error:
+            return DavResponse(error.status, str(error))
+        self._locks.pop(normalize_path(source), None)
+        return DavResponse(201)
+
+    def copy(self, source: str, destination: str) -> DavResponse:
+        try:
+            self.vfs.copy(source, destination)
+        except WebDavError as error:
+            return DavResponse(error.status, str(error))
+        return DavResponse(201)
+
+    def propfind(self, path: str, depth: int = 0) -> DavResponse:
+        """Depth 0: the resource itself.  Depth 1: plus direct children."""
+        if depth not in (0, 1):
+            return DavResponse(400, "depth must be 0 or 1")
+        path = normalize_path(path)
+        if not self.vfs.exists(path):
+            return DavResponse(404, f"not found: {path}")
+        props = [self._props_for(path)]
+        if depth == 1 and self.vfs.is_dir(path):
+            prefix = path if path.endswith("/") else path + "/"
+            for name in self.vfs.listdir(path):
+                props.append(self._props_for(prefix + name.rstrip("/")))
+        return DavResponse(207, properties=tuple(props))
+
+    def proppatch(self, path: str, properties: dict[str, str]) -> DavResponse:
+        """Set custom (dead) properties on a file."""
+        if not self.vfs.is_file(path):
+            return DavResponse(404, f"not found: {path}")
+        self.vfs.entry(path).properties.update(properties)
+        return DavResponse(207)
+
+    # -- internals -----------------------------------------------------------
+
+    def _props_for(self, path: str) -> ResourceProps:
+        if self.vfs.is_dir(path):
+            return ResourceProps(href=path, is_collection=True)
+        entry = self.vfs.entry(path)
+        return ResourceProps(
+            href=path,
+            is_collection=False,
+            size=entry.size,
+            modified=entry.modified.isoformat(),
+            custom=tuple(sorted(entry.properties.items())),
+        )
+
+    # -- convenience used by examples -------------------------------------------
+
+    def drop(self, folder: str, file_name: str, content: str) -> DavResponse:
+        """The drag-and-drop gesture: PUT ``file_name`` into ``folder``."""
+        folder = normalize_path(folder)
+        if not self.vfs.is_dir(folder):
+            self.vfs.mkdir(folder, parents=True)
+        target = folder.rstrip("/") + "/" + base_name("/" + file_name)
+        return self.put(target, content)

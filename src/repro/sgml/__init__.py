@@ -1,0 +1,39 @@
+"""The NETMARK SGML parser layer.
+
+Tolerant HTML/SGML and strict XML parsing into a small DOM, node-type
+classification (ELEMENT / TEXT / CONTEXT / INTENSE / SIMULATION) driven by
+configuration files, and XML serialization.
+"""
+
+from repro.sgml.config import DEFAULT_CONFIG, NodeTypeConfig
+from repro.sgml.dom import Document, Element, Node, Text
+from repro.sgml.nodetypes import (
+    DEFAULT_CONTEXT_TAGS,
+    DEFAULT_INTENSE_TAGS,
+    DEFAULT_SIMULATION_TAGS,
+    NodeType,
+)
+from repro.sgml.parser import VOID_ELEMENTS, parse_html, parse_xml
+from repro.sgml.serializer import escape_attribute, escape_text, serialize
+from repro.sgml.tokenizer import decode_entities, tokenize_markup
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DEFAULT_CONTEXT_TAGS",
+    "DEFAULT_INTENSE_TAGS",
+    "DEFAULT_SIMULATION_TAGS",
+    "Document",
+    "Element",
+    "Node",
+    "NodeType",
+    "NodeTypeConfig",
+    "Text",
+    "VOID_ELEMENTS",
+    "decode_entities",
+    "escape_attribute",
+    "escape_text",
+    "parse_html",
+    "parse_xml",
+    "serialize",
+    "tokenize_markup",
+]

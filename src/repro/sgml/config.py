@@ -1,0 +1,106 @@
+"""Node-type configuration.
+
+"The SGML parser is governed by five different node data types, which are
+specified in the HTML or XML configuration files passed by the daemon."
+
+A :class:`NodeTypeConfig` says which element names classify as CONTEXT,
+INTENSE and SIMULATION; everything else is ELEMENT, and character data is
+TEXT.  Configurations can be built in code or loaded from the same simple
+``key: value`` text files the daemon passes around::
+
+    # netmark-html.cfg
+    context: h1 h2 h3 h4 h5 h6 title caption
+    intense: b strong em i u mark
+    simulation: section generated implied
+
+Blank lines and ``#`` comments are ignored; unknown keys raise so a typo
+in a deployed config file fails loudly at load time, not silently at
+classification time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SgmlError
+from repro.sgml.dom import Element, Node, Text
+from repro.sgml.nodetypes import (
+    DEFAULT_CONTEXT_TAGS,
+    DEFAULT_INTENSE_TAGS,
+    DEFAULT_SIMULATION_TAGS,
+    NodeType,
+)
+
+
+@dataclass(frozen=True)
+class NodeTypeConfig:
+    """Assignment of element names to NETMARK node types."""
+
+    context_tags: frozenset[str] = field(default=DEFAULT_CONTEXT_TAGS)
+    intense_tags: frozenset[str] = field(default=DEFAULT_INTENSE_TAGS)
+    simulation_tags: frozenset[str] = field(default=DEFAULT_SIMULATION_TAGS)
+
+    def __post_init__(self) -> None:
+        overlap = (self.context_tags & self.intense_tags) | (
+            self.context_tags & self.simulation_tags
+        ) | (self.intense_tags & self.simulation_tags)
+        if overlap:
+            raise SgmlError(
+                "element names assigned to multiple node types: "
+                + ", ".join(sorted(overlap))
+            )
+
+    def classify(self, node: Node) -> NodeType:
+        """Return the NETMARK node type for a DOM node."""
+        if isinstance(node, Text):
+            return NodeType.TEXT
+        if not isinstance(node, Element):
+            raise SgmlError(f"cannot classify node {node!r}")
+        if node.tag in self.context_tags:
+            return NodeType.CONTEXT
+        if node.tag in self.intense_tags:
+            return NodeType.INTENSE
+        if node.synthetic or node.tag in self.simulation_tags:
+            return NodeType.SIMULATION
+        return NodeType.ELEMENT
+
+    @classmethod
+    def from_text(cls, text: str) -> "NodeTypeConfig":
+        """Parse a configuration file's text (see module docstring)."""
+        sections: dict[str, frozenset[str]] = {}
+        for line_no, raw_line in enumerate(text.splitlines(), start=1):
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if ":" not in line:
+                raise SgmlError(
+                    f"config line {line_no}: expected 'key: tags...', "
+                    f"got {raw_line!r}"
+                )
+            key, _, value = line.partition(":")
+            key = key.strip().lower()
+            if key not in {"context", "intense", "simulation"}:
+                raise SgmlError(f"config line {line_no}: unknown key {key!r}")
+            if key in sections:
+                raise SgmlError(f"config line {line_no}: duplicate key {key!r}")
+            sections[key] = frozenset(tag.lower() for tag in value.split())
+        return cls(
+            context_tags=sections.get("context", DEFAULT_CONTEXT_TAGS),
+            intense_tags=sections.get("intense", DEFAULT_INTENSE_TAGS),
+            simulation_tags=sections.get("simulation", DEFAULT_SIMULATION_TAGS),
+        )
+
+    def to_text(self) -> str:
+        """Render back to the config-file format (round-trips from_text)."""
+        return "\n".join(
+            f"{key}: {' '.join(sorted(tags))}"
+            for key, tags in (
+                ("context", self.context_tags),
+                ("intense", self.intense_tags),
+                ("simulation", self.simulation_tags),
+            )
+        )
+
+
+#: The configuration the daemon uses when none is supplied.
+DEFAULT_CONFIG = NodeTypeConfig()

@@ -1,0 +1,56 @@
+"""The five NETMARK node data types.
+
+The paper (§2.1.1): "The SGML parser is governed by five different node
+data types ... (1) ELEMENT, (2) TEXT, (3) CONTEXT, (4) INTENSE, and (5)
+SIMULATION", assigned from an HTML/XML configuration file, and recorded in
+the ``NODETYPE`` column of the ``XML`` table.
+
+The paper skips the definitions ("We skip the details on what the
+different node types are"), so this reproduction fixes an interpretation
+consistent with every behaviour the paper *does* describe:
+
+* **ELEMENT** — an ordinary markup element (tree structure).
+* **TEXT** — parsed character data (the *content* the queries return).
+* **CONTEXT** — a heading element ("similar to the <H1> and <H2> header
+  tags commonly found within HTML pages"); the unit context search
+  resolves to.
+* **INTENSE** — inline emphasis markup (``<b>``, ``<strong>``, ``<em>``…);
+  text inside it is still content but carries extra search weight.
+* **SIMULATION** — a node *synthesised by the parser* rather than present
+  in the source, e.g. the implied section wrapper generated when a
+  converter upmarks a plain document, or a generated title for an untitled
+  fragment.
+
+The numeric ids below are the NODETYPE column values (matching the paper's
+enumeration order).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeType(enum.IntEnum):
+    """NETMARK node data type, stored in ``XML.NODETYPE``."""
+
+    ELEMENT = 1
+    TEXT = 2
+    CONTEXT = 3
+    INTENSE = 4
+    SIMULATION = 5
+
+
+#: Element names treated as CONTEXT by the default HTML configuration.
+DEFAULT_CONTEXT_TAGS = frozenset(
+    {"h1", "h2", "h3", "h4", "h5", "h6", "context", "title", "caption"}
+)
+
+#: Element names treated as INTENSE by the default HTML configuration.
+DEFAULT_INTENSE_TAGS = frozenset(
+    {"b", "strong", "em", "i", "u", "mark", "intense"}
+)
+
+#: Element names the parser synthesises; they are tagged SIMULATION.
+DEFAULT_SIMULATION_TAGS = frozenset(
+    {"section", "generated", "simulation", "implied"}
+)

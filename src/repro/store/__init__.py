@@ -1,0 +1,67 @@
+"""The NETMARK XML Store: schema-less document storage (paper §2.1.1).
+
+Any document decomposes into the same two tables (``XML`` and ``DOC``);
+physical ROWID links give O(1) parent/sibling traversal; reconstruction
+rebuilds documents and sections for retrieval and result composition.
+"""
+
+from repro.store.compose import compose_document, compose_node, compose_section
+from repro.store.decompose import DecomposeResult, Decomposer, classify_counts
+from repro.store.schema import (
+    DOC_TABLE,
+    XML_TABLE,
+    create_netmark_schema,
+    decode_attributes,
+    decode_metadata,
+    doc_schema,
+    encode_attributes,
+    encode_metadata,
+    xml_schema,
+)
+from repro.store.traversal import (
+    children_of,
+    context_title,
+    fetch_node,
+    governing_context,
+    is_context,
+    is_text,
+    iter_contexts,
+    next_sibling_of,
+    parent_of,
+    scope_rowids,
+    section_scope,
+    section_text,
+)
+from repro.store.xmlstore import StoredDocument, XmlStore
+
+__all__ = [
+    "DOC_TABLE",
+    "DecomposeResult",
+    "Decomposer",
+    "StoredDocument",
+    "XML_TABLE",
+    "XmlStore",
+    "children_of",
+    "classify_counts",
+    "compose_document",
+    "compose_node",
+    "compose_section",
+    "context_title",
+    "create_netmark_schema",
+    "decode_attributes",
+    "decode_metadata",
+    "doc_schema",
+    "encode_attributes",
+    "encode_metadata",
+    "fetch_node",
+    "governing_context",
+    "is_context",
+    "is_text",
+    "iter_contexts",
+    "next_sibling_of",
+    "parent_of",
+    "scope_rowids",
+    "section_scope",
+    "section_text",
+    "xml_schema",
+]

@@ -1,0 +1,76 @@
+"""Document reconstruction: XML-table rows -> DOM tree.
+
+The inverse of :mod:`repro.store.decompose`.  Reconstruction is used by
+document retrieval (HTTP GET of a stored document) and by result
+composition, which lifts individual *sections* back into DOM fragments
+before XSLT formatting.
+
+The decompose→compose round trip preserves structure, attributes, text
+and node order exactly; the property-based tests drive random trees
+through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ordbms import Database
+from repro.sgml.dom import Document, Element, Text
+from repro.sgml.nodetypes import NodeType
+from repro.store.schema import XML_TABLE, decode_attributes
+from repro.store.traversal import children_of
+
+Row = dict[str, Any]
+
+
+def compose_node(database: Database, row: Row) -> Element | Text:
+    """Rebuild the DOM subtree rooted at ``row``."""
+    if row["NODETYPE"] == int(NodeType.TEXT):
+        return Text(row["NODEDATA"] or "")
+    element = Element(row["NODENAME"] or "node", decode_attributes(row["ATTRS"]))
+    element.synthetic = row["NODETYPE"] == int(NodeType.SIMULATION)
+    for child_row in children_of(database, row):
+        element.append(compose_node(database, child_row))
+    return element
+
+
+def compose_document(database: Database, doc_id: int, name: str = "") -> Document:
+    """Rebuild the full DOM of document ``doc_id``."""
+    xml_table = database.table(XML_TABLE)
+    roots = [
+        row
+        for row in xml_table.lookup("DOC_ID", doc_id)
+        if row["PARENTROWID"] is None
+    ]
+    if len(roots) != 1:
+        from repro.errors import StoreError
+
+        raise StoreError(
+            f"document {doc_id} has {len(roots)} root nodes, expected 1"
+        )
+    root = compose_node(database, roots[0])
+    if isinstance(root, Text):  # a bare text root cannot occur via decompose
+        wrapper = Element("document", synthetic=True)
+        wrapper.append(root)
+        root = wrapper
+    return Document(root, name=name)
+
+
+def compose_section(database: Database, context_row: Row) -> Element:
+    """Rebuild one section as ``<section><context>…</context>…</section>``.
+
+    The section element is synthetic — it represents the *query result*
+    shape, not necessarily a stored element.  Content is every sibling
+    subtree up to the next context, reconstructed in full.
+    """
+    from repro.store.traversal import next_sibling_of
+
+    section = Element("section", synthetic=True)
+    section.append(compose_node(database, context_row))
+    sibling = next_sibling_of(database, context_row)
+    while sibling is not None:
+        if sibling["NODETYPE"] == int(NodeType.CONTEXT):
+            break
+        section.append(compose_node(database, sibling))
+        sibling = next_sibling_of(database, sibling)
+    return section

@@ -1,0 +1,175 @@
+"""ROWID-based tree traversal (paper §2.1.4, "Processing Queries Internally").
+
+The paper's evaluation strategy for context/content search:
+
+    "Each node returned from the index search is then processed based on
+    its designated unique ROWID.  The processing of the node involves
+    traversing up the tree structure via its parent or sibling node until
+    the first context is found. [...] Once a particular CONTEXT is found,
+    traversing back down the tree structure via the sibling node retrieves
+    the corresponding content text."
+
+These functions implement exactly that, against the XML table:
+
+* :func:`governing_context` — from any node row, hop up ``PARENTROWID``
+  links; at each level scan *preceding* siblings for the nearest CONTEXT
+  element.  This resolves both canonical ``<section>`` shapes (the context
+  is the first child, content its following siblings) and flat HTML (an
+  ``<h2>`` heading precedes its paragraphs as a sibling).
+* :func:`section_scope` — from a CONTEXT row, walk forward through
+  ``SIBLINGID`` links (and down into subtrees) until the next CONTEXT at
+  the same level, collecting the section's rows.
+* :func:`section_text` — the concatenated TEXT data of a scope, i.e. the
+  "content portion" a context query returns.
+
+All hops are O(1) physical fetches; the ablation bench counts them against
+the key-join alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.ordbms import Database, RowId
+from repro.ordbms.table import ROWID_PSEUDO
+from repro.sgml.nodetypes import NodeType
+from repro.store.schema import XML_TABLE
+
+Row = dict[str, Any]
+
+
+def fetch_node(database: Database, rowid: RowId) -> Row:
+    """O(1) fetch of an XML-table node row by physical ROWID."""
+    return database.fetch(XML_TABLE, rowid)
+
+
+def parent_of(database: Database, row: Row) -> Row | None:
+    """Follow ``PARENTROWID`` up one level (None at the root)."""
+    parent_rowid = row["PARENTROWID"]
+    if parent_rowid is None:
+        return None
+    return fetch_node(database, parent_rowid)
+
+
+def next_sibling_of(database: Database, row: Row) -> Row | None:
+    """Follow ``SIBLINGID`` across one hop (None for the last child)."""
+    sibling_rowid = row["SIBLINGID"]
+    if sibling_rowid is None:
+        return None
+    return fetch_node(database, sibling_rowid)
+
+
+def children_of(database: Database, row: Row) -> list[Row]:
+    """All direct children, in document order.
+
+    Uses the B+tree index on ``PARENTNODEID`` (node ids are globally
+    unique) — NETMARK keeps the logical parent id alongside the physical
+    link precisely so child sets have an indexed entry point.
+    """
+    xml_table = database.table(XML_TABLE)
+    children = xml_table.lookup("PARENTNODEID", row["NODEID"])
+    children.sort(key=lambda child: child["ORDINAL"])
+    return children
+
+
+def is_context(row: Row) -> bool:
+    return row["NODETYPE"] == int(NodeType.CONTEXT)
+
+
+def is_text(row: Row) -> bool:
+    return row["NODETYPE"] == int(NodeType.TEXT)
+
+
+def governing_context(database: Database, row: Row) -> Row | None:
+    """Nearest enclosing/preceding CONTEXT element for any node row.
+
+    Walk up parent links; at each level, if the current node's element
+    chain contains a CONTEXT ancestor, that wins; otherwise scan the
+    preceding siblings (via ordinals) for the latest CONTEXT element.
+    Returns None for front matter that precedes every context.
+    """
+    current = row
+    while True:
+        parent = parent_of(database, current)
+        if parent is None:
+            return None
+        if is_context(parent):
+            return parent
+        # Scan preceding siblings (ordinal < current's) for a CONTEXT.
+        siblings = children_of(database, parent)
+        best: Row | None = None
+        for sibling in siblings:
+            if sibling["ORDINAL"] >= current["ORDINAL"]:
+                break
+            if is_context(sibling):
+                best = sibling
+        if best is not None:
+            return best
+        current = parent
+
+
+def section_scope(database: Database, context_row: Row) -> list[Row]:
+    """Rows forming the section governed by ``context_row``.
+
+    The scope is every following sibling (and its whole subtree) up to,
+    but not including, the next CONTEXT sibling.  The walk uses SIBLINGID
+    forward hops, exactly the "traversing back down the tree structure via
+    the sibling node" step of the paper.
+    """
+    scope: list[Row] = []
+    sibling = next_sibling_of(database, context_row)
+    while sibling is not None:
+        if is_context(sibling):
+            break
+        scope.append(sibling)
+        scope.extend(_subtree_rows(database, sibling))
+        sibling = next_sibling_of(database, sibling)
+    return scope
+
+
+def _subtree_rows(database: Database, row: Row) -> list[Row]:
+    """All descendant rows of ``row`` (document order)."""
+    result: list[Row] = []
+    for child in children_of(database, row):
+        result.append(child)
+        result.extend(_subtree_rows(database, child))
+    return result
+
+
+def section_text(database: Database, context_row: Row) -> str:
+    """The content text of the section governed by ``context_row``."""
+    pieces = [
+        scope_row["NODEDATA"]
+        for scope_row in section_scope(database, context_row)
+        if is_text(scope_row) and scope_row["NODEDATA"]
+    ]
+    return " ".join(piece.strip() for piece in pieces if piece.strip())
+
+
+def context_title(database: Database, context_row: Row) -> str:
+    """The heading text of a CONTEXT element (its TEXT descendants)."""
+    pieces = [
+        scope_row["NODEDATA"]
+        for scope_row in _subtree_rows(database, context_row)
+        if is_text(scope_row) and scope_row["NODEDATA"]
+    ]
+    return " ".join(piece.strip() for piece in pieces if piece.strip())
+
+
+def scope_rowids(database: Database, context_row: Row) -> set[RowId]:
+    """The physical rowids of a section scope (for containment tests)."""
+    return {
+        scope_row[ROWID_PSEUDO] for scope_row in section_scope(database, context_row)
+    }
+
+
+def iter_contexts(database: Database, doc_id: int) -> Iterator[Row]:
+    """Every CONTEXT element row of one document, in NODEID order."""
+    xml_table = database.table(XML_TABLE)
+    rows = [
+        row
+        for row in xml_table.lookup("DOC_ID", doc_id)
+        if is_context(row)
+    ]
+    rows.sort(key=lambda row: row["NODEID"])
+    yield from rows

@@ -1,0 +1,232 @@
+"""The NETMARK XML Store facade.
+
+One object owning the generated schema, the decomposer and the
+reconstruction path.  Everything above (query engine, server, federation)
+talks to an :class:`XmlStore`; everything below is the ORDBMS substrate.
+
+Typical use::
+
+    store = XmlStore()
+    result = store.store_text(open("budget.ndoc").read(), "budget.ndoc")
+    document = store.document(result.doc_id)      # reconstructed DOM
+    for ctx in store.contexts(result.doc_id):     # CONTEXT rows
+        ...
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.converters import convert
+from repro.errors import DocumentNotFoundError
+from repro.ordbms import Database, RowId, Table
+from repro.sgml.config import DEFAULT_CONFIG, NodeTypeConfig
+from repro.sgml.dom import Document, Element
+from repro.store.compose import compose_document, compose_section
+from repro.store.decompose import DecomposeResult, Decomposer
+from repro.store.schema import (
+    DOC_TABLE,
+    XML_TABLE,
+    create_netmark_schema,
+    decode_metadata,
+)
+from repro.store.traversal import iter_contexts
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class StoredDocument:
+    """Catalog entry for one stored document (a DOC-table row, typed)."""
+
+    doc_id: int
+    file_name: str
+    file_date: _dt.datetime | None
+    file_size: int | None
+    format: str
+    metadata: dict[str, str]
+
+
+class XmlStore:
+    """Schema-less document storage over the ORDBMS substrate."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        config: NodeTypeConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.database = database or Database()
+        self.config = config
+        self._doc_table, self._xml_table = create_netmark_schema(self.database)
+        self._decomposer = Decomposer(self.database, config)
+
+    # -- persistence ----------------------------------------------------------
+
+    def dump(self) -> str:
+        """Serialise the whole store (see :mod:`repro.ordbms.snapshot`)."""
+        from repro.ordbms.snapshot import dump_database
+
+        return dump_database(self.database)
+
+    @classmethod
+    def restore(
+        cls, snapshot_text: str, config: NodeTypeConfig = DEFAULT_CONFIG
+    ) -> "XmlStore":
+        """Rebuild a store from :meth:`dump` output.
+
+        Physical ROWIDs are restored exactly (they are stored inside node
+        rows), and the id allocators resume past the highest restored
+        ids, so new documents never collide with old ones.
+        """
+        from repro.ordbms.snapshot import load_database
+
+        database = load_database(snapshot_text)
+        store = cls.__new__(cls)
+        store.database = database
+        store.config = config
+        store._doc_table = database.table(DOC_TABLE)
+        store._xml_table = database.table(XML_TABLE)
+        store._decomposer = Decomposer(database, config)
+        max_doc = max(
+            (row["DOC_ID"] for row in store._doc_table.scan()), default=0
+        )
+        max_node = max(
+            (row["NODEID"] for row in store._xml_table.scan()), default=0
+        )
+        store._decomposer._next_doc_id = max_doc + 1
+        store._decomposer._next_node_id = max_node + 1
+        return store
+
+    # -- ingestion ------------------------------------------------------------
+
+    def store_document(
+        self, document: Document, file_date: _dt.datetime | None = None
+    ) -> DecomposeResult:
+        """Store an already-parsed DOM document."""
+        return self._decomposer.load(document, file_date=file_date)
+
+    def store_text(
+        self,
+        text: str,
+        name: str,
+        file_date: _dt.datetime | None = None,
+    ) -> DecomposeResult:
+        """Convert raw file content through the upmark registry and store it."""
+        return self.store_document(convert(text, name), file_date=file_date)
+
+    def replace_text(
+        self,
+        text: str,
+        name: str,
+        file_date: _dt.datetime | None = None,
+    ) -> DecomposeResult:
+        """Store ``text`` as the new revision of the document named ``name``.
+
+        If a document with that file name exists it is superseded: its
+        nodes are removed and the replacement carries a ``revision``
+        metadata counter one higher.  With no prior document this is
+        exactly :meth:`store_text` (revision 1).  Either way the new
+        content is parsed *before* anything is deleted, so a conversion
+        failure leaves the old revision untouched.
+        """
+        document = convert(text, name)
+        revision = 1
+        existing = self.lookup_by_name(name)
+        if existing is not None:
+            try:
+                revision = int(existing.metadata.get("revision", "1")) + 1
+            except ValueError:
+                revision = 2
+            self.delete_document(existing.doc_id)
+        document.metadata["revision"] = revision
+        return self.store_document(document, file_date=file_date)
+
+    def delete_document(self, doc_id: int) -> int:
+        """Remove a document and all its nodes; returns nodes removed."""
+        from repro.ordbms.table import ROWID_PSEUDO
+
+        doc_rows = self._doc_table.lookup("DOC_ID", doc_id)
+        if not doc_rows:
+            raise DocumentNotFoundError(f"no document with id {doc_id}")
+        node_rows = self._xml_table.lookup("DOC_ID", doc_id)
+        with self.database.begin():
+            for node_row in node_rows:
+                self.database.delete(XML_TABLE, node_row[ROWID_PSEUDO])
+            self.database.delete(DOC_TABLE, doc_rows[0][ROWID_PSEUDO])
+        return len(node_rows)
+
+    # -- catalog ------------------------------------------------------------
+
+    def documents(self) -> list[StoredDocument]:
+        """All stored documents, in DOC_ID order."""
+        entries = [self._to_stored(row) for row in self._doc_table.scan()]
+        entries.sort(key=lambda entry: entry.doc_id)
+        return entries
+
+    def describe(self, doc_id: int) -> StoredDocument:
+        rows = self._doc_table.lookup("DOC_ID", doc_id)
+        if not rows:
+            raise DocumentNotFoundError(f"no document with id {doc_id}")
+        return self._to_stored(rows[0])
+
+    def lookup_by_name(self, file_name: str) -> StoredDocument | None:
+        for row in self._doc_table.scan():
+            if row["FILE_NAME"] == file_name:
+                return self._to_stored(row)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._doc_table)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._xml_table)
+
+    @property
+    def table_count(self) -> int:
+        """Tables in the database — stays at 2 forever (the FIG5 claim)."""
+        return len(self.database.catalog)
+
+    # -- retrieval -----------------------------------------------------------
+
+    def document(self, doc_id: int) -> Document:
+        """Reconstruct the full DOM of a stored document."""
+        entry = self.describe(doc_id)
+        return compose_document(self.database, doc_id, name=entry.file_name)
+
+    def section(self, context_row: Row) -> Element:
+        """Reconstruct the section governed by a CONTEXT row."""
+        return compose_section(self.database, context_row)
+
+    def contexts(self, doc_id: int) -> Iterator[Row]:
+        """CONTEXT element rows of one document."""
+        self.describe(doc_id)  # raises if unknown
+        return iter_contexts(self.database, doc_id)
+
+    def fetch_node(self, rowid: RowId) -> Row:
+        return self.database.fetch(XML_TABLE, rowid)
+
+    # -- table access for the query layer -------------------------------------
+
+    @property
+    def xml_table(self) -> Table:
+        return self._xml_table
+
+    @property
+    def doc_table(self) -> Table:
+        return self._doc_table
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _to_stored(row: Row) -> StoredDocument:
+        return StoredDocument(
+            doc_id=row["DOC_ID"],
+            file_name=row["FILE_NAME"],
+            file_date=row["FILE_DATE"],
+            file_size=row["FILE_SIZE"],
+            format=row["FORMAT"] or "unknown",
+            metadata=decode_metadata(row["METADATA"]),
+        )

@@ -1,0 +1,62 @@
+"""Deterministic synthetic workloads (the NASA-data stand-ins)."""
+
+from repro.workloads.anomalies import (
+    generate_lessons,
+    generate_tracker_a,
+    generate_tracker_b,
+)
+from repro.workloads.budgets import TaskPlanFacts, generate_task_plans
+from repro.workloads.corpus import (
+    CorpusSpec,
+    GeneratedFile,
+    generate_corpus,
+    render_csv,
+    render_html,
+    render_markdown,
+    render_ndoc,
+    render_npdf,
+    render_nppt,
+    render_plaintext,
+)
+from repro.workloads.proposals import (
+    ProposalFacts,
+    format_dollars,
+    generate_proposals,
+)
+from repro.workloads.text import (
+    HEADINGS,
+    NASA_CENTERS,
+    NASA_DIVISIONS,
+    SEVERITIES,
+    SUBSYSTEMS,
+    WORDS,
+    WordStream,
+)
+
+__all__ = [
+    "CorpusSpec",
+    "GeneratedFile",
+    "HEADINGS",
+    "NASA_CENTERS",
+    "NASA_DIVISIONS",
+    "ProposalFacts",
+    "SEVERITIES",
+    "SUBSYSTEMS",
+    "TaskPlanFacts",
+    "WORDS",
+    "WordStream",
+    "format_dollars",
+    "generate_corpus",
+    "generate_lessons",
+    "generate_proposals",
+    "generate_task_plans",
+    "generate_tracker_a",
+    "generate_tracker_b",
+    "render_csv",
+    "render_html",
+    "render_markdown",
+    "render_ndoc",
+    "render_npdf",
+    "render_nppt",
+    "render_plaintext",
+]

@@ -1,0 +1,82 @@
+"""Anomaly-tracker workloads — two web-accessible record databases.
+
+"Anomaly Tracking is an application that allows integrated querying of
+two NASA (web accessible) data sources that are essentially anomaly
+tracking databases."
+
+The two trackers use *different field vocabularies* for the same concept
+(``Description`` vs ``Summary``, ``Severity`` vs ``Criticality``) — the
+vocabulary mismatch the paper discusses in §4: NETMARK spans it with
+``Context=Description|Summary`` alternatives rather than a virtual view.
+"""
+
+from __future__ import annotations
+
+from repro.federation.sources import Record
+from repro.workloads.text import WordStream
+
+
+def generate_tracker_a(count: int = 30, seed: int = 11) -> list[Record]:
+    """Tracker A: fields Description / Severity / Subsystem."""
+    stream = WordStream(seed)
+    records = []
+    for index in range(count):
+        subsystem = stream.subsystem()
+        records.append(
+            Record(
+                key=f"A-{index:04d}",
+                fields=(
+                    (
+                        "Description",
+                        f"{subsystem} {stream.word()} anomaly: "
+                        f"{stream.sentence()}",
+                    ),
+                    ("Severity", stream.severity()),
+                    ("Subsystem", subsystem),
+                ),
+            )
+        )
+    return records
+
+
+def generate_tracker_b(count: int = 30, seed: int = 13) -> list[Record]:
+    """Tracker B: fields Summary / Criticality / System / Disposition."""
+    stream = WordStream(seed)
+    records = []
+    for index in range(count):
+        system = stream.subsystem()
+        records.append(
+            Record(
+                key=f"B-{index:04d}",
+                fields=(
+                    (
+                        "Summary",
+                        f"Observed {stream.word()} issue in {system}. "
+                        f"{stream.sentence()}",
+                    ),
+                    ("Criticality", stream.severity()),
+                    ("System", system),
+                    ("Disposition", stream.choice(("Open", "Closed", "Deferred"))),
+                ),
+            )
+        )
+    return records
+
+
+def generate_lessons(count: int = 25, seed: int = 17) -> dict[str, str]:
+    """Lessons-Learned documents for the content-only source.
+
+    Markdown with Title/Lesson/Recommendation sections, so client-side
+    augmentation has real structure to extract.
+    """
+    stream = WordStream(seed)
+    documents: dict[str, str] = {}
+    for index in range(count):
+        subject = stream.subsystem()
+        name = f"lesson-{index:04d}.md"
+        documents[name] = (
+            f"# Title\n{subject} {stream.word()} lesson\n\n"
+            f"# Lesson\n{stream.paragraph()}\n\n"
+            f"# Recommendation\n{stream.paragraph()}\n"
+        )
+    return documents

@@ -1,0 +1,82 @@
+"""Task-plan corpus — workload for the Integrated Budget Performance
+Document (IBPD) application.
+
+"While manual assembly of the IBPD can take several weeks, NETMARK was
+used to extract and integrate information from thousands of NASA task
+plans containing the required budget information and compose an
+integrated IBPD document."
+
+Each task plan is one document (mixed Word/PDF/Markdown style) with a
+Budget section stating per-fiscal-year amounts and a Center section naming
+the owning NASA center.  Ground truth per plan supports verifying the
+integrated totals the IBPD app reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.corpus import (
+    GeneratedFile,
+    render_markdown,
+    render_ndoc,
+    render_npdf,
+)
+from repro.workloads.text import WordStream
+
+
+@dataclass(frozen=True)
+class TaskPlanFacts:
+    """Ground truth for one task plan."""
+
+    file_name: str
+    task_id: str
+    center: str
+    amounts: tuple[tuple[str, int], ...]  # (fiscal year, dollars)
+
+    @property
+    def total(self) -> int:
+        return sum(amount for _, amount in self.amounts)
+
+
+def generate_task_plans(
+    count: int = 60, seed: int = 7
+) -> tuple[list[GeneratedFile], list[TaskPlanFacts]]:
+    stream = WordStream(seed)
+    renderers = (render_ndoc, render_npdf, render_markdown)
+    extensions = ("ndoc", "npdf", "md")
+    files: list[GeneratedFile] = []
+    facts: list[TaskPlanFacts] = []
+    for index in range(count):
+        task_id = f"TP-{index:04d}"
+        center = stream.center()
+        years = ("FY04", "FY05")
+        amounts = tuple((year, stream.dollars(20, 400)) for year in years)
+        amount_prose = "; ".join(
+            f"{year} funding of ${amount:,}" for year, amount in amounts
+        )
+        sections = [
+            ("Task Summary", [f"Task {task_id}. {stream.paragraph()}"]),
+            ("Center", [f"This task is executed at NASA {center}."]),
+            ("Budget", [f"The plan requires {amount_prose}."]),
+            ("Milestones", [stream.paragraph()]),
+        ]
+        which = index % len(renderers)
+        file_name = f"taskplan-{task_id}.{extensions[which]}"
+        files.append(
+            GeneratedFile(
+                name=file_name,
+                text=renderers[which](f"Task Plan {task_id}", sections),
+                format=extensions[which],
+                headings=tuple(heading for heading, _ in sections),
+            )
+        )
+        facts.append(
+            TaskPlanFacts(
+                file_name=file_name,
+                task_id=task_id,
+                center=center,
+                amounts=amounts,
+            )
+        )
+    return files, facts

@@ -1,0 +1,173 @@
+"""Generic mixed-format corpus generation.
+
+Builds collections of synthetic enterprise documents spread across the
+supported formats — the "documents, spreadsheets, reports and
+presentations" the paper's applications ingest.  Headings draw from the
+shared :data:`~repro.workloads.text.HEADINGS` vocabulary so one context
+query can land in many documents and formats at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.text import HEADINGS, WordStream
+
+
+@dataclass(frozen=True)
+class GeneratedFile:
+    """One generated document: a name, its raw text, and ground truth."""
+
+    name: str
+    text: str
+    format: str
+    headings: tuple[str, ...]
+
+
+@dataclass
+class CorpusSpec:
+    """Knobs for corpus generation."""
+
+    documents: int = 50
+    sections_min: int = 3
+    sections_max: int = 6
+    paragraphs_min: int = 1
+    paragraphs_max: int = 3
+    formats: tuple[str, ...] = ("ndoc", "npdf", "md", "html", "nppt", "txt")
+    seed: int = 2005
+    #: Optional term planted in ~1/plant_every content paragraphs so
+    #: content-query selectivity is known.
+    planted_term: str = ""
+    plant_every: int = 5
+    _counter: int = field(default=0, repr=False)
+
+
+def generate_corpus(spec: CorpusSpec) -> list[GeneratedFile]:
+    """Generate ``spec.documents`` files, cycling through the formats."""
+    stream = WordStream(spec.seed)
+    files: list[GeneratedFile] = []
+    plant_tick = 0
+    for index in range(spec.documents):
+        fmt = spec.formats[index % len(spec.formats)]
+        section_count = stream.integer(spec.sections_min, spec.sections_max)
+        headings = tuple(stream.sample(HEADINGS, section_count))
+        sections: list[tuple[str, list[str]]] = []
+        for heading in headings:
+            paragraphs = []
+            for _ in range(
+                stream.integer(spec.paragraphs_min, spec.paragraphs_max)
+            ):
+                text = stream.paragraph()
+                if spec.planted_term:
+                    plant_tick += 1
+                    if plant_tick % spec.plant_every == 0:
+                        text += f" The {spec.planted_term} marker appears here."
+                paragraphs.append(text)
+            sections.append((heading, paragraphs))
+        name = f"doc-{index:04d}.{fmt}"
+        files.append(
+            GeneratedFile(
+                name=name,
+                text=_render(fmt, f"Document {index:04d}", sections),
+                format=fmt,
+                headings=headings,
+            )
+        )
+    return files
+
+
+def _render(
+    fmt: str, title: str, sections: list[tuple[str, list[str]]]
+) -> str:
+    if fmt == "ndoc":
+        return render_ndoc(title, sections)
+    if fmt == "npdf":
+        return render_npdf(title, sections)
+    if fmt == "md":
+        return render_markdown(title, sections)
+    if fmt == "html":
+        return render_html(title, sections)
+    if fmt == "nppt":
+        return render_nppt(title, sections)
+    if fmt == "txt":
+        return render_plaintext(title, sections)
+    raise ValueError(f"unknown corpus format {fmt!r}")
+
+
+# -- per-format renderers (also used directly by the app workloads) --------
+
+
+def render_ndoc(title: str, sections: list[tuple[str, list[str]]]) -> str:
+    lines = ["{\\ndoc1}", f"{{\\style Title}}{title}"]
+    for heading, paragraphs in sections:
+        lines.append(f"{{\\style Heading1}}{heading}")
+        for paragraph in paragraphs:
+            lines.append(f"{{\\style Normal}}{paragraph}")
+    return "\n".join(lines) + "\n"
+
+
+def render_npdf(title: str, sections: list[tuple[str, list[str]]]) -> str:
+    lines = ["%NPDF-1.0", f"[F24] {title}"]
+    for heading, paragraphs in sections:
+        lines.append(f"[F14] {heading}")
+        for paragraph in paragraphs:
+            lines.append(f"[F10] {paragraph}")
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown(title: str, sections: list[tuple[str, list[str]]]) -> str:
+    lines = [f"# {title}", ""]
+    for heading, paragraphs in sections:
+        lines.append(f"## {heading}")
+        for paragraph in paragraphs:
+            lines.append("")
+            lines.append(paragraph)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_html(title: str, sections: list[tuple[str, list[str]]]) -> str:
+    parts = [
+        "<html><head><title>", title, "</title></head><body>",
+        f"<h1>{title}</h1>",
+    ]
+    for heading, paragraphs in sections:
+        parts.append(f"<h2>{heading}</h2>")
+        for paragraph in paragraphs:
+            parts.append(f"<p>{paragraph}</p>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def render_nppt(title: str, sections: list[tuple[str, list[str]]]) -> str:
+    lines = ["#NPPT", f"== Slide 1: {title} =="]
+    for slide_no, (heading, paragraphs) in enumerate(sections, start=2):
+        lines.append(f"== Slide {slide_no}: {heading} ==")
+        for paragraph in paragraphs:
+            lines.append(f"* {paragraph}")
+    return "\n".join(lines) + "\n"
+
+
+def render_plaintext(title: str, sections: list[tuple[str, list[str]]]) -> str:
+    lines = [title, "=" * max(3, len(title)), ""]
+    for heading, paragraphs in sections:
+        lines.append(heading)
+        lines.append("-" * max(3, len(heading)))
+        for paragraph in paragraphs:
+            lines.append(paragraph)
+            lines.append("")
+    return "\n".join(lines)
+
+
+def render_csv(header: list[str], rows: list[list[str]]) -> str:
+    """Quote-safe CSV rendering for spreadsheet workloads."""
+
+    def fieldtext(value: str) -> str:
+        if "," in value or '"' in value or "\n" in value:
+            return '"' + value.replace('"', '""') + '"'
+        return value
+
+    lines = [",".join(fieldtext(cell) for cell in header)]
+    lines.extend(",".join(fieldtext(cell) for cell in row) for row in rows)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,97 @@
+"""Proposal corpus — workload for the Proposal Financial Management app.
+
+"The Proposal Financial Management application is an information system
+for tracking proposal financial information for outgoing (NASA) proposals
+... allows querying of aggregated and statistical information about the
+proposals such as proposal numbers by NASA division type, dollar amounts
+requested etc.  The application takes as input all the proposals
+(typically in formats such as Word or PDF) that have been submitted."
+
+Each generated proposal is a Word- or PDF-style document whose **Budget
+section embeds the requested amount in prose** ("requests a total of
+$1,234,000"), and whose front matter names the submitting division — so
+the application must really extract facts from document sections, not
+read a table.  Ground truth (:class:`ProposalFacts`) is returned alongside
+for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.corpus import GeneratedFile, render_ndoc, render_npdf
+from repro.workloads.text import WordStream
+
+
+@dataclass(frozen=True)
+class ProposalFacts:
+    """Ground truth for one generated proposal."""
+
+    file_name: str
+    proposal_id: str
+    division: str
+    principal_investigator: str
+    amount: int  # dollars requested
+
+
+def format_dollars(amount: int) -> str:
+    return f"${amount:,}"
+
+
+def generate_proposals(
+    count: int = 40, seed: int = 42
+) -> tuple[list[GeneratedFile], list[ProposalFacts]]:
+    """Generate ``count`` proposals; returns (files, ground truth)."""
+    stream = WordStream(seed)
+    files: list[GeneratedFile] = []
+    facts: list[ProposalFacts] = []
+    for index in range(count):
+        proposal_id = f"NRA-{2004 + index % 2}-{index:03d}"
+        division = stream.division()
+        investigator = stream.person()
+        amount = stream.dollars(100, 3000)
+        extension = "ndoc" if index % 2 == 0 else "npdf"
+        file_name = f"proposal-{proposal_id}.{extension}"
+        title = f"Proposal {proposal_id}: {stream.title(3)}"
+        sections = [
+            (
+                "Administrative Summary",
+                [
+                    f"Proposal {proposal_id} is submitted by the {division} "
+                    f"division. The principal investigator is {investigator}.",
+                ],
+            ),
+            ("Abstract", [stream.paragraph()]),
+            ("Technical Approach", [stream.paragraph(), stream.paragraph()]),
+            (
+                "Budget",
+                [
+                    f"This proposal requests a total of "
+                    f"{format_dollars(amount)} over the period of "
+                    f"performance. {stream.sentence()}",
+                ],
+            ),
+            ("Management Plan", [stream.paragraph()]),
+        ]
+        if extension == "ndoc":
+            text = render_ndoc(title, sections)
+        else:
+            text = render_npdf(title, sections)
+        files.append(
+            GeneratedFile(
+                name=file_name,
+                text=text,
+                format=extension,
+                headings=tuple(heading for heading, _ in sections),
+            )
+        )
+        facts.append(
+            ProposalFacts(
+                file_name=file_name,
+                proposal_id=proposal_id,
+                division=division,
+                principal_investigator=investigator,
+                amount=amount,
+            )
+        )
+    return files, facts

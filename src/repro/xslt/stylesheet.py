@@ -1,0 +1,205 @@
+"""XSLT stylesheet model and parsing.
+
+A stylesheet is parsed from XML (namespace prefix ``xsl:`` is treated
+literally — the subset does not implement namespace resolution) into a
+list of :class:`Template` rules plus top-level settings.
+
+Supported instruction vocabulary (what Fig 7 composition needs):
+
+``xsl:template match=…``, ``xsl:value-of select=…``,
+``xsl:apply-templates [select=…]``, ``xsl:for-each select=…``,
+``xsl:if test=…``, ``xsl:choose``/``xsl:when``/``xsl:otherwise``,
+``xsl:text``, ``xsl:element name=…``, ``xsl:attribute name=…``,
+``xsl:copy-of select=…``, ``xsl:sort select=… [order=…]``,
+and literal result elements with ``{expr}`` attribute value templates.
+
+Match patterns are a subset: ``/``, ``name``, ``a/b`` (suffix paths),
+``*`` and ``text()``.  Priorities follow XSLT's defaults: longer/explicit
+patterns beat ``*`` beats built-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XsltError
+from repro.sgml.dom import Document, Element, Node, Text
+from repro.sgml.parser import parse_xml
+from repro.xslt.xpath import XPathExpr, parse_xpath
+
+XSL_PREFIX = "xsl:"
+
+_KNOWN_INSTRUCTIONS = {
+    "template", "value-of", "apply-templates", "for-each", "if", "choose",
+    "when", "otherwise", "text", "element", "attribute", "copy-of", "sort",
+    "stylesheet", "transform", "output",
+}
+
+
+@dataclass(frozen=True)
+class MatchPattern:
+    """A template match pattern."""
+
+    source: str
+    segments: tuple[str, ...]  # path segments, last one is the target
+    is_root: bool = False
+
+    @property
+    def priority(self) -> tuple[int, int]:
+        """(specificity, length): used to pick among matching templates."""
+        if self.is_root:
+            return (3, 1)
+        last = self.segments[-1]
+        if last == "*":
+            specificity = 0
+        elif last == "text()":
+            specificity = 1
+        else:
+            specificity = 2
+        return (specificity, len(self.segments))
+
+    def matches(self, node: Node | Document) -> bool:
+        if self.is_root:
+            return isinstance(node, Document)
+        if isinstance(node, Document):
+            return False
+        if not self._test_matches(self.segments[-1], node):
+            return False
+        # Remaining segments must match successive ancestors.
+        current: Node | None = node
+        for segment in reversed(self.segments[:-1]):
+            parent = current.parent if current is not None else None
+            if parent is None or not self._test_matches(segment, parent):
+                return False
+            current = parent
+        return True
+
+    @staticmethod
+    def _test_matches(test: str, node: Node) -> bool:
+        if test == "text()":
+            return isinstance(node, Text)
+        if not isinstance(node, Element):
+            return False
+        return test == "*" or node.tag == test
+
+
+def parse_pattern(source: str) -> MatchPattern:
+    source = source.strip()
+    if source == "/":
+        return MatchPattern(source, (), is_root=True)
+    segments = tuple(
+        segment.strip().lower() for segment in source.lstrip("/").split("/")
+    )
+    if not segments or any(not segment for segment in segments):
+        raise XsltError(f"unsupported match pattern {source!r}")
+    for segment in segments:
+        if segment != "*" and segment != "text()" and not segment.replace(
+            "-", ""
+        ).replace("_", "").replace(".", "").isalnum():
+            raise XsltError(f"unsupported match pattern segment {segment!r}")
+    return MatchPattern(source, segments)
+
+
+@dataclass(frozen=True)
+class Template:
+    """One ``xsl:template`` rule."""
+
+    pattern: MatchPattern
+    body: tuple[Node, ...]
+    order: int  # document order; later templates win ties (XSLT recovery)
+
+
+@dataclass
+class Stylesheet:
+    """A compiled stylesheet."""
+
+    templates: list[Template] = field(default_factory=list)
+    indent: bool = False
+
+    def best_template(self, node: Node | Document) -> Template | None:
+        """Highest-priority template matching ``node`` (None = built-ins)."""
+        best: Template | None = None
+        for template in self.templates:
+            if not template.pattern.matches(node):
+                continue
+            if best is None:
+                best = template
+                continue
+            if (template.pattern.priority, template.order) > (
+                best.pattern.priority,
+                best.order,
+            ):
+                best = template
+        return best
+
+
+def compile_stylesheet(markup: str | Document) -> Stylesheet:
+    """Parse and validate stylesheet XML into a :class:`Stylesheet`."""
+    document = markup if isinstance(markup, Document) else parse_xml(markup)
+    root = document.root
+    if root.tag not in {f"{XSL_PREFIX}stylesheet", f"{XSL_PREFIX}transform"}:
+        raise XsltError(
+            f"stylesheet root must be <xsl:stylesheet>, got <{root.tag}>"
+        )
+    stylesheet = Stylesheet()
+    order = 0
+    for child in root.children:
+        if isinstance(child, Text):
+            if child.data.strip():
+                raise XsltError("text at stylesheet top level")
+            continue
+        assert isinstance(child, Element)
+        if child.tag == f"{XSL_PREFIX}output":
+            stylesheet.indent = child.get("indent", "no").lower() == "yes"
+            continue
+        if child.tag != f"{XSL_PREFIX}template":
+            raise XsltError(f"unsupported top-level element <{child.tag}>")
+        match = child.get("match")
+        if not match:
+            raise XsltError("xsl:template requires a match attribute")
+        _validate_body(child)
+        stylesheet.templates.append(
+            Template(parse_pattern(match), tuple(child.children), order)
+        )
+        order += 1
+    return stylesheet
+
+
+def _validate_body(element: Element) -> None:
+    """Fail fast on unknown xsl:* instructions and missing attributes."""
+    for node in element.walk():
+        if not isinstance(node, Element) or not node.tag.startswith(XSL_PREFIX):
+            continue
+        name = node.tag[len(XSL_PREFIX):]
+        if name not in _KNOWN_INSTRUCTIONS:
+            raise XsltError(f"unsupported instruction <xsl:{name}>")
+        if name in {"value-of", "for-each", "copy-of"} and not node.get("select"):
+            raise XsltError(f"<xsl:{name}> requires a select attribute")
+        if name == "if" and not node.get("test"):
+            raise XsltError("<xsl:if> requires a test attribute")
+        if name in {"element", "attribute"} and not node.get("name"):
+            raise XsltError(f"<xsl:{name}> requires a name attribute")
+        # Pre-compile every XPath so errors surface at compile time.
+        for attribute in ("select", "test"):
+            value = node.get(attribute)
+            if value:
+                parse_xpath(value)
+
+
+def compile_avt(template_text: str) -> list[str | XPathExpr]:
+    """Compile an attribute value template: literal text + {expr} parts."""
+    parts: list[str | XPathExpr] = []
+    remaining = template_text
+    while remaining:
+        start = remaining.find("{")
+        if start == -1:
+            parts.append(remaining)
+            break
+        end = remaining.find("}", start)
+        if end == -1:
+            raise XsltError(f"unterminated {{ in attribute template {template_text!r}")
+        if start:
+            parts.append(remaining[:start])
+        parts.append(parse_xpath(remaining[start + 1:end]))
+        remaining = remaining[end + 1:]
+    return parts

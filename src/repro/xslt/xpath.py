@@ -1,0 +1,556 @@
+"""XPath 1.0 subset for the XSLT-lite processor.
+
+Supports the fragment result-composition stylesheets actually use:
+
+* location paths: ``a/b``, ``/results/result``, ``//section``, ``.``,
+  ``..``, ``*``, ``@attr``, ``text()``;
+* predicates: ``[3]`` (1-based position), ``[last()]``, ``[child]``
+  (existence), ``[@attr]``, ``[@attr='v']``, ``[child='v']``;
+* expressions (for ``select``/``test``): location paths, string literals,
+  numbers, ``=``/``!=`` comparisons, ``and``/``or``/``not(..)``,
+  ``count(path)``, ``concat(a, b, ...)``, ``name()``, ``position()``,
+  ``last()``, ``string(path)``, ``normalize-space(path?)``,
+  ``contains(a, b)``.
+
+Evaluation follows XPath semantics on node-sets: a path evaluates to a
+list of nodes (or attribute strings); comparisons against node-sets are
+existentially quantified; the string value of a node-set is the string
+value of its first node.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import XPathError
+from repro.sgml.dom import Document, Element, Node, Text
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        //|/|\.\.|\.|@|\*|\[|\]|\(|\)|,|!=|=|
+        '(?:[^'])*'|"(?:[^"])*"|
+        \d+(?:\.\d+)?|
+        [A-Za-z_][-A-Za-z0-9_.]*
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(expression: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(expression):
+        match = _TOKEN_RE.match(expression, position)
+        if match is None:
+            if expression[position:].strip():
+                raise XPathError(
+                    f"cannot tokenize {expression!r} at offset {position}"
+                )
+            break
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step."""
+
+    axis: str  # child | descendant | self | parent | attribute
+    test: str  # element name, '*', or 'text()'
+    predicates: tuple["XPathExpr", ...] = ()
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    absolute: bool
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class LiteralExpr:
+    value: str
+
+
+@dataclass(frozen=True)
+class NumberExpr:
+    value: float
+
+
+@dataclass(frozen=True)
+class CompareExpr:
+    left: "XPathExpr"
+    op: str  # '=' or '!='
+    right: "XPathExpr"
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    op: str  # 'and' | 'or'
+    left: "XPathExpr"
+    right: "XPathExpr"
+
+
+@dataclass(frozen=True)
+class FunctionExpr:
+    name: str
+    args: tuple["XPathExpr", ...]
+
+
+XPathExpr = (
+    PathExpr | LiteralExpr | NumberExpr | CompareExpr | BoolExpr | FunctionExpr
+)
+
+_FUNCTIONS = {
+    "count", "concat", "name", "position", "last", "string",
+    "normalize-space", "contains", "not", "true", "false",
+}
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, expression: str) -> None:
+        self._expression = expression
+        self._tokens = _tokenize(expression)
+        self._pos = 0
+
+    def parse(self) -> XPathExpr:
+        expr = self._parse_or()
+        if self._pos != len(self._tokens):
+            raise XPathError(
+                f"trailing tokens in {self._expression!r}: "
+                f"{self._tokens[self._pos:]}"
+            )
+        return expr
+
+    # -- grammar ------------------------------------------------------------
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise XPathError(f"unexpected end of expression {self._expression!r}")
+        self._pos += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        got = self._next()
+        if got != token:
+            raise XPathError(
+                f"expected {token!r}, got {got!r} in {self._expression!r}"
+            )
+
+    def _parse_or(self) -> XPathExpr:
+        left = self._parse_and()
+        while self._peek() == "or":
+            self._next()
+            left = BoolExpr("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> XPathExpr:
+        left = self._parse_compare()
+        while self._peek() == "and":
+            self._next()
+            left = BoolExpr("and", left, self._parse_compare())
+        return left
+
+    def _parse_compare(self) -> XPathExpr:
+        left = self._parse_primary()
+        token = self._peek()
+        if token in {"=", "!="}:
+            self._next()
+            right = self._parse_primary()
+            return CompareExpr(left, token, right)
+        return left
+
+    def _parse_primary(self) -> XPathExpr:
+        token = self._peek()
+        if token is None:
+            raise XPathError(f"empty expression {self._expression!r}")
+        if token.startswith(("'", '"')):
+            self._next()
+            return LiteralExpr(token[1:-1])
+        if re.fullmatch(r"\d+(?:\.\d+)?", token):
+            self._next()
+            return NumberExpr(float(token))
+        if token == "(":
+            self._next()
+            inner = self._parse_or()
+            self._expect(")")
+            return inner
+        # Function call?
+        if (
+            re.fullmatch(r"[A-Za-z_][-A-Za-z0-9_.]*", token)
+            and self._pos + 1 < len(self._tokens)
+            and self._tokens[self._pos + 1] == "("
+            and token in _FUNCTIONS
+        ):
+            return self._parse_function()
+        return self._parse_path()
+
+    def _parse_function(self) -> XPathExpr:
+        name = self._next()
+        self._expect("(")
+        args: list[XPathExpr] = []
+        if self._peek() != ")":
+            args.append(self._parse_or())
+            while self._peek() == ",":
+                self._next()
+                args.append(self._parse_or())
+        self._expect(")")
+        return FunctionExpr(name, tuple(args))
+
+    def _parse_path(self) -> PathExpr:
+        absolute = False
+        steps: list[Step] = []
+        token = self._peek()
+        if token in {"/", "//"}:
+            absolute = True
+            self._next()  # consume the leading slash token
+            if token == "//":
+                steps.append(self._parse_step(descendant=True, consumed_slash=True))
+                self._next_steps(steps)
+                return PathExpr(True, tuple(steps))
+            if self._peek() is None:
+                return PathExpr(True, ())
+        steps.append(self._parse_step(descendant=False))
+        self._next_steps(steps)
+        return PathExpr(absolute, tuple(steps))
+
+    def _next_steps(self, steps: list[Step]) -> None:
+        while self._peek() in {"/", "//"}:
+            descendant = self._next() == "//"
+            steps.append(
+                self._parse_step(descendant=descendant, consumed_slash=True)
+            )
+
+    def _parse_step(self, descendant: bool, consumed_slash: bool = False) -> Step:
+        if descendant and not consumed_slash:
+            self._expect("//")
+        token = self._next()
+        axis = "descendant" if descendant else "child"
+        if token == ".":
+            return Step("self", "*")
+        if token == "..":
+            return Step("parent", "*")
+        if token == "@":
+            name = self._next()
+            return Step("attribute", name.lower(), self._parse_predicates())
+        if token == "*":
+            return Step(axis, "*", self._parse_predicates())
+        if re.fullmatch(r"[A-Za-z_][-A-Za-z0-9_.]*", token):
+            if self._peek() == "(":
+                # Only text() is a node-test function.
+                self._next()
+                self._expect(")")
+                if token != "text":
+                    raise XPathError(f"unsupported node test {token}()")
+                return Step(axis, "text()", self._parse_predicates())
+            return Step(axis, token.lower(), self._parse_predicates())
+        raise XPathError(
+            f"unexpected token {token!r} in {self._expression!r}"
+        )
+
+    def _parse_predicates(self) -> tuple[XPathExpr, ...]:
+        predicates: list[XPathExpr] = []
+        while self._peek() == "[":
+            self._next()
+            predicates.append(self._parse_or())
+            self._expect("]")
+        return tuple(predicates)
+
+
+def parse_xpath(expression: str) -> XPathExpr:
+    """Parse an XPath expression into its AST (cached by the processor)."""
+    return _Parser(expression).parse()
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class XPathContext:
+    """Evaluation context: the node, its position/size in the current list.
+
+    ``node`` may be a :class:`~repro.sgml.dom.Document` (the context at a
+    ``match="/"`` template), whose only child is the root element.
+    """
+
+    node: Node | Document
+    position: int = 1
+    size: int = 1
+    root: Element | None = None  # document root for absolute paths
+
+    def with_node(self, node: Node, position: int, size: int) -> "XPathContext":
+        return XPathContext(node, position, size, self.root)
+
+
+def node_string_value(item: Any) -> str:
+    """XPath string-value of a node-set item (node or attribute string)."""
+    if isinstance(item, str):
+        return item
+    if isinstance(item, (Element, Text)):
+        return item.text_content()
+    if isinstance(item, Document):
+        return item.text_content()
+    return str(item)
+
+
+def evaluate(expr: XPathExpr, context: XPathContext) -> Any:
+    """Evaluate to a node-set (list), string, float or bool."""
+    if isinstance(expr, LiteralExpr):
+        return expr.value
+    if isinstance(expr, NumberExpr):
+        return expr.value
+    if isinstance(expr, PathExpr):
+        return _eval_path(expr, context)
+    if isinstance(expr, CompareExpr):
+        return _eval_compare(expr, context)
+    if isinstance(expr, BoolExpr):
+        left = to_boolean(evaluate(expr.left, context))
+        if expr.op == "and":
+            return left and to_boolean(evaluate(expr.right, context))
+        return left or to_boolean(evaluate(expr.right, context))
+    if isinstance(expr, FunctionExpr):
+        return _eval_function(expr, context)
+    raise XPathError(f"cannot evaluate {expr!r}")
+
+
+def select(expression: str | XPathExpr, context: XPathContext) -> list[Any]:
+    """Evaluate and coerce to a node-set (raises if not a path result)."""
+    expr = parse_xpath(expression) if isinstance(expression, str) else expression
+    result = evaluate(expr, context)
+    if isinstance(result, list):
+        return result
+    raise XPathError(f"expression {expression!r} is not a node-set")
+
+
+def to_string(value: Any) -> str:
+    if isinstance(value, list):
+        return node_string_value(value[0]) if value else ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return str(int(value)) if value.is_integer() else str(value)
+    return str(value)
+
+
+def to_boolean(value: Any) -> bool:
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, str):
+        return bool(value)
+    if isinstance(value, float):
+        return value != 0.0
+    return bool(value)
+
+
+def _eval_compare(expr: CompareExpr, context: XPathContext) -> bool:
+    left = evaluate(expr.left, context)
+    right = evaluate(expr.right, context)
+    equal = _sets_equal(left, right)
+    return equal if expr.op == "=" else not equal
+
+
+def _sets_equal(left: Any, right: Any) -> bool:
+    # Node-set comparisons are existential (XPath 1.0 §3.4).
+    if isinstance(left, list) and isinstance(right, list):
+        right_values = {node_string_value(item) for item in right}
+        return any(node_string_value(item) in right_values for item in left)
+    if isinstance(left, list):
+        return any(_atom_equal(node_string_value(item), right) for item in left)
+    if isinstance(right, list):
+        return any(_atom_equal(node_string_value(item), left) for item in right)
+    return _atom_equal(left, right)
+
+
+def _atom_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, float) or isinstance(right, float):
+        try:
+            return float(left) == float(right)
+        except (TypeError, ValueError):
+            return False
+    return to_string(left) == to_string(right)
+
+
+def _eval_function(expr: FunctionExpr, context: XPathContext) -> Any:
+    name = expr.name
+    args = expr.args
+    if name == "count":
+        _require_args(expr, 1)
+        return float(len(select(args[0], context)))
+    if name == "concat":
+        if len(args) < 2:
+            raise XPathError("concat() needs at least two arguments")
+        return "".join(to_string(evaluate(arg, context)) for arg in args)
+    if name == "name":
+        _require_args(expr, 0)
+        node = context.node
+        return node.tag if isinstance(node, Element) else ""
+    if name == "position":
+        _require_args(expr, 0)
+        return float(context.position)
+    if name == "last":
+        _require_args(expr, 0)
+        return float(context.size)
+    if name == "string":
+        if not args:
+            return node_string_value(context.node)
+        _require_args(expr, 1)
+        return to_string(evaluate(args[0], context))
+    if name == "normalize-space":
+        if args:
+            value = to_string(evaluate(args[0], context))
+        else:
+            value = node_string_value(context.node)
+        return re.sub(r"\s+", " ", value).strip()
+    if name == "contains":
+        _require_args(expr, 2)
+        haystack = to_string(evaluate(args[0], context))
+        needle = to_string(evaluate(args[1], context))
+        return needle in haystack
+    if name == "not":
+        _require_args(expr, 1)
+        return not to_boolean(evaluate(args[0], context))
+    if name == "true":
+        return True
+    if name == "false":
+        return False
+    raise XPathError(f"unsupported function {name}()")
+
+
+def _require_args(expr: FunctionExpr, count: int) -> None:
+    if len(expr.args) != count:
+        raise XPathError(
+            f"{expr.name}() takes {count} argument(s), got {len(expr.args)}"
+        )
+
+
+def _eval_path(expr: PathExpr, context: XPathContext) -> list[Any]:
+    if expr.absolute:
+        root = context.root
+        if root is None:
+            node: Node | None = context.node
+            while isinstance(node, Element) and node.parent is not None:
+                node = node.parent
+            root = node if isinstance(node, Element) else None
+        if root is None:
+            return []
+        # The absolute start is the *document* (parent of root), so the
+        # first step's child axis sees the root element itself.
+        current: list[Any] = [_DocumentAnchor(root)]
+    else:
+        current = [context.node]
+    for step in expr.steps:
+        current = _apply_step(step, current, context)
+    return current
+
+
+class _DocumentAnchor:
+    """Virtual document node whose only child is the root element."""
+
+    def __init__(self, root: Element) -> None:
+        self.root = root
+
+
+def _children_of(item: Any) -> list[Node]:
+    if isinstance(item, _DocumentAnchor):
+        return [item.root]
+    if isinstance(item, Document):
+        return [item.root]
+    if isinstance(item, Element):
+        return list(item.children)
+    return []
+
+
+def _descendants_of(item: Any) -> list[Node]:
+    result: list[Node] = []
+    for child in _children_of(item):
+        result.append(child)
+        if isinstance(child, Element):
+            result.extend(list(child.walk())[1:])
+    return result
+
+
+def _apply_step(step: Step, items: list[Any], context: XPathContext) -> list[Any]:
+    candidates: list[Any] = []
+    for item in items:
+        if step.axis == "self":
+            candidates.append(item)
+        elif step.axis == "parent":
+            if isinstance(item, (Element, Text)) and item.parent is not None:
+                candidates.append(item.parent)
+        elif step.axis == "attribute":
+            if isinstance(item, Element) and step.test in item.attributes:
+                candidates.append(item.attributes[step.test])
+        elif step.axis == "child":
+            candidates.extend(
+                child for child in _children_of(item) if _matches(step.test, child)
+            )
+        elif step.axis == "descendant":
+            candidates.extend(
+                node for node in _descendants_of(item) if _matches(step.test, node)
+            )
+    # De-duplicate nodes while preserving order (strings pass through).
+    seen: set[int] = set()
+    unique: list[Any] = []
+    for candidate in candidates:
+        if isinstance(candidate, str):
+            unique.append(candidate)
+            continue
+        if id(candidate) not in seen:
+            seen.add(id(candidate))
+            unique.append(candidate)
+    return _filter_predicates(step.predicates, unique, context)
+
+
+def _matches(test: str, node: Node) -> bool:
+    if test == "text()":
+        return isinstance(node, Text)
+    if not isinstance(node, Element):
+        return False
+    return test == "*" or node.tag == test
+
+
+def _filter_predicates(
+    predicates: tuple[XPathExpr, ...], items: list[Any], context: XPathContext
+) -> list[Any]:
+    for predicate in predicates:
+        size = len(items)
+        kept: list[Any] = []
+        for position, item in enumerate(items, start=1):
+            if isinstance(predicate, NumberExpr):
+                if position == int(predicate.value):
+                    kept.append(item)
+                continue
+            if isinstance(item, str):
+                # Attribute values only support positional predicates.
+                raise XPathError("predicates on attributes must be positional")
+            value = evaluate(
+                predicate, context.with_node(item, position, size)
+            )
+            if isinstance(value, float):
+                if position == int(value):
+                    kept.append(item)
+            elif to_boolean(value):
+                kept.append(item)
+        items = kept
+    return items

@@ -1,0 +1,179 @@
+"""The Table 1 NASA applications, verified against workload ground truth."""
+
+import pytest
+
+from repro.apps import (
+    AnomalyTrackingApp,
+    IbpdAssembler,
+    ProposalFinancialManagement,
+    RiskAssessmentApp,
+)
+from repro.workloads import (
+    CorpusSpec,
+    generate_corpus,
+    generate_proposals,
+    generate_task_plans,
+    generate_tracker_a,
+    generate_tracker_b,
+)
+
+
+class TestProposalFinancialManagement:
+    @pytest.fixture(scope="class")
+    def report_and_facts(self):
+        files, facts = generate_proposals(20, seed=6)
+        app = ProposalFinancialManagement()
+        assert app.load_proposals(files) == 20
+        return app.build_report(), facts
+
+    def test_every_proposal_extracted(self, report_and_facts):
+        report, facts = report_and_facts
+        assert len(report.records) == len(facts)
+
+    def test_total_requested_matches_ground_truth(self, report_and_facts):
+        report, facts = report_and_facts
+        assert report.total_requested == sum(fact.amount for fact in facts)
+
+    def test_counts_by_division_match(self, report_and_facts):
+        report, facts = report_and_facts
+        truth: dict[str, int] = {}
+        for fact in facts:
+            truth[fact.division] = truth.get(fact.division, 0) + 1
+        assert report.count_by_division() == dict(sorted(truth.items()))
+
+    def test_amounts_by_division_match(self, report_and_facts):
+        report, facts = report_and_facts
+        truth: dict[str, int] = {}
+        for fact in facts:
+            truth[fact.division] = truth.get(fact.division, 0) + fact.amount
+        assert report.amount_by_division() == dict(sorted(truth.items()))
+
+    def test_over_threshold_sorted_desc(self, report_and_facts):
+        report, _ = report_and_facts
+        over = report.over_threshold(1_000_000)
+        amounts = [record.amount for record in over]
+        assert amounts == sorted(amounts, reverse=True)
+        assert all(amount > 1_000_000 for amount in amounts)
+
+    def test_investigators_extracted(self, report_and_facts):
+        report, facts = report_and_facts
+        by_file = {fact.file_name: fact for fact in facts}
+        for record in report.records:
+            assert record.principal_investigator == (
+                by_file[record.file_name].principal_investigator
+            )
+
+
+class TestIbpd:
+    @pytest.fixture(scope="class")
+    def result_and_facts(self):
+        files, facts = generate_task_plans(25, seed=8)
+        assembler = IbpdAssembler()
+        assert assembler.load_task_plans(files) == 25
+        return assembler.assemble(), facts
+
+    def test_grand_total_matches(self, result_and_facts):
+        result, facts = result_and_facts
+        assert result.grand_total == sum(fact.total for fact in facts)
+
+    def test_totals_by_center_match(self, result_and_facts):
+        result, facts = result_and_facts
+        truth: dict[str, int] = {}
+        for fact in facts:
+            truth[fact.center] = truth.get(fact.center, 0) + fact.total
+        assert result.total_by_center() == dict(sorted(truth.items()))
+
+    def test_totals_by_year_match(self, result_and_facts):
+        result, facts = result_and_facts
+        truth: dict[str, int] = {}
+        for fact in facts:
+            for year, amount in fact.amounts:
+                truth[year] = truth.get(year, 0) + amount
+        assert result.total_by_year() == dict(sorted(truth.items()))
+
+    def test_composed_document_has_chapter_per_plan(self, result_and_facts):
+        result, facts = result_and_facts
+        assert result.chapter_count == len(facts)
+        assert result.document.root.tag == "ibpd"
+
+    def test_chapters_sorted_by_plan_name(self, result_and_facts):
+        result, _ = result_and_facts
+        plans = [
+            chapter.get("plan")
+            for chapter in result.document.find_all("chapter")
+        ]
+        assert plans == sorted(plans)
+
+    def test_coverage_element(self, result_and_facts):
+        result, facts = result_and_facts
+        coverage = result.document.find("coverage")
+        assert coverage.text_content() == str(len(facts))
+
+
+class TestAnomalyTracking:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return AnomalyTrackingApp(
+            generate_tracker_a(25, seed=21), generate_tracker_b(25, seed=22)
+        )
+
+    def test_searches_both_trackers_at_once(self, app):
+        # "Observed" is structural in every tracker-b summary; "anomaly"
+        # is structural in every tracker-a description (either may also
+        # appear by chance in the other tracker's prose).
+        observed_hits = app.search_descriptions("observed")
+        assert "tracker-b" in {hit.tracker for hit in observed_hits}
+        assert len([h for h in observed_hits if h.tracker == "tracker-b"]) == 25
+        anomaly_hits = app.search_descriptions("anomaly")
+        assert len([h for h in anomaly_hits if h.tracker == "tracker-a"]) == 25
+
+    def test_subsystem_terms_cross_trackers(self, app):
+        hits = app.search_descriptions("avionics")
+        trackers = {hit.tracker for hit in hits}
+        assert len(trackers) == 2  # both vocabularies matched
+
+    def test_severity_union(self, app):
+        hits = app.all_with_severity("High")
+        assert hits
+        assert all(hit.description for hit in hits)
+
+    def test_raw_search_escape_hatch(self, app):
+        results = app.raw_search("Context=Disposition&Content=Open")
+        assert all(match.source == "tracker-b" for match in results)
+
+    def test_assembly_steps_counted(self, app):
+        # create databank + two add_source lines = 3 declarative steps.
+        assert app.netmark.assembly_steps == 3
+
+
+class TestRiskAssessment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        files = generate_corpus(CorpusSpec(documents=30, seed=31))
+        app = RiskAssessmentApp()
+        assert app.load_documents(files) == 30
+        return app.build_report()
+
+    def test_findings_exist(self, report):
+        assert report.findings
+
+    def test_explicit_sections_found(self, report):
+        explicit = [finding for finding in report.findings if finding.explicit]
+        assert explicit
+        assert all(
+            finding.context in ("Risk Assessment", "Lessons Learned")
+            for finding in explicit
+        )
+
+    def test_scores_rank_explicit_higher(self, report):
+        scores = report.score_by_document()
+        assert list(scores.values()) == sorted(scores.values(), reverse=True)
+
+    def test_no_duplicate_findings(self, report):
+        keys = [(finding.file_name, finding.context) for finding in report.findings]
+        assert len(keys) == len(set(keys))
+
+    def test_top_documents_subset(self, report):
+        top = report.top_documents(3)
+        assert len(top) <= 3
+        assert set(top) <= set(report.score_by_document())

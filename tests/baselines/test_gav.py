@@ -1,0 +1,194 @@
+"""GAV mediator baseline: schemas, mappings, unfolding, artifact ledger."""
+
+import pytest
+
+from repro.baselines.gav import (
+    FilterPredicate,
+    GavMapping,
+    Mediator,
+    RelationSchema,
+    SourceQuery,
+    SourceSchema,
+)
+from repro.errors import MappingError, MediatorError
+
+
+def build_top_employees_mediator() -> Mediator:
+    """The paper's §4 'Top Employees of NASA' virtual view, for real."""
+    mediator = Mediator()
+    mediator.define_global_relation(
+        RelationSchema("TOP_EMPLOYEES", ("NAME", "CENTER"))
+    )
+
+    ames = SourceSchema("ames")
+    ames.add_relation(RelationSchema("EMPLOYEES", ("NAME", "RATING")))
+    mediator.register_source(ames)
+    mediator.bind_extension(
+        "ames",
+        "EMPLOYEES",
+        lambda: [
+            {"NAME": "Maluf", "RATING": "excellent"},
+            {"NAME": "Bell", "RATING": "good"},
+        ],
+    )
+
+    johnson = SourceSchema("johnson")
+    johnson.add_relation(RelationSchema("PERSONNEL", ("FULLNAME", "SCORE")))
+    mediator.register_source(johnson)
+    mediator.bind_extension(
+        "johnson",
+        "PERSONNEL",
+        lambda: [
+            {"FULLNAME": "Ride", "SCORE": 1},
+            {"FULLNAME": "Young", "SCORE": 4},
+        ],
+    )
+
+    kennedy = SourceSchema("kennedy")
+    kennedy.add_relation(RelationSchema("EMPLOYEES", ("NAME", "RATING")))
+    mediator.register_source(kennedy)
+    mediator.bind_extension(
+        "kennedy",
+        "EMPLOYEES",
+        lambda: [
+            {"NAME": "Jemison", "RATING": "very good"},
+            {"NAME": "Doe", "RATING": "fair"},
+        ],
+    )
+
+    mapping = GavMapping("TOP_EMPLOYEES")
+    mapping.add(
+        SourceQuery(
+            "ames", "EMPLOYEES",
+            (("NAME", "NAME"), ("CENTER", "NAME")),
+            (FilterPredicate("RATING", "=", "excellent"),),
+        )
+    )
+    mapping.add(
+        SourceQuery(
+            "johnson", "PERSONNEL",
+            (("NAME", "FULLNAME"), ("CENTER", "FULLNAME")),
+            (FilterPredicate("SCORE", "<=", 2),),
+        )
+    )
+    mapping.add(
+        SourceQuery(
+            "kennedy", "EMPLOYEES",
+            (("NAME", "NAME"), ("CENTER", "NAME")),
+            (FilterPredicate("RATING", ">=", "very good"),),
+        )
+    )
+    mediator.define_mapping(mapping)
+    return mediator
+
+
+class TestUnfolding:
+    def test_top_employees_union(self):
+        mediator = build_top_employees_mediator()
+        names = {row["NAME"] for row in mediator.query("TOP_EMPLOYEES")}
+        assert names == {"Maluf", "Ride", "Jemison"}
+
+    def test_global_filters_apply_after_renaming(self):
+        mediator = build_top_employees_mediator()
+        rows = mediator.query(
+            "TOP_EMPLOYEES", (FilterPredicate("NAME", "=", "Ride"),)
+        )
+        assert [row["NAME"] for row in rows] == ["Ride"]
+
+    def test_unmapped_relation_rejected(self):
+        mediator = Mediator()
+        mediator.define_global_relation(RelationSchema("G", ("A",)))
+        with pytest.raises(MediatorError):
+            mediator.query("G")
+
+    def test_unknown_global_relation_rejected(self):
+        with pytest.raises(MappingError):
+            build_top_employees_mediator().query("NOPE")
+
+
+class TestValidation:
+    def test_mapping_checks_global_attributes(self):
+        mediator = Mediator()
+        mediator.define_global_relation(RelationSchema("G", ("A",)))
+        source = SourceSchema("s")
+        source.add_relation(RelationSchema("R", ("X",)))
+        mediator.register_source(source)
+        mapping = GavMapping("G")
+        mapping.add(SourceQuery("s", "R", (("BOGUS", "X"),)))
+        with pytest.raises(MappingError):
+            mediator.define_mapping(mapping)
+
+    def test_mapping_checks_source_attributes(self):
+        mediator = Mediator()
+        mediator.define_global_relation(RelationSchema("G", ("A",)))
+        source = SourceSchema("s")
+        source.add_relation(RelationSchema("R", ("X",)))
+        mediator.register_source(source)
+        mapping = GavMapping("G")
+        mapping.add(SourceQuery("s", "R", (("A", "MISSING"),)))
+        with pytest.raises(MappingError):
+            mediator.define_mapping(mapping)
+
+    def test_filter_attribute_checked(self):
+        mediator = Mediator()
+        mediator.define_global_relation(RelationSchema("G", ("A",)))
+        source = SourceSchema("s")
+        source.add_relation(RelationSchema("R", ("X",)))
+        mediator.register_source(source)
+        mapping = GavMapping("G")
+        mapping.add(
+            SourceQuery(
+                "s", "R", (("A", "X"),),
+                (FilterPredicate("MISSING", "=", 1),),
+            )
+        )
+        with pytest.raises(MappingError):
+            mediator.define_mapping(mapping)
+
+    def test_duplicate_source_and_mapping_rejected(self):
+        mediator = build_top_employees_mediator()
+        with pytest.raises(MediatorError):
+            mediator.register_source(SourceSchema("ames"))
+        with pytest.raises(MediatorError):
+            mediator.define_mapping(GavMapping("TOP_EMPLOYEES"))
+
+    def test_unbound_extension_rejected_at_query(self):
+        mediator = Mediator()
+        mediator.define_global_relation(RelationSchema("G", ("A",)))
+        source = SourceSchema("s")
+        source.add_relation(RelationSchema("R", ("A",)))
+        mediator.register_source(source)
+        mapping = GavMapping("G")
+        mapping.add(SourceQuery("s", "R", (("A", "A"),)))
+        mediator.define_mapping(mapping)
+        with pytest.raises(MediatorError):
+            mediator.query("G")
+
+    def test_bad_filter_operator(self):
+        with pytest.raises(MappingError):
+            FilterPredicate("A", "~", 1)
+
+    def test_relation_schema_validation(self):
+        with pytest.raises(MappingError):
+            RelationSchema("R", ())
+        with pytest.raises(MappingError):
+            RelationSchema("R", ("A", "a"))
+
+
+class TestLedger:
+    def test_artifact_count_reflects_everything_written(self):
+        mediator = build_top_employees_mediator()
+        # 3 sources × (schema + 1 relation) + 1 global relation + 3 mapping
+        # rules = 10 artifacts.
+        assert mediator.engineering_artifacts == 10
+        assert mediator.source_count == 3
+
+    def test_describe_mentions_all_pieces(self):
+        text = build_top_employees_mediator().describe()
+        assert "ames" in text and "TOP_EMPLOYEES" in text and "UNION" in text
+
+    def test_filters_with_incomparable_types_are_false(self):
+        predicate = FilterPredicate("A", "<", 5)
+        assert not predicate.accepts({"A": "string"})
+        assert not predicate.accepts({"A": None})
+        assert not predicate.accepts({})

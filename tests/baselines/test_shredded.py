@@ -1,0 +1,84 @@
+"""Shredded-storage baseline: schema growth and functional equivalence."""
+
+import pytest
+
+from repro.baselines.shredded import ShreddedXmlStore, table_name_for
+from repro.converters import convert
+from repro.errors import DocumentNotFoundError
+from repro.sgml.parser import parse_xml
+from repro.sgml.serializer import serialize
+from repro.store import XmlStore
+
+
+class TestSchemaGrowth:
+    def test_tables_grow_with_new_element_types(self):
+        store = ShreddedXmlStore()
+        baseline = store.table_count
+        result = store.store_document(parse_xml("<a><b/></a>"))
+        assert result.new_tables == 2  # ELEM_A, ELEM_B
+        assert store.table_count == baseline + 2
+
+    def test_repeat_types_need_no_ddl(self):
+        store = ShreddedXmlStore()
+        store.store_document(parse_xml("<a><b/></a>"))
+        result = store.store_document(parse_xml("<a><b/><b/></a>"))
+        assert result.new_tables == 0
+
+    def test_netmark_stays_flat_where_shredded_grows(self):
+        shredded = ShreddedXmlStore()
+        netmark = XmlStore()
+        documents = [
+            "<report><title>t</title></report>",
+            "<memo><to>x</to><body>y</body></memo>",
+            "<slide><bullet>z</bullet></slide>",
+        ]
+        for index, xml in enumerate(documents):
+            shredded.store_document(parse_xml(xml))
+            netmark.store_text(xml, f"d{index}.xml")
+        assert netmark.table_count == 2
+        assert shredded.element_table_count >= 7
+
+    def test_table_name_mangling(self):
+        assert table_name_for("a") == "ELEM_A"
+        assert table_name_for("x-y.z") == "ELEM_X_Y_Z"
+
+
+class TestRoundTrip:
+    def test_reconstruct_structure_text_attrs(self):
+        store = ShreddedXmlStore()
+        source = '<a k="v"><b>one</b><b>two</b><c>tail</c></a>'
+        result = store.store_document(parse_xml(source, name="t.xml"))
+        rebuilt = store.reconstruct(result.doc_id)
+        assert serialize(rebuilt) == source
+        assert rebuilt.name == "t.xml"
+
+    def test_reconstruct_unknown_raises(self):
+        with pytest.raises(DocumentNotFoundError):
+            ShreddedXmlStore().reconstruct(3)
+
+    def test_multiple_documents_isolated(self):
+        store = ShreddedXmlStore()
+        first = store.store_document(parse_xml("<a><b>1</b></a>"))
+        second = store.store_document(parse_xml("<a><b>2</b></a>"))
+        assert serialize(store.reconstruct(first.doc_id)) == "<a><b>1</b></a>"
+        assert serialize(store.reconstruct(second.doc_id)) == "<a><b>2</b></a>"
+
+    def test_node_count(self):
+        store = ShreddedXmlStore()
+        result = store.store_document(parse_xml("<a><b>t</b></a>"))
+        assert result.node_count == 3  # a, b, text
+
+
+class TestSectionSearch:
+    def test_find_sections_same_answers_as_netmark(self):
+        md = "# Budget\n\ntravel funds\n\n# Other\n\nnoise\n"
+        shredded = ShreddedXmlStore()
+        shredded.store_document(convert(md, "d.md"))
+        results = shredded.find_sections("Budget")
+        assert len(results) == 1
+        assert results[0][1] == "travel funds"
+
+    def test_find_sections_without_context_table(self):
+        store = ShreddedXmlStore()
+        store.store_document(parse_xml("<a><b/></a>"))
+        assert store.find_sections("anything") == []

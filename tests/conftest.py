@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netmark import Netmark
+from repro.store.xmlstore import XmlStore
+
+#: A small, hand-written corpus exercising several formats; used by store,
+#: query, server and integration tests.
+SAMPLE_FILES: list[tuple[str, str]] = [
+    (
+        "report1.ndoc",
+        "{\\ndoc1}\n"
+        "{\\style Title}Shuttle Program Review\n"
+        "{\\style Heading1}Technology Gap\n"
+        "{\\style Normal}The gap is shrinking quickly across programs.\n"
+        "{\\style Heading1}Budget\n"
+        "{\\style Normal}We request funds for shuttle engine work.\n"
+        "{\\style Heading2}Travel\n"
+        "{\\style Normal}Two conferences per year are planned.\n",
+    ),
+    (
+        "report2.npdf",
+        "%NPDF-1.0\n"
+        "[F24] Program Assessment\n"
+        "[F14] Technology Gap\n"
+        "[F10] Nothing here is shrinking; margins hold steady.\n"
+        "[F14] Cost Details\n"
+        "[F10] Shuttle budget aggregated per center.\n",
+    ),
+    (
+        "notes.md",
+        "# Overview\n\nGeneral text about the Shuttle program.\n\n"
+        "## Budget\n\nTravel dollars and **equipment** dollars.\n",
+    ),
+    (
+        "page.html",
+        "<html><head><title>Ops Page</title></head><body>"
+        "<h1>Operations</h1><p>Launch operations summary.</p>"
+        "<h2>Budget</h2><p>Ground systems budget holds.</p>"
+        "</body></html>",
+    ),
+    (
+        "budget.csv",
+        "Item,FY04,FY05\nTravel,\"10,000\",12000\nEquipment,5000,7000\n",
+    ),
+]
+
+
+@pytest.fixture
+def store() -> XmlStore:
+    """An empty XML store."""
+    return XmlStore()
+
+
+@pytest.fixture
+def loaded_store() -> XmlStore:
+    """A store pre-loaded with the sample corpus."""
+    xml_store = XmlStore()
+    for name, text in SAMPLE_FILES:
+        xml_store.store_text(text, name)
+    return xml_store
+
+
+@pytest.fixture
+def netmark() -> Netmark:
+    """An empty NETMARK node."""
+    return Netmark("test-node")
+
+
+@pytest.fixture
+def loaded_netmark() -> Netmark:
+    """A NETMARK node with the sample corpus ingested via the daemon."""
+    node = Netmark("test-node")
+    node.ingest_many(SAMPLE_FILES)
+    return node

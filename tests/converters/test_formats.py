@@ -1,0 +1,259 @@
+"""Per-format upmark behaviour."""
+
+import pytest
+
+from repro.converters import convert
+from repro.converters.pdfdoc import PdfConverter
+from repro.converters.plaintext import PlainTextConverter
+from repro.converters.spreadsheet import parse_delimited
+from repro.converters.worddoc import WordDocConverter
+from repro.errors import ConverterError
+
+
+def sections_of(document):
+    """[(context title, [content texts])] of a canonical document."""
+    result = []
+    for section in document.find_all("section"):
+        context = section.find("context")
+        contents = [
+            content.text_content().strip()
+            for content in section.find_all("content")
+        ]
+        result.append((context.text_content().strip(), contents))
+    return result
+
+
+class TestWordDoc:
+    def test_styles_to_sections(self):
+        text = (
+            "{\\ndoc1}\n"
+            "{\\style Title}My Title\n"
+            "{\\style Heading1}Alpha\n"
+            "{\\style Normal}Body one.\n"
+            "{\\style Heading2}Beta\n"
+            "{\\style Normal}Body two.\n"
+        )
+        sections = sections_of(convert(text, "t.ndoc"))
+        assert sections[0][0] == "My Title"
+        assert sections[1] == ("Alpha", ["Body one."])
+        assert sections[2] == ("Beta", ["Body two."])
+
+    def test_heading_levels_recorded(self):
+        text = "{\\ndoc1}\n{\\style Heading3}Deep\n{\\style Normal}x\n"
+        document = convert(text, "t.ndoc")
+        section = document.find("section")
+        assert section.get("level") == "3"
+
+    def test_meta_directives(self):
+        text = "{\\ndoc1}\n{\\meta author Grace Hopper}\n{\\style Normal}x\n"
+        document = convert(text, "t.ndoc")
+        assert document.metadata["author"] == "Grace Hopper"
+
+    def test_continuation_lines_join_section(self):
+        text = "{\\ndoc1}\n{\\style Heading1}H\n{\\style Normal}a\nb-continued\n"
+        sections = sections_of(convert(text, "t.ndoc"))
+        assert sections[0][1] == ["a", "b-continued"]
+
+    def test_missing_magic_raises(self):
+        with pytest.raises(ConverterError):
+            WordDocConverter().convert("no magic", "t.ndoc")
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(ConverterError):
+            convert("{\\ndoc1}\n{\\frobnicate x}y\n", "t.ndoc")
+
+    def test_emphasis_becomes_intense(self):
+        text = "{\\ndoc1}\n{\\style Normal}plain **bold** tail\n"
+        document = convert(text, "t.ndoc")
+        bold = document.find("b")
+        assert bold is not None and bold.text_content() == "bold"
+
+
+class TestPdf:
+    def test_font_ranking(self):
+        text = (
+            "%NPDF-1.0\n[F20] Title\n[F14] Section\n"
+            "[F10] body body body.\n[F10] more body text here.\n"
+        )
+        sections = sections_of(convert(text, "t.npdf"))
+        assert [title for title, _ in sections] == ["Title", "Section"]
+
+    def test_tie_breaks_toward_smaller_body(self):
+        # Equal line counts; body carries more characters.
+        text = (
+            "%NPDF-1.0\n[F14] Head\n"
+            "[F10] a very long body line with many characters\n"
+        )
+        sections = sections_of(convert(text, "t.npdf"))
+        assert sections[0][0] == "Head"
+
+    def test_blank_line_splits_paragraphs(self):
+        text = "%NPDF-1.0\n[F14] H\n[F10] one\n\n[F10] two\n"
+        sections = sections_of(convert(text, "t.npdf"))
+        assert sections[0][1] == ["one", "two"]
+
+    def test_unmarked_line_raises(self):
+        with pytest.raises(ConverterError):
+            convert("%NPDF-1.0\nno marker\n", "t.npdf")
+
+    def test_missing_magic_raises(self):
+        with pytest.raises(ConverterError):
+            PdfConverter().convert("[F10] x", "t.npdf")
+
+    def test_empty_body_ok(self):
+        document = convert("%NPDF-1.0\n", "t.npdf")
+        assert document.root.tag == "document"
+
+
+class TestSlides:
+    def test_slides_to_sections(self):
+        text = (
+            "#NPPT\n== Slide 1: One ==\n* a\n* b\n"
+            "== Slide 2: Two ==\nfree text\nnotes: speak slowly\n"
+        )
+        sections = sections_of(convert(text, "t.nppt"))
+        assert sections[0] == ("One", ["a", "b"])
+        assert sections[1][0] == "Two"
+        assert "Speaker notes: speak slowly" in sections[1][1]
+
+    def test_slide_title_without_number(self):
+        text = "#NPPT\n== Just A Title ==\n* x\n"
+        sections = sections_of(convert(text, "t.nppt"))
+        assert sections[0][0] == "Just A Title"
+
+    def test_missing_magic_raises(self):
+        with pytest.raises(ConverterError):
+            convert("== Slide 1: X ==\n", "deck.nppt")
+
+
+class TestSpreadsheet:
+    def test_rows_become_sections(self):
+        sections = sections_of(
+            convert("Item,FY04\nTravel,1000\nEquipment,2000\n", "b.csv")
+        )
+        assert sections == [
+            ("Travel", ["FY04: 1000"]),
+            ("Equipment", ["FY04: 2000"]),
+        ]
+
+    def test_quoted_fields(self):
+        rows = parse_delimited('a,"b,c","d""e"\n')
+        assert rows == [["a", "b,c", 'd"e']]
+
+    def test_quoted_newline(self):
+        rows = parse_delimited('"line1\nline2",x\n')
+        assert rows == [["line1\nline2", "x"]]
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(ConverterError):
+            parse_delimited('"never closed')
+
+    def test_tsv_by_extension_and_sniff(self):
+        sections = sections_of(convert("K\tV\nRow\t9\n", "t.tsv"))
+        assert sections == [("Row", ["V: 9"])]
+        sections = sections_of(convert("K\tV\nRow\t9\n", "t.csv"))
+        assert sections == [("Row", ["V: 9"])]
+
+    def test_empty_values_skipped(self):
+        sections = sections_of(convert("K,A,B\nRow,,x\n", "t.csv"))
+        assert sections == [("Row", ["B: x"])]
+
+    def test_metadata_counts(self):
+        document = convert("K,V\na,1\nb,2\n", "t.csv")
+        assert document.metadata["row_count"] == 2
+        assert document.metadata["column_count"] == 2
+
+
+class TestPlainText:
+    def test_underlined_headings(self):
+        text = "Main\n====\nbody one\n\nSub\n---\nbody two\n"
+        sections = sections_of(convert(text, "t.txt"))
+        assert sections[0] == ("Main", ["body one"])
+        assert sections[1] == ("Sub", ["body two"])
+
+    def test_numbered_headings(self):
+        text = "1. Introduction\nhello\n2.1 Details\nworld\n"
+        sections = sections_of(convert(text, "t.txt"))
+        assert sections[0][0] == "Introduction"
+        assert sections[1][0] == "Details"
+
+    def test_all_caps_heading(self):
+        text = "ABSTRACT\nThis works.\n"
+        sections = sections_of(convert(text, "t.txt"))
+        assert sections[0] == ("Abstract", ["This works."])
+
+    def test_untitled_preamble_gets_filename_context(self):
+        text = "Just a paragraph with no heading at all.\n"
+        document = convert(text, "readme.txt")
+        contexts = document.find_all("context")
+        assert contexts[0].text_content() == "readme"
+        assert contexts[0].synthetic
+
+    def test_sniff_rejects_markup(self):
+        assert not PlainTextConverter().sniff("<xml/>")
+
+
+class TestMarkdown:
+    def test_atx_and_setext(self):
+        text = "# One\n\nalpha\n\nTwo\n===\nbeta\n"
+        sections = sections_of(convert(text, "t.md"))
+        assert [title for title, _ in sections] == ["One", "Two"]
+
+    def test_fenced_code_preserved_as_block(self):
+        text = "# H\n\n```\ncode line\nsecond\n```\n"
+        sections = sections_of(convert(text, "t.md"))
+        assert sections[0][1] == ["code line\nsecond"]
+
+    def test_bullets_become_blocks(self):
+        sections = sections_of(convert("# H\n- a\n- b\n", "t.md"))
+        assert sections[0][1] == ["a", "b"]
+
+
+class TestHtml:
+    def test_heading_hierarchy(self):
+        html = (
+            "<html><body><h1>Top</h1><p>a</p>"
+            "<h2>Nested</h2><p>b</p></body></html>"
+        )
+        document = convert(html, "t.html")
+        sections = sections_of(document)
+        assert sections == [("Top", ["a"]), ("Nested", ["b"])]
+        nested = document.find_all("section")[1]
+        assert nested.get("level") == "2"
+
+    def test_title_in_metadata(self):
+        html = "<html><head><title>Page T</title></head><body></body></html>"
+        document = convert(html, "t.html")
+        assert document.metadata["title"] == "Page T"
+
+    def test_emphasis_survives_as_intense(self):
+        html = "<body><h1>H</h1><p>go <b>fast</b> now</p></body>"
+        document = convert(html, "t.html")
+        assert document.find("b").text_content() == "fast"
+
+    def test_script_and_style_skipped(self):
+        html = (
+            "<body><h1>H</h1><script>var x=1;</script>"
+            "<style>p{}</style><p>real</p></body>"
+        )
+        sections = sections_of(convert(html, "t.html"))
+        assert sections == [("H", ["real"])]
+
+    def test_list_items_become_blocks(self):
+        html = "<body><h1>H</h1><ul><li>a</li><li>b</li></ul></body>"
+        sections = sections_of(convert(html, "t.html"))
+        assert sections[0][1] == ["a", "b"]
+
+
+class TestXmlPassthrough:
+    def test_structure_preserved(self):
+        xml = "<inventory><part id='7'>bolt</part></inventory>"
+        document = convert(xml.replace("'", '"'), "t.xml")
+        assert document.root.tag == "inventory"
+        assert document.find("part").get("id") == "7"
+
+    def test_strict_parse_errors_propagate(self):
+        from repro.errors import SgmlSyntaxError
+
+        with pytest.raises(SgmlSyntaxError):
+            convert("<a><b></a>", "t.xml")

@@ -1,0 +1,121 @@
+"""Converter registry: dispatch by extension and by content sniffing."""
+
+import pytest
+
+from repro.converters import (
+    HtmlConverter,
+    MarkdownConverter,
+    PdfConverter,
+    PlainTextConverter,
+    SlidesConverter,
+    SpreadsheetConverter,
+    WordDocConverter,
+    XmlConverter,
+    convert,
+    registry,
+)
+from repro.converters.base import Converter, ConverterRegistry
+from repro.errors import ConverterError, UnsupportedFormatError
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("a.ndoc", WordDocConverter),
+            ("a.doc", WordDocConverter),
+            ("a.npdf", PdfConverter),
+            ("a.pdf", PdfConverter),
+            ("a.nppt", SlidesConverter),
+            ("a.ppt", SlidesConverter),
+            ("a.csv", SpreadsheetConverter),
+            ("a.tsv", SpreadsheetConverter),
+            ("a.html", HtmlConverter),
+            ("a.htm", HtmlConverter),
+            ("a.md", MarkdownConverter),
+            ("a.txt", PlainTextConverter),
+            ("a.xml", XmlConverter),
+        ],
+    )
+    def test_extension_dispatch(self, name, expected):
+        assert isinstance(registry.for_name(name), expected)
+
+    def test_extension_case_insensitive(self):
+        assert isinstance(registry.for_name("A.NDOC"), WordDocConverter)
+
+    def test_sniff_ndoc_without_extension(self):
+        converter = registry.resolve("mystery", "{\\ndoc1}\n{\\style Title}X\n")
+        assert isinstance(converter, WordDocConverter)
+
+    def test_sniff_npdf(self):
+        converter = registry.resolve("mystery", "%NPDF-1.0\n[F10] x\n")
+        assert isinstance(converter, PdfConverter)
+
+    def test_sniff_html(self):
+        converter = registry.resolve("mystery", "<!DOCTYPE html><html></html>")
+        assert isinstance(converter, HtmlConverter)
+
+    def test_sniff_markdown(self):
+        converter = registry.resolve("mystery", "# Heading\n\nbody\n")
+        assert isinstance(converter, MarkdownConverter)
+
+    def test_plain_text_is_fallback(self):
+        converter = registry.resolve("mystery", "nothing special here")
+        assert isinstance(converter, PlainTextConverter)
+
+    def test_markup_with_unknown_extension_is_xml(self):
+        converter = registry.resolve("mystery.bin", "<root><x/></root>")
+        assert isinstance(converter, XmlConverter)
+
+    def test_formats_inventory(self):
+        formats = registry.formats()
+        assert {"word", "pdf", "slides", "spreadsheet", "html", "markdown",
+                "text", "xml"} <= set(formats)
+
+
+class TestRegistryIsolation:
+    def test_duplicate_extension_rejected(self):
+        fresh = ConverterRegistry()
+
+        class A(Converter):
+            format_name = "a"
+            extensions = ("zzz",)
+
+        class B(Converter):
+            format_name = "b"
+            extensions = ("zzz",)
+
+        fresh.register(A())
+        with pytest.raises(ConverterError):
+            fresh.register(B())
+
+    def test_unresolvable_raises(self):
+        fresh = ConverterRegistry()
+        with pytest.raises(UnsupportedFormatError):
+            fresh.resolve("x.unknown", "plain words")
+
+
+class TestCanonicalShape:
+    def test_every_format_produces_document_root(self):
+        samples = {
+            "a.ndoc": "{\\ndoc1}\n{\\style Heading1}H\n{\\style Normal}B\n",
+            "a.npdf": "%NPDF-1.0\n[F14] H\n[F10] B\n[F10] B2\n",
+            "a.md": "# H\n\nB\n",
+            "a.nppt": "#NPPT\n== Slide 1: H ==\n* B\n",
+            "a.csv": "K,V\nH,B\n",
+            "a.txt": "H\n===\nB\n",
+            "a.html": "<html><body><h1>H</h1><p>B</p></body></html>",
+        }
+        for name, text in samples.items():
+            document = convert(text, name)
+            assert document.root.tag == "document", name
+            contexts = document.find_all("context")
+            assert contexts, f"{name} produced no contexts"
+            assert any(
+                context.text_content().strip() == "H" for context in contexts
+            ), name
+
+    def test_metadata_always_has_format(self):
+        document = convert("# H\nbody\n", "n.md")
+        assert document.metadata["format"] == "markdown"
+        assert document.metadata["char_size"] > 0

@@ -1,0 +1,96 @@
+"""Cost model: measured artifact curves and the Fig 1 shapes."""
+
+from repro.costmodel import (
+    GrowthScenario,
+    artifact_curves,
+    build_gav_integration,
+    build_netmark_integration,
+    consumer_cost_curves,
+    gav_marginal_cost,
+    is_linear_growth,
+    netmark_marginal_cost,
+    shows_economies_of_scale,
+)
+
+
+class TestMeasuredArtifacts:
+    def test_gav_artifacts_grow_linearly_in_sources(self):
+        builds = [build_gav_integration(k)[1] for k in (2, 4, 8)]
+        deltas = [
+            later.artifacts - earlier.artifacts
+            for earlier, later in zip(builds, builds[1:])
+        ]
+        # Constant per-source increment => linear growth.
+        per_source = [
+            delta / (later.sources - earlier.sources)
+            for delta, (earlier, later) in zip(deltas, zip(builds, builds[1:]))
+        ]
+        assert len(set(per_source)) == 1
+        assert per_source[0] >= 4  # schema + 2 relations + 2 mapping rules
+
+    def test_netmark_artifacts_one_per_source(self):
+        for count in (2, 5, 9):
+            _, build = build_netmark_integration(count)
+            assert build.artifacts == count
+            assert build.spec_lines == count
+
+    def test_gap_widens_with_scale(self):
+        curves = artifact_curves([2, 8, 16])
+        ratios = [
+            gav.spec_lines / netmark.spec_lines
+            for gav, netmark in zip(curves["gav"], curves["netmark"])
+        ]
+        absolute_gaps = [
+            gav.spec_lines - netmark.spec_lines
+            for gav, netmark in zip(curves["gav"], curves["netmark"])
+        ]
+        assert all(ratio > 20 for ratio in ratios)  # order of magnitude
+        assert absolute_gaps == sorted(absolute_gaps)  # widens with scale
+        assert absolute_gaps[-1] > 4 * absolute_gaps[0]
+
+    def test_gav_mediator_actually_works(self):
+        # The ledger must be from a *working* integration, not a mock.
+        mediator, _ = build_gav_integration(3)
+        assert mediator.query("G_DOCS") == []  # empty extensions, no error
+
+
+class TestFig1Curves:
+    def test_gav_is_linear(self):
+        curves = consumer_cost_curves()
+        assert is_linear_growth(curves["gav"])
+
+    def test_netmark_shows_economies_of_scale(self):
+        curves = consumer_cost_curves()
+        assert shows_economies_of_scale(curves["netmark"], curves["gav"])
+        # The linear trend can never be 5x below itself.
+        assert not shows_economies_of_scale(curves["gav"], curves["gav"])
+
+    def test_scaling_advantage_is_order_of_magnitude(self):
+        from repro.costmodel import scaling_advantage
+
+        curves = consumer_cost_curves()
+        assert scaling_advantage(curves["gav"], curves["netmark"]) > 10
+
+    def test_netmark_always_cheaper(self):
+        curves = consumer_cost_curves()
+        for gav_point, netmark_point in zip(curves["gav"], curves["netmark"]):
+            assert netmark_point.cumulative_cost < gav_point.cumulative_cost
+
+    def test_marginal_costs(self):
+        # Steady state: a new app that reuses sources.
+        assert netmark_marginal_cost(0, 6) == 7  # databank + 6 lines
+        assert gav_marginal_cost(0, 6) > 50      # views + 12 mapping rules
+
+    def test_scenario_new_sources(self):
+        scenario = GrowthScenario()
+        assert scenario.new_sources(0) == scenario.sources_per_app
+        assert scenario.new_sources(3) == 1
+
+    def test_cost_per_consumer_direction(self):
+        curves = consumer_cost_curves(GrowthScenario(applications=10))
+        netmark = curves["netmark"]
+        assert netmark[-1].cost_per_consumer < netmark[0].cost_per_consumer
+        # GAV's per-consumer cost converges to its (large) marginal cost,
+        # never to NETMARK's levels.
+        gav = curves["gav"]
+        assert gav[-1].cost_per_consumer > 10 * netmark[-1].cost_per_consumer

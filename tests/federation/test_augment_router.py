@@ -1,0 +1,190 @@
+"""Query augmentation and the thin router (the §2.1.5 worked example)."""
+
+import pytest
+
+from repro.errors import FederationError, UnknownDatabankError
+from repro.federation import (
+    AugmentationReport,
+    ContentOnlySource,
+    DatabankRegistry,
+    NetmarkSource,
+    Record,
+    Router,
+    StructuredSource,
+    execute_augmented,
+    plan,
+)
+from repro.query.language import parse_query
+from repro.store import XmlStore
+
+LESSONS = {
+    "l1.md": "# Title\nEngine inspection lesson\n\n# Body\nInspect the engine.\n",
+    "l2.md": "# Title\nParachute packing\n\n# Body\nMentions engine once.\n",
+    "l3.md": "# Title\nBattery storage\n\n# Body\nKeep cool.\n",
+}
+
+
+@pytest.fixture
+def llis():
+    return ContentOnlySource("llis", LESSONS)
+
+
+class TestPlanning:
+    def test_native_when_supported(self, llis):
+        the_plan = plan(parse_query("Content=engine"), llis)
+        assert the_plan.fully_native
+
+    def test_context_query_needs_residual(self, llis):
+        the_plan = plan(parse_query("Context=Title&Content=engine"), llis)
+        assert not the_plan.fully_native
+        assert the_plan.needs_residual
+        # The native fragment keeps only the content half.
+        assert the_plan.native_query.context is None
+        assert the_plan.native_query.content.terms == ("engine",)
+
+    def test_context_only_query_fetches_all(self, llis):
+        the_plan = plan(parse_query("Context=Title"), llis)
+        assert the_plan.native_query is None
+        assert the_plan.needs_residual
+
+    def test_phrase_degrades_to_conjunction(self, llis):
+        the_plan = plan(parse_query('Content="engine inspection"'), llis)
+        assert the_plan.needs_residual
+        assert the_plan.native_query.content.mode == "all"
+        assert set(the_plan.native_query.content.terms) == {
+            "engine", "inspection",
+        }
+
+
+class TestPaperExample:
+    """Context=Title&Content=Engine against the Lessons Learned server."""
+
+    def test_augmented_result_extracts_title_sections(self, llis):
+        report = AugmentationReport()
+        matches = execute_augmented(
+            parse_query("Context=Title&Content=Engine"), llis, report
+        )
+        # Only l1 has "engine" in its Title section; l2 mentions engine in
+        # the body only.
+        assert [match.file_name for match in matches] == ["l1.md"]
+        assert matches[0].context == "Title"
+        assert matches[0].source == "llis"
+
+    def test_native_prefilter_limits_residual_work(self, llis):
+        report = AugmentationReport()
+        execute_augmented(
+            parse_query("Context=Title&Content=Engine"), llis, report
+        )
+        # The source's content search prefilters to the two engine docs,
+        # so the client re-parses 2, not 3.
+        assert report.native_candidates == 2
+        assert report.residual_documents == 2
+        assert report.residual_nodes > 0
+
+    def test_augmented_equals_native_semantics(self, llis):
+        """Augmentation must agree with a full NETMARK node on the same data."""
+        native_store = XmlStore()
+        for name, text in LESSONS.items():
+            native_store.store_text(text, name)
+        native = NetmarkSource("native", native_store)
+        query = parse_query("Context=Title&Content=engine")
+        native_answer = {
+            (m.file_name, m.context) for m in native.native_search(query)
+        }
+        augmented_answer = {
+            (m.file_name, m.context)
+            for m in execute_augmented(query, llis)
+        }
+        assert augmented_answer == native_answer
+
+    def test_phrase_augmentation_refines_overreturn(self, llis):
+        matches = execute_augmented(
+            parse_query('Content="engine inspection"'), llis
+        )
+        assert [match.file_name for match in matches] == ["l1.md"]
+
+
+@pytest.fixture
+def router_rig(llis):
+    store = XmlStore()
+    store.store_text(
+        "{\\ndoc1}\n{\\style Heading1}Title\n"
+        "{\\style Normal}Engine review board report.\n",
+        "rev.ndoc",
+    )
+    tracker = StructuredSource(
+        "trk", [Record("A-1", (("Title", "Engine anomaly"), ("Severity", "High")))]
+    )
+    router = Router()
+    bank = router.create_databank("eng", "engine material")
+    bank.add_source(NetmarkSource("ames", store))
+    bank.add_source(llis)
+    bank.add_source(tracker)
+    return router
+
+
+class TestRouter:
+    def test_fan_out_hits_every_source(self, router_rig):
+        results = router_rig.execute("Context=Title&Content=engine&databank=eng")
+        assert {match.source for match in results} == {"ames", "llis", "trk"}
+
+    def test_routing_report(self, router_rig):
+        router_rig.execute("Context=Title&Content=engine&databank=eng")
+        report = router_rig.last_report
+        assert report.fan_out == 3
+        assert report.source_matches["ames"] == 1
+        assert "llis" in report.augmented_sources
+        assert "ames" not in report.augmented_sources
+
+    def test_stable_order(self, router_rig):
+        results = router_rig.execute("Content=engine&databank=eng")
+        keys = [(match.source, match.file_name) for match in results]
+        assert keys == sorted(keys)
+
+    def test_databank_argument_overrides_query(self, router_rig):
+        results = router_rig.execute("Content=engine", databank="eng")
+        assert len(results) > 0
+
+    def test_missing_databank_raises(self, router_rig):
+        with pytest.raises(FederationError):
+            router_rig.execute("Content=engine")
+        with pytest.raises(UnknownDatabankError):
+            router_rig.execute("Content=engine&databank=ghost")
+
+    def test_limit_applies_after_merge(self, router_rig):
+        results = router_rig.execute("Content=engine&databank=eng&limit=2")
+        assert len(results) == 2
+
+
+class TestDatabankRegistry:
+    def test_create_get_drop(self):
+        registry = DatabankRegistry()
+        registry.create("a")
+        assert "a" in registry
+        registry.drop("a")
+        assert "a" not in registry
+        with pytest.raises(UnknownDatabankError):
+            registry.get("a")
+        with pytest.raises(UnknownDatabankError):
+            registry.drop("a")
+
+    def test_duplicate_databank_rejected(self):
+        registry = DatabankRegistry()
+        registry.create("a")
+        with pytest.raises(FederationError):
+            registry.create("a")
+
+    def test_duplicate_source_rejected(self):
+        registry = DatabankRegistry()
+        bank = registry.create("a")
+        bank.add_source(ContentOnlySource("s1"))
+        with pytest.raises(FederationError):
+            bank.add_source(ContentOnlySource("s1"))
+
+    def test_artifact_accounting(self):
+        registry = DatabankRegistry()
+        bank = registry.create("a")
+        for index in range(4):
+            bank.add_source(ContentOnlySource(f"s{index}"))
+        assert bank.artifact_count == 4
+        assert registry.total_artifacts == 4

@@ -1,0 +1,164 @@
+"""Capability model and source adapters."""
+
+import pytest
+
+from repro.errors import CapabilityError, DocumentNotFoundError
+from repro.federation import (
+    CONTENT_ONLY,
+    FULL,
+    Capability,
+    ContentOnlySource,
+    NetmarkSource,
+    Record,
+    StructuredSource,
+    required_for,
+    supports,
+)
+from repro.query.language import parse_query
+from repro.store import XmlStore
+
+
+class TestCapabilityAlgebra:
+    def test_required_for_kinds(self):
+        assert required_for(parse_query("Content=x")) == Capability.CONTENT_SEARCH
+        assert required_for(parse_query("Context=x")) == Capability.CONTEXT_SEARCH
+        combined = required_for(parse_query("Context=x&Content=y"))
+        assert combined == (
+            Capability.CONTEXT_SEARCH | Capability.CONTENT_SEARCH
+        )
+
+    def test_phrase_needs_phrase_capability(self):
+        needed = required_for(parse_query('Content="a b"'))
+        assert Capability.PHRASE_SEARCH in needed
+
+    def test_supports(self):
+        assert supports(FULL, parse_query("Context=x&Content=y"))
+        assert supports(CONTENT_ONLY, parse_query("Content=y"))
+        assert not supports(CONTENT_ONLY, parse_query("Context=x"))
+        assert not supports(CONTENT_ONLY, parse_query('Content="a b"'))
+
+
+@pytest.fixture
+def netmark_source():
+    store = XmlStore()
+    store.store_text(
+        "{\\ndoc1}\n{\\style Heading1}Budget\n{\\style Normal}Engine funds.\n",
+        "doc.ndoc",
+    )
+    return NetmarkSource("node1", store)
+
+
+class TestNetmarkSource:
+    def test_full_capabilities(self, netmark_source):
+        assert netmark_source.capabilities == FULL
+
+    def test_native_search_tags_source(self, netmark_source):
+        [match] = netmark_source.native_search(parse_query("Context=Budget"))
+        assert match.source == "node1"
+        assert netmark_source.queries_served == 1
+
+    def test_fetch_document(self, netmark_source):
+        xml = netmark_source.fetch_document("doc.ndoc")
+        assert "<document>" in xml
+        assert netmark_source.documents_served == 1
+
+    def test_fetch_missing_raises(self, netmark_source):
+        with pytest.raises(DocumentNotFoundError):
+            netmark_source.fetch_document("nope")
+
+    def test_document_names(self, netmark_source):
+        assert netmark_source.document_names() == ["doc.ndoc"]
+
+
+@pytest.fixture
+def llis():
+    return ContentOnlySource(
+        "llis",
+        {
+            "l1.md": "# Title\nEngine lesson\n\n# Body\nInspect twice.\n",
+            "l2.md": "# Title\nChute packing\n\n# Body\nengine mention\n",
+            "l3.md": "# Title\nBattery\n\n# Body\nKeep dry.\n",
+        },
+    )
+
+
+class TestContentOnlySource:
+    def test_content_search_returns_document_hits(self, llis):
+        matches = llis.native_search(parse_query("Content=engine"))
+        assert {match.file_name for match in matches} == {"l1.md", "l2.md"}
+        assert all(match.section is None for match in matches)
+
+    def test_context_query_rejected_natively(self, llis):
+        with pytest.raises(CapabilityError):
+            llis.native_search(parse_query("Context=Title"))
+
+    def test_any_mode(self, llis):
+        matches = llis.native_search(parse_query("Content=any:battery chute"))
+        assert {match.file_name for match in matches} == {"l2.md", "l3.md"}
+
+    def test_snippet_centres_on_hit(self, llis):
+        [match] = [
+            m
+            for m in llis.native_search(parse_query("Content=dry"))
+        ]
+        assert "dry" in match.content.lower()
+
+    def test_fetch_and_names(self, llis):
+        assert "Inspect twice" in llis.fetch_document("l1.md")
+        assert llis.document_names() == ["l1.md", "l2.md", "l3.md"]
+        with pytest.raises(DocumentNotFoundError):
+            llis.fetch_document("nope")
+
+
+@pytest.fixture
+def tracker():
+    return StructuredSource(
+        "trk",
+        [
+            Record("A-1", (("Description", "Engine sensor dropout"),
+                           ("Severity", "High"))),
+            Record("A-2", (("Description", "Window scratch"),
+                           ("Severity", "Low"))),
+        ],
+    )
+
+
+class TestStructuredSource:
+    def test_context_maps_to_field_name(self, tracker):
+        matches = tracker.native_search(parse_query("Context=Description"))
+        assert [match.file_name for match in matches] == ["A-1", "A-2"]
+        assert matches[0].context == "Description"
+
+    def test_context_and_content(self, tracker):
+        matches = tracker.native_search(
+            parse_query("Context=Description&Content=engine")
+        )
+        assert [match.file_name for match in matches] == ["A-1"]
+
+    def test_content_scope_is_whole_record(self, tracker):
+        # "High" is in Severity; asking for Description sections of records
+        # containing "High" still returns A-1's description.
+        matches = tracker.native_search(
+            parse_query("Context=Description&Content=High")
+        )
+        assert [match.file_name for match in matches] == ["A-1"]
+
+    def test_content_only_query(self, tracker):
+        matches = tracker.native_search(parse_query("Content=scratch"))
+        assert [match.file_name for match in matches] == ["A-2"]
+
+    def test_unknown_field_context_empty(self, tracker):
+        assert tracker.native_search(parse_query("Context=Nonfield")) == []
+
+    def test_phrase_rejected_natively(self, tracker):
+        with pytest.raises(CapabilityError):
+            tracker.native_search(parse_query('Content="engine sensor"'))
+
+    def test_fetch_document_renders_markdown(self, tracker):
+        text = tracker.fetch_document("A-1")
+        assert "## Description" in text
+        assert "Engine sensor dropout" in text
+
+    def test_add_record_and_len(self, tracker):
+        tracker.add_record(Record("A-3", (("Description", "x"),)))
+        assert len(tracker) == 3

@@ -1,0 +1,120 @@
+"""Declarative databank spec files."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import (
+    ContentOnlySource,
+    Router,
+    StructuredSource,
+    dump_spec,
+    load_spec,
+)
+from repro.federation.sources import Record
+
+SPEC = '''
+# Integration spec for the engineering application.
+databank engineering "Everything about engines"
+  source llis
+  source tracker
+
+databank archives
+  source llis
+
+alias Budget = Budget | Cost Details | Funding
+alias Description = Description | Summary
+'''
+
+
+@pytest.fixture
+def catalog():
+    return {
+        "llis": ContentOnlySource(
+            "llis", {"l1.md": "# Title\nEngine lesson\n"}
+        ),
+        "tracker": StructuredSource(
+            "tracker",
+            [Record("A-1", (("Description", "engine issue"),
+                            ("Summary", "dup field? no"))),
+             Record("A-2", (("Summary", "engine observed"),))],
+        ),
+    }
+
+
+class TestLoadSpec:
+    def test_creates_databanks_and_aliases(self, catalog):
+        router = Router()
+        report = load_spec(SPEC, router, catalog)
+        assert report.databanks == ["engineering", "archives"]
+        assert report.sources_bound == 3
+        assert report.aliases_defined == 2
+        assert report.spec_lines == 7  # 2 databanks + 3 sources + 2 aliases
+        assert "engineering" in router.registry
+        assert "Budget" in router.aliases
+
+    def test_loaded_integration_answers_queries(self, catalog):
+        router = Router()
+        load_spec(SPEC, router, catalog)
+        results = router.execute(
+            "Context=Description&Content=engine&databank=engineering"
+        )
+        # The alias spans Description|Summary, so both records match; the
+        # llis source contributes through augmentation.
+        names = {match.file_name for match in results}
+        assert {"A-1", "A-2"} <= names
+
+    def test_source_outside_databank_rejected(self, catalog):
+        with pytest.raises(FederationError):
+            load_spec("source llis", Router(), catalog)
+
+    def test_unknown_source_rejected(self, catalog):
+        with pytest.raises(FederationError):
+            load_spec("databank d\n  source ghost", Router(), catalog)
+
+    def test_unknown_directive_rejected(self, catalog):
+        with pytest.raises(FederationError):
+            load_spec("frobnicate x", Router(), catalog)
+
+    def test_bad_databank_names(self, catalog):
+        with pytest.raises(FederationError):
+            load_spec("databank", Router(), catalog)
+        with pytest.raises(FederationError):
+            load_spec("databank two words here", Router(), catalog)
+        with pytest.raises(FederationError):
+            load_spec('databank d "unterminated', Router(), catalog)
+
+    def test_bad_alias_lines(self, catalog):
+        with pytest.raises(FederationError):
+            load_spec("alias NoEquals", Router(), catalog)
+        with pytest.raises(FederationError):
+            load_spec("alias X =", Router(), catalog)
+
+    def test_comments_and_blanks_ignored(self, catalog):
+        report = load_spec(
+            "\n# only comments\n\ndatabank d\n  source llis # inline\n",
+            Router(),
+            catalog,
+        )
+        assert report.spec_lines == 2
+
+
+class TestDumpSpec:
+    def test_round_trip(self, catalog):
+        router = Router()
+        load_spec(SPEC, router, catalog)
+        dumped = dump_spec(router)
+        fresh = Router()
+        report = load_spec(dumped, fresh, catalog)
+        assert fresh.registry.names() == router.registry.names()
+        assert fresh.aliases.names() == router.aliases.names()
+        assert report.sources_bound == 3
+
+    def test_empty_router_dumps_empty(self):
+        assert dump_spec(Router()) == ""
+
+    def test_artifact_count_is_the_whole_integration(self, catalog):
+        router = Router()
+        report = load_spec(SPEC, router, catalog)
+        # FIG1's point, restated: 2 databanks + 3 source lines + 2
+        # aliases = 7 artifacts for a two-application integration.
+        assert report.artifact_count == 7

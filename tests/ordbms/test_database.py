@@ -1,0 +1,76 @@
+"""Database facade: catalog operations and stats counters."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.ordbms import Column, Database, INTEGER, TableSchema
+
+
+@pytest.fixture
+def database():
+    return Database("d")
+
+
+def schema(name="T"):
+    return TableSchema(name, (Column("ID", INTEGER, nullable=False),),
+                       primary_key="ID")
+
+
+class TestCatalog:
+    def test_create_and_get(self, database):
+        database.create_table(schema())
+        assert database.table("t").schema.name == "T"
+
+    def test_duplicate_table_rejected(self, database):
+        database.create_table(schema())
+        with pytest.raises(CatalogError):
+            database.create_table(schema())
+
+    def test_missing_table_raises(self, database):
+        with pytest.raises(CatalogError):
+            database.table("NOPE")
+
+    def test_drop_table(self, database):
+        database.create_table(schema())
+        database.drop_table("T")
+        assert not database.catalog.has_table("T")
+        with pytest.raises(CatalogError):
+            database.drop_table("T")
+
+    def test_ddl_statement_counter(self, database):
+        before = database.catalog.ddl_statements
+        database.create_table(schema("A"))
+        database.create_table(schema("B"))
+        database.drop_table("A")
+        assert database.catalog.ddl_statements == before + 3
+
+    def test_table_names_and_len(self, database):
+        database.create_table(schema("A"))
+        database.create_table(schema("B"))
+        assert set(database.catalog.table_names()) == {"A", "B"}
+        assert len(database.catalog) == 2
+
+
+class TestStats:
+    def test_dml_counters(self, database):
+        database.create_table(schema())
+        rowid = database.insert("T", {"ID": 1})
+        database.update("T", rowid, {"ID": 2})
+        database.delete("T", rowid)
+        stats = database.stats
+        assert stats.rows_inserted == 1
+        assert stats.rows_updated == 1
+        assert stats.rows_deleted == 1
+
+    def test_rowid_fetch_counter(self, database):
+        database.create_table(schema())
+        rowid = database.insert("T", {"ID": 1})
+        database.fetch("T", rowid)
+        database.fetch("T", rowid)
+        assert database.stats.rowid_fetches == 2
+
+    def test_reset(self, database):
+        database.create_table(schema())
+        database.insert("T", {"ID": 1})
+        database.stats.reset()
+        assert database.stats.rows_inserted == 0

@@ -1,0 +1,206 @@
+"""Plan operators: scans, joins, aggregation, sorting, limits."""
+
+import pytest
+
+from repro.errors import QueryPlanError
+from repro.ordbms import (
+    Aggregate,
+    AggSpec,
+    Col,
+    Column,
+    Distinct,
+    Filter,
+    HashJoin,
+    INTEGER,
+    IndexLookup,
+    IndexRange,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    Sort,
+    Table,
+    TableSchema,
+    TextSearch,
+    UnionAll,
+    VARCHAR,
+    Values,
+    execute,
+)
+
+
+@pytest.fixture
+def employees():
+    table = Table(
+        TableSchema(
+            "EMP",
+            (
+                Column("ID", INTEGER, nullable=False),
+                Column("DEPT", VARCHAR),
+                Column("SALARY", INTEGER),
+                Column("BIO", VARCHAR),
+            ),
+            primary_key="ID",
+        )
+    )
+    table.create_index("DEPT")
+    table.create_text_index("BIO")
+    data = [
+        (1, "eng", 100, "works on shuttle engines"),
+        (2, "eng", 120, "avionics and software"),
+        (3, "sci", 90, "earth science payloads"),
+        (4, "ops", 80, "launch operations"),
+        (5, "sci", 95, None),
+    ]
+    for id_, dept, salary, bio in data:
+        table.insert({"ID": id_, "DEPT": dept, "SALARY": salary, "BIO": bio})
+    return table
+
+
+class TestLeaves:
+    def test_seqscan_all(self, employees):
+        assert len(execute(SeqScan(employees))) == 5
+
+    def test_seqscan_with_predicate(self, employees):
+        rows = execute(SeqScan(employees, Col("SALARY") > 90))
+        assert sorted(row["ID"] for row in rows) == [1, 2, 5]
+
+    def test_index_lookup(self, employees):
+        rows = execute(IndexLookup(employees, "DEPT", "sci"))
+        assert sorted(row["ID"] for row in rows) == [3, 5]
+
+    def test_index_lookup_requires_index(self, employees):
+        with pytest.raises(QueryPlanError):
+            execute(IndexLookup(employees, "SALARY", 100))
+
+    def test_index_range(self, employees):
+        employees.create_index("SALARY")
+        rows = execute(IndexRange(employees, "SALARY", 90, 100))
+        assert sorted(row["ID"] for row in rows) == [1, 3, 5]
+
+    def test_text_search_all(self, employees):
+        rows = execute(TextSearch(employees, "BIO", "shuttle engines"))
+        assert [row["ID"] for row in rows] == [1]
+
+    def test_text_search_phrase_vs_all(self, employees):
+        assert execute(TextSearch(employees, "BIO", "engines shuttle", "all"))
+        assert not execute(
+            TextSearch(employees, "BIO", "engines shuttle", "phrase")
+        )
+
+    def test_text_search_bad_mode(self, employees):
+        with pytest.raises(QueryPlanError):
+            execute(TextSearch(employees, "BIO", "x", "fuzzy"))
+
+    def test_values(self):
+        rows = execute(Values([{"A": 1}, {"A": 2}]))
+        assert rows == [{"A": 1}, {"A": 2}]
+
+
+class TestUnary:
+    def test_filter(self, employees):
+        plan = Filter(SeqScan(employees), Col("DEPT") == "eng")
+        assert len(execute(plan)) == 2
+
+    def test_project_rename_and_compute(self, employees):
+        plan = Project(
+            SeqScan(employees, Col("ID") == 1),
+            {"who": "ID", "double": lambda row: row["SALARY"] * 2},
+        )
+        assert execute(plan) == [{"WHO": 1, "DOUBLE": 200}]
+
+    def test_sort_asc_desc(self, employees):
+        ascending = execute(Sort(SeqScan(employees), "SALARY"))
+        assert [row["ID"] for row in ascending] == [4, 3, 5, 1, 2]
+        descending = execute(Sort(SeqScan(employees), "SALARY", descending=True))
+        assert [row["ID"] for row in descending] == [2, 1, 5, 3, 4]
+
+    def test_sort_nulls_last(self, employees):
+        rows = execute(Sort(SeqScan(employees), "BIO"))
+        assert rows[-1]["ID"] == 5
+
+    def test_limit_and_offset(self, employees):
+        plan = Limit(Sort(SeqScan(employees), "ID"), count=2, offset=1)
+        assert [row["ID"] for row in execute(plan)] == [2, 3]
+
+    def test_distinct(self):
+        plan = Distinct(Values([{"A": 1}, {"A": 1}, {"A": 2}]))
+        assert len(execute(plan)) == 2
+
+
+class TestJoins:
+    def test_hash_join(self, employees):
+        departments = Values(
+            [
+                {"NAME": "eng", "BUILDING": "N239"},
+                {"NAME": "sci", "BUILDING": "N245"},
+            ]
+        )
+        plan = HashJoin(
+            SeqScan(employees), departments, "DEPT", "NAME", "E", "D"
+        )
+        rows = execute(plan)
+        assert len(rows) == 4  # ops has no department row
+        sample = next(row for row in rows if row["E.ID"] == 1)
+        assert sample["D.BUILDING"] == "N239"
+        assert sample["BUILDING"] == "N239"  # unambiguous bare name
+
+    def test_nested_loop_theta_join(self):
+        left = Values([{"X": 1}, {"X": 5}])
+        right = Values([{"Y": 3}])
+        plan = NestedLoopJoin(left, right, Col("X") > Col("Y"))
+        rows = execute(plan)
+        assert len(rows) == 1
+        assert rows[0]["L.X"] == 5
+
+    def test_union_all(self):
+        plan = UnionAll([Values([{"A": 1}]), Values([{"A": 1}, {"A": 2}])])
+        assert len(execute(plan)) == 3
+
+
+class TestAggregate:
+    def test_global_aggregates(self, employees):
+        plan = Aggregate(
+            SeqScan(employees),
+            (),
+            (
+                AggSpec("count", "*", "N"),
+                AggSpec("sum", "SALARY", "TOTAL"),
+                AggSpec("avg", "SALARY", "MEAN"),
+                AggSpec("min", "SALARY", "LO"),
+                AggSpec("max", "SALARY", "HI"),
+            ),
+        )
+        [row] = execute(plan)
+        assert row == {"N": 5, "TOTAL": 485, "MEAN": 97.0, "LO": 80, "HI": 120}
+
+    def test_group_by(self, employees):
+        plan = Aggregate(
+            SeqScan(employees),
+            ("DEPT",),
+            (AggSpec("count", "*", "N"), AggSpec("sum", "SALARY", "TOTAL")),
+        )
+        rows = {row["DEPT"]: row for row in execute(plan)}
+        assert rows["eng"]["N"] == 2 and rows["eng"]["TOTAL"] == 220
+        assert rows["sci"]["N"] == 2 and rows["ops"]["N"] == 1
+
+    def test_count_column_skips_nulls(self, employees):
+        plan = Aggregate(SeqScan(employees), (), (AggSpec("count", "BIO", "N"),))
+        assert execute(plan) == [{"N": 4}]
+
+    def test_empty_input_global_aggregate(self):
+        plan = Aggregate(Values([]), (), (AggSpec("count", "*", "N"),
+                                          AggSpec("sum", "X", "S")))
+        assert execute(plan) == [{"N": 0, "S": None}]
+
+    def test_bad_aggregate_function(self):
+        with pytest.raises(QueryPlanError):
+            AggSpec("median", "X", "M")
+
+
+class TestExplain:
+    def test_explain_renders_tree(self, employees):
+        plan = Limit(Filter(SeqScan(employees), Col("ID") == 1), 1)
+        text = plan.explain()
+        assert "Limit" in text and "Filter" in text and "SeqScan(EMP" in text
+        assert text.index("Limit") < text.index("Filter")

@@ -1,0 +1,132 @@
+"""Predicate expressions: comparisons, NULL semantics, LIKE, helpers."""
+
+import pytest
+
+from repro.errors import QueryPlanError
+from repro.ordbms.expr import (
+    And,
+    Col,
+    Compare,
+    InList,
+    IsNull,
+    Like,
+    Lit,
+    Not,
+    Or,
+    conjuncts,
+    equality_on,
+)
+
+ROW = {"A": 5, "B": "hello", "C": None, "D": 2.5}
+
+
+class TestComparisons:
+    def test_eq_builder(self):
+        assert (Col("A") == 5).evaluate(ROW) is True
+        assert (Col("A") == 6).evaluate(ROW) is False
+
+    def test_ordering_operators(self):
+        assert (Col("A") > 4).evaluate(ROW)
+        assert (Col("A") >= 5).evaluate(ROW)
+        assert (Col("A") < 6).evaluate(ROW)
+        assert (Col("A") <= 5).evaluate(ROW)
+        assert (Col("A") != 4).evaluate(ROW)
+
+    def test_column_to_column(self):
+        row = {"X": 1, "Y": 1}
+        assert Compare(Col("X"), "=", Col("Y")).evaluate(row)
+
+    def test_null_comparisons_are_false(self):
+        assert (Col("C") == None).evaluate(ROW) is False  # noqa: E711
+        assert (Col("C") != 5).evaluate(ROW) is False
+        assert (Col("C") < 5).evaluate(ROW) is False
+
+    def test_missing_column_raises(self):
+        with pytest.raises(QueryPlanError):
+            (Col("MISSING") == 1).evaluate(ROW)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryPlanError):
+            Compare(Col("A"), "~~", Lit(1))
+
+    def test_case_insensitive_column(self):
+        assert (Col("a") == 5).evaluate(ROW)
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        true = Col("A") == 5
+        false = Col("A") == 6
+        assert And(true, true).evaluate(ROW)
+        assert not And(true, false).evaluate(ROW)
+        assert Or(false, true).evaluate(ROW)
+        assert Not(false).evaluate(ROW)
+
+    def test_operator_overloads(self):
+        assert ((Col("A") == 5) & (Col("B") == "hello")).evaluate(ROW)
+        assert ((Col("A") == 9) | (Col("B") == "hello")).evaluate(ROW)
+        assert (~(Col("A") == 9)).evaluate(ROW)
+
+    def test_is_null(self):
+        assert IsNull(Col("C")).evaluate(ROW)
+        assert not IsNull(Col("A")).evaluate(ROW)
+        assert Col("C").is_null().evaluate(ROW)
+
+
+class TestInAndLike:
+    def test_in_list(self):
+        assert InList(Col("A"), (1, 5, 9)).evaluate(ROW)
+        assert not InList(Col("A"), (1, 2)).evaluate(ROW)
+        assert not InList(Col("C"), (None,)).evaluate(ROW)
+
+    def test_in_builder(self):
+        assert Col("A").in_((5,)).evaluate(ROW)
+
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [
+            ("hello", True),
+            ("HELLO", True),     # case-insensitive
+            ("hel%", True),
+            ("%llo", True),
+            ("h_llo", True),
+            ("hell_o", False),
+            ("%ell%", True),
+            ("", False),
+            ("%", True),
+        ],
+    )
+    def test_like(self, pattern, expected):
+        assert Like(Col("B"), pattern).evaluate(ROW) is expected
+
+    def test_like_on_null_and_non_string(self):
+        assert not Like(Col("C"), "%").evaluate(ROW)
+        assert not Like(Col("A"), "%").evaluate(ROW)
+
+    def test_like_escapes_regex_metacharacters(self):
+        row = {"B": "a.b"}
+        assert Like(Col("B"), "a.b").evaluate(row)
+        assert not Like(Col("B"), "axb").evaluate(row)
+
+
+class TestPlannerHelpers:
+    def test_conjuncts_flattens(self):
+        expr = (Col("A") == 1) & ((Col("B") == 2) & (Col("C") == 3))
+        assert len(conjuncts(expr)) == 3
+
+    def test_conjuncts_none(self):
+        assert conjuncts(None) == []
+
+    def test_conjuncts_stops_at_or(self):
+        expr = (Col("A") == 1) | (Col("B") == 2)
+        assert conjuncts(expr) == [expr]
+
+    def test_equality_on_matches(self):
+        assert equality_on(Col("A") == 7, "a") == 7
+
+    def test_equality_on_reversed(self):
+        assert equality_on(Compare(Lit(7), "=", Col("A")), "A") == 7
+
+    def test_equality_on_rejects_wrong_shape(self):
+        assert equality_on(Col("A") > 7, "A") is None
+        assert equality_on(Col("B") == 7, "A") is None

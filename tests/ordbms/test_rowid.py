@@ -1,0 +1,46 @@
+"""ROWID encoding, ordering and validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RowIdError
+from repro.ordbms.rowid import RowId
+
+
+class TestEncoding:
+    def test_str_form(self):
+        assert str(RowId(0, 12, 3)) == "F0.B12.S3"
+
+    def test_encode_matches_str(self):
+        rowid = RowId(1, 2, 3)
+        assert rowid.encode() == str(rowid)
+
+    def test_decode_round_trip(self):
+        rowid = RowId(4, 5, 6)
+        assert RowId.decode(rowid.encode()) == rowid
+
+    @pytest.mark.parametrize(
+        "text", ["", "F1.B2", "f1.b2.s3", "F1,B2,S3", "F-1.B2.S3", "rubbish"]
+    )
+    def test_decode_rejects_malformed(self, text):
+        with pytest.raises(RowIdError):
+            RowId.decode(text)
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_round_trip_property(self, file_no, block_no, slot_no):
+        rowid = RowId(file_no, block_no, slot_no)
+        assert RowId.decode(rowid.encode()) == rowid
+
+
+class TestOrderingAndValidity:
+    def test_total_order_is_physical(self):
+        assert RowId(0, 0, 5) < RowId(0, 1, 0) < RowId(1, 0, 0)
+
+    def test_hashable_and_equal(self):
+        assert RowId(1, 1, 1) == RowId(1, 1, 1)
+        assert len({RowId(1, 1, 1), RowId(1, 1, 1)}) == 1
+
+    def test_is_valid(self):
+        assert RowId(0, 0, 0).is_valid
+        assert not RowId(-1, 0, 0).is_valid

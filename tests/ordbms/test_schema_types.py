@@ -1,0 +1,145 @@
+"""Column types and table schemas."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.ordbms import (
+    CLOB,
+    FLOAT,
+    INTEGER,
+    ROWID,
+    TIMESTAMP,
+    VARCHAR,
+    Column,
+    ForeignKey,
+    RowId,
+    TableSchema,
+)
+
+
+class TestTypes:
+    def test_integer_accepts_int(self):
+        assert INTEGER.validate(5, "C") == 5
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True, "C")
+
+    def test_integer_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate("5", "C")
+
+    def test_float_coerces_int(self):
+        assert FLOAT.validate(3, "C") == 3.0
+        assert isinstance(FLOAT.validate(3, "C"), float)
+
+    def test_varchar_and_clob_accept_str(self):
+        assert VARCHAR.validate("x", "C") == "x"
+        assert CLOB.validate("y" * 10000, "C") == "y" * 10000
+
+    def test_timestamp_accepts_datetime_and_iso(self):
+        moment = dt.datetime(2005, 6, 14, 12, 0)
+        assert TIMESTAMP.validate(moment, "C") == moment
+        assert TIMESTAMP.validate("2005-06-14T12:00:00", "C") == moment
+
+    def test_timestamp_rejects_garbage_string(self):
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.validate("not a date", "C")
+
+    def test_rowid_type(self):
+        assert ROWID.validate(RowId(0, 0, 0), "C") == RowId(0, 0, 0)
+        with pytest.raises(TypeMismatchError):
+            ROWID.validate("F0.B0.S0", "C")
+
+    def test_none_always_passes_type_check(self):
+        for data_type in (INTEGER, FLOAT, VARCHAR, TIMESTAMP, ROWID):
+            assert data_type.validate(None, "C") is None
+
+
+def make_schema(**overrides):
+    parameters = dict(
+        name="EMP",
+        columns=(
+            Column("ID", INTEGER, nullable=False),
+            Column("NAME", VARCHAR),
+            Column("NOTE", CLOB, default=""),
+        ),
+        primary_key="ID",
+    )
+    parameters.update(overrides)
+    return TableSchema(**parameters)
+
+
+class TestTableSchema:
+    def test_names_uppercased(self):
+        schema = TableSchema("emp", (Column("id", INTEGER),))
+        assert schema.name == "EMP"
+        assert schema.columns[0].name == "ID"
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", (Column("A", INTEGER), Column("a", VARCHAR)))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", ())
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema(primary_key="NOPE")
+
+    def test_unique_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema(unique=("NOPE",))
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema(foreign_keys=(ForeignKey("NOPE", "OTHER", "ID"),))
+
+    def test_position_and_column_lookup(self):
+        schema = make_schema()
+        assert schema.position("name") == 1
+        assert schema.column("NOTE").dtype is CLOB
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad name!", INTEGER)
+
+
+class TestMakeRow:
+    def test_full_row(self):
+        schema = make_schema()
+        assert schema.make_row({"id": 1, "name": "a", "note": "n"}) == (1, "a", "n")
+
+    def test_defaults_applied(self):
+        schema = make_schema()
+        assert schema.make_row({"id": 1}) == (1, None, "")
+
+    def test_not_null_enforced(self):
+        schema = make_schema()
+        with pytest.raises(TypeMismatchError):
+            schema.make_row({"name": "a"})
+
+    def test_unknown_column_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.make_row({"id": 1, "bogus": 2})
+
+    def test_type_checked(self):
+        schema = make_schema()
+        with pytest.raises(TypeMismatchError):
+            schema.make_row({"id": "one"})
+
+    def test_row_to_dict_round_trip(self):
+        schema = make_schema()
+        row = schema.make_row({"id": 7, "name": "x"})
+        assert schema.row_to_dict(row) == {"ID": 7, "NAME": "x", "NOTE": ""}
+
+    def test_row_to_dict_width_check(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.row_to_dict((1,))

@@ -1,0 +1,271 @@
+"""The SQL subset: DDL, DML, SELECT planning, CONTAINS lowering."""
+
+import pytest
+
+from repro.errors import CatalogError, ConstraintError
+from repro.ordbms import Database, execute_sql
+from repro.ordbms.sql import SqlError
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    execute_sql(
+        db,
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, dept VARCHAR, "
+        "salary INTEGER, bio CLOB)",
+    )
+    execute_sql(db, "CREATE INDEX ON emp (dept)")
+    execute_sql(db, "CREATE TEXT INDEX ON emp (bio)")
+    execute_sql(
+        db,
+        "INSERT INTO emp (id, dept, salary, bio) VALUES "
+        "(1, 'eng', 100, 'shuttle engines'), "
+        "(2, 'eng', 120, 'avionics software'), "
+        "(3, 'sci', 90, 'earth payloads'), "
+        "(4, 'ops', 80, 'launch ops')",
+    )
+    return db
+
+
+class TestDdl:
+    def test_create_table_with_constraints(self):
+        db = Database()
+        execute_sql(
+            db,
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR NOT NULL, "
+            "c VARCHAR UNIQUE)",
+        )
+        schema = db.table("T").schema
+        assert schema.primary_key == "A"
+        assert not schema.column("B").nullable
+        assert "C" in schema.unique
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SqlError):
+            execute_sql(Database(), "CREATE TABLE t (a BLOB)")
+
+    def test_drop_table(self, database):
+        execute_sql(database, "DROP TABLE emp")
+        with pytest.raises(CatalogError):
+            database.table("EMP")
+
+    def test_create_duplicate_index_fails(self, database):
+        with pytest.raises(CatalogError):
+            execute_sql(database, "CREATE INDEX ON emp (dept)")
+
+
+class TestDml:
+    def test_insert_rowcount(self, database):
+        result = execute_sql(
+            database, "INSERT INTO emp (id, dept) VALUES (5, 'hr'), (6, 'hr')"
+        )
+        assert result.rowcount == 2
+        assert len(database.table("EMP")) == 6
+
+    def test_insert_pk_violation(self, database):
+        with pytest.raises(ConstraintError):
+            execute_sql(database, "INSERT INTO emp (id) VALUES (1)")
+
+    def test_insert_arity_mismatch(self, database):
+        with pytest.raises(SqlError):
+            execute_sql(database, "INSERT INTO emp (id, dept) VALUES (9)")
+
+    def test_update_with_where(self, database):
+        result = execute_sql(
+            database, "UPDATE emp SET salary = 130 WHERE dept = 'eng'"
+        )
+        assert result.rowcount == 2
+        rows = execute_sql(
+            database, "SELECT salary FROM emp WHERE dept = 'eng'"
+        ).rows
+        assert [row["SALARY"] for row in rows] == [130, 130]
+
+    def test_update_all_rows(self, database):
+        assert execute_sql(database, "UPDATE emp SET salary = 1").rowcount == 4
+
+    def test_delete_with_where(self, database):
+        assert (
+            execute_sql(database, "DELETE FROM emp WHERE salary < 95").rowcount
+            == 2
+        )
+        assert len(database.table("EMP")) == 2
+
+    def test_string_escape(self, database):
+        execute_sql(
+            database, "INSERT INTO emp (id, bio) VALUES (9, 'it''s fine')"
+        )
+        [row] = execute_sql(
+            database, "SELECT bio FROM emp WHERE id = 9"
+        ).rows
+        assert row["BIO"] == "it's fine"
+
+
+class TestSelect:
+    def test_select_star(self, database):
+        rows = execute_sql(database, "SELECT * FROM emp").rows
+        assert len(rows) == 4
+        assert set(rows[0]) == {"ID", "DEPT", "SALARY", "BIO"}
+
+    def test_projection_and_alias(self, database):
+        rows = execute_sql(
+            database, "SELECT id AS who, salary FROM emp WHERE id = 1"
+        ).rows
+        assert rows == [{"WHO": 1, "SALARY": 100}]
+
+    def test_where_connectives(self, database):
+        rows = execute_sql(
+            database,
+            "SELECT id FROM emp WHERE (dept = 'eng' AND salary > 110) "
+            "OR dept = 'ops'",
+        ).rows
+        assert sorted(row["ID"] for row in rows) == [2, 4]
+
+    def test_not_and_in_and_like(self, database):
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE dept IN ('eng', 'sci')"
+        ).rows
+        assert sorted(row["ID"] for row in rows) == [1, 2, 3]
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE bio LIKE '%engine%'"
+        ).rows
+        assert [row["ID"] for row in rows] == [1]
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE NOT dept = 'eng'"
+        ).rows
+        assert sorted(row["ID"] for row in rows) == [3, 4]
+
+    def test_is_null(self, database):
+        execute_sql(database, "INSERT INTO emp (id) VALUES (7)")
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE dept IS NULL"
+        ).rows
+        assert [row["ID"] for row in rows] == [7]
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE dept IS NOT NULL"
+        ).rows
+        assert len(rows) == 4
+
+    def test_order_limit_offset(self, database):
+        rows = execute_sql(
+            database,
+            "SELECT id FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1",
+        ).rows
+        assert [row["ID"] for row in rows] == [1, 3]
+
+    def test_group_by_aggregates(self, database):
+        rows = execute_sql(
+            database,
+            "SELECT dept, COUNT(*) AS n, SUM(salary) AS total FROM emp "
+            "GROUP BY dept ORDER BY dept",
+        ).rows
+        assert rows[0] == {"DEPT": "eng", "N": 2, "TOTAL": 220}
+
+    def test_global_aggregate(self, database):
+        [row] = execute_sql(
+            database, "SELECT MIN(salary) AS lo, MAX(salary) AS hi FROM emp"
+        ).rows
+        assert row == {"LO": 80, "HI": 120}
+
+    def test_non_grouped_column_rejected(self, database):
+        with pytest.raises(SqlError):
+            execute_sql(database, "SELECT dept, salary FROM emp GROUP BY dept")
+
+    def test_join(self, database):
+        execute_sql(
+            database,
+            "CREATE TABLE dept (name VARCHAR PRIMARY KEY, building VARCHAR)",
+        )
+        execute_sql(
+            database,
+            "INSERT INTO dept (name, building) VALUES ('eng', 'N239'), "
+            "('sci', 'N245')",
+        )
+        rows = execute_sql(
+            database,
+            "SELECT emp.id, dept.building FROM emp "
+            "JOIN dept ON emp.dept = dept.name ORDER BY id",
+        ).rows
+        assert rows == [
+            {"ID": 1, "BUILDING": "N239"},
+            {"ID": 2, "BUILDING": "N239"},
+            {"ID": 3, "BUILDING": "N245"},
+        ]
+
+    def test_join_bad_qualifier(self, database):
+        execute_sql(database, "CREATE TABLE d2 (name VARCHAR)")
+        with pytest.raises(SqlError):
+            execute_sql(
+                database,
+                "SELECT * FROM emp JOIN d2 ON nosuch.dept = d2.name",
+            )
+
+
+class TestContains:
+    def test_contains_uses_text_index(self, database):
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE CONTAINS(bio, 'shuttle')"
+        ).rows
+        assert [row["ID"] for row in rows] == [1]
+
+    def test_contains_with_residual_predicate(self, database):
+        rows = execute_sql(
+            database,
+            "SELECT id FROM emp WHERE CONTAINS(bio, 'engines') "
+            "AND salary >= 100",
+        ).rows
+        assert [row["ID"] for row in rows] == [1]
+
+    def test_two_contains_intersect(self, database):
+        rows = execute_sql(
+            database,
+            "SELECT id FROM emp WHERE CONTAINS(bio, 'shuttle') "
+            "AND CONTAINS(bio, 'engines')",
+        ).rows
+        assert [row["ID"] for row in rows] == [1]
+
+    def test_contains_under_or_evaluates_inline(self, database):
+        rows = execute_sql(
+            database,
+            "SELECT id FROM emp WHERE CONTAINS(bio, 'shuttle') "
+            "OR dept = 'ops'",
+        ).rows
+        assert sorted(row["ID"] for row in rows) == [1, 4]
+
+    def test_contains_needs_string(self, database):
+        with pytest.raises(SqlError):
+            execute_sql(database, "SELECT id FROM emp WHERE CONTAINS(bio, 3)")
+
+
+class TestErrors:
+    def test_unsupported_statement(self, database):
+        with pytest.raises(SqlError):
+            execute_sql(database, "GRANT ALL TO public")
+
+    def test_trailing_tokens(self, database):
+        with pytest.raises(SqlError):
+            execute_sql(database, "SELECT * FROM emp extra junk")
+
+    def test_garbage_rejected(self, database):
+        with pytest.raises(SqlError):
+            execute_sql(database, "SELECT @@ FROM emp")
+
+    def test_semicolon_tolerated(self, database):
+        assert execute_sql(database, "SELECT * FROM emp;").rowcount == 4
+
+
+class TestNegativeLiterals:
+    def test_insert_and_compare_negative(self, database):
+        execute_sql(database, "INSERT INTO emp (id, salary) VALUES (10, -5)")
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE salary = -5"
+        ).rows
+        assert [row["ID"] for row in rows] == [10]
+        rows = execute_sql(
+            database, "SELECT id FROM emp WHERE salary < -1"
+        ).rows
+        assert [row["ID"] for row in rows] == [10]
+
+    def test_unary_minus_requires_number(self, database):
+        with pytest.raises(SqlError):
+            execute_sql(database, "SELECT id FROM emp WHERE dept = -'eng'")

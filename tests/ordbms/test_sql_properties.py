@@ -1,0 +1,96 @@
+"""Property-based checks: SQL results vs plain-Python references."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordbms import Column, Database, INTEGER, TableSchema, VARCHAR
+from repro.ordbms.sql import execute_sql
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 50),
+        st.sampled_from(["eng", "sci", "ops"]),
+        st.integers(-100, 100),
+    ),
+    max_size=60,
+)
+
+
+def _load(rows) -> Database:
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "T",
+            (
+                Column("ID", INTEGER, nullable=False),
+                Column("DEPT", VARCHAR),
+                Column("V", INTEGER),
+            ),
+        )
+    )
+    for id_, dept, value in rows:
+        database.insert("T", {"ID": id_, "DEPT": dept, "V": value})
+    return database
+
+
+class TestSelectAgainstReference:
+    @given(rows_strategy, st.integers(-100, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_where_matches_filter(self, rows, threshold):
+        database = _load(rows)
+        got = execute_sql(
+            database, f"SELECT id FROM t WHERE v > {threshold} OR v < 0"
+        ).rows
+        expected = sorted(
+            id_ for id_, _, value in rows if value > threshold or value < 0
+        )
+        assert sorted(row["ID"] for row in got) == expected
+
+    @given(rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_matches_reference(self, rows):
+        database = _load(rows)
+        got = {
+            row["DEPT"]: (row["N"], row["S"])
+            for row in execute_sql(
+                database,
+                "SELECT dept, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY dept",
+            ).rows
+        }
+        expected: dict[str, tuple[int, int]] = {}
+        for _, dept, value in rows:
+            count, total = expected.get(dept, (0, 0))
+            expected[dept] = (count + 1, total + value)
+        assert got == expected
+
+    @given(rows_strategy, st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_order_limit_matches_sorted_slice(self, rows, limit):
+        database = _load(rows)
+        got = [
+            row["V"]
+            for row in execute_sql(
+                database, f"SELECT v FROM t ORDER BY v LIMIT {limit}"
+            ).rows
+        ]
+        assert got == sorted(value for _, _, value in rows)[:limit]
+
+    @given(rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_delete_then_count(self, rows):
+        database = _load(rows)
+        deleted = execute_sql(database, "DELETE FROM t WHERE v < 0").rowcount
+        [row] = execute_sql(database, "SELECT COUNT(*) AS n FROM t").rows
+        negatives = sum(1 for _, _, value in rows if value < 0)
+        assert deleted == negatives
+        assert row["N"] == len(rows) - negatives
+
+    @given(rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_update_is_visible(self, rows):
+        database = _load(rows)
+        execute_sql(database, "UPDATE t SET v = 0 WHERE dept = 'eng'")
+        got = execute_sql(
+            database, "SELECT v FROM t WHERE dept = 'eng'"
+        ).rows
+        assert all(row["V"] == 0 for row in got)

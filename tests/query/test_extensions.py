@@ -1,0 +1,100 @@
+"""Query-language extensions: Nodename=, Doc=, Format= and store revisions."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.netmark import Netmark
+from repro.query.language import format_query, parse_query
+
+
+@pytest.fixture
+def node():
+    netmark = Netmark("ext")
+    netmark.ingest("a.md", "# Budget\ntravel dollars\n\n# Other\nnoise\n")
+    netmark.ingest("b.csv", "K,V\nBudget,77\n")
+    netmark.ingest(
+        "c.xml",
+        "<report><chapter>alpha text</chapter>"
+        "<chapter>beta text</chapter><summary>done</summary></report>",
+    )
+    return netmark
+
+
+class TestNodenameQueries:
+    def test_parse_kind(self):
+        query = parse_query("Nodename=chapter")
+        assert query.kind == "nodename"
+        assert query.nodename == "chapter"
+
+    def test_instances_returned(self, node):
+        matches = node.search("Nodename=chapter")
+        assert [match.content for match in matches] == [
+            "alpha text", "beta text",
+        ]
+
+    def test_nodename_with_content_filter(self, node):
+        matches = node.search("Nodename=chapter&Content=beta")
+        assert [match.content for match in matches] == ["beta text"]
+
+    def test_nodename_case_insensitive(self, node):
+        assert len(node.search("Nodename=CHAPTER")) == 2
+
+    def test_unknown_nodename_empty(self, node):
+        assert len(node.search("Nodename=nonexistent")) == 0
+
+    def test_nodename_of_context_element(self, node):
+        # The canonical converters store headings as <context> elements.
+        matches = node.search("Nodename=context&Doc=a.md")
+        assert {match.content for match in matches} == {"Budget", "Other"}
+
+    def test_round_trip_format(self):
+        query = parse_query("Nodename=chapter&limit=2")
+        assert parse_query(format_query(query)) == query
+
+    def test_empty_nodename_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Nodename=%20")
+
+
+class TestDocAndFormatFilters:
+    def test_doc_filter_substring(self, node):
+        matches = node.search("Context=Budget&Doc=a.md")
+        assert [match.file_name for match in matches] == ["a.md"]
+        matches = node.search("Context=Budget&Doc=.csv")
+        assert [match.file_name for match in matches] == ["b.csv"]
+
+    def test_format_filter(self, node):
+        matches = node.search("Context=Budget&Format=spreadsheet")
+        assert [match.file_name for match in matches] == ["b.csv"]
+        matches = node.search("Context=Budget&Format=markdown")
+        assert [match.file_name for match in matches] == ["a.md"]
+
+    def test_filters_compose(self, node):
+        assert len(node.search("Context=Budget&Doc=a.md&Format=spreadsheet")) == 0
+
+    def test_filters_round_trip(self):
+        query = parse_query("Context=X&Doc=a&Format=pdf")
+        assert parse_query(format_query(query)) == query
+
+
+class TestRevisions:
+    def test_replace_text_increments_revision(self):
+        node = Netmark("rev")
+        node.store.store_text("# A\nversion one\n", "doc.md")
+        result = node.store.replace_text("# A\nversion two\n", "doc.md")
+        entry = node.store.describe(result.doc_id)
+        assert entry.metadata["revision"] == "2"
+        assert len(node.store) == 1
+        [match] = node.search("Context=A")
+        assert match.content == "version two"
+
+    def test_replace_without_prior_is_plain_store(self):
+        node = Netmark("rev")
+        result = node.store.replace_text("# A\nfirst\n", "doc.md")
+        assert node.store.describe(result.doc_id).metadata["revision"] == "1"
+
+    def test_old_revision_unsearchable(self):
+        node = Netmark("rev")
+        node.store.store_text("# A\nuniqueoldterm\n", "doc.md")
+        node.store.replace_text("# A\nnew text\n", "doc.md")
+        assert len(node.search("Content=uniqueoldterm")) == 0

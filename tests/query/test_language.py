@@ -1,0 +1,151 @@
+"""XDB Query URL language: parsing, encoding, round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import ContentSpec, ContextSpec, XdbQuery
+from repro.query.language import (
+    format_query,
+    parse_pairs,
+    parse_query,
+    percent_decode,
+    percent_encode,
+)
+
+
+class TestPercentCoding:
+    @pytest.mark.parametrize(
+        "encoded,decoded",
+        [
+            ("a+b", "a b"),
+            ("a%20b", "a b"),
+            ("caf%C3%A9", "café"),
+            ("100%25", "100%"),
+            ("plain", "plain"),
+            ("%zz", "%zz"),  # bad escape passes through
+        ],
+    )
+    def test_decode(self, encoded, decoded):
+        assert percent_decode(encoded) == decoded
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_encode_decode_round_trip(self, value):
+        assert percent_decode(percent_encode(value)) == value
+
+
+class TestParseQuery:
+    def test_context_only(self):
+        query = parse_query("Context=Introduction")
+        assert query.kind == "context"
+        assert query.context.phrases == ("Introduction",)
+
+    def test_content_only(self):
+        query = parse_query("Content=Shuttle")
+        assert query.kind == "content"
+        assert query.content.terms == ("Shuttle",)
+        assert query.content.mode == "all"
+
+    def test_combined_paper_example(self):
+        query = parse_query("Context=Technology%20Gap&Content=Shrinking")
+        assert query.kind == "combined"
+        assert query.context.phrases == ("Technology Gap",)
+        assert query.content.terms == ("Shrinking",)
+
+    def test_alternatives(self):
+        query = parse_query("Context=Budget|Cost%20Details")
+        assert query.context.phrases == ("Budget", "Cost Details")
+
+    def test_repeated_context_keys_accumulate(self):
+        query = parse_query("Context=Budget&Context=Cost Details")
+        assert query.context.phrases == ("Budget", "Cost Details")
+
+    def test_quoted_content_is_phrase(self):
+        query = parse_query('Content="technology gap"')
+        assert query.content.mode == "phrase"
+        assert query.content.terms == ("technology gap",)
+
+    def test_any_prefix(self):
+        query = parse_query("Content=any:risk safety margin")
+        assert query.content.mode == "any"
+        assert query.content.terms == ("risk", "safety", "margin")
+
+    def test_conflicting_modes_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('Content="a b"&Content=any:c')
+
+    def test_directives(self):
+        query = parse_query(
+            "Context=X&xslt=report.xsl&databank=eng&limit=5&custom=1"
+        )
+        assert query.stylesheet == "report.xsl"
+        assert query.databank == "eng"
+        assert query.limit == 5
+        assert query.extras == (("custom", "1"),)
+
+    def test_keys_case_insensitive(self):
+        query = parse_query("CONTEXT=X&content=y&XSLT=s")
+        assert query.context and query.content and query.stylesheet == "s"
+
+    def test_full_url_accepted(self):
+        query = parse_query("http://host/search?Context=X")
+        assert query.context.phrases == ("X",)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Contextual")
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Context=X&limit=soon")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Context=X&limit=0")
+
+    def test_blank_value_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Context=")
+
+
+class TestAst:
+    def test_query_needs_context_or_content(self):
+        with pytest.raises(QuerySyntaxError):
+            XdbQuery()
+
+    def test_context_spec_trims(self):
+        spec = ContextSpec(("  Budget ", ""))
+        assert spec.phrases == ("Budget",)
+
+    def test_content_spec_validates_mode(self):
+        with pytest.raises(QuerySyntaxError):
+            ContentSpec(("x",), "fuzzy")
+
+    def test_kind(self):
+        assert XdbQuery(context=ContextSpec(("a",))).kind == "context"
+        assert XdbQuery(content=ContentSpec(("a",))).kind == "content"
+
+
+class TestFormatQuery:
+    def test_round_trip_simple(self):
+        source = "Context=Technology+Gap&Content=Shrinking"
+        assert format_query(parse_query(source)) == source
+
+    def test_round_trip_phrase(self):
+        query = parse_query('Content="a b"')
+        again = parse_query(format_query(query))
+        assert again.content == query.content
+
+    def test_round_trip_everything(self):
+        query = parse_query(
+            "Context=A|B&Content=any:x y&xslt=s.xsl&databank=d&limit=3"
+        )
+        again = parse_query(format_query(query))
+        assert again == query
+
+    def test_parse_pairs_decodes(self):
+        assert parse_pairs("a=1%202&b=c+d") == [("a", "1 2"), ("b", "c d")]

@@ -1,0 +1,79 @@
+"""Result model: ordering helpers, XML rendering, limits."""
+
+from repro.query.results import ResultSet, SectionMatch
+from repro.sgml.dom import Element
+from repro.sgml.serializer import serialize
+
+
+def match(doc_id=1, file_name="a.md", context="H", content="body",
+          section=None, source="local"):
+    return SectionMatch(
+        doc_id=doc_id,
+        file_name=file_name,
+        context=context,
+        content=content,
+        section=section,
+        source=source,
+    )
+
+
+class TestResultSet:
+    def test_len_bool_iter(self):
+        results = ResultSet("q")
+        assert not results and len(results) == 0
+        results.add(match())
+        assert results and len(results) == 1
+        assert list(results)[0].context == "H"
+
+    def test_documents_distinct_in_order(self):
+        results = ResultSet("q")
+        results.extend([match(file_name="b"), match(file_name="a"),
+                        match(file_name="b")])
+        assert results.documents() == ["b", "a"]
+
+    def test_limited(self):
+        results = ResultSet("q")
+        results.extend([match(context=str(i)) for i in range(5)])
+        assert len(results.limited(3)) == 3
+        assert len(results.limited(None)) == 5
+        assert len(results.limited(10)) == 5
+
+    def test_brief_truncates(self):
+        m = match(content="x" * 100)
+        line = m.brief(width=20)
+        assert "..." in line and len(line) < 100
+
+
+class TestToXml:
+    def test_shape(self):
+        results = ResultSet("Context=Budget")
+        results.add(match())
+        document = results.to_xml()
+        assert document.root.tag == "results"
+        assert document.root.get("query") == "Context=Budget"
+        [result] = document.find_all("result")
+        assert result.get("doc") == "a.md"
+        assert result.find("context").text_content() == "H"
+        assert result.find("content").text_content() == "body"
+
+    def test_section_children_cloned(self):
+        section = Element("section")
+        context = section.make_child("context")
+        context.append_text("H")
+        content = section.make_child("content")
+        content.append_text("rich ")
+        content.make_child("b").append_text("bold")
+        results = ResultSet("q")
+        results.add(match(section=section))
+        first = serialize(results.to_xml())
+        second = serialize(results.to_xml())
+        assert first == second  # rendering twice must be stable
+        assert "<b>bold</b>" in first
+        # context child from section is not duplicated
+        assert first.count("<context>") == 1
+
+    def test_sources_attributed(self):
+        results = ResultSet("q")
+        results.add(match(source="llis"))
+        xml = serialize(results.to_xml())
+        assert 'source="llis"' in xml

@@ -1,0 +1,76 @@
+"""INTENSE-weighted relevance scoring."""
+
+import pytest
+
+from repro.netmark import Netmark
+
+
+@pytest.fixture
+def node():
+    netmark = Netmark("score")
+    netmark.ingest("plain.md", "# Alpha\nthe rocket flew today\n")
+    netmark.ingest("bold.md", "# Beta\nsee the **rocket** now\n")
+    netmark.ingest(
+        "double.md", "# Gamma\n**rocket** one\n\nand **rocket** two\n"
+    )
+    return netmark
+
+
+class TestIntenseScoring:
+    def test_plain_match_scores_one(self, node):
+        [match] = [
+            m for m in node.search("Content=rocket")
+            if m.file_name == "plain.md"
+        ]
+        assert match.score == 1.0
+
+    def test_emphasized_match_boosted(self, node):
+        [match] = [
+            m for m in node.search("Content=rocket")
+            if m.file_name == "bold.md"
+        ]
+        assert match.score == 1.5
+
+    def test_multiple_emphasized_hits_accumulate(self, node):
+        [match] = [
+            m for m in node.search("Content=rocket")
+            if m.file_name == "double.md"
+        ]
+        assert match.score == 2.0
+
+    def test_ranked_puts_emphasis_first(self, node):
+        ranked = node.search("Content=rocket").ranked()
+        assert [match.file_name for match in ranked] == [
+            "double.md", "bold.md", "plain.md",
+        ]
+
+    def test_result_order_remains_stable_document_order(self, node):
+        matches = node.search("Content=rocket").matches
+        assert [match.doc_id for match in matches] == sorted(
+            match.doc_id for match in matches
+        )
+
+    def test_context_search_unscored(self, node):
+        # Scoring is a content-search concept; context matches stay 1.0.
+        assert all(
+            match.score == 1.0 for match in node.search("Context=Alpha")
+        )
+
+    def test_intense_inside_heading_does_not_boost_content(self, node):
+        node.ingest("hb.md", "# The **rocket** heading\nplain words\n")
+        [match] = [
+            m for m in node.search("Content=rocket")
+            if m.file_name == "hb.md"
+        ]
+        # The hit is heading text: its ancestor chain reaches CONTEXT
+        # first, so no INTENSE boost is attributed.
+        assert match.score == 1.0
+
+
+class TestRankedHelper:
+    def test_ranked_is_stable_within_ties(self, node):
+        ranked = node.search("Content=the").ranked()
+        tied = [match for match in ranked if match.score == 1.0]
+        assert [match.file_name for match in tied] == sorted(
+            match.file_name for match in tied
+        )

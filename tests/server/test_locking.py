@@ -1,0 +1,87 @@
+"""WebDAV class-2 locking: exclusive write locks."""
+
+import pytest
+
+from repro.server.webdav import WebDavServer
+
+
+@pytest.fixture
+def dav():
+    server = WebDavServer()
+    server.put("/doc.ndoc", "original")
+    return server
+
+
+class TestLockLifecycle:
+    def test_lock_returns_token(self, dav):
+        response = dav.lock("/doc.ndoc", owner="maluf")
+        assert response.status == 200
+        assert response.body.startswith("opaquelocktoken:")
+        info = dav.lock_info("/doc.ndoc")
+        assert info.owner == "maluf"
+
+    def test_lock_missing_file_404(self, dav):
+        assert dav.lock("/nope").status == 404
+
+    def test_double_lock_423(self, dav):
+        dav.lock("/doc.ndoc")
+        assert dav.lock("/doc.ndoc").status == 423
+
+    def test_unlock_with_token(self, dav):
+        token = dav.lock("/doc.ndoc").body
+        assert dav.unlock("/doc.ndoc", token).status == 204
+        assert dav.lock_info("/doc.ndoc") is None
+
+    def test_unlock_wrong_token_403(self, dav):
+        dav.lock("/doc.ndoc")
+        assert dav.unlock("/doc.ndoc", "bogus").status == 403
+
+    def test_unlock_unlocked_409(self, dav):
+        assert dav.unlock("/doc.ndoc", "whatever").status == 409
+
+    def test_tokens_unique(self, dav):
+        dav.put("/other", "x")
+        first = dav.lock("/doc.ndoc").body
+        second = dav.lock("/other").body
+        assert first != second
+
+
+class TestLockEnforcement:
+    def test_put_blocked_without_token(self, dav):
+        dav.lock("/doc.ndoc", owner="alice")
+        response = dav.put("/doc.ndoc", "edited")
+        assert response.status == 423
+        assert "alice" in response.body
+        assert dav.get("/doc.ndoc").body == "original"
+
+    def test_put_allowed_with_token(self, dav):
+        token = dav.lock("/doc.ndoc").body
+        assert dav.put("/doc.ndoc", "edited", lock_token=token).status == 204
+        assert dav.get("/doc.ndoc").body == "edited"
+
+    def test_delete_blocked_then_allowed(self, dav):
+        token = dav.lock("/doc.ndoc").body
+        assert dav.delete("/doc.ndoc").status == 423
+        assert dav.delete("/doc.ndoc", lock_token=token).status == 204
+
+    def test_move_blocked_then_allowed(self, dav):
+        token = dav.lock("/doc.ndoc").body
+        assert dav.move("/doc.ndoc", "/moved").status == 423
+        assert dav.move("/doc.ndoc", "/moved", lock_token=token).status == 201
+        # The lock does not follow the resource.
+        assert dav.lock_info("/moved") is None
+
+    def test_delete_releases_lock(self, dav):
+        token = dav.lock("/doc.ndoc").body
+        dav.delete("/doc.ndoc", lock_token=token)
+        dav.put("/doc.ndoc", "recreated")
+        assert dav.lock_info("/doc.ndoc") is None
+
+    def test_reads_never_blocked(self, dav):
+        dav.lock("/doc.ndoc")
+        assert dav.get("/doc.ndoc").ok
+        assert dav.propfind("/doc.ndoc").status == 207
+
+    def test_unrelated_files_unaffected(self, dav):
+        dav.lock("/doc.ndoc")
+        assert dav.put("/free.txt", "x").status == 201

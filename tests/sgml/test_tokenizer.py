@@ -1,0 +1,120 @@
+"""Tokenizer: tags, attributes, entities, comments, tolerant recovery."""
+
+import pytest
+
+from repro.errors import SgmlSyntaxError
+from repro.sgml.tokenizer import (
+    CommentToken,
+    DeclarationToken,
+    EndTag,
+    StartTag,
+    TextToken,
+    decode_entities,
+    tokenize_markup,
+)
+
+
+class TestEntities:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("&amp;", "&"),
+            ("&lt;tag&gt;", "<tag>"),
+            ("&quot;q&quot;", '"q"'),
+            ("&#65;", "A"),
+            ("&#x41;", "A"),
+            ("&nbsp;", " "),
+            ("a &amp; b", "a & b"),
+        ],
+    )
+    def test_known(self, raw, expected):
+        assert decode_entities(raw) == expected
+
+    def test_unknown_entity_passes_through(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_bare_ampersand_untouched(self):
+        assert decode_entities("AT&T") == "AT&T"
+
+    def test_huge_codepoint_passes_through(self):
+        assert decode_entities("&#99999999999;") == "&#99999999999;"
+
+
+class TestTags:
+    def test_simple_element(self):
+        tokens = tokenize_markup("<a>x</a>")
+        assert isinstance(tokens[0], StartTag) and tokens[0].name == "a"
+        assert isinstance(tokens[1], TextToken) and tokens[1].data == "x"
+        assert isinstance(tokens[2], EndTag) and tokens[2].name == "a"
+
+    def test_tag_names_lowercased(self):
+        [start] = tokenize_markup("<DIV>")
+        assert start.name == "div"
+
+    def test_self_closing(self):
+        [tag] = tokenize_markup("<br/>")
+        assert tag.self_closing
+
+    def test_attributes_quoted_and_unquoted(self):
+        [tag] = tokenize_markup('<a href="x" id=\'y\' width=3>')
+        assert tag.attributes == {"href": "x", "id": "y", "width": "3"}
+
+    def test_boolean_attribute(self):
+        [tag] = tokenize_markup("<input disabled>")
+        assert tag.attributes["disabled"] == "disabled"
+
+    def test_attribute_entities_decoded(self):
+        [tag] = tokenize_markup('<a title="a &amp; b">')
+        assert tag.attributes["title"] == "a & b"
+
+    def test_attribute_with_self_closing_slash(self):
+        [tag] = tokenize_markup('<img src="x.png"/>')
+        assert tag.attributes == {"src": "x.png"}
+        assert tag.self_closing
+
+
+class TestNonElements:
+    def test_comment(self):
+        [token] = tokenize_markup("<!-- hi -->")
+        assert isinstance(token, CommentToken)
+        assert token.data == " hi "
+
+    def test_cdata_becomes_text(self):
+        [token] = tokenize_markup("<![CDATA[<raw> & stuff]]>")
+        assert isinstance(token, TextToken)
+        assert token.data == "<raw> & stuff"
+
+    def test_doctype_declaration(self):
+        [token] = tokenize_markup("<!DOCTYPE html>")
+        assert isinstance(token, DeclarationToken)
+
+    def test_processing_instruction(self):
+        [token] = tokenize_markup('<?xml version="1.0"?>')
+        assert isinstance(token, DeclarationToken)
+
+
+class TestTolerance:
+    def test_bare_less_than_is_text(self):
+        tokens = tokenize_markup("a < b")
+        assert "".join(
+            token.data for token in tokens if isinstance(token, TextToken)
+        ) == "a < b"
+
+    def test_unterminated_comment_tolerant(self):
+        [token] = tokenize_markup("<!-- never ends")
+        assert isinstance(token, CommentToken)
+
+    def test_unterminated_comment_strict_raises(self):
+        with pytest.raises(SgmlSyntaxError):
+            tokenize_markup("<!-- never ends", strict=True)
+
+    def test_bare_less_than_strict_raises(self):
+        with pytest.raises(SgmlSyntaxError):
+            tokenize_markup("a < b", strict=True)
+
+    def test_line_numbers(self):
+        tokens = tokenize_markup("line1\n<b>\n</b>")
+        start = next(token for token in tokens if isinstance(token, StartTag))
+        end = next(token for token in tokens if isinstance(token, EndTag))
+        assert start.line == 2
+        assert end.line == 3

@@ -1,0 +1,130 @@
+"""Workload generators: determinism, structure, ground-truth alignment."""
+
+from repro.converters import convert
+from repro.workloads import (
+    CorpusSpec,
+    WordStream,
+    generate_corpus,
+    generate_lessons,
+    generate_proposals,
+    generate_task_plans,
+    generate_tracker_a,
+    generate_tracker_b,
+    render_csv,
+)
+
+
+class TestWordStream:
+    def test_deterministic_per_seed(self):
+        first = WordStream(7)
+        second = WordStream(7)
+        assert [first.sentence() for _ in range(5)] == [
+            second.sentence() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert [WordStream(1).word() for _ in range(20)] != [
+            WordStream(2).word() for _ in range(20)
+        ]
+
+    def test_sentence_shape(self):
+        sentence = WordStream(3).sentence()
+        assert sentence.endswith(".")
+        assert sentence[0].isupper()
+
+    def test_dollars_are_round_thousands(self):
+        stream = WordStream(4)
+        for _ in range(10):
+            assert stream.dollars() % 1000 == 0
+
+
+class TestCorpus:
+    def test_count_and_format_cycling(self):
+        files = generate_corpus(CorpusSpec(documents=12))
+        assert len(files) == 12
+        assert {file.format for file in files} == {
+            "ndoc", "npdf", "md", "html", "nppt", "txt",
+        }
+
+    def test_deterministic(self):
+        spec = CorpusSpec(documents=6, seed=99)
+        first = generate_corpus(spec)
+        second = generate_corpus(CorpusSpec(documents=6, seed=99))
+        assert [file.text for file in first] == [file.text for file in second]
+
+    def test_every_file_converts_with_declared_headings(self):
+        for file in generate_corpus(CorpusSpec(documents=12, seed=5)):
+            document = convert(file.text, file.name)
+            contexts = {
+                context.text_content().strip()
+                for context in document.find_all("context")
+            }
+            missing = set(file.headings) - contexts
+            assert not missing, (file.name, missing)
+
+    def test_planted_term_appears_with_expected_frequency(self):
+        spec = CorpusSpec(
+            documents=10, planted_term="xyzzy", plant_every=3, seed=2
+        )
+        files = generate_corpus(spec)
+        hits = sum("xyzzy" in file.text for file in files)
+        assert hits >= 3
+
+    def test_render_csv_quotes(self):
+        text = render_csv(["a", "b"], [["1,5", 'say "hi"']])
+        assert text == 'a,b\n"1,5","say ""hi"""\n'
+
+
+class TestProposals:
+    def test_ground_truth_alignment(self):
+        files, facts = generate_proposals(8, seed=1)
+        assert len(files) == len(facts) == 8
+        for file, fact in zip(files, facts):
+            assert file.name == fact.file_name
+            assert f"${fact.amount:,}" in file.text
+            assert fact.division in file.text
+
+    def test_formats_alternate(self):
+        files, _ = generate_proposals(4, seed=1)
+        assert [file.format for file in files] == [
+            "ndoc", "npdf", "ndoc", "npdf",
+        ]
+
+    def test_proposals_convert_cleanly(self):
+        files, _ = generate_proposals(4, seed=2)
+        for file in files:
+            document = convert(file.text, file.name)
+            headings = {
+                context.text_content().strip()
+                for context in document.find_all("context")
+            }
+            assert "Budget" in headings
+
+
+class TestTaskPlans:
+    def test_ground_truth_totals(self):
+        files, facts = generate_task_plans(6, seed=3)
+        for fact in facts:
+            assert fact.total == sum(amount for _, amount in fact.amounts)
+            assert fact.total > 0
+
+    def test_center_section_present(self):
+        files, facts = generate_task_plans(6, seed=3)
+        for file, fact in zip(files, facts):
+            assert f"NASA {fact.center}" in file.text
+
+
+class TestTrackers:
+    def test_tracker_vocabularies_differ(self):
+        [record_a] = generate_tracker_a(1)
+        [record_b] = generate_tracker_b(1)
+        fields_a = {name for name, _ in record_a.fields}
+        fields_b = {name for name, _ in record_b.fields}
+        assert "Description" in fields_a and "Summary" in fields_b
+        assert not (fields_a & fields_b)
+
+    def test_lessons_have_title_sections(self):
+        lessons = generate_lessons(5)
+        assert len(lessons) == 5
+        for text in lessons.values():
+            assert text.startswith("# Title")

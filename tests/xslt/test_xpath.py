@@ -1,0 +1,161 @@
+"""XPath subset: paths, predicates, functions, comparisons."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.sgml.parser import parse_xml
+from repro.xslt.xpath import XPathContext, evaluate, parse_xpath, select, to_string
+
+DOC = parse_xml(
+    """<catalog count="3">
+      <book id="1" lang="en"><title>Alpha</title><price>10</price></book>
+      <book id="2"><title>Beta</title><price>20</price></book>
+      <book id="3" lang="fr"><title>Gamma</title><price>30</price></book>
+      <note>standalone</note>
+    </catalog>"""
+)
+
+
+def ctx(node=None):
+    return XPathContext(node or DOC.root, root=DOC.root)
+
+
+def titles(items):
+    return [item.text_content() for item in items]
+
+
+class TestPaths:
+    def test_child_path(self):
+        assert titles(select("book/title", ctx())) == ["Alpha", "Beta", "Gamma"]
+
+    def test_absolute_path(self):
+        assert titles(select("/catalog/book/title", ctx())) == [
+            "Alpha", "Beta", "Gamma",
+        ]
+
+    def test_descendant_path(self):
+        assert titles(select("//title", ctx())) == ["Alpha", "Beta", "Gamma"]
+
+    def test_wildcard(self):
+        assert len(select("book/*", ctx())) == 6
+
+    def test_attribute_axis(self):
+        assert select("@count", ctx()) == ["3"]
+        assert select("book/@id", ctx()) == ["1", "2", "3"]
+
+    def test_missing_attribute_empty(self):
+        assert select("@missing", ctx()) == []
+
+    def test_text_node_test(self):
+        note = DOC.find("note")
+        assert select("text()", ctx(note))[0].data == "standalone"
+
+    def test_self_and_parent(self):
+        book = DOC.find("book")
+        assert select(".", ctx(book)) == [book]
+        assert select("..", ctx(book)) == [DOC.root]
+
+    def test_root_only_path(self):
+        assert select("/", ctx())[0].__class__.__name__ == "_DocumentAnchor"
+
+
+class TestPredicates:
+    def test_positional(self):
+        assert titles(select("book[2]/title", ctx())) == ["Beta"]
+
+    def test_last(self):
+        assert titles(select("book[last()]/title", ctx())) == ["Gamma"]
+
+    def test_attribute_equality(self):
+        assert titles(select("book[@lang='en']/title", ctx())) == ["Alpha"]
+
+    def test_attribute_existence(self):
+        assert titles(select("book[@lang]/title", ctx())) == ["Alpha", "Gamma"]
+
+    def test_child_value_equality(self):
+        assert select("book[title='Beta']/@id", ctx()) == ["2"]
+
+    def test_child_existence(self):
+        assert len(select("book[price]", ctx())) == 3
+
+    def test_chained_predicates(self):
+        assert titles(select("book[@lang][1]/title", ctx())) == ["Alpha"]
+
+    def test_position_function_in_predicate(self):
+        assert titles(select("book[position()=3]/title", ctx())) == ["Gamma"]
+
+
+class TestFunctions:
+    def test_count(self):
+        assert evaluate(parse_xpath("count(book)"), ctx()) == 3.0
+
+    def test_concat(self):
+        result = evaluate(parse_xpath("concat('a', 'b', @count)"), ctx())
+        assert result == "ab3"
+
+    def test_name(self):
+        assert evaluate(parse_xpath("name()"), ctx()) == "catalog"
+
+    def test_string_of_path(self):
+        assert evaluate(parse_xpath("string(note)"), ctx()) == "standalone"
+
+    def test_normalize_space(self):
+        document = parse_xml("<a>  x   y  </a>")
+        context = XPathContext(document.root, root=document.root)
+        assert evaluate(parse_xpath("normalize-space(.)"), context) == "x y"
+
+    def test_contains(self):
+        assert evaluate(parse_xpath("contains(note, 'alone')"), ctx()) is True
+        assert evaluate(parse_xpath("contains(note, 'xyz')"), ctx()) is False
+
+    def test_not_true_false(self):
+        assert evaluate(parse_xpath("not(false())"), ctx()) is True
+        assert evaluate(parse_xpath("not(book)"), ctx()) is False
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(XPathError):
+            evaluate(parse_xpath("count(book, note)"), ctx())
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XPathError):
+            parse_xpath("substring-before(a, b)")
+
+
+class TestComparisons:
+    def test_nodeset_vs_literal_is_existential(self):
+        assert evaluate(parse_xpath("book/title = 'Beta'"), ctx()) is True
+        assert evaluate(parse_xpath("book/title = 'Delta'"), ctx()) is False
+
+    def test_not_equal(self):
+        assert evaluate(parse_xpath("@count != '4'"), ctx()) is True
+
+    def test_numeric_comparison(self):
+        assert evaluate(parse_xpath("count(book) = 3"), ctx()) is True
+
+    def test_boolean_connectives(self):
+        expr = "book and note"
+        assert evaluate(parse_xpath(expr), ctx()) is True
+        assert evaluate(parse_xpath("book and missing"), ctx()) is False
+        assert evaluate(parse_xpath("missing or note"), ctx()) is True
+
+
+class TestErrorsAndStrings:
+    def test_garbage_rejected(self):
+        with pytest.raises(XPathError):
+            parse_xpath("book//[2]")
+        with pytest.raises(XPathError):
+            parse_xpath("$$$")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(XPathError):
+            parse_xpath("book title")
+
+    def test_select_rejects_scalar_expr(self):
+        with pytest.raises(XPathError):
+            select("count(book)", ctx())
+
+    def test_to_string_of_nodeset(self):
+        assert to_string(select("book/title", ctx())) == "Alpha"
+        assert to_string([]) == ""
+        assert to_string(2.0) == "2"
+        assert to_string(2.5) == "2.5"
