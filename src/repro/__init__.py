@@ -29,8 +29,10 @@ Quick start::
 
     nm = Netmark()
     nm.ingest("report.ndoc", open("report.ndoc").read())
-    for match in nm.search("Context=Budget&Content=travel"):
-        print(match.brief())
+    briefs = [match.brief() for match in nm.search("Context=Budget&Content=travel")]
+
+Library code never writes to stdout (the ``print-call`` rule in
+:mod:`repro.analysis` enforces it) — results are returned, as above.
 """
 
 from repro.errors import ReproError

@@ -1,0 +1,66 @@
+"""Self-hosted static analysis: the architectural invariants as code.
+
+The paper's "lean" discipline — every document type through two fixed
+tables, a fixed node-type vocabulary, ROWIDs minted only by the physical
+layer — lives in *convention*, not in any schema the runtime could check
+(contrast the per-element-type DDL of DOM-shredding mappers).  This
+package turns those conventions into executable rules so a refactor
+cannot silently erode them.
+
+Rule families
+-------------
+
+* **layering** — the import DAG between the ``repro.*`` subpackages
+  (``ordbms`` at the bottom imports nothing above it; only ``server``
+  and ``apps`` may import ``federation``).
+* **exception policy** — only ``repro.errors`` subclasses cross module
+  boundaries; ``except Exception`` / bare ``except`` is banned unless
+  annotated ``# lint: allow-broad-except(<reason>)``.
+* **transaction & rowid discipline** — no cross-object mutation of
+  private state outside ``ordbms/transaction.py`` / ``ordbms/executor.py``;
+  no :class:`~repro.ordbms.rowid.RowId` minted from raw ints outside
+  ``ordbms/rowid.py``.
+* **determinism** — no wall-clock reads or unseeded randomness in
+  library code (benchmarks exempt).
+* **hygiene** — no ``print`` in library code.
+
+Escape hatches, in order of preference: fix the code; annotate a
+deliberate, permanent exception with ``# lint: allow-<rule>(<reason>)``
+on the offending line; record transitional debt in the checked-in
+``analysis-baseline.json``.
+
+Run it::
+
+    python -m repro.analysis src/ --format human
+
+The package deliberately imports nothing from the runtime stack except
+:mod:`repro.errors` — it is itself subject to its own layering rule.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, load_baseline
+from repro.analysis.config import AnalysisConfig, DEFAULT_CONFIG
+from repro.analysis.core import (
+    AnalysisReport,
+    FileContext,
+    Rule,
+    Violation,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.rules import ALL_RULES, rule_ids
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "analyze_paths",
+    "analyze_source",
+    "load_baseline",
+    "rule_ids",
+]

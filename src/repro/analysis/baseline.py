@@ -1,0 +1,143 @@
+"""The checked-in violation baseline.
+
+Transitional debt — violations that predate a rule and are scheduled to
+be burned down rather than pragma-blessed forever — lives in a JSON file
+at the repository root (``analysis-baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "layering",
+          "path": "src/repro/costmodel/accounting.py",
+          "content": "from repro.federation.databank import DatabankRegistry",
+          "reason": "why this is tolerated, and the exit plan"
+        }
+      ]
+    }
+
+Matching is *content*-based: an entry suppresses a violation of ``rule``
+in ``path`` whose source line (stripped) equals ``content``.  Line
+numbers are deliberately absent so unrelated edits above the site do not
+rot the baseline; moving or rewriting the offending line invalidates the
+entry, which then surfaces as *stale* and fails the meta-test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.core import Violation
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One tolerated violation."""
+
+    rule: str
+    path: str
+    content: str
+    reason: str
+
+    def matches(self, violation: "Violation", line_content: str) -> bool:
+        if violation.rule != self.rule:
+            return False
+        if line_content.strip() != self.content.strip():
+            return False
+        v_path = violation.path
+        return v_path == self.path or v_path.endswith("/" + self.path)
+
+
+@dataclass
+class Baseline:
+    """The full suppression set, with use-tracking for staleness."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    _used: set[int] = field(default_factory=set, repr=False)
+
+    def suppresses(self, violation: "Violation", line_content: str) -> bool:
+        """True (and mark the entry used) if any entry matches."""
+        for index, entry in enumerate(self.entries):
+            if entry.matches(violation, line_content):
+                self._used.add(index)
+                return True
+        return False
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that suppressed nothing in the run just finished."""
+        return [
+            entry
+            for index, entry in enumerate(self.entries)
+            if index not in self._used
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load and validate a baseline file.
+
+    Raises
+    ------
+    AnalysisError
+        If the file is unreadable, not JSON, or entries are missing a
+        required field (including an empty ``reason`` — baselined debt
+        must say why it is tolerated).
+    """
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except OSError as error:
+        raise AnalysisError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise AnalysisError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    entries = []
+    for position, item in enumerate(raw.get("entries", [])):
+        for key in ("rule", "path", "content", "reason"):
+            if not str(item.get(key, "")).strip():
+                raise AnalysisError(
+                    f"baseline {path} entry {position} is missing {key!r}"
+                )
+        entries.append(
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                content=item["content"],
+                reason=item["reason"],
+            )
+        )
+    return Baseline(entries=entries)
+
+
+def dump_baseline(
+    violations: list["Violation"],
+    line_contents: dict[tuple[str, int], str],
+    path: str | Path,
+) -> None:
+    """Write ``violations`` out as a fresh baseline (``--write-baseline``).
+
+    Each generated entry carries a placeholder reason that the loader
+    accepts but a human should replace before committing.
+    """
+    entries = [
+        {
+            "rule": violation.rule,
+            "path": violation.path,
+            "content": line_contents.get(
+                (violation.path, violation.line), ""
+            ).strip(),
+            "reason": "TODO: justify or fix",
+        }
+        for violation in violations
+    ]
+    payload = {"version": 1, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

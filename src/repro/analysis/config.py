@@ -1,0 +1,108 @@
+"""Configuration for the invariant analyzer.
+
+Everything a rule needs to know about *this* codebase — the layer map,
+the files allowed to mint ROWIDs or mutate private state, the exception
+policy — lives here, so the rule implementations stay generic AST
+walkers.
+"""
+
+from __future__ import annotations
+
+import builtins
+from dataclasses import dataclass, field
+
+
+def _builtin_exception_names() -> frozenset[str]:
+    """Names of every builtin exception class (``ValueError``, ...)."""
+    names = set()
+    for name in dir(builtins):
+        obj = getattr(builtins, name)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            names.add(name)
+    return frozenset(names)
+
+
+#: The import DAG between ``repro.*`` units.  A *unit* is a direct child
+#: of the ``repro`` package: a subpackage (``ordbms``) or a top-level
+#: module by stem (``netmark``, ``errors``); ``repro/__init__.py`` is the
+#: pseudo-unit ``__root__``.  Each unit may import itself, everything in
+#: :attr:`AnalysisConfig.universal_units`, and the units listed here.
+#: Note what is *absent*: ``federation`` appears only under ``server``
+#: and ``apps`` — everything else must stay ignorant of the federated
+#: tier (netmark's facade carries per-line pragmas for its wiring role).
+DEFAULT_LAYERS: dict[str, frozenset[str]] = {
+    "errors": frozenset(),
+    "analysis": frozenset(),
+    "ordbms": frozenset(),
+    "sgml": frozenset(),
+    "converters": frozenset({"sgml"}),
+    "store": frozenset({"ordbms", "sgml", "converters"}),
+    "query": frozenset({"ordbms", "sgml", "store"}),
+    "xslt": frozenset({"sgml"}),
+    "federation": frozenset({"ordbms", "sgml", "store", "query"}),
+    "server": frozenset({"sgml", "store", "query", "xslt", "federation"}),
+    "netmark": frozenset({"ordbms", "sgml", "store", "query", "server"}),
+    "baselines": frozenset({"ordbms", "sgml", "store"}),
+    "workloads": frozenset({"sgml", "converters", "store", "query"}),
+    "costmodel": frozenset(
+        {"ordbms", "store", "query", "workloads", "baselines"}
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Tunable policy for one analyzer run."""
+
+    #: unit -> units it may import (see :data:`DEFAULT_LAYERS`).
+    layers: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    #: Units importable from anywhere (the error vocabulary).
+    universal_units: frozenset[str] = frozenset({"errors"})
+    #: Units free to import anything: the application tier and the
+    #: package facade sit above the whole DAG.
+    unrestricted_units: frozenset[str] = frozenset({"apps", "__root__"})
+
+    #: Builtin exception names, for the raise/except/class-base checks.
+    builtin_exceptions: frozenset[str] = field(
+        default_factory=_builtin_exception_names
+    )
+    #: Builtins that *may* be raised anywhere (abstract-method guards).
+    allowed_builtin_raises: frozenset[str] = frozenset(
+        {"NotImplementedError"}
+    )
+    #: Path suffix of the module that owns the exception hierarchy;
+    #: classes there may derive from builtins, nothing elsewhere may.
+    errors_module: str = "repro/errors.py"
+
+    #: Path suffixes of modules allowed to construct RowId from raw ints.
+    rowid_minters: frozenset[str] = frozenset({"ordbms/rowid.py"})
+    #: Path suffixes of modules allowed to mutate other objects' private
+    #: state (the transaction/recovery machinery rewrites heap internals
+    #: by design).
+    mutation_exempt: frozenset[str] = frozenset(
+        {"ordbms/transaction.py", "ordbms/executor.py"}
+    )
+
+    #: A path containing any of these parts is exempt from the
+    #: determinism rules (benchmarks time things; that is their job).
+    determinism_exempt_parts: frozenset[str] = frozenset({"benchmarks"})
+    #: ``time`` module functions that read the wall clock.
+    wallclock_time_functions: frozenset[str] = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+        }
+    )
+    #: ``random`` module names that do NOT go through an explicit seed.
+    #: Only the seedable class constructor is allowed.
+    seeded_random_names: frozenset[str] = frozenset({"Random"})
+
+
+#: The configuration CI and the meta-test run with.
+DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,277 @@
+"""Analyzer engine: file contexts, the rule protocol, and the driver.
+
+A :class:`Rule` is a stateless object with an ``id`` and a ``check``
+method that walks one file's AST and yields :class:`Violation`\\ s.  The
+driver parses each file once into a :class:`FileContext` (source, AST,
+pragmas, layer unit) and funnels every rule's findings through the two
+suppression layers — inline pragmas, then the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Protocol
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.pragmas import Pragma, extract_pragmas
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column} "
+            f"[{self.rule}] {self.message}"
+        )
+
+
+class Rule(Protocol):
+    """The rule protocol: an id, a summary, and an AST check."""
+
+    id: str
+    summary: str
+
+    def check(
+        self, ctx: "FileContext", config: AnalysisConfig
+    ) -> Iterator[Violation]: ...
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may ask about one parsed source file."""
+
+    path: str  # normalized posix path, as reported in violations
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    pragmas: list[Pragma]
+    malformed_pragma_lines: list[int]
+    unit: str | None  # repro layer unit, None outside the repro package
+
+    def violation(
+        self, rule_id: str, node: ast.AST | int, message: str
+    ) -> Violation:
+        """Build a violation at ``node`` (an AST node or a line number)."""
+        if isinstance(node, int):
+            line, column = node, 0
+        else:
+            line = getattr(node, "lineno", 0)
+            column = getattr(node, "col_offset", 0)
+        return Violation(
+            path=self.path, line=line, column=column,
+            rule=rule_id, message=message,
+        )
+
+    def line_content(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def path_endswith(self, suffix: str) -> bool:
+        return self.path == suffix or self.path.endswith("/" + suffix)
+
+
+def unit_of(path: str) -> str | None:
+    """The ``repro`` layer unit a path belongs to (None if outside).
+
+    ``src/repro/ordbms/table.py`` -> ``ordbms``;
+    ``src/repro/netmark.py`` -> ``netmark``;
+    ``src/repro/__init__.py`` -> ``__root__``.
+    """
+    parts = PurePosixPath(path).parts
+    if "repro" not in parts:
+        return None
+    # Last occurrence: a checkout under a directory named "repro" must
+    # not shift every file's layer identity.
+    index = len(parts) - 1 - parts[::-1].index("repro")
+    below = parts[index + 1:]
+    if not below:
+        return None
+    if len(below) == 1:
+        stem = PurePosixPath(below[0]).stem
+        return "__root__" if stem == "__init__" else stem
+    return below[0]
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one run: what fired, what was suppressed, what rotted."""
+
+    violations: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    pragma_suppressed: list[Violation] = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+    files_checked: int = 0
+    #: (path, line) -> raw source line, for --write-baseline.
+    line_contents: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def build_context(source: str, path: str | Path) -> FileContext | None:
+    """Parse one file into a context (None when the source won't parse).
+
+    The analyzer does not report syntax errors — the interpreter and the
+    test suite already do that with better diagnostics.
+    """
+    norm = PurePosixPath(Path(path)).as_posix()
+    try:
+        tree = ast.parse(source, filename=norm)
+    except SyntaxError:
+        return None
+    pragmas, malformed = extract_pragmas(source)
+    return FileContext(
+        path=norm,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        pragmas=pragmas,
+        malformed_pragma_lines=malformed,
+        unit=unit_of(norm),
+    )
+
+
+# -- suppression ------------------------------------------------------------
+
+
+class _PragmaRule:
+    """Framework rule: malformed or reason-less pragmas are violations."""
+
+    id = "bad-pragma"
+    summary = (
+        "a lint pragma must be '# lint: allow-<rule>(<reason>)' with a "
+        "non-empty reason"
+    )
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        for line in ctx.malformed_pragma_lines:
+            yield ctx.violation(
+                self.id, line,
+                "malformed pragma; expected "
+                "'# lint: allow-<rule>(<reason>)'",
+            )
+        for pragma in ctx.pragmas:
+            if not pragma.ok:
+                yield ctx.violation(
+                    self.id, pragma.line,
+                    f"pragma allow-{pragma.rule} needs a non-empty reason",
+                )
+
+
+PRAGMA_RULE = _PragmaRule()
+
+
+def _pragma_suppresses(ctx: FileContext, violation: Violation) -> bool:
+    return any(
+        pragma.ok
+        and pragma.rule == violation.rule
+        and pragma.line == violation.line
+        for pragma in ctx.pragmas
+    )
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_context(
+    ctx: FileContext,
+    rules: Iterable[Rule],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+) -> list[Violation]:
+    """All raw findings for one file (pragma/baseline not yet applied)."""
+    found: list[Violation] = []
+    for rule in (*rules, PRAGMA_RULE):
+        found.extend(rule.check(ctx, config))
+    return sorted(found)
+
+
+def analyze_source(
+    source: str,
+    path: str | Path,
+    rules: Iterable[Rule] | None = None,
+    config: AnalysisConfig = DEFAULT_CONFIG,
+) -> list[Violation]:
+    """Analyze in-memory source as if it lived at ``path``.
+
+    Pragmas apply; no baseline.  This is the fixture-test entry point:
+    the claimed ``path`` decides layer identity and path-scoped
+    exemptions.
+    """
+    if rules is None:
+        from repro.analysis.rules import ALL_RULES
+
+        rules = ALL_RULES
+    ctx = build_context(source, path)
+    if ctx is None:
+        return []
+    return [
+        violation
+        for violation in analyze_context(ctx, rules, config)
+        if not _pragma_suppresses(ctx, violation)
+    ]
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule] | None = None,
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    baseline: Baseline | None = None,
+) -> AnalysisReport:
+    """Run the full rule suite over files and directories."""
+    if rules is None:
+        from repro.analysis.rules import ALL_RULES
+
+        rules = ALL_RULES
+    rules = list(rules)
+    report = AnalysisReport()
+    for file_path in _iter_python_files(paths):
+        try:
+            source = file_path.read_text()
+        except (OSError, UnicodeDecodeError):
+            continue
+        ctx = build_context(source, file_path)
+        if ctx is None:
+            continue
+        report.files_checked += 1
+        for violation in analyze_context(ctx, rules, config):
+            content = ctx.line_content(violation.line)
+            report.line_contents[(violation.path, violation.line)] = content
+            if _pragma_suppresses(ctx, violation):
+                report.pragma_suppressed.append(violation)
+            elif baseline is not None and baseline.suppresses(
+                violation, content
+            ):
+                report.baselined.append(violation)
+            else:
+                report.violations.append(violation)
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_entries()
+    report.violations.sort()
+    return report

@@ -1,0 +1,69 @@
+"""Inline suppression pragmas.
+
+A deliberate, permanent exception to a rule is annotated on the
+offending line::
+
+    except Exception:  # lint: allow-broad-except(federated rows lack local entries)
+
+The general form is ``# lint: allow-<rule-id>(<reason>)``.  The reason
+is mandatory — an empty or missing reason does *not* suppress and is
+itself reported (rule id ``bad-pragma``), so suppressions stay
+self-documenting.  A pragma suppresses violations of that rule reported
+on its own line only.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: A well-formed pragma: allow-<rule>(<non-empty reason>).
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)\s*\(([^()]*)\)")
+#: Anything that *tries* to be a pragma, for malformed-pragma detection.
+_ATTEMPT_RE = re.compile(r"#\s*lint:\s*allow-")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# lint: allow-<rule>(<reason>)`` annotation."""
+
+    rule: str
+    reason: str
+    line: int
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.reason.strip())
+
+
+def extract_pragmas(source: str) -> tuple[list[Pragma], list[int]]:
+    """Parse pragmas out of ``source``.
+
+    Returns ``(pragmas, malformed_lines)`` where ``malformed_lines``
+    lists lines carrying a ``lint: allow-`` comment that did not parse
+    as a complete pragma (unclosed parenthesis, missing reason form).
+    Comments are found with :mod:`tokenize`, so pragma-looking text in
+    string literals is ignored.
+    """
+    pragmas: list[Pragma] = []
+    malformed: list[int] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [], []
+    for line, text in comments:
+        matches = list(_PRAGMA_RE.finditer(text))
+        for match in matches:
+            pragmas.append(
+                Pragma(rule=match.group(1), reason=match.group(2), line=line)
+            )
+        if _ATTEMPT_RE.search(text) and not matches:
+            malformed.append(line)
+    return pragmas, malformed

@@ -1,0 +1,41 @@
+"""The rule registry.
+
+Rules are plain objects grouped by invariant family; adding one means
+writing a ``check(ctx, config)`` generator and listing the instance
+here.  Ids are kebab-case and double as the pragma suffix
+(``# lint: allow-<id>(<reason>)``).
+"""
+
+from repro.analysis.rules.determinism import (
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.analysis.rules.discipline import (
+    PrivateMutationRule,
+    RowIdMintRule,
+)
+from repro.analysis.rules.exceptions import (
+    BroadExceptRule,
+    ForeignExceptionBaseRule,
+    RaiseForeignRule,
+)
+from repro.analysis.rules.hygiene import PrintCallRule
+from repro.analysis.rules.layering import LayeringRule
+
+#: Every rule CI runs, in reporting-id order.
+ALL_RULES = (
+    BroadExceptRule(),
+    ForeignExceptionBaseRule(),
+    LayeringRule(),
+    PrintCallRule(),
+    PrivateMutationRule(),
+    RaiseForeignRule(),
+    RowIdMintRule(),
+    UnseededRandomRule(),
+    WallClockRule(),
+)
+
+
+def rule_ids() -> list[str]:
+    """All registered rule ids (plus the framework's pragma check)."""
+    return sorted(rule.id for rule in ALL_RULES) + ["bad-pragma"]

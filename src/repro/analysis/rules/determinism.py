@@ -1,0 +1,169 @@
+"""Determinism: library code never reads the wall clock or global RNG.
+
+The store's ROWID text form, snapshot format, and sibling ordering are
+all documented as "stable across runs for identical insert sequences" —
+a property one stray ``datetime.now()`` in a default argument would
+destroy.  Timestamps enter the system as *data* (the VFS logical clock,
+``file_date=`` parameters); randomness goes through an explicitly
+seeded ``random.Random``.  Benchmarks are exempt: timing things is
+their job.
+
+Two rules:
+
+* ``wallclock`` — ``time.time()`` / ``monotonic`` / ``perf_counter``
+  family calls, ``datetime.now/utcnow``, ``date.today``, and
+  ``from time import time``-style imports.
+* ``unseeded-random`` — any use of the module-level ``random.*``
+  functions (the interpreter-global, implicitly seeded generator);
+  only the seedable ``random.Random`` class is allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Violation
+
+_DATETIME_WALLCLOCK = {
+    "datetime": {"now", "utcnow"},
+    "date": {"today"},
+}
+
+
+def _exempt(ctx: FileContext, config: AnalysisConfig) -> bool:
+    from pathlib import PurePosixPath
+
+    parts = set(PurePosixPath(ctx.path).parts)
+    return bool(parts & config.determinism_exempt_parts)
+
+
+def _module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Local names bound to ``import <module> [as alias]``."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _member_aliases(tree: ast.Module, module: str) -> dict[str, str]:
+    """``from <module> import member [as alias]`` -> {alias: member}."""
+    members: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                members[alias.asname or alias.name] = alias.name
+    return members
+
+
+class WallClockRule:
+    id = "wallclock"
+    summary = "no wall-clock reads in library code"
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        if _exempt(ctx, config):
+            return
+        time_names = _module_aliases(ctx.tree, "time")
+        datetime_names = _module_aliases(ctx.tree, "datetime")
+        datetime_members = _member_aliases(ctx.tree, "datetime")
+        # `from time import time` smuggles the clock in as a bare name;
+        # flag the import itself.
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+            ):
+                for alias in node.names:
+                    if alias.name in config.wallclock_time_functions:
+                        yield ctx.violation(
+                            self.id, node,
+                            f"from time import {alias.name}: wall-clock "
+                            "reads are banned in library code; take "
+                            "timestamps as parameters",
+                        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            # time.time(), time.monotonic(), ...
+            if (
+                isinstance(base, ast.Name)
+                and base.id in time_names
+                and func.attr in config.wallclock_time_functions
+            ):
+                yield ctx.violation(
+                    self.id, node,
+                    f"{base.id}.{func.attr}() reads the wall clock; "
+                    "take timestamps as parameters",
+                )
+            # datetime.datetime.now(), datetime.date.today()
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in datetime_names
+                and func.attr in _DATETIME_WALLCLOCK.get(base.attr, ())
+            ):
+                yield ctx.violation(
+                    self.id, node,
+                    f"{ast.unparse(func)}() reads the wall clock; "
+                    "take timestamps as parameters",
+                )
+            # datetime.now() / date.today() via `from datetime import ...`
+            elif (
+                isinstance(base, ast.Name)
+                and func.attr
+                in _DATETIME_WALLCLOCK.get(
+                    datetime_members.get(base.id, ""), ()
+                )
+            ):
+                yield ctx.violation(
+                    self.id, node,
+                    f"{base.id}.{func.attr}() reads the wall clock; "
+                    "take timestamps as parameters",
+                )
+
+
+class UnseededRandomRule:
+    id = "unseeded-random"
+    summary = "randomness must flow through a seeded random.Random"
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        if _exempt(ctx, config):
+            return
+        random_names = _module_aliases(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "random"
+            ):
+                for alias in node.names:
+                    if alias.name not in config.seeded_random_names:
+                        yield ctx.violation(
+                            self.id, node,
+                            f"from random import {alias.name}: use an "
+                            "explicitly seeded random.Random instance",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in random_names
+                    and func.attr not in config.seeded_random_names
+                ):
+                    yield ctx.violation(
+                        self.id, node,
+                        f"{func.value.id}.{func.attr}() uses the global "
+                        "unseeded generator; use a seeded random.Random",
+                    )

@@ -1,0 +1,108 @@
+"""Exception policy: ``repro.errors`` is the only error vocabulary.
+
+Callers at the public-API boundary catch :class:`repro.errors.ReproError`
+and subclasses — that contract only holds if library code never throws
+naked builtins across module boundaries, never defines parallel
+hierarchies, and never swallows the world with ``except Exception``.
+
+Three rules:
+
+* ``raise-foreign`` — raising a builtin exception (``ValueError`` & co);
+  ``NotImplementedError`` is exempt (abstract-method guards).
+* ``foreign-exception-base`` — defining an exception class whose base is
+  a builtin anywhere outside ``repro/errors.py``.
+* ``broad-except`` — ``except Exception``/``except BaseException``/bare
+  ``except``, unless annotated ``# lint: allow-broad-except(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Violation
+
+
+class RaiseForeignRule:
+    id = "raise-foreign"
+    summary = "raise repro.errors subclasses, not builtin exceptions"
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        banned = config.builtin_exceptions - config.allowed_builtin_raises
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in banned:
+                yield ctx.violation(
+                    self.id, node,
+                    f"raise a repro.errors subclass, not builtin "
+                    f"{exc.id}",
+                )
+
+
+class ForeignExceptionBaseRule:
+    id = "foreign-exception-base"
+    summary = "exception classes derive from the repro.errors hierarchy"
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        if ctx.path_endswith(config.errors_module):
+            return  # the hierarchy root is allowed to touch builtins
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for base in node.bases:
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in config.builtin_exceptions
+                ):
+                    yield ctx.violation(
+                        self.id, node,
+                        f"exception class {node.name} derives from "
+                        f"builtin {base.id}; derive from a repro.errors "
+                        "class instead",
+                    )
+
+
+class BroadExceptRule:
+    id = "broad-except"
+    summary = (
+        "no 'except Exception' / bare except without an allow pragma"
+    )
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for name in self._broad_names(node.type):
+                yield ctx.violation(
+                    self.id, node,
+                    f"overly broad handler ({name}); catch the specific "
+                    "repro.errors class or annotate "
+                    "'# lint: allow-broad-except(<reason>)'",
+                )
+
+    @staticmethod
+    def _broad_names(handler_type: ast.expr | None) -> list[str]:
+        if handler_type is None:
+            return ["bare except"]
+        exprs = (
+            handler_type.elts
+            if isinstance(handler_type, ast.Tuple)
+            else [handler_type]
+        )
+        return [
+            f"except {expr.id}"
+            for expr in exprs
+            if isinstance(expr, ast.Name)
+            and expr.id in ("Exception", "BaseException")
+        ]

@@ -1,0 +1,34 @@
+"""Hygiene: library code never writes to stdout.
+
+``print`` in a library corrupts whatever stream the embedding process
+owns (the WebDAV server speaks HTTP on it).  Results are *returned*;
+diagnostics go through exceptions.  The analyzer's own CLI writes via
+``sys.stdout.write`` for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Violation
+
+
+class PrintCallRule:
+    id = "print-call"
+    summary = "no print() in library code"
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.violation(
+                    self.id, node,
+                    "print() in library code; return the value or raise",
+                )

@@ -1,0 +1,92 @@
+"""Layering: the import DAG between ``repro.*`` units.
+
+The paper's middleware stays lean because each tier only ever talks
+downward — converters and the SGML parser feed the store, the store sits
+on the ORDBMS substrate, and nothing below the application tier knows
+the federation layer exists.  This rule pins that DAG: every
+``import repro.X`` in unit ``U`` must satisfy ``X in layers[U]`` (self-
+and ``errors``-imports are always allowed; ``apps`` and the package
+facade are unrestricted).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Violation
+
+
+class LayeringRule:
+    id = "layering"
+    summary = "imports must follow the repro.* layer DAG"
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        unit = ctx.unit
+        if unit is None or unit in config.unrestricted_units:
+            return
+        known = (
+            set(config.layers)
+            | config.unrestricted_units
+            | config.universal_units
+        )
+        if unit not in known:
+            yield ctx.violation(
+                self.id, 1,
+                f"unit {unit!r} is not in the layer map; add it to "
+                "repro.analysis.config.DEFAULT_LAYERS",
+            )
+            return
+        allowed = (
+            config.layers.get(unit, frozenset())
+            | config.universal_units
+            | {unit}
+        )
+        for node, target in self._repro_imports(ctx.tree, known):
+            if target not in allowed:
+                yield ctx.violation(
+                    self.id, node,
+                    f"{unit} may not import repro.{target} "
+                    f"(allowed: {', '.join(sorted(allowed))})",
+                )
+
+    def _repro_imports(
+        self, tree: ast.Module, known_units: set[str]
+    ) -> Iterator[tuple[ast.stmt, str]]:
+        """Yield ``(node, unit)`` for every import of a ``repro`` unit.
+
+        ``from repro import X`` resolves to the unit ``X`` when X is a
+        known unit, else to the facade pseudo-unit ``__root__`` (which
+        only unrestricted units may import).
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = _unit_from_module(alias.name)
+                    if target is not None:
+                        yield node, target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative: stays inside the current unit
+                target = _unit_from_module(node.module or "")
+                if target == "__root__":
+                    for alias in node.names:
+                        yield node, (
+                            alias.name
+                            if alias.name in known_units
+                            else "__root__"
+                        )
+                elif target is not None:
+                    yield node, target
+
+
+def _unit_from_module(module: str) -> str | None:
+    """Map a dotted module path to a repro unit name (None if foreign)."""
+    if module == "repro":
+        return "__root__"
+    if not module.startswith("repro."):
+        return None
+    return module.split(".")[1]

@@ -142,6 +142,28 @@ class CapabilityError(FederationError):
 
 
 # ---------------------------------------------------------------------------
+# Workloads / experiment support
+# ---------------------------------------------------------------------------
+
+
+class WorkloadError(ReproError):
+    """Base class for corpus/workload generation failures."""
+
+
+class CorpusFormatError(WorkloadError):
+    """A corpus spec named a document format with no renderer."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """The invariant analyzer was misconfigured (bad baseline, config)."""
+
+
+# ---------------------------------------------------------------------------
 # Baselines
 # ---------------------------------------------------------------------------
 

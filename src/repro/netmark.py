@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.federation.databank import Databank, DatabankRegistry
-from repro.federation.router import Router
-from repro.federation.sources import InformationSource, NetmarkSource
+from repro.errors import ServerError
+from repro.federation.databank import Databank, DatabankRegistry  # lint: allow-layering(composition root: the facade wires the federation tier)
+from repro.federation.router import Router  # lint: allow-layering(composition root: the facade wires the federation tier)
+from repro.federation.sources import InformationSource, NetmarkSource  # lint: allow-layering(composition root: the facade wires the federation tier)
 from repro.ordbms import Database
 from repro.query.engine import QueryEngine
 from repro.query.results import ResultSet
@@ -88,7 +89,7 @@ class Netmark:
                 return record
         # The poll may have picked up other pending files too; ours must
         # be among them or something is wrong.
-        raise AssertionError(f"daemon did not report {file_name!r}")
+        raise ServerError(f"daemon did not report {file_name!r}")
 
     def ingest_many(self, files: list[tuple[str, str]]) -> list[IngestRecord]:
         """Bulk-load (name, content) pairs through the daemon path."""
@@ -149,7 +150,7 @@ class Netmark:
         (populate it with :meth:`register_source`).  Every line of the
         spec is one assembly step — the spec *is* the integration.
         """
-        from repro.federation.spec import load_spec
+        from repro.federation.spec import load_spec  # lint: allow-layering(composition root: the facade wires the federation tier)
 
         report = load_spec(text, self.router, self.source_catalog)
         for name in report.databanks:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import re
 from typing import Any, Iterable
 
+from repro.errors import DocumentNotFoundError
 from repro.ordbms import RowId
 from repro.ordbms.table import ROWID_PSEUDO
 from repro.ordbms.textindex import tokenize
@@ -110,7 +111,7 @@ class QueryEngine:
             for match in matches:
                 try:
                     entry = self.store.describe(match.doc_id)
-                except Exception:
+                except DocumentNotFoundError:
                     kept.append(match)  # federated matches lack local entries
                     continue
                 if entry.file_name != match.file_name:
@@ -182,8 +183,6 @@ class QueryEngine:
         element's text.  With a content spec, only matching instances
         whose text satisfies it are returned.
         """
-        from repro.store.traversal import context_title
-
         from repro.store.compose import compose_node
 
         database = self.store.database

@@ -125,11 +125,18 @@ class NetmarkDaemon:
         )
 
     def _move(self, path: str, folder: str) -> None:
-        target = folder + "/" + base_name(path)
+        name = base_name(path)
+        target = folder + "/" + name
         if self.vfs.exists(target):
-            # Disambiguate repeats with the logical timestamp.
+            # Disambiguate repeats with the logical timestamp; the stamp
+            # alone can collide (same name, same %H%M%S second — or a day
+            # apart on the logical clock), so fall back to a counter.
             stamp = self.vfs.entry(path).modified.strftime("%H%M%S")
-            target = f"{folder}/{stamp}-{base_name(path)}"
+            target = f"{folder}/{stamp}-{name}"
+            counter = 1
+            while self.vfs.exists(target):
+                target = f"{folder}/{stamp}-{counter}-{name}"
+                counter += 1
         self.vfs.move(path, target)
 
     # -- reporting --------------------------------------------------------------------

@@ -48,6 +48,11 @@ class Decomposer:
         self._next_doc_id = 1
         self._next_node_id = 1
 
+    def resume(self, next_doc_id: int, next_node_id: int) -> None:
+        """Resume id allocation past a restored snapshot's highest ids."""
+        self._next_doc_id = next_doc_id
+        self._next_node_id = next_node_id
+
     def load(self, document: Document, file_date: _dt.datetime | None = None) -> DecomposeResult:
         """Insert ``document`` into DOC + XML inside one transaction."""
         database = self._database

@@ -95,8 +95,7 @@ class XmlStore:
         max_node = max(
             (row["NODEID"] for row in store._xml_table.scan()), default=0
         )
-        store._decomposer._next_doc_id = max_doc + 1
-        store._decomposer._next_node_id = max_node + 1
+        store._decomposer.resume(max_doc + 1, max_node + 1)
         return store
 
     # -- ingestion ------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import CorpusFormatError
 from repro.workloads.text import HEADINGS, WordStream
 
 
@@ -91,7 +92,7 @@ def _render(
         return render_nppt(title, sections)
     if fmt == "txt":
         return render_plaintext(title, sections)
-    raise ValueError(f"unknown corpus format {fmt!r}")
+    raise CorpusFormatError(f"unknown corpus format {fmt!r}")
 
 
 # -- per-format renderers (also used directly by the app workloads) --------

@@ -1,0 +1,19 @@
+"""Specific handlers, plus one annotated broad handler."""
+
+from repro.errors import DocumentNotFoundError, ReproError
+
+
+def lookup(store, doc_id):
+    try:
+        return store.describe(doc_id)
+    except DocumentNotFoundError:
+        return None
+
+
+def boundary(action):
+    try:
+        return action()
+    except ReproError:
+        return None
+    except Exception:  # lint: allow-broad-except(plugin code may raise anything; the API boundary must survive it)
+        return None

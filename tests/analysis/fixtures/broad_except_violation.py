@@ -1,0 +1,15 @@
+"""Two broad handlers: 'except Exception' and a bare except."""
+
+
+def swallow_typed(action):
+    try:
+        return action()
+    except Exception:  # line 7
+        return None
+
+
+def swallow_bare(action):
+    try:
+        return action()
+    except:  # noqa: E722 - line 14, deliberately bare
+        return None

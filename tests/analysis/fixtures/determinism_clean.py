@@ -1,0 +1,13 @@
+"""Timestamps as parameters; randomness through a seeded Random."""
+
+import datetime as _dt
+import random
+
+
+def stamp(file_date: _dt.datetime) -> str:
+    return file_date.isoformat()
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,7 @@
+"""Exception classes extend the repro.errors hierarchy."""
+
+from repro.errors import StoreError
+
+
+class SectionMissingError(StoreError):
+    pass

@@ -1,0 +1,5 @@
+"""A parallel exception hierarchy rooted outside repro.errors."""
+
+
+class SidebandError(ValueError):  # line 4
+    pass

@@ -1,0 +1,11 @@
+"""Analyzed as src/repro/store/ok.py: the store looks only downward."""
+
+from repro.errors import StoreError
+from repro.ordbms.table import Table
+from repro.sgml.dom import Document
+
+
+def sizes(table: Table, document: Document) -> tuple[int, int]:
+    if table is None:
+        raise StoreError("no table")
+    return len(table), len(document.children)

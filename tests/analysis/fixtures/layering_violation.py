@@ -1,0 +1,7 @@
+"""Analyzed as src/repro/ordbms/peek.py: the substrate peeks upward."""
+
+from repro.store.xmlstore import XmlStore  # line 3: ordbms -> store
+
+
+def peek(store: XmlStore) -> int:
+    return len(store)

@@ -1,0 +1,11 @@
+"""Results are returned; explicit streams are the caller's choice."""
+
+import sys
+
+
+def report(match) -> str:
+    return match.brief()
+
+
+def emit(text: str) -> None:
+    sys.stdout.write(text + "\n")

@@ -1,0 +1,5 @@
+"""Library code writing to stdout."""
+
+
+def report(match) -> None:
+    print(match.brief())  # line 5

@@ -1,0 +1,21 @@
+"""Own-state mutation and constructor-style factories are fine."""
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._value = 0
+
+    def bump(self) -> None:
+        self._value += 1
+
+    @classmethod
+    def restore(cls, value: int) -> "Counter":
+        counter = cls.__new__(cls)
+        counter._value = value
+        return counter
+
+
+def fresh() -> Counter:
+    counter = Counter()
+    counter._value = 10
+    return counter

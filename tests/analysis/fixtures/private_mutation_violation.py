@@ -1,0 +1,6 @@
+"""Analyzed as src/repro/store/poke.py: poking another object's state."""
+
+
+def rewind(decomposer) -> None:
+    decomposer._next_doc_id = 1  # line 5
+    decomposer._next_node_id = 1  # line 6

@@ -1,0 +1,21 @@
+"""Repro errors, re-raises, and abstract-method guards are all fine."""
+
+from repro.errors import QueryError
+
+
+def pick(mapping, key):
+    if key not in mapping:
+        raise QueryError(f"unknown key {key!r}")
+    return mapping[key]
+
+
+def reraise(action):
+    try:
+        return action()
+    except QueryError:
+        raise
+
+
+class Base:
+    def template(self):
+        raise NotImplementedError

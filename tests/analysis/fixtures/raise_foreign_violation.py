@@ -1,0 +1,7 @@
+"""Raising builtins across module boundaries."""
+
+
+def pick(mapping, key):
+    if key not in mapping:
+        raise ValueError(f"unknown key {key!r}")  # line 6
+    return mapping[key]

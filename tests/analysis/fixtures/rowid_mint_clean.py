@@ -1,0 +1,11 @@
+"""ROWIDs arrive as data: decoded from text or handed over by storage."""
+
+from repro.ordbms import RowId
+
+
+def parse(text: str) -> RowId:
+    return RowId.decode(text)
+
+
+def fetch(table, rowid: RowId):
+    return table.fetch(rowid)

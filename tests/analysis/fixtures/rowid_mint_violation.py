@@ -1,0 +1,7 @@
+"""Analyzed as src/repro/query/shortcut.py: minting a raw ROWID."""
+
+from repro.ordbms import RowId
+
+
+def guess_sibling(rowid: RowId) -> RowId:
+    return RowId(rowid.file_no, rowid.block_no, rowid.slot_no + 1)  # line 7

@@ -1,0 +1,101 @@
+"""Baseline loading, matching, and staleness."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_paths, load_baseline
+from repro.errors import AnalysisError
+
+
+def _write_baseline(path, entries):
+    path.write_text(json.dumps({"version": 1, "entries": entries}))
+    return path
+
+
+def _entry(rule, path, content, reason="transitional debt"):
+    return {"rule": rule, "path": path, "content": content, "reason": reason}
+
+
+@pytest.fixture
+def bad_module(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "store"
+    pkg.mkdir(parents=True)
+    module = pkg / "poke.py"
+    module.write_text("def f(obj):\n    obj._state = 1\n")
+    return module
+
+
+class TestBaselineMatching:
+    def test_matching_entry_suppresses(self, tmp_path, bad_module):
+        baseline = load_baseline(
+            _write_baseline(
+                tmp_path / "baseline.json",
+                [
+                    _entry(
+                        "private-mutation",
+                        "src/repro/store/poke.py",
+                        "obj._state = 1",
+                    )
+                ],
+            )
+        )
+        report = analyze_paths([bad_module], baseline=baseline)
+        assert report.violations == []
+        assert len(report.baselined) == 1
+        assert report.stale_baseline == []
+
+    def test_content_mismatch_is_stale_not_suppressing(
+        self, tmp_path, bad_module
+    ):
+        baseline = load_baseline(
+            _write_baseline(
+                tmp_path / "baseline.json",
+                [
+                    _entry(
+                        "private-mutation",
+                        "src/repro/store/poke.py",
+                        "obj._other = 2",
+                    )
+                ],
+            )
+        )
+        report = analyze_paths([bad_module], baseline=baseline)
+        assert [v.rule for v in report.violations] == ["private-mutation"]
+        assert len(report.stale_baseline) == 1
+
+    def test_rule_mismatch_does_not_suppress(self, tmp_path, bad_module):
+        baseline = load_baseline(
+            _write_baseline(
+                tmp_path / "baseline.json",
+                [
+                    _entry(
+                        "print-call",
+                        "src/repro/store/poke.py",
+                        "obj._state = 1",
+                    )
+                ],
+            )
+        )
+        report = analyze_paths([bad_module], baseline=baseline)
+        assert [v.rule for v in report.violations] == ["private-mutation"]
+
+
+class TestBaselineLoading:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_entry_without_reason_rejected(self, tmp_path):
+        path = _write_baseline(
+            tmp_path / "baseline.json",
+            [_entry("layering", "src/repro/x.py", "import y", reason=" ")],
+        )
+        with pytest.raises(AnalysisError):
+            load_baseline(path)

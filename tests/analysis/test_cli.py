@@ -1,0 +1,93 @@
+"""The ``python -m repro.analysis`` command line front end."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        module = tmp_path / "ok.py"
+        module.write_text("x = 1\n")
+        code, output = run_cli(str(module), "--no-baseline")
+        assert code == 0
+        assert "0 violation(s)" in output
+
+    def test_violations_exit_one_with_location(self, tmp_path):
+        module = tmp_path / "bad.py"
+        module.write_text("print('x')\n")
+        code, output = run_cli(str(module), "--no-baseline")
+        assert code == 1
+        assert "bad.py:1:0 [print-call]" in output
+
+    def test_json_format(self, tmp_path):
+        module = tmp_path / "bad.py"
+        module.write_text("print('x')\n")
+        code, output = run_cli(
+            str(module), "--no-baseline", "--format", "json"
+        )
+        payload = json.loads(output)
+        assert code == 1 and payload["ok"] is False
+        [violation] = payload["violations"]
+        assert violation["rule"] == "print-call"
+        assert violation["line"] == 1
+
+    def test_list_rules(self):
+        code, output = run_cli("--list-rules")
+        assert code == 0
+        for rule_id in (
+            "layering",
+            "broad-except",
+            "rowid-mint",
+            "private-mutation",
+            "wallclock",
+            "unseeded-random",
+            "print-call",
+        ):
+            assert rule_id in output
+
+    def test_write_baseline_roundtrip(self, tmp_path):
+        module = tmp_path / "bad.py"
+        module.write_text("print('x')\n")
+        baseline = tmp_path / "baseline.json"
+        code, _ = run_cli(
+            str(module), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert code == 0 and baseline.is_file()
+        # The generated baseline must suppress what it recorded.
+        code, output = run_cli(str(module), "--baseline", str(baseline))
+        assert code == 0
+        assert "1 baselined" in output
+
+    def test_nonexistent_path_is_usage_error(self, tmp_path):
+        code, output = run_cli(str(tmp_path / "no-such-dir"), "--no-baseline")
+        assert code == 2
+        assert "no such path" in output
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path):
+        module = tmp_path / "ok.py"
+        module.write_text("x = 1\n")
+        code, output = run_cli(
+            str(module), "--baseline", str(tmp_path / "missing.json")
+        )
+        assert code == 2
+        assert "error:" in output
+
+    def test_repo_invocation_matches_ci(self):
+        """The exact invocation CI runs, from wherever pytest started."""
+        code, output = run_cli(
+            str(REPO_ROOT / "src"),
+            "--baseline",
+            str(REPO_ROOT / "analysis-baseline.json"),
+        )
+        assert code == 0, output

@@ -1,0 +1,62 @@
+"""The determinism rules: wall clock and unseeded randomness."""
+
+from repro.analysis import analyze_source
+
+
+class TestWallClock:
+    def test_fires_on_every_clock_read(self, run_fixture):
+        violations = run_fixture(
+            "determinism_violation.py",
+            "src/repro/store/clock.py",
+            "wallclock",
+        )
+        assert [v.line for v in violations] == [7, 11, 15, 19]
+
+    def test_silent_on_timestamp_parameters(self, run_fixture):
+        assert (
+            run_fixture(
+                "determinism_clean.py",
+                "src/repro/store/clock.py",
+                "wallclock",
+            )
+            == []
+        )
+
+    def test_benchmarks_are_exempt(self, run_fixture):
+        assert (
+            run_fixture(
+                "determinism_violation.py",
+                "benchmarks/bench_clock.py",
+                "wallclock",
+            )
+            == []
+        )
+
+
+class TestUnseededRandom:
+    def test_fires_on_global_generator(self, run_fixture):
+        violations = run_fixture(
+            "determinism_violation.py",
+            "src/repro/store/clock.py",
+            "unseeded-random",
+        )
+        assert [v.line for v in violations] == [23]
+
+    def test_silent_on_seeded_random(self, run_fixture):
+        assert (
+            run_fixture(
+                "determinism_clean.py",
+                "src/repro/store/clock.py",
+                "unseeded-random",
+            )
+            == []
+        )
+
+    def test_from_import_of_global_function_fires(self):
+        source = "from random import choice\n"
+        [violation] = analyze_source(source, "src/repro/store/x.py")
+        assert violation.rule == "unseeded-random"
+
+    def test_from_import_of_random_class_is_fine(self):
+        source = "from random import Random\nrng = Random(7)\n"
+        assert analyze_source(source, "src/repro/store/x.py") == []

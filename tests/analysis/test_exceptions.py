@@ -1,0 +1,88 @@
+"""The exception-policy rules: broad-except, raise-foreign, class bases."""
+
+from repro.analysis import analyze_source
+
+
+class TestBroadExcept:
+    def test_fires_on_broad_and_bare_handlers(self, run_fixture):
+        violations = run_fixture(
+            "broad_except_violation.py",
+            "src/repro/server/swallow.py",
+            "broad-except",
+        )
+        assert [v.line for v in violations] == [7, 14]
+        assert all(
+            v.path == "src/repro/server/swallow.py" for v in violations
+        )
+
+    def test_silent_on_specific_and_pragma_annotated(self, run_fixture):
+        assert (
+            run_fixture(
+                "broad_except_clean.py",
+                "src/repro/server/boundary.py",
+                "broad-except",
+            )
+            == []
+        )
+
+    def test_tuple_handler_with_exception_is_broad(self):
+        source = (
+            "try:\n    pass\n"
+            "except (ValueError, Exception):\n    pass\n"
+        )
+        violations = analyze_source(source, "src/repro/store/x.py")
+        assert [v.rule for v in violations] == ["broad-except"]
+
+
+class TestRaiseForeign:
+    def test_fires_on_builtin_raise(self, run_fixture):
+        [violation] = run_fixture(
+            "raise_foreign_violation.py",
+            "src/repro/store/pick.py",
+            "raise-foreign",
+        )
+        assert violation.line == 6
+        assert "ValueError" in violation.message
+
+    def test_silent_on_repro_errors_and_guards(self, run_fixture):
+        assert (
+            run_fixture(
+                "raise_foreign_clean.py",
+                "src/repro/store/pick.py",
+                "raise-foreign",
+            )
+            == []
+        )
+
+    def test_reraise_of_caught_name_is_fine(self):
+        source = (
+            "from repro.errors import StoreError\n"
+            "try:\n    pass\n"
+            "except StoreError as error:\n    raise error\n"
+        )
+        assert analyze_source(source, "src/repro/store/x.py") == []
+
+
+class TestForeignExceptionBase:
+    def test_fires_on_builtin_base(self, run_fixture):
+        [violation] = run_fixture(
+            "foreign_exception_base_violation.py",
+            "src/repro/xslt/side.py",
+            "foreign-exception-base",
+        )
+        assert violation.line == 4
+        assert "SidebandError" in violation.message
+
+    def test_silent_on_repro_base(self, run_fixture):
+        assert (
+            run_fixture(
+                "foreign_exception_base_clean.py",
+                "src/repro/xslt/side.py",
+                "foreign-exception-base",
+            )
+            == []
+        )
+
+    def test_errors_module_itself_is_exempt(self):
+        source = "class ReproError(Exception):\n    pass\n"
+        assert analyze_source(source, "src/repro/errors.py") == []

@@ -1,0 +1,63 @@
+"""The layering rule: the repro.* import DAG."""
+
+from repro.analysis import analyze_source
+
+
+class TestLayering:
+    def test_fires_on_upward_import(self, run_fixture):
+        violations = run_fixture(
+            "layering_violation.py", "src/repro/ordbms/peek.py", "layering"
+        )
+        [violation] = violations
+        assert violation.rule == "layering"
+        assert violation.path == "src/repro/ordbms/peek.py"
+        assert violation.line == 3
+        assert "ordbms may not import repro.store" in violation.message
+
+    def test_silent_on_downward_imports(self, run_fixture):
+        assert (
+            run_fixture(
+                "layering_clean.py", "src/repro/store/ok.py", "layering"
+            )
+            == []
+        )
+
+    def test_federation_restricted_to_server_and_apps(self):
+        source = "from repro.federation.router import Router\n"
+        for unit, expected in (
+            ("server", 0),
+            ("apps", 0),
+            ("query", 1),
+            ("store", 1),
+        ):
+            violations = analyze_source(
+                source, f"src/repro/{unit}/mod.py"
+            )
+            layering = [v for v in violations if v.rule == "layering"]
+            assert len(layering) == expected, unit
+
+    def test_root_facade_import_restricted(self):
+        source = "from repro import Netmark\n"
+        [violation] = analyze_source(source, "src/repro/ordbms/mod.py")
+        assert violation.rule == "layering"
+        assert "__root__" in violation.message
+
+    def test_apps_may_import_the_facade(self):
+        source = "from repro import Netmark\n"
+        assert analyze_source(source, "src/repro/apps/mod.py") == []
+
+    def test_relative_imports_ignored(self):
+        source = "from .table import Table\n"
+        assert analyze_source(source, "src/repro/ordbms/mod.py") == []
+
+    def test_unknown_unit_must_be_mapped(self):
+        violations = analyze_source(
+            "x = 1\n", "src/repro/newtier/mod.py"
+        )
+        [violation] = violations
+        assert violation.rule == "layering"
+        assert "layer map" in violation.message
+
+    def test_files_outside_repro_are_exempt(self):
+        source = "from repro.federation.router import Router\n"
+        assert analyze_source(source, "tests/helpers/mod.py") == []

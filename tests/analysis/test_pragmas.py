@@ -1,0 +1,51 @@
+"""Pragma parsing and suppression semantics."""
+
+from repro.analysis import analyze_source
+from repro.analysis.pragmas import extract_pragmas
+
+
+class TestPragmaParsing:
+    def test_extracts_rule_reason_and_line(self):
+        source = "x = 1  # lint: allow-print-call(demo reason)\n"
+        pragmas, malformed = extract_pragmas(source)
+        [pragma] = pragmas
+        assert (pragma.rule, pragma.reason, pragma.line) == (
+            "print-call",
+            "demo reason",
+            1,
+        )
+        assert malformed == []
+
+    def test_pragma_in_string_literal_is_ignored(self):
+        source = 'x = "# lint: allow-print-call(nope)"\n'
+        pragmas, malformed = extract_pragmas(source)
+        assert pragmas == [] and malformed == []
+
+    def test_malformed_pragma_detected(self):
+        source = "x = 1  # lint: allow-print-call\n"
+        pragmas, malformed = extract_pragmas(source)
+        assert pragmas == [] and malformed == [1]
+
+
+class TestPragmaSuppression:
+    def test_pragma_suppresses_same_line_same_rule(self):
+        source = "print('x')  # lint: allow-print-call(CLI demo)\n"
+        assert analyze_source(source, "src/repro/apps/x.py") == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = "print('x')  # lint: allow-broad-except(wrong rule)\n"
+        violations = analyze_source(source, "src/repro/apps/x.py")
+        assert [v.rule for v in violations] == ["print-call"]
+
+    def test_reasonless_pragma_does_not_suppress_and_is_reported(self):
+        source = "print('x')  # lint: allow-print-call()\n"
+        violations = analyze_source(source, "src/repro/apps/x.py")
+        assert sorted(v.rule for v in violations) == [
+            "bad-pragma",
+            "print-call",
+        ]
+
+    def test_malformed_pragma_is_reported(self):
+        source = "x = 1  # lint: allow-print-call\n"
+        violations = analyze_source(source, "src/repro/apps/x.py")
+        assert [v.rule for v in violations] == ["bad-pragma"]

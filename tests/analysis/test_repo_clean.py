@@ -1,0 +1,44 @@
+"""Meta-test: the analyzer passes over this repository's own source.
+
+This is the enforcement point — CI runs the CLI, but even a bare
+``pytest`` run refuses to go green if someone introduces an upward
+import, a naked ``raise ValueError``, a minted ROWID, a wall-clock
+read, or lets the baseline rot.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+MAX_BASELINED = 10
+
+
+class TestRepositoryInvariants:
+    def _report(self):
+        baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+        return analyze_paths([REPO_ROOT / "src"], baseline=baseline)
+
+    def test_source_tree_is_clean(self):
+        report = self._report()
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.violations == [], f"new violations:\n{rendered}"
+
+    def test_baseline_has_no_stale_entries(self):
+        report = self._report()
+        stale = [
+            f"[{entry.rule}] {entry.path}: {entry.content!r}"
+            for entry in report.stale_baseline
+        ]
+        assert stale == [], f"stale baseline entries: {stale}"
+
+    def test_baseline_stays_small(self):
+        report = self._report()
+        assert len(report.baselined) <= MAX_BASELINED
+
+    def test_every_pragma_carries_a_reason(self):
+        # analyze_paths already reports reason-less pragmas through the
+        # bad-pragma rule; this asserts the whole tree was scanned.
+        report = self._report()
+        assert report.files_checked > 90

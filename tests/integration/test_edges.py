@@ -3,6 +3,8 @@
 import pytest
 
 from repro.errors import (
+    CorpusFormatError,
+    ServerError,
     SgmlSyntaxError,
     StoreError,
     WebDavError,
@@ -71,7 +73,7 @@ class TestFacadeEdges:
         node = Netmark("edge")
         # Sabotage the daemon so the dropped file is never reported.
         monkeypatch.setattr(node.daemon, "poll", lambda: [])
-        with pytest.raises(AssertionError):
+        with pytest.raises(ServerError):
             node.ingest("y.md", "# Y\nbody\n")
 
 
@@ -87,7 +89,7 @@ class TestSmallHelpers:
         assert match.brief() == "[src:f.md] H: short"
 
     def test_render_unknown_format_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorpusFormatError):
             _render("docx", "T", [])
 
     def test_node_string_value_document(self):

@@ -48,6 +48,21 @@ class TestDaemon:
         assert vfs.exists("/incoming/errors/bad.xml")
         assert len(store) == 0
 
+    def test_quarantine_collision_gets_counter_suffix(self, rig):
+        # Two quarantined files with the same name and the same logical
+        # %H%M%S stamp must not collide: the second gets a counter
+        # suffix instead of clobbering (or erroring on) the first.
+        store, vfs, daemon = rig
+        vfs.write("/incoming/errors/bad.xml", "occupied")
+        vfs.write("/incoming/bad.xml", "<a><b></a>")
+        stamp = vfs.entry("/incoming/bad.xml").modified.strftime("%H%M%S")
+        vfs.write(f"/incoming/errors/{stamp}-bad.xml", "also occupied")
+        [record] = daemon.poll()
+        assert not record.ok
+        assert vfs.read(f"/incoming/errors/{stamp}-1-bad.xml") == "<a><b></a>"
+        assert vfs.read("/incoming/errors/bad.xml") == "occupied"
+        assert vfs.read(f"/incoming/errors/{stamp}-bad.xml") == "also occupied"
+
     def test_poison_file_not_retried(self, rig):
         store, vfs, daemon = rig
         vfs.write("/incoming/bad.xml", "<a><b></a>")
