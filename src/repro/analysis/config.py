@@ -35,13 +35,26 @@ DEFAULT_LAYERS: dict[str, frozenset[str]] = {
     "analysis": frozenset(),
     "ordbms": frozenset(),
     "sgml": frozenset(),
+    # Resilience primitives (clock, retry, breaker, faults) sit below the
+    # tiers they protect — the fault proxies are duck-typed, so the
+    # package needs nothing from federation/server.  The chaos *harness*
+    # module is the exception: a composition root that drives the
+    # federated stack, annotated with per-line layering pragmas like the
+    # netmark facade.
+    "resilience": frozenset(),
     "converters": frozenset({"sgml"}),
     "store": frozenset({"ordbms", "sgml", "converters"}),
     "query": frozenset({"ordbms", "sgml", "store"}),
     "xslt": frozenset({"sgml"}),
-    "federation": frozenset({"ordbms", "sgml", "store", "query"}),
-    "server": frozenset({"sgml", "store", "query", "xslt", "federation"}),
-    "netmark": frozenset({"ordbms", "sgml", "store", "query", "server"}),
+    "federation": frozenset(
+        {"ordbms", "sgml", "store", "query", "resilience"}
+    ),
+    "server": frozenset(
+        {"sgml", "store", "query", "xslt", "federation", "resilience"}
+    ),
+    "netmark": frozenset(
+        {"ordbms", "sgml", "store", "query", "server", "resilience"}
+    ),
     "baselines": frozenset({"ordbms", "sgml", "store"}),
     "workloads": frozenset({"sgml", "converters", "store", "query"}),
     "costmodel": frozenset(

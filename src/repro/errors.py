@@ -141,6 +141,57 @@ class CapabilityError(FederationError):
     """A source was asked to execute a query it does not support natively."""
 
 
+class AllSourcesFailedError(FederationError):
+    """Every source in a fan-out failed or was skipped; no answer exists.
+
+    The router degrades to partial results while at least one source
+    answers; only a total loss raises.  The HTTP layer maps this to 503
+    (the service is temporarily unable to answer, not broken).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Resilience (fault injection, retries, circuit breakers)
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-injection and resilience-policy failures.
+
+    Errors in this branch model *operational* trouble — a remote that is
+    down, slow, or deliberately fault-injected — as opposed to logical
+    errors (bad query, missing document).  Retry policies treat this
+    branch as transient by default.
+    """
+
+
+class SourceUnavailableError(ResilienceError):
+    """A component (source, store, filesystem) refused an operation.
+
+    Raised by :class:`repro.resilience.faults.FaultPlan` proxies to model
+    a remote that is down; carries the ``component.operation`` site so
+    post-mortems can attribute the outage.
+    """
+
+
+class SourceTimeoutError(ResilienceError):
+    """An operation exceeded its (logical) time budget.
+
+    Deterministic analogue of a wall-clock timeout: the fault injector
+    advances the :class:`~repro.resilience.clock.LogicalClock` by the
+    configured latency, then raises this.
+    """
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open; the protected call was not attempted.
+
+    Never retried by :class:`~repro.resilience.retry.RetryPolicy` —
+    retrying an open circuit would defeat its purpose (shedding load
+    from a failing component until the cooldown elapses).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Workloads / experiment support
 # ---------------------------------------------------------------------------

@@ -7,33 +7,72 @@ The router is deliberately dumb: given a query naming a databank, it fans
 the query out to every declared source, augmenting per source capability,
 and concatenates the answers in stable (source, document, context) order.
 There is no global schema, no view unfolding, no reconciliation — the
-paper's whole point.  What little state it has is bookkeeping for the
-FIG8 benchmark (per-source match counts and augmentation reports).
+paper's whole point.
+
+It is, however, *fault-tolerant*: a failing source is isolated, retried
+under the optional :class:`~repro.resilience.policy.ResiliencePolicy`,
+skipped outright while its circuit breaker is open, and reported in the
+:class:`RoutingReport` — the answer degrades to a partial
+:class:`ResultSet` instead of dying on the first exception.  Only a
+total loss (every source failed or skipped) raises
+:class:`~repro.errors.AllSourcesFailedError`.  ``last_report`` is set
+before any raise, so post-mortems always see what happened.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import AllSourcesFailedError, FederationError, ReproError
 from repro.federation.augment import AugmentationReport, execute_augmented, plan
 from repro.federation.databank import Databank, DatabankRegistry
+from repro.federation.sources import InformationSource
 from repro.query.ast import XdbQuery
 from repro.query.language import format_query, parse_query
 from repro.query.results import ResultSet, SectionMatch
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.retry import RetryStats, call_with_retry
 
 
 @dataclass
 class RoutingReport:
-    """What one fan-out did, per source."""
+    """What one fan-out did, per source — including what went wrong."""
 
     databank: str = ""
     source_matches: dict[str, int] = field(default_factory=dict)
     augmented_sources: list[str] = field(default_factory=list)
     augmentation: dict[str, AugmentationReport] = field(default_factory=dict)
+    #: source name -> error summary, for sources that failed (after retries).
+    failed_sources: dict[str, str] = field(default_factory=dict)
+    #: sources not contacted because their circuit breaker was open.
+    skipped_sources: list[str] = field(default_factory=list)
+    #: source name -> retry count, for sources that needed retries.
+    retries: dict[str, int] = field(default_factory=dict)
 
     @property
     def fan_out(self) -> int:
-        return len(self.source_matches)
+        """Sources this query was routed at (answered, failed, or skipped)."""
+        return (
+            len(self.source_matches)
+            + len(self.failed_sources)
+            + len(self.skipped_sources)
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Did any source fail to contribute?"""
+        return bool(self.failed_sources or self.skipped_sources)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    def error_summary(self) -> dict[str, str]:
+        """Per-source trouble, failed and skipped alike (for results)."""
+        summary = dict(self.failed_sources)
+        for name in self.skipped_sources:
+            summary[name] = "skipped: circuit open"
+        return summary
 
 
 class Router:
@@ -43,6 +82,7 @@ class Router:
         self,
         registry: DatabankRegistry | None = None,
         aliases: "ContextAliasRegistry | None" = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         from repro.federation.aliases import ContextAliasRegistry
 
@@ -50,6 +90,7 @@ class Router:
         # must still be honoured — the caller will fill it later.
         self.registry = registry if registry is not None else DatabankRegistry()
         self.aliases = aliases if aliases is not None else ContextAliasRegistry()
+        self.resilience = resilience
         self.last_report: RoutingReport | None = None
 
     # -- administration (delegates kept for a one-stop facade) -----------------
@@ -66,23 +107,77 @@ class Router:
         query = self.aliases.rewrite(query)
         target = databank or query.databank
         if target is None:
-            from repro.errors import FederationError
-
+            self.last_report = RoutingReport()
             raise FederationError("query names no databank and none was given")
+        report = RoutingReport(databank=target)
+        self.last_report = report
         bank = self.registry.get(target)
-        report = RoutingReport(databank=bank.name)
         matches: list[SectionMatch] = []
         for source in bank.sources:
-            source_plan = plan(query, source)
-            augmentation = AugmentationReport()
-            source_matches = execute_augmented(query, source, augmentation)
-            report.source_matches[source.name] = len(source_matches)
-            if not source_plan.fully_native:
-                report.augmented_sources.append(source.name)
-                report.augmentation[source.name] = augmentation
-            matches.extend(source_matches)
+            matches.extend(self._route_to_source(query, source, report))
+        if bank.sources and not report.source_matches:
+            raise AllSourcesFailedError(
+                f"databank {target!r}: no source answered "
+                f"(failed: {sorted(report.failed_sources)}, "
+                f"skipped: {report.skipped_sources})"
+            )
         matches.sort(key=lambda match: (match.source, match.file_name, match.context))
-        self.last_report = report
-        result = ResultSet(format_query(query))
+        result = ResultSet(
+            format_query(query),
+            partial=report.degraded,
+            source_errors=report.error_summary(),
+        )
         result.extend(matches)
         return result.limited(query.limit)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _route_to_source(
+        self,
+        query: XdbQuery,
+        source: InformationSource,
+        report: RoutingReport,
+    ) -> list[SectionMatch]:
+        """One source's contribution; failures land in ``report``, not up."""
+        policy = self.resilience
+        breaker = (
+            policy.breakers.breaker(source.name) if policy is not None else None
+        )
+        if breaker is not None and not breaker.allow():
+            report.skipped_sources.append(source.name)
+            return []
+
+        def attempt() -> tuple[bool, AugmentationReport, list[SectionMatch]]:
+            # Fresh augmentation accounting per attempt: a retried source
+            # must not double-count the work of its failed tries.
+            augmentation = AugmentationReport()
+            source_plan = plan(query, source)
+            found = execute_augmented(query, source, augmentation)
+            return source_plan.fully_native, augmentation, found
+
+        stats = RetryStats()
+        try:
+            if policy is not None:
+                native, augmentation, found = call_with_retry(
+                    attempt, policy.retry, policy.clock, policy.rng, stats
+                )
+            else:
+                native, augmentation, found = attempt()
+        except ReproError as error:
+            if stats.retries:
+                report.retries[source.name] = stats.retries
+            report.failed_sources[source.name] = (
+                f"{type(error).__name__}: {error}"
+            )
+            if breaker is not None:
+                breaker.record_failure()
+            return []
+        if stats.retries:
+            report.retries[source.name] = stats.retries
+        if breaker is not None:
+            breaker.record_success()
+        report.source_matches[source.name] = len(found)
+        if not native:
+            report.augmented_sources.append(source.name)
+            report.augmentation[source.name] = augmentation
+        return found

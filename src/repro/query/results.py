@@ -51,10 +51,20 @@ class SectionMatch:
 
 @dataclass
 class ResultSet:
-    """All matches for one query, in stable (source, doc, context) order."""
+    """All matches for one query, in stable (source, doc, context) order.
+
+    ``partial`` marks a federated answer that is missing at least one
+    source's contribution; ``source_errors`` carries the per-source
+    error summary so callers (and the HTTP ``<partial>`` envelope) can
+    say *which* sources are unreachable and why.  A complete answer has
+    ``partial=False`` and renders byte-identically to the pre-resilience
+    format.
+    """
 
     query_string: str
     matches: list[SectionMatch] = field(default_factory=list)
+    partial: bool = False
+    source_errors: dict[str, str] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.matches)
@@ -92,11 +102,22 @@ class ResultSet:
     def limited(self, limit: int | None) -> "ResultSet":
         if limit is None or len(self.matches) <= limit:
             return self
-        return ResultSet(self.query_string, self.matches[:limit])
+        return ResultSet(
+            self.query_string,
+            self.matches[:limit],
+            partial=self.partial,
+            source_errors=dict(self.source_errors),
+        )
 
     def to_xml(self) -> Document:
         """Render the canonical ``<results>`` tree for XSLT composition."""
         root = Element("results", {"query": self.query_string})
+        if self.partial:
+            root.attributes["partial"] = "true"
+            envelope = root.make_child("partial")
+            for name in sorted(self.source_errors):
+                unreachable = envelope.make_child("unreachable", source=name)
+                unreachable.append_text(self.source_errors[name])
         for match in self.matches:
             result = root.make_child(
                 "result",

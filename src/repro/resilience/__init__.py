@@ -1,0 +1,58 @@
+"""Deterministic resilience: fault injection, retries, circuit breakers.
+
+The paper's pitch is that NETMARK stays useful when the enterprise
+around it is messy — sources come and go, the daemon quarantines poison
+documents rather than wedging.  This package makes that testable: a
+:class:`FaultPlan` provokes failures on demand, a :class:`RetryPolicy`
+absorbs transient ones, a :class:`BreakerBoard` stops paying for a
+source that keeps failing, and everything runs on a :class:`LogicalClock`
+with seeded randomness so every run replays exactly.
+
+The chaos harness (:mod:`repro.resilience.harness`) sits on top of the
+federation tier and is imported explicitly, not re-exported here — the
+core primitives below must stay importable from the layers they protect.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerConfig,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.resilience.clock import LogicalClock
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultProxy,
+    FaultRule,
+)
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.retry import (
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+    RetryStats,
+    call_with_retry,
+)
+
+__all__ = [
+    "CLOSED",
+    "DEFAULT_RETRYABLE",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultProxy",
+    "FaultRule",
+    "LogicalClock",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "RetryStats",
+    "call_with_retry",
+]

@@ -1,0 +1,165 @@
+"""Circuit breakers: stop paying for a source that keeps failing.
+
+Classic three-state machine, keyed per source name and driven entirely
+by the :class:`~repro.resilience.clock.LogicalClock`:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips; calls are refused (the router skips the source without
+  paying its latency) until ``cooldown`` ticks have elapsed.
+* **half-open** — after the cooldown one probe traffic is let through;
+  ``probe_successes`` successes re-close the breaker, any failure
+  re-opens it (and restarts the cooldown).
+
+Every transition is recorded with its tick so replay tests can assert
+the exact trip schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircuitOpenError, ResilienceError
+from repro.resilience.clock import LogicalClock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip threshold and recovery schedule, in logical ticks."""
+
+    failure_threshold: int = 3
+    cooldown: int = 16
+    probe_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ResilienceError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown < 0:
+            raise ResilienceError("cooldown cannot be negative")
+        if self.probe_successes < 1:
+            raise ResilienceError(
+                f"probe_successes must be >= 1, got {self.probe_successes}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change, stamped with the tick it happened at."""
+
+    tick: int
+    old_state: str
+    new_state: str
+
+
+class CircuitBreaker:
+    """One breaker protecting one named component."""
+
+    def __init__(
+        self, name: str, config: BreakerConfig, clock: LogicalClock
+    ) -> None:
+        self.name = name
+        self.config = config
+        self._clock = clock
+        self.state = CLOSED
+        self.trips = 0
+        self.transitions: list[BreakerTransition] = []
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at: int | None = None
+
+    # -- the call gate ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Moves open → half-open on time.)"""
+        if self.state == OPEN:
+            assert self._opened_at is not None
+            if self._clock.now() - self._opened_at >= self.config.cooldown:
+                self._transition(HALF_OPEN)
+                self._probe_successes = 0
+                return True
+            return False
+        return True
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` instead of returning False."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit for {self.name!r} is open "
+                f"(cooldown {self.config.cooldown} ticks)"
+            )
+
+    # -- outcome reporting --------------------------------------------------
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.probe_successes:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        ):
+            self._trip()
+
+    # -- internals ----------------------------------------------------------
+
+    def _trip(self) -> None:
+        self._transition(OPEN)
+        self.trips += 1
+        self._opened_at = self._clock.now()
+        self._consecutive_failures = 0
+
+    def _transition(self, new_state: str) -> None:
+        self.transitions.append(
+            BreakerTransition(self._clock.now(), self.state, new_state)
+        )
+        self.state = new_state
+
+
+class BreakerBoard:
+    """All breakers of one router, created on first use per source name."""
+
+    def __init__(self, config: BreakerConfig, clock: LogicalClock) -> None:
+        self.config = config
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        if name not in self._breakers:
+            self._breakers[name] = CircuitBreaker(
+                name, self.config, self._clock
+            )
+        return self._breakers[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._breakers)
+
+    def open_names(self) -> list[str]:
+        return sorted(
+            name
+            for name, breaker in self._breakers.items()
+            if breaker.state == OPEN
+        )
+
+    @property
+    def trips(self) -> int:
+        """Total trips across all breakers (a chaos-report headline)."""
+        return sum(breaker.trips for breaker in self._breakers.values())
+
+    def transitions(self) -> list[tuple[str, BreakerTransition]]:
+        """Every (source, transition) pair, in deterministic order."""
+        return [
+            (name, transition)
+            for name in self.names()
+            for transition in self._breakers[name].transitions
+        ]

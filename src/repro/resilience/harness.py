@@ -1,0 +1,192 @@
+"""The chaos harness: the FIG8 federated workload, under faults.
+
+Composition root (like the ``repro.netmark`` facade): it builds a
+multi-source federation from the standard workload corpus, wraps the
+sources in a :class:`~repro.resilience.faults.FaultPlan`, drives XDB
+queries through the router under a
+:class:`~repro.resilience.policy.ResiliencePolicy`, and condenses what
+happened — complete/partial/failed answers, retries, breaker trips,
+injected faults — into a :class:`ChaosReport` whose
+:meth:`~ChaosReport.signature` replays bit-for-bit for one seed.
+
+``benchmarks/bench_fig8_faulty_federation.py`` is the reporting surface;
+this module is the machinery, so tests can assert completeness bounds
+without importing a benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import FederationError
+from repro.federation.router import Router  # lint: allow-layering(composition root: the chaos harness drives the federated stack under faults)
+from repro.federation.sources import NetmarkSource  # lint: allow-layering(composition root: the chaos harness drives the federated stack under faults)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import ResiliencePolicy
+from repro.store.xmlstore import XmlStore  # lint: allow-layering(composition root: the chaos harness drives the federated stack under faults)
+from repro.workloads.corpus import CorpusSpec, generate_corpus  # lint: allow-layering(composition root: the chaos harness drives the federated stack under faults)
+
+#: Queries every chaos run exercises by default: a pure context search, a
+#: planted-term content search, and a combined query (the augmentation
+#: path when capability-limited sources join the bank).
+DEFAULT_QUERIES: tuple[str, ...] = (
+    "Context=Budget",
+    "Content=chaos",
+    "Context=Schedule&Content=chaos",
+)
+
+
+def build_sources(
+    source_count: int = 3,
+    docs_per_source: int = 6,
+    seed: int = 1400,
+) -> list[NetmarkSource]:
+    """Deterministic NETMARK sources over the standard workload corpus."""
+    sources: list[NetmarkSource] = []
+    for index in range(source_count):
+        store = XmlStore()
+        files = generate_corpus(
+            CorpusSpec(
+                documents=docs_per_source,
+                seed=seed + index,
+                formats=("md",),
+                planted_term="chaos",
+                plant_every=3,
+            )
+        )
+        for file in files:
+            store.store_text(file.text, f"s{index}-{file.name}")
+        sources.append(NetmarkSource(f"src{index:02d}", store))
+    return sources
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One query's fate under the plan."""
+
+    query: str
+    status: str  # "complete" | "partial" | "failed"
+    matches: int
+    failed_sources: tuple[str, ...]
+    skipped_sources: tuple[str, ...]
+    retries: int
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run did, in replayable form."""
+
+    outcomes: list[ChaosOutcome]
+    injected: int
+    trips: int
+    transitions: tuple[tuple[str, int, str, str], ...]
+
+    @property
+    def complete(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "complete")
+
+    @property
+    def partial(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "partial")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "failed")
+
+    @property
+    def retries(self) -> int:
+        return sum(outcome.retries for outcome in self.outcomes)
+
+    def signature(self) -> tuple:
+        """Deterministic fingerprint: equal across replays of one seed."""
+        return (
+            tuple(self.outcomes),
+            self.injected,
+            self.trips,
+            self.transitions,
+        )
+
+
+def run_chaos(
+    sources: Sequence[NetmarkSource],
+    queries: Sequence[str] = DEFAULT_QUERIES,
+    *,
+    plan: FaultPlan | None = None,
+    policy: ResiliencePolicy | None = None,
+    rounds: int = 1,
+    databank: str = "chaos",
+) -> ChaosReport:
+    """Fan ``queries`` out ``rounds`` times under ``plan``/``policy``."""
+    router = Router(resilience=policy)
+    bank = router.create_databank(databank, "chaos harness rig")
+    for source in sources:
+        bank.add_source(
+            plan.wrap_source(source) if plan is not None else source
+        )
+    outcomes: list[ChaosOutcome] = []
+    for _ in range(rounds):
+        for query in queries:
+            target = f"{query}&databank={databank}"
+            try:
+                results = router.execute(target)
+            except FederationError:
+                report = router.last_report
+                outcomes.append(
+                    ChaosOutcome(
+                        query=query,
+                        status="failed",
+                        matches=0,
+                        failed_sources=tuple(sorted(report.failed_sources)),
+                        skipped_sources=tuple(report.skipped_sources),
+                        retries=report.total_retries,
+                    )
+                )
+                continue
+            report = router.last_report
+            outcomes.append(
+                ChaosOutcome(
+                    query=query,
+                    status="partial" if results.partial else "complete",
+                    matches=len(results),
+                    failed_sources=tuple(sorted(report.failed_sources)),
+                    skipped_sources=tuple(report.skipped_sources),
+                    retries=report.total_retries,
+                )
+            )
+    transitions = ()
+    trips = 0
+    if policy is not None:
+        transitions = tuple(
+            (name, transition.tick, transition.old_state, transition.new_state)
+            for name, transition in policy.breakers.transitions()
+        )
+        trips = policy.breakers.trips
+    return ChaosReport(
+        outcomes=outcomes,
+        injected=plan.injected() if plan is not None else 0,
+        trips=trips,
+        transitions=transitions,
+    )
+
+
+def healthy_baseline(
+    sources: Sequence[NetmarkSource],
+    queries: Sequence[str] = DEFAULT_QUERIES,
+    exclude: Sequence[str] = (),
+) -> dict[str, int]:
+    """Match counts per query using only the sources not in ``exclude``.
+
+    The completeness bound for partial answers: a degraded fan-out that
+    lost exactly the sources in ``exclude`` must still return every
+    match the remaining sources hold.
+    """
+    router = Router()
+    bank = router.create_databank("baseline", "healthy-only control")
+    for source in sources:
+        if source.name not in exclude:
+            bank.add_source(source)
+    return {
+        query: len(router.execute(f"{query}&databank=baseline"))
+        for query in queries
+    }

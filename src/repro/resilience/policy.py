@@ -1,0 +1,32 @@
+"""The bundle the router executes under: retry + breakers + clock + RNG.
+
+One :class:`ResiliencePolicy` holds everything fault-tolerant execution
+needs, pre-wired to share a single :class:`LogicalClock` (so breaker
+cooldowns and retry backoff live on the same timeline) and a single
+seeded ``random.Random`` (so jitter replays).  Construct one per router;
+pass the same clock to the :class:`~repro.resilience.faults.FaultPlan`
+when injected latency should count against breaker cooldowns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.resilience.breaker import BreakerBoard, BreakerConfig
+from repro.resilience.clock import LogicalClock
+from repro.resilience.retry import RetryPolicy
+
+
+@dataclass
+class ResiliencePolicy:
+    """Everything a router needs to execute with fault tolerance."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    clock: LogicalClock = field(default_factory=LogicalClock)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+        self.breakers = BreakerBoard(self.breaker, self.clock)

@@ -1,0 +1,122 @@
+"""Retry with exponential backoff and full jitter — on logical time.
+
+A :class:`RetryPolicy` is pure configuration (attempt budget, backoff
+curve, which error branch counts as transient); :func:`call_with_retry`
+executes one operation under a policy, burning backoff as
+:class:`~repro.resilience.clock.LogicalClock` ticks and drawing jitter
+from a caller-supplied seeded ``random.Random`` so that every retry
+schedule replays exactly.
+
+Transience is an *error-type* property: the default retryable branch is
+the injected-operational errors (``SourceUnavailableError``,
+``SourceTimeoutError``).  ``CircuitOpenError`` is never retried, even if
+a caller lists it — retrying an open circuit defeats the breaker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import (
+    CircuitOpenError,
+    ReproError,
+    ResilienceError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+)
+from repro.resilience.clock import LogicalClock
+
+T = TypeVar("T")
+
+#: The errors a policy treats as transient unless told otherwise.
+DEFAULT_RETRYABLE: tuple[type[ReproError], ...] = (
+    SourceUnavailableError,
+    SourceTimeoutError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries.
+
+    Backoff after failed attempt *n* (1-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * multiplier**(n-1))]`` — the
+    classic full-jitter scheme, computed in logical ticks.
+    """
+
+    max_attempts: int = 3
+    base_delay: int = 1
+    multiplier: int = 2
+    max_delay: int = 32
+    retryable: tuple[type[ReproError], ...] = DEFAULT_RETRYABLE
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("backoff delays cannot be negative")
+        if self.multiplier < 1:
+            raise ResilienceError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def is_transient(self, error: BaseException) -> bool:
+        """Is ``error`` worth another attempt under this policy?"""
+        if isinstance(error, CircuitOpenError):
+            return False
+        return isinstance(error, self.retryable)
+
+    def backoff(self, attempt: int, rng: random.Random) -> int:
+        """Full-jitter delay (ticks) after failed attempt ``attempt``."""
+        ceiling = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if ceiling <= 0:
+            return 0
+        return rng.randint(0, ceiling)
+
+
+@dataclass
+class RetryStats:
+    """What one retried call actually did (for reports and replay tests)."""
+
+    attempts: int = 0
+    retries: int = 0
+    backoff_ticks: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def call_with_retry(
+    operation: Callable[[], T],
+    policy: RetryPolicy,
+    clock: LogicalClock,
+    rng: random.Random,
+    stats: RetryStats | None = None,
+) -> T:
+    """Run ``operation`` under ``policy``; returns its value.
+
+    Re-raises the last error once the attempt budget is exhausted, and
+    immediately for any error the policy does not consider transient.
+    ``stats`` (when given) accumulates attempts/retries/backoff so
+    callers can report the work without re-deriving it.
+    """
+    stats = stats if stats is not None else RetryStats()
+    for attempt in range(1, policy.max_attempts + 1):
+        stats.attempts += 1
+        try:
+            return operation()
+        except ReproError as error:
+            if not policy.is_transient(error):
+                raise
+            stats.errors.append(str(error))
+            if attempt == policy.max_attempts:
+                raise
+            delay = policy.backoff(attempt, rng)
+            clock.advance(delay)
+            stats.retries += 1
+            stats.backoff_ticks += delay
+    raise ResilienceError("unreachable: retry loop exited without outcome")

@@ -12,15 +12,31 @@ converter registry and the store, and records an :class:`IngestRecord`
 per attempt.  Failures are quarantined (the record carries the error; the
 file moves to the ``errors/`` subfolder so the next poll does not retry a
 poison document forever), successes move to ``processed/``.
+
+Resilience: with a :class:`~repro.resilience.retry.RetryPolicy` the
+daemon retries transient failures (deterministic backoff on its
+:class:`~repro.resilience.clock.LogicalClock`) *before* quarantining,
+and it remembers quarantined revisions by content — if a fault re-drops
+a poison file, or the quarantine move itself fails and the file is left
+behind, the next poll skips that exact revision instead of looping.
 """
 
 from __future__ import annotations
 
+import hashlib
+import random
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.resilience.clock import LogicalClock
+from repro.resilience.retry import RetryPolicy, RetryStats, call_with_retry
 from repro.server.vfs import VirtualFileSystem, base_name, normalize_path
 from repro.store.xmlstore import XmlStore
+
+
+def _digest(content: str) -> str:
+    """Stable fingerprint of one file revision."""
+    return hashlib.sha1(content.encode("utf-8", "replace")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -32,6 +48,7 @@ class IngestRecord:
     doc_id: int | None = None
     node_count: int = 0
     error: str = ""
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -51,9 +68,23 @@ class NetmarkDaemon:
     #: adding a duplicate — the WebDAV collaborative-editing behaviour.
     replace_existing: bool = True
     history: list[IngestRecord] = field(default_factory=list)
+    #: Retry transient failures this many times before quarantining
+    #: (None: a single attempt, the pre-resilience behaviour).
+    retry: RetryPolicy | None = None
+    clock: LogicalClock = field(default_factory=LogicalClock)
+    retry_seed: int = 0
+    #: Set by :meth:`run_until_idle` when ``max_polls`` ran out with work
+    #: still pending — the budget was hit, not the folder drained.
+    budget_exhausted: bool = False
 
     def __post_init__(self) -> None:
         self.drop_folder = normalize_path(self.drop_folder)
+        self._retry_rng = random.Random(self.retry_seed)
+        #: ``(name, digest)`` of revisions that must not be re-ingested:
+        #: quarantined poison and files stuck in place by a failed move.
+        #: ``digest=None`` wildcards every revision of that name (used
+        #: when the content itself is unreadable).
+        self._skip_revisions: set[tuple[str, str | None]] = set()
         for folder in (self.drop_folder, self.processed_folder, self.error_folder):
             if not self.vfs.is_dir(folder):
                 self.vfs.mkdir(folder, parents=True)
@@ -75,6 +106,7 @@ class NetmarkDaemon:
             path
             for path in self.vfs.walk_files(self.drop_folder)
             if "/" not in path[len(prefix):]  # not in processed/ or errors/
+            and not self._is_skipped(path)
         ]
 
     def poll(self) -> list[IngestRecord]:
@@ -86,58 +118,109 @@ class NetmarkDaemon:
         return records
 
     def run_until_idle(self, max_polls: int = 100) -> int:
-        """Poll until the drop folder is empty; returns ingested count."""
+        """Poll until the drop folder is empty; returns ingested count.
+
+        If ``max_polls`` wake-ups were not enough to drain the folder,
+        :attr:`budget_exhausted` is set so callers can tell "done" from
+        "gave up" — previously the budget ran out silently.
+        """
+        self.budget_exhausted = False
         total = 0
         for _ in range(max_polls):
             records = self.poll()
             if not records:
-                break
+                return total
             total += sum(1 for record in records if record.ok)
+        self.budget_exhausted = bool(self.pending_files())
         return total
 
     # -- internals ------------------------------------------------------------------
 
     def _ingest(self, path: str) -> IngestRecord:
         name = base_name(path)
-        content = self.vfs.read(path)
-        modified = self.vfs.entry(path).modified
+        stats = RetryStats()
         try:
-            if self.replace_existing:
-                result = self.store.replace_text(
+            content = self.vfs.read(path)
+            modified = self.vfs.entry(path).modified
+
+            def store_once():
+                if self.replace_existing:
+                    return self.store.replace_text(
+                        text=content, name=name, file_date=modified
+                    )
+                return self.store.store_text(
                     text=content, name=name, file_date=modified
+                )
+
+            if self.retry is not None:
+                result = call_with_retry(
+                    store_once, self.retry, self.clock, self._retry_rng, stats
                 )
             else:
-                result = self.store.store_text(
-                    text=content, name=name, file_date=modified
-                )
+                result = store_once()
         except ReproError as error:
+            self._remember_skip(path)
             self._move(path, self.error_folder)
-            return IngestRecord(path=path, status="failed", error=str(error))
+            return IngestRecord(
+                path=path,
+                status="failed",
+                error=str(error),
+                attempts=max(stats.attempts, 1),
+            )
         if self.keep_originals:
             self._move(path, self.processed_folder)
         else:
-            self.vfs.delete(path)
+            try:
+                self.vfs.delete(path)
+            except ReproError:
+                self._remember_skip(path)
         return IngestRecord(
             path=path,
             status="stored",
             doc_id=result.doc_id,
             node_count=result.node_count,
+            attempts=max(stats.attempts, 1),
         )
 
     def _move(self, path: str, folder: str) -> None:
         name = base_name(path)
         target = folder + "/" + name
-        if self.vfs.exists(target):
-            # Disambiguate repeats with the logical timestamp; the stamp
-            # alone can collide (same name, same %H%M%S second — or a day
-            # apart on the logical clock), so fall back to a counter.
-            stamp = self.vfs.entry(path).modified.strftime("%H%M%S")
-            target = f"{folder}/{stamp}-{name}"
-            counter = 1
-            while self.vfs.exists(target):
-                target = f"{folder}/{stamp}-{counter}-{name}"
-                counter += 1
-        self.vfs.move(path, target)
+        try:
+            if self.vfs.exists(target):
+                # Disambiguate repeats with the logical timestamp; the stamp
+                # alone can collide (same name, same %H%M%S second — or a day
+                # apart on the logical clock), so fall back to a counter.
+                stamp = self.vfs.entry(path).modified.strftime("%H%M%S")
+                target = f"{folder}/{stamp}-{name}"
+                counter = 1
+                while self.vfs.exists(target):
+                    target = f"{folder}/{stamp}-{counter}-{name}"
+                    counter += 1
+            self.vfs.move(path, target)
+        except ReproError:
+            # The move itself failed (e.g. an injected filesystem fault):
+            # the file stays where it is, but its revision is remembered
+            # so the next poll does not pick it up again.
+            self._remember_skip(path)
+
+    def _remember_skip(self, path: str) -> None:
+        name = base_name(path)
+        try:
+            self._skip_revisions.add((name, _digest(self.vfs.read(path))))
+        except ReproError:
+            # Content unreadable: skip every revision of this name rather
+            # than loop on a file we cannot even fingerprint.
+            self._skip_revisions.add((name, None))
+
+    def _is_skipped(self, path: str) -> bool:
+        name = base_name(path)
+        if (name, None) in self._skip_revisions:
+            return True
+        try:
+            digest = _digest(self.vfs.read(path))
+        except ReproError:
+            return False  # let _ingest observe (and record) the failure
+        return (name, digest) in self._skip_revisions
 
     # -- reporting --------------------------------------------------------------------
 

@@ -25,7 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import QueryError, QuerySyntaxError, ReproError, XsltError
+from repro.errors import (
+    AllSourcesFailedError,
+    QueryError,
+    QuerySyntaxError,
+    ReproError,
+    XsltError,
+)
 from repro.query.engine import QueryEngine
 from repro.query.language import parse_query
 from repro.server.webdav import WebDavServer
@@ -90,6 +96,12 @@ class NetmarkHttpApi:
             return HttpResponse(400, str(error))
         except (QueryError, XsltError) as error:
             return HttpResponse(422, str(error))
+        except AllSourcesFailedError as error:
+            # A federated query with *every* source down is a temporary
+            # outage, not a server bug: 503, never 500.  Partial losses
+            # never reach here — they return 200 with a <partial>
+            # envelope (see ResultSet.to_xml).
+            return HttpResponse(503, str(error))
         except ReproError as error:
             return HttpResponse(500, str(error))
 

@@ -1,6 +1,6 @@
 """Specific handlers, plus one annotated broad handler."""
 
-from repro.errors import DocumentNotFoundError, ReproError
+from repro.errors import DocumentNotFoundError, ReproError, ResilienceError
 
 
 def lookup(store, doc_id):
@@ -8,6 +8,14 @@ def lookup(store, doc_id):
         return store.describe(doc_id)
     except DocumentNotFoundError:
         return None
+
+
+def degrade(source, query):
+    # Catching the resilience branch specifically is not a broad except.
+    try:
+        return source.native_search(query)
+    except ResilienceError:
+        return []
 
 
 def boundary(action):

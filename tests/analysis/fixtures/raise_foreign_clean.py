@@ -1,12 +1,21 @@
 """Repro errors, re-raises, and abstract-method guards are all fine."""
 
-from repro.errors import QueryError
+from repro.errors import QueryError, SourceTimeoutError, SourceUnavailableError
 
 
 def pick(mapping, key):
     if key not in mapping:
         raise QueryError(f"unknown key {key!r}")
     return mapping[key]
+
+
+def probe(source, budget):
+    # The resilience branch of the hierarchy is just as raisable.
+    if source is None:
+        raise SourceUnavailableError("source went away")
+    if budget <= 0:
+        raise SourceTimeoutError(f"no budget left ({budget})")
+    return source
 
 
 def reraise(action):

@@ -1,0 +1,242 @@
+"""Resilient federation: per-source isolation, partial results, HTTP surfacing."""
+
+import pytest
+
+from repro.errors import (
+    AllSourcesFailedError,
+    FederationError,
+    ReproError,
+    UnknownDatabankError,
+)
+from repro.federation import NetmarkSource, Router
+from repro.resilience import (
+    BreakerConfig,
+    FaultPlan,
+    LogicalClock,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.sgml.serializer import serialize
+from repro.store.xmlstore import XmlStore
+
+NDOC = (
+    "{\\ndoc1}\n{\\style Heading1}Budget\n"
+    "{\\style Normal}Travel funds for the engine review.\n"
+)
+
+
+def netmark_source(name: str) -> NetmarkSource:
+    store = XmlStore()
+    store.store_text(NDOC, f"{name}-doc.ndoc")
+    return NetmarkSource(name, store)
+
+
+def build_router(plan=None, policy=None, faulty=("s1",), count=3):
+    router = Router(resilience=policy)
+    bank = router.create_databank("app")
+    for index in range(count):
+        source = netmark_source(f"s{index}")
+        if plan is not None and source.name in faulty:
+            source = plan.wrap_source(source)
+        bank.add_source(source)
+    return router
+
+
+class TestPartialResults:
+    def test_one_dead_source_degrades_not_dies(self):
+        plan = FaultPlan()
+        plan.fail("s1", times=None)
+        router = build_router(plan)
+        results = router.execute("Context=Budget&databank=app")
+        assert results.partial
+        assert sorted(results.source_errors) == ["s1"]
+        assert "SourceUnavailableError" in results.source_errors["s1"]
+        # Every healthy source still contributes all of its matches.
+        assert {match.source for match in results} == {"s0", "s2"}
+        assert len(results) == 2
+
+    def test_report_carries_failures_and_fan_out(self):
+        plan = FaultPlan()
+        plan.fail("s1", times=None)
+        router = build_router(plan)
+        router.execute("Context=Budget&databank=app")
+        report = router.last_report
+        assert sorted(report.failed_sources) == ["s1"]
+        assert report.fan_out == 3
+        assert report.degraded
+        assert report.source_matches == {"s0": 1, "s2": 1}
+
+    def test_all_sources_dead_raises_federation_error(self):
+        plan = FaultPlan()
+        for name in ("s0", "s1", "s2"):
+            plan.fail(name, times=None)
+        router = build_router(plan, faulty=("s0", "s1", "s2"))
+        with pytest.raises(AllSourcesFailedError):
+            router.execute("Context=Budget&databank=app")
+        # Post-mortem: the report was set before the raise.
+        report = router.last_report
+        assert sorted(report.failed_sources) == ["s0", "s1", "s2"]
+        assert report.source_matches == {}
+
+    def test_last_report_set_before_unknown_databank_raise(self):
+        router = build_router()
+        with pytest.raises(UnknownDatabankError):
+            router.execute("Context=Budget&databank=ghost")
+        assert router.last_report.databank == "ghost"
+        with pytest.raises(FederationError):
+            router.execute("Context=Budget")
+        assert router.last_report.databank == ""
+
+    def test_no_faults_is_byte_identical_and_quiet(self):
+        plain = build_router()
+        guarded = build_router(policy=ResiliencePolicy())
+        query = "Context=Budget&databank=app"
+        plain_xml = serialize(plain.execute(query).to_xml(), indent=2)
+        guarded_xml = serialize(guarded.execute(query).to_xml(), indent=2)
+        assert plain_xml == guarded_xml
+        report = guarded.last_report
+        assert not report.degraded
+        assert report.total_retries == 0
+        assert guarded.resilience.breakers.trips == 0
+
+    def test_retry_absorbs_transient_failure(self):
+        clock = LogicalClock()
+        plan = FaultPlan(clock=clock)
+        plan.fail("s1", "native_search", times=2)
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3), clock=clock
+        )
+        router = build_router(plan, policy)
+        results = router.execute("Context=Budget&databank=app")
+        assert not results.partial
+        assert len(results) == 3
+        assert router.last_report.retries == {"s1": 2}
+
+    def test_breaker_opens_after_threshold_and_skips(self):
+        clock = LogicalClock()
+        plan = FaultPlan(clock=clock)
+        plan.fail("s1", times=None)
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerConfig(failure_threshold=2, cooldown=1000),
+            clock=clock,
+        )
+        router = build_router(plan, policy)
+        query = "Context=Budget&databank=app"
+        router.execute(query)  # failure 1
+        router.execute(query)  # failure 2 -> trips
+        assert policy.breakers.breaker("s1").trips == 1
+        results = router.execute(query)  # now skipped, not contacted
+        report = router.last_report
+        assert report.skipped_sources == ["s1"]
+        assert not report.failed_sources
+        assert results.partial
+        assert results.source_errors["s1"] == "skipped: circuit open"
+        # The open breaker really sheds the load: no third injection.
+        assert plan.injected("s1") == 2
+
+    def test_half_open_probe_recovers_the_source(self):
+        clock = LogicalClock()
+        plan = FaultPlan(clock=clock)
+        plan.fail("s1", times=2)  # fail twice, then healthy again
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerConfig(failure_threshold=2, cooldown=4),
+            clock=clock,
+        )
+        router = build_router(plan, policy)
+        query = "Context=Budget&databank=app"
+        router.execute(query)
+        router.execute(query)  # breaker trips
+        clock.advance(4)  # cooldown elapses
+        results = router.execute(query)  # half-open probe succeeds
+        assert not results.partial
+        assert policy.breakers.breaker("s1").state == "closed"
+
+
+class TestPropertySeededPlans:
+    def test_execute_degrades_or_raises_federation_error(self):
+        """For any seeded plan: partial with accurate failed_sources, a
+        complete answer, or FederationError — never a builtin leak."""
+        query = "Context=Budget&databank=app"
+        for seed in range(30):
+            plan = FaultPlan(seed=seed)
+            for name in ("s0", "s1", "s2"):
+                plan.sometimes(name, probability=0.4)
+            router = build_router(
+                plan, ResiliencePolicy(seed=seed), faulty=("s0", "s1", "s2")
+            )
+            try:
+                results = router.execute(query)
+            except ReproError as error:
+                assert isinstance(error, FederationError), seed
+                assert len(router.last_report.failed_sources) + len(
+                    router.last_report.skipped_sources
+                ) == 3, seed
+                continue
+            report = router.last_report
+            assert results.partial == report.degraded, seed
+            assert set(results.source_errors) == set(
+                report.error_summary()
+            ), seed
+            # Matches come only from sources that answered.
+            assert {m.source for m in results} <= set(
+                report.source_matches
+            ), seed
+
+    def test_seeded_plans_replay_identically(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed)
+            plan.sometimes("s1", probability=0.5)
+            router = build_router(plan, ResiliencePolicy(seed=seed))
+            outcomes = []
+            for _ in range(5):
+                try:
+                    results = router.execute("Context=Budget&databank=app")
+                    outcomes.append((len(results), results.partial))
+                except FederationError:
+                    outcomes.append(("failed", None))
+            return outcomes, plan.injected()
+
+        assert run(11) == run(11)
+
+
+class TestHttpSurfacing:
+    def build_api(self, plan=None, faulty=("s1",), count=3, kill_all=False):
+        from repro.netmark import Netmark
+
+        nm = Netmark()
+        nm.create_databank("app")
+        names = tuple(f"s{i}" for i in range(count))
+        for name in names:
+            source = netmark_source(name)
+            if plan is not None and (kill_all or name in faulty):
+                source = plan.wrap_source(source)
+            nm.add_source("app", source)
+        return nm
+
+    def test_partial_envelope_not_500(self):
+        plan = FaultPlan()
+        plan.fail("s1", times=None)
+        nm = self.build_api(plan)
+        response = nm.http_get("/search?Context=Budget&databank=app")
+        assert response.status == 200
+        assert 'partial="true"' in response.body
+        assert "<partial>" in response.body
+        assert '<unreachable source="s1">' in response.body
+        assert "<result" in response.body  # healthy matches still present
+
+    def test_complete_answer_has_no_partial_envelope(self):
+        nm = self.build_api()
+        response = nm.http_get("/search?Context=Budget&databank=app")
+        assert response.status == 200
+        assert "partial" not in response.body
+
+    def test_total_outage_is_503_not_500(self):
+        plan = FaultPlan()
+        for name in ("s0", "s1", "s2"):
+            plan.fail(name, times=None)
+        nm = self.build_api(plan, kill_all=True)
+        response = nm.http_get("/search?Context=Budget&databank=app")
+        assert response.status == 503
+        assert "no source answered" in response.body

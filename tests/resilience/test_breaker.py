@@ -1,0 +1,110 @@
+"""The circuit breaker state machine on logical time."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ResilienceError
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    LogicalClock,
+)
+
+
+def make(threshold=3, cooldown=10, probes=1, clock=None):
+    clock = clock if clock is not None else LogicalClock()
+    return clock, CircuitBreaker(
+        "src", BreakerConfig(threshold, cooldown, probes), clock
+    )
+
+
+class TestCircuitBreaker:
+    def test_config_validation(self):
+        with pytest.raises(ResilienceError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ResilienceError):
+            BreakerConfig(cooldown=-1)
+        with pytest.raises(ResilienceError):
+            BreakerConfig(probe_successes=0)
+
+    def test_stays_closed_below_threshold(self):
+        _, breaker = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        _, breaker = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two *consecutive* failures
+
+    def test_trips_open_at_threshold(self):
+        _, breaker = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_half_open_after_cooldown(self):
+        clock, breaker = make(threshold=1, cooldown=5)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(4)
+        assert not breaker.allow()  # one tick short
+        clock.advance(1)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_recloses(self):
+        clock, breaker = make(threshold=1, cooldown=2)
+        breaker.record_failure()
+        clock.advance(2)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock, breaker = make(threshold=1, cooldown=3)
+        breaker.record_failure()
+        clock.advance(3)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and breaker.trips == 2
+        clock.advance(2)
+        assert not breaker.allow()  # cooldown restarted at re-open
+        clock.advance(1)
+        assert breaker.allow()
+
+    def test_transitions_are_stamped_with_ticks(self):
+        clock, breaker = make(threshold=1, cooldown=2)
+        breaker.record_failure()  # tick 0: closed -> open
+        clock.advance(2)
+        breaker.allow()  # tick 2: open -> half-open
+        breaker.record_success()  # tick 2: half-open -> closed
+        assert [
+            (t.tick, t.old_state, t.new_state) for t in breaker.transitions
+        ] == [(0, CLOSED, OPEN), (2, OPEN, HALF_OPEN), (2, HALF_OPEN, CLOSED)]
+
+
+class TestBreakerBoard:
+    def test_one_breaker_per_name(self):
+        board = BreakerBoard(BreakerConfig(), LogicalClock())
+        assert board.breaker("a") is board.breaker("a")
+        assert board.breaker("a") is not board.breaker("b")
+        assert board.names() == ["a", "b"]
+
+    def test_trips_and_open_names_aggregate(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1), LogicalClock())
+        board.breaker("a").record_failure()
+        board.breaker("b").record_success()
+        assert board.trips == 1
+        assert board.open_names() == ["a"]
+        assert [name for name, _ in board.transitions()] == ["a"]

@@ -1,0 +1,137 @@
+"""Deterministic fault injection: plans, rules, and proxies."""
+
+import pytest
+
+from repro.errors import (
+    ResilienceError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+)
+from repro.federation.sources import ContentOnlySource
+from repro.query.language import parse_query
+from repro.resilience import FaultPlan, LogicalClock
+from repro.server.vfs import VirtualFileSystem
+from repro.store.xmlstore import XmlStore
+
+NDOC = "{\\ndoc1}\n{\\style Heading1}Budget\n{\\style Normal}Travel funds.\n"
+
+
+class TestFaultRules:
+    def test_fail_n_times_then_recover(self):
+        plan = FaultPlan()
+        plan.fail("s", "op", times=2)
+        for _ in range(2):
+            with pytest.raises(SourceUnavailableError):
+                plan.apply("s", "op")
+        plan.apply("s", "op")  # recovered
+        assert plan.injected("s") == 2
+
+    def test_after_skips_leading_calls(self):
+        plan = FaultPlan()
+        plan.fail("s", "op", times=1, after=2)
+        plan.apply("s", "op")
+        plan.apply("s", "op")
+        with pytest.raises(SourceUnavailableError):
+            plan.apply("s", "op")
+
+    def test_wildcard_operation(self):
+        plan = FaultPlan()
+        plan.fail("s", times=None)
+        with pytest.raises(SourceUnavailableError):
+            plan.apply("s", "anything")
+        with pytest.raises(SourceUnavailableError):
+            plan.apply("s", "else")
+        plan.apply("other", "anything")  # different component untouched
+
+    def test_timeout_burns_latency_then_raises(self):
+        clock = LogicalClock()
+        plan = FaultPlan(clock=clock)
+        plan.fail("s", "op", kind="timeout", latency=7)
+        with pytest.raises(SourceTimeoutError, match="7 ticks"):
+            plan.apply("s", "op")
+        assert clock.now() == 7
+
+    def test_slow_burns_latency_without_error(self):
+        clock = LogicalClock()
+        plan = FaultPlan(clock=clock)
+        plan.slow("s", "op", latency=3, times=2)
+        plan.apply("s", "op")
+        plan.apply("s", "op")
+        plan.apply("s", "op")  # script exhausted: full speed again
+        assert clock.now() == 6
+        assert [event.kind for event in plan.events] == ["slow", "slow"]
+
+    def test_probabilistic_faults_replay_by_seed(self):
+        def outcomes(seed):
+            plan = FaultPlan(seed=seed)
+            plan.sometimes("s", "op", probability=0.5)
+            fired = []
+            for _ in range(20):
+                try:
+                    plan.apply("s", "op")
+                    fired.append(False)
+                except SourceUnavailableError:
+                    fired.append(True)
+            return fired
+
+        assert outcomes(3) == outcomes(3)
+        assert any(outcomes(3)) and not all(outcomes(3))
+
+    def test_bad_scripts_rejected(self):
+        plan = FaultPlan()
+        with pytest.raises(ResilienceError):
+            plan.fail("s", kind="explode")
+        with pytest.raises(ResilienceError):
+            plan.sometimes("s", probability=1.5)
+        with pytest.raises(ResilienceError):
+            plan.fail("s", times=-1)
+
+    def test_events_record_site_and_tick(self):
+        clock = LogicalClock(start=5)
+        plan = FaultPlan(clock=clock)
+        plan.fail("s", "op")
+        with pytest.raises(SourceUnavailableError):
+            plan.apply("s", "op")
+        [event] = plan.events
+        assert (event.tick, event.component, event.operation, event.kind) == (
+            5, "s", "op", "unavailable",
+        )
+
+
+class TestProxies:
+    def test_source_proxy_gates_search_and_delegates_the_rest(self):
+        source = ContentOnlySource("llis", {"a.md": "engine trouble"})
+        plan = FaultPlan()
+        plan.fail("llis", "native_search", times=1)
+        wrapped = plan.wrap_source(source)
+        assert wrapped.name == "llis"
+        assert wrapped.capabilities == source.capabilities
+        query = parse_query("Content=engine")
+        with pytest.raises(SourceUnavailableError):
+            wrapped.native_search(query)
+        assert [m.file_name for m in wrapped.native_search(query)] == ["a.md"]
+        # The un-gated counter lives on the real source.
+        assert source.queries_served == 1
+
+    def test_store_proxy_gates_store_text(self):
+        store = XmlStore()
+        plan = FaultPlan()
+        plan.fail("store", "store_text", times=1)
+        wrapped = plan.wrap_store(store)
+        with pytest.raises(SourceUnavailableError):
+            wrapped.store_text(NDOC, "r.ndoc")
+        assert wrapped.store_text(NDOC, "r.ndoc").doc_id == 1
+        assert len(store) == 1
+
+    def test_vfs_proxy_gates_move(self):
+        vfs = VirtualFileSystem()
+        vfs.mkdir("/a")
+        vfs.write("/a/f.txt", "x")
+        plan = FaultPlan()
+        plan.fail("vfs", "move", times=1)
+        wrapped = plan.wrap_vfs(vfs)
+        with pytest.raises(SourceUnavailableError):
+            wrapped.move("/a/f.txt", "/a/g.txt")
+        assert wrapped.read("/a/f.txt") == "x"  # unharmed, still in place
+        wrapped.move("/a/f.txt", "/a/g.txt")
+        assert vfs.is_file("/a/g.txt")

@@ -1,0 +1,133 @@
+"""LogicalClock and RetryPolicy/call_with_retry."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DocumentNotFoundError,
+    ResilienceError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+)
+from repro.resilience import LogicalClock, RetryPolicy, RetryStats, call_with_retry
+
+
+class TestLogicalClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = LogicalClock()
+        assert clock.now() == 0
+        assert clock.advance() == 1
+        assert clock.advance(5) == 6
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ResilienceError):
+            LogicalClock(start=-1)
+        with pytest.raises(ResilienceError):
+            LogicalClock().advance(-1)
+
+
+class Flaky:
+    """Fails ``failures`` times with ``error``, then returns ``value``."""
+
+    def __init__(self, failures, error=SourceUnavailableError, value="ok"):
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"down (call {self.calls})")
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_config_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(multiplier=0)
+
+    def test_transience_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(SourceUnavailableError("x"))
+        assert policy.is_transient(SourceTimeoutError("x"))
+        assert not policy.is_transient(DocumentNotFoundError("x"))
+
+    def test_circuit_open_never_transient(self):
+        # Even when explicitly listed: retrying an open circuit would
+        # defeat the breaker.
+        policy = RetryPolicy(retryable=(CircuitOpenError,))
+        assert not policy.is_transient(CircuitOpenError("x"))
+
+    def test_backoff_is_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=2, multiplier=2, max_delay=5)
+        delays_a = [policy.backoff(n, random.Random(9)) for n in (1, 2, 3)]
+        delays_b = [policy.backoff(n, random.Random(9)) for n in (1, 2, 3)]
+        assert delays_a == delays_b  # same seed, same jitter
+        assert all(0 <= delay <= 5 for delay in delays_a)
+
+
+class TestCallWithRetry:
+    def run(self, operation, policy, seed=0, clock=None, stats=None):
+        return call_with_retry(
+            operation,
+            policy,
+            clock if clock is not None else LogicalClock(),
+            random.Random(seed),
+            stats,
+        )
+
+    def test_success_needs_no_retry(self):
+        stats = RetryStats()
+        assert self.run(Flaky(0), RetryPolicy(), stats=stats) == "ok"
+        assert stats.attempts == 1 and stats.retries == 0
+
+    def test_transient_failures_absorbed(self):
+        stats = RetryStats()
+        assert self.run(Flaky(2), RetryPolicy(max_attempts=3), stats=stats) == "ok"
+        assert stats.attempts == 3 and stats.retries == 2
+        assert len(stats.errors) == 2
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        flaky = Flaky(99)
+        with pytest.raises(SourceUnavailableError, match="call 3"):
+            self.run(flaky, RetryPolicy(max_attempts=3))
+        assert flaky.calls == 3
+
+    def test_permanent_error_raises_immediately(self):
+        flaky = Flaky(99, error=DocumentNotFoundError)
+        with pytest.raises(DocumentNotFoundError):
+            self.run(flaky, RetryPolicy(max_attempts=5))
+        assert flaky.calls == 1
+
+    def test_backoff_burns_logical_ticks(self):
+        clock = LogicalClock()
+        stats = RetryStats()
+        self.run(
+            Flaky(2),
+            RetryPolicy(max_attempts=3, base_delay=4, max_delay=100),
+            clock=clock,
+            stats=stats,
+        )
+        assert clock.now() == stats.backoff_ticks
+
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            clock = LogicalClock()
+            stats = RetryStats()
+            self.run(
+                Flaky(4),
+                RetryPolicy(max_attempts=5, base_delay=3, max_delay=50),
+                seed=seed,
+                clock=clock,
+                stats=stats,
+            )
+            return clock.now(), stats.backoff_ticks, stats.retries
+
+        assert schedule(42) == schedule(42)

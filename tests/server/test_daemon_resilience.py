@@ -1,0 +1,132 @@
+"""The daemon under injected faults: retries, quarantine, no poison loops."""
+
+import pytest
+
+from repro.resilience import FaultPlan, LogicalClock, RetryPolicy
+from repro.server.daemon import NetmarkDaemon
+from repro.server.vfs import VirtualFileSystem
+from repro.store import XmlStore
+
+NDOC = "{\\ndoc1}\n{\\style Heading1}Budget\n{\\style Normal}Travel funds.\n"
+
+
+def faulty_rig(plan, *, retry=None, clock=None, retry_seed=0):
+    store = XmlStore()
+    vfs = VirtualFileSystem()
+    daemon = NetmarkDaemon(
+        plan.wrap_store(store),
+        plan.wrap_vfs(vfs),
+        "/incoming",
+        retry=retry,
+        clock=clock if clock is not None else LogicalClock(),
+        retry_seed=retry_seed,
+    )
+    return store, vfs, daemon
+
+
+class TestDaemonRetry:
+    def test_transient_store_fault_retried_then_stored(self):
+        clock = LogicalClock()
+        plan = FaultPlan(clock=clock)
+        plan.fail("store", "replace_text", times=2)
+        store, vfs, daemon = faulty_rig(
+            plan, retry=RetryPolicy(max_attempts=3), clock=clock
+        )
+        vfs.write("/incoming/r.ndoc", NDOC)
+        [record] = daemon.poll()
+        assert record.ok
+        assert record.attempts == 3
+        assert len(store) == 1
+        assert vfs.exists("/incoming/processed/r.ndoc")
+
+    def test_retry_exhaustion_quarantines_with_attempt_count(self):
+        # Regression: the daemon must exhaust its retry budget *before*
+        # quarantining — never quarantine on the first transient failure.
+        plan = FaultPlan()
+        plan.fail("store", "replace_text", times=None)
+        store, vfs, daemon = faulty_rig(plan, retry=RetryPolicy(max_attempts=3))
+        vfs.write("/incoming/r.ndoc", NDOC)
+        [record] = daemon.poll()
+        assert not record.ok
+        assert record.attempts == 3
+        assert plan.injected("store") == 3
+        assert "unavailable" in record.error
+        assert vfs.exists("/incoming/errors/r.ndoc")
+        assert len(store) == 0
+
+    def test_without_policy_single_attempt(self):
+        plan = FaultPlan()
+        plan.fail("store", "replace_text", times=1)
+        store, vfs, daemon = faulty_rig(plan)  # retry=None
+        vfs.write("/incoming/r.ndoc", NDOC)
+        [record] = daemon.poll()
+        assert not record.ok and record.attempts == 1
+
+
+class TestPoisonFiles:
+    def test_failed_quarantine_move_does_not_loop(self):
+        # The quarantine move itself faults, so the poison file stays in
+        # the drop folder — the next poll must skip it, not re-ingest.
+        plan = FaultPlan()
+        plan.fail("vfs", "move", times=None)
+        store, vfs, daemon = faulty_rig(plan)
+        vfs.write("/incoming/bad.xml", "<a><b></a>")
+        [record] = daemon.poll()
+        assert not record.ok
+        assert vfs.exists("/incoming/bad.xml")  # stuck in place
+        assert daemon.poll() == []
+        assert daemon.run_until_idle() == 0
+        assert not daemon.budget_exhausted
+
+    def test_redropped_poison_revision_skipped(self):
+        store, vfs, daemon = faulty_rig(FaultPlan())
+        vfs.write("/incoming/bad.xml", "<a><b></a>")
+        daemon.poll()
+        assert vfs.exists("/incoming/errors/bad.xml")
+        # A fault (or a stubborn user) drops the same bytes again.
+        vfs.write("/incoming/bad.xml", "<a><b></a>")
+        assert daemon.poll() == []
+
+    def test_changed_revision_of_quarantined_name_is_reingested(self):
+        store, vfs, daemon = faulty_rig(FaultPlan())
+        vfs.write("/incoming/doc.ndoc", "<a><b></a>")
+        [record] = daemon.poll()
+        assert not record.ok
+        # Same name, fixed content: a genuinely new revision.
+        vfs.write("/incoming/doc.ndoc", NDOC)
+        [record] = daemon.poll()
+        assert record.ok
+        assert len(store) == 1
+
+    def test_budget_exhaustion_is_flagged(self):
+        store, vfs, daemon = faulty_rig(FaultPlan())
+        vfs.write("/incoming/r.ndoc", NDOC)
+        assert daemon.run_until_idle(max_polls=0) == 0
+        assert daemon.budget_exhausted
+        assert daemon.run_until_idle() == 1
+        assert not daemon.budget_exhausted
+
+
+class TestDeterminism:
+    def test_same_seed_same_retry_schedule(self):
+        def run(seed):
+            clock = LogicalClock()
+            plan = FaultPlan(seed=seed, clock=clock)
+            plan.sometimes("store", "replace_text", probability=0.6)
+            store, vfs, daemon = faulty_rig(
+                plan,
+                retry=RetryPolicy(max_attempts=4, base_delay=2, max_delay=20),
+                clock=clock,
+                retry_seed=seed,
+            )
+            for index in range(4):
+                extra = f"{{\\style Normal}}Doc {index}\n"
+                vfs.write(f"/incoming/d{index}.ndoc", NDOC + extra)
+            daemon.run_until_idle()
+            return (
+                clock.now(),
+                plan.injected(),
+                [(r.path, r.status, r.attempts) for r in daemon.history],
+            )
+
+        assert run(7) == run(7)
