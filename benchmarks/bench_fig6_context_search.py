@@ -13,12 +13,17 @@ The bench loads mixed-format corpora of growing size and measures:
   generated with the heading must be found).
 """
 
+import dataclasses
 import time
 
 import pytest
-from conftest import print_table
+from conftest import print_table, write_artifact
 
+from repro.ordbms.table import Table
 from repro.query.engine import QueryEngine
+from repro.query.language import format_query, parse_query
+from repro.query.results import ResultSet
+from repro.sgml.serializer import serialize
 from repro.store import XmlStore
 from repro.workloads import CorpusSpec, generate_corpus
 
@@ -55,6 +60,7 @@ def _timed(callable_, repeats=5):
 def test_report_fig6_context_search(benchmark, stores):
     def report():
         rows = []
+        series = []
         for size in SIZES:
             store, expected = stores[size]
             indexed = QueryEngine(store, use_index=True)
@@ -77,14 +83,133 @@ def test_report_fig6_context_search(benchmark, stores):
                     f"{scan_time / indexed_time:.1f}x",
                 ]
             )
+            series.append(
+                {
+                    "documents": size,
+                    "matches": expected,
+                    "indexed_queries_per_second": round(1 / indexed_time, 1),
+                    "scan_queries_per_second": round(1 / scan_time, 1),
+                    "speedup": round(scan_time / indexed_time, 2),
+                }
+            )
         print_table(
             f"FIG6: Context={HEADING} over growing collections",
             ["docs", "matches", "index-path", "scan-path", "speedup"],
             rows,
         )
+        write_artifact("BENCH_fig6.json", "context_search", series)
         # Shape: the index path wins everywhere.
         for row in rows:
             assert float(row[4][:-1]) > 1.0
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+class _TableCalls:
+    """Count physical table traffic while a block runs."""
+
+    def __init__(self):
+        self.point = 0
+        self.batch = 0
+        self.rows = 0
+
+    @property
+    def calls(self):
+        return self.point + self.batch
+
+    def __enter__(self):
+        self._fetch, self._fetch_many = Table.fetch, Table.fetch_many
+        counter = self
+
+        def fetch(table, rowid):
+            counter.point += 1
+            counter.rows += 1
+            return counter._fetch(table, rowid)
+
+        def fetch_many(table, rowids):
+            rowids = list(rowids)
+            counter.batch += 1
+            counter.rows += len(rowids)
+            return counter._fetch_many(table, rowids)
+
+        Table.fetch, Table.fetch_many = fetch, fetch_many
+        return self
+
+    def __exit__(self, *exc_info):
+        Table.fetch, Table.fetch_many = self._fetch, self._fetch_many
+        return False
+
+
+def test_report_limit_pushdown_fetches(benchmark, stores):
+    """Limit-5 combined query vs the eager drain-then-limit baseline.
+
+    The baseline reproduces the pre-plan read path's behaviour: compute
+    every match, materialize every section, then throw away all but the
+    first five.  The cursor pipeline must answer byte-identically while
+    issuing at least 5x fewer physical table calls.
+    """
+
+    def report():
+        store, _ = stores[SIZES[-1]]
+        query = parse_query(f"Context={HEADING}&Content=resource&limit=5")
+        engine = QueryEngine(store)
+
+        with _TableCalls() as eager:
+            eager_ctx, root = engine.compile(
+                dataclasses.replace(query, limit=None)
+            )
+            matches = list(root.rows())
+            for match in matches:
+                match.context, match.content  # eager composition
+            eager_set = ResultSet(format_query(query))
+            eager_set.extend(matches)
+            eager_set = eager_set.limited(query.limit)
+
+        with _TableCalls() as lazy:
+            start = time.perf_counter()
+            lazy_ctx, root = engine.compile(query)
+            lazy_set = ResultSet(format_query(query))
+            lazy_set.extend(list(root.rows()))
+            for match in lazy_set.matches:
+                match.context, match.content
+            elapsed = time.perf_counter() - start
+
+        assert len(lazy_set.matches) == query.limit
+        identical = serialize(lazy_set.to_xml(), indent=2) == serialize(
+            eager_set.to_xml(), indent=2
+        )
+        print_table(
+            f"FIG6: limit pushdown, {format_query(query)} "
+            f"({SIZES[-1]} docs, {len(matches)} total matches)",
+            ["path", "table calls", "point", "batched", "rows fetched"],
+            [
+                ["eager drain", eager.calls, eager.point, eager.batch,
+                 eager.rows],
+                ["cursor pipeline", lazy.calls, lazy.point, lazy.batch,
+                 lazy.rows],
+            ],
+        )
+        write_artifact(
+            "BENCH_fig6.json",
+            "limit_pushdown",
+            {
+                "query": format_query(query),
+                "documents": SIZES[-1],
+                "total_matches": len(matches),
+                "eager_table_calls": eager.calls,
+                "lazy_table_calls": lazy.calls,
+                "eager_rows_fetched": eager.rows,
+                "lazy_rows_fetched": lazy.rows,
+                "eager_hops": eager_ctx.accessor.stats.parent_hops
+                + eager_ctx.accessor.stats.sibling_hops,
+                "lazy_hops": lazy_ctx.accessor.stats.parent_hops
+                + lazy_ctx.accessor.stats.sibling_hops,
+                "call_reduction": round(eager.calls / lazy.calls, 2),
+                "queries_per_second": round(1 / elapsed, 1),
+                "byte_identical": identical,
+            },
+        )
+        assert identical  # the pushdown may never change the answer
+        assert eager.calls >= 5 * lazy.calls
     benchmark.pedantic(report, rounds=1, iterations=1)
 
 

@@ -19,7 +19,7 @@ rows replay exactly; ``tests/resilience/test_replay.py`` asserts that.
 """
 
 import pytest
-from conftest import print_table
+from conftest import print_table, write_artifact
 
 from repro.federation import Router
 from repro.resilience import (
@@ -69,6 +69,26 @@ def test_report_killed_source_degrades(benchmark, sources):
                 for outcome in chaos.outcomes
             ],
         )
+        write_artifact(
+            "BENCH_fig8.json",
+            "killed_source",
+            {
+                "rounds": 3,
+                "queries": len(chaos.outcomes),
+                "failed": chaos.failed,
+                "partial": chaos.partial,
+                "breaker_trips": chaos.trips,
+                "outcomes": [
+                    {
+                        "query": o.query,
+                        "status": o.status,
+                        "matches": o.matches,
+                        "expected": degraded[o.query],
+                    }
+                    for o in chaos.outcomes
+                ],
+            },
+        )
         # Never a hard failure: every query answers, flagged partial.
         assert chaos.failed == 0
         assert chaos.partial == len(chaos.outcomes)
@@ -100,6 +120,19 @@ def test_report_flaky_source_recovers(benchmark, sources):
                 for o in chaos.outcomes
             ],
         )
+        write_artifact(
+            "BENCH_fig8.json",
+            "flaky_source",
+            {
+                "rounds": 2,
+                "queries": len(chaos.outcomes),
+                "failed": chaos.failed,
+                "partial": chaos.partial,
+                "retries": chaos.retries,
+                "faults_injected": chaos.injected,
+                "breaker_trips": chaos.trips,
+            },
+        )
         # Retries absorbed the window: every answer stayed complete.
         assert chaos.partial == chaos.failed == 0
         assert chaos.retries == 2 and chaos.injected == 2
@@ -122,6 +155,20 @@ def test_report_no_faults_no_overhead(benchmark, sources):
             "FIG8 chaos: null plan (guarded vs unguarded router)",
             ["query", "status", "matches", "unguarded matches"],
             rows,
+        )
+        write_artifact(
+            "BENCH_fig8.json",
+            "null_plan",
+            {
+                "queries": len(guarded.outcomes),
+                "retries": guarded.retries,
+                "breaker_trips": guarded.trips,
+                "faults_injected": guarded.injected,
+                "guarded_equals_unguarded": all(
+                    g.status == "complete" and g.matches == p.matches
+                    for g, p in zip(guarded.outcomes, plain.outcomes)
+                ),
+            },
         )
         assert guarded.retries == guarded.trips == guarded.injected == 0
         for g, p in zip(guarded.outcomes, plain.outcomes):

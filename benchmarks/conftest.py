@@ -13,9 +13,30 @@ DESIGN.md §4).  Conventions:
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 # Capture manager handle, filled in by pytest_configure, so experiment
 # tables stay visible even though pytest captures test stdout.
 _CAPTURE = [None]
+
+#: Where figure artifacts (``BENCH_fig6.json`` etc.) land: the repo root,
+#: so CI can upload them with a plain glob.
+ARTIFACT_DIR = Path(__file__).resolve().parent.parent
+
+
+def write_artifact(name: str, section: str, payload: object) -> None:
+    """Merge one figure's measurements into its ``BENCH_*.json`` artifact.
+
+    Each report test owns one ``section`` key; read-modify-write keeps
+    the sections independent of test execution order.
+    """
+    path = ARTIFACT_DIR / name
+    data: dict[str, object] = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def pytest_configure(config):

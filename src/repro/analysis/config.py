@@ -63,6 +63,28 @@ DEFAULT_LAYERS: dict[str, frozenset[str]] = {
 }
 
 
+#: Module-granular import contracts inside units, for the read-path hot
+#: spots the unit-level DAG is too coarse for.  Keys are dotted module
+#: ids relative to ``repro`` (``store.accessor``); values are the units
+#: and modules that module may import (plus itself and the universal
+#: units).  Granting a whole unit (``ordbms``) grants all its modules;
+#: granting a module (``store.schema``) grants only that module — the
+#: unit's facade stays off-limits, which is also what keeps these leaf
+#: modules cycle-free.
+DEFAULT_MODULE_LAYERS: dict[str, frozenset[str]] = {
+    # The batched tree accessor is the substrate every read rides on: it
+    # may see the ORDBMS, the node-type vocabulary and the schema names,
+    # but never composition, the store facade or the query tier.
+    "store.accessor": frozenset({"ordbms", "sgml", "store.schema"}),
+    # The plan algebra sits between the store and the engine.  It must
+    # not import the engine (the engine compiles queries *into* plans)
+    # or the query-language parser — compile/execute is a one-way street.
+    "query.plan": frozenset(
+        {"ordbms", "sgml", "store", "query.ast", "query.results"}
+    ),
+}
+
+
 @dataclass(frozen=True)
 class AnalysisConfig:
     """Tunable policy for one analyzer run."""
@@ -70,6 +92,10 @@ class AnalysisConfig:
     #: unit -> units it may import (see :data:`DEFAULT_LAYERS`).
     layers: dict[str, frozenset[str]] = field(
         default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    #: module id -> import grants (see :data:`DEFAULT_MODULE_LAYERS`).
+    module_layers: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_MODULE_LAYERS)
     )
     #: Units importable from anywhere (the error vocabulary).
     universal_units: frozenset[str] = frozenset({"errors"})

@@ -20,13 +20,14 @@ from repro.analysis.rules.exceptions import (
     RaiseForeignRule,
 )
 from repro.analysis.rules.hygiene import PrintCallRule
-from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.layering import LayeringRule, ModuleLayeringRule
 
 #: Every rule CI runs, in reporting-id order.
 ALL_RULES = (
     BroadExceptRule(),
     ForeignExceptionBaseRule(),
     LayeringRule(),
+    ModuleLayeringRule(),
     PrintCallRule(),
     PrivateMutationRule(),
     RaiseForeignRule(),

@@ -83,6 +83,71 @@ class LayeringRule:
                     yield node, target
 
 
+class ModuleLayeringRule:
+    """Module-granular contracts inside units (``store.accessor`` etc.).
+
+    The unit DAG says *store may import ordbms*; for the read-path hot
+    spots that is too coarse — the batched accessor must not reach into
+    composition, and the plan algebra must not import the engine that
+    compiles into it.  :data:`~repro.analysis.config.DEFAULT_MODULE_LAYERS`
+    names those modules and their exact grants; this rule enforces them.
+    """
+
+    id = "module-layering"
+    summary = "hot-path modules must follow their module-granular contract"
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        module_id = _module_from_path(ctx.path)
+        if module_id is None:
+            return
+        grants = config.module_layers.get(module_id)
+        if grants is None:
+            return
+        allowed = set(grants) | config.universal_units | {module_id}
+        for node, target in self._repro_modules(ctx.tree, allowed):
+            if target in allowed:
+                continue
+            if target.split(".")[0] in allowed:
+                continue  # whole-unit grant covers every module in it
+            yield ctx.violation(
+                self.id, node,
+                f"{module_id} may not import repro.{target} "
+                f"(granted: {', '.join(sorted(allowed))})",
+            )
+
+    @staticmethod
+    def _repro_modules(
+        tree: ast.Module, allowed: set[str]
+    ) -> Iterator[tuple[ast.stmt, str]]:
+        """Yield ``(node, dotted-target)`` for every ``repro`` import.
+
+        ``from repro.store import schema`` is credited as the submodule
+        ``store.schema`` when that exact grant exists, else as the unit
+        ``store`` — an ungranted facade import stays a violation even
+        when individual submodules are granted.
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = _dotted_target(alias.name)
+                    if target is not None:
+                        yield node, target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative: stays inside the current unit
+                base = _dotted_target(node.module or "")
+                if base is None:
+                    continue
+                if base == "__root__":
+                    yield node, base
+                    continue
+                for alias in node.names:
+                    refined = f"{base}.{alias.name}"
+                    yield node, (refined if refined in allowed else base)
+
+
 def _unit_from_module(module: str) -> str | None:
     """Map a dotted module path to a repro unit name (None if foreign)."""
     if module == "repro":
@@ -90,3 +155,27 @@ def _unit_from_module(module: str) -> str | None:
     if not module.startswith("repro."):
         return None
     return module.split(".")[1]
+
+
+def _dotted_target(module: str) -> str | None:
+    """``repro.store.schema`` -> ``store.schema`` (None if foreign)."""
+    if module == "repro":
+        return "__root__"
+    if not module.startswith("repro."):
+        return None
+    return module[len("repro."):]
+
+
+def _module_from_path(path: str) -> str | None:
+    """``src/repro/store/accessor.py`` -> ``store.accessor``."""
+    parts = path.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    tail = parts[len(parts) - 1 - parts[::-1].index("repro") + 1:]
+    if not tail or not tail[-1].endswith(".py"):
+        return None
+    if tail[-1] == "__init__.py":
+        tail = tail[:-1]
+    else:
+        tail = tail[:-1] + [tail[-1][:-3]]
+    return ".".join(tail) or None

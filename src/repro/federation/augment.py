@@ -103,7 +103,11 @@ def execute_augmented(
     """Run ``query`` against ``source``, augmenting as planned."""
     the_plan = plan(query, source)
     if the_plan.fully_native:
-        assert the_plan.native_query is not None
+        if the_plan.native_query is None:
+            raise CapabilityError(
+                "augmentation plan is marked fully native but carries "
+                "no native query"
+            )
         return source.native_search(the_plan.native_query)
 
     report = report if report is not None else AugmentationReport()
@@ -128,17 +132,13 @@ def execute_augmented(
     refined = engine.execute(
         XdbQuery(context=query.context, content=query.content, limit=query.limit)
     )
-    return [
-        SectionMatch(
-            doc_id=match.doc_id,
-            file_name=name_map.get(match.doc_id, match.file_name),
-            context=match.context,
-            content=match.content,
-            section=match.section,
-            source=source.name,
-        )
-        for match in refined
-    ]
+    attributed: list[SectionMatch] = []
+    for match in refined:
+        clone = match.with_source(source.name)
+        clone.file_name = name_map.get(match.doc_id, match.file_name)
+        clone.score = 1.0  # federated answers rank uniformly
+        attributed.append(clone)
+    return attributed
 
 
 def _distinct_names(matches: list[SectionMatch]) -> list[str]:

@@ -32,6 +32,7 @@ from repro.query.language import format_query, parse_query
 from repro.query.results import ResultSet, SectionMatch
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.retry import RetryStats, call_with_retry
+from repro.sgml.dom import Document, Element
 
 
 @dataclass
@@ -46,6 +47,8 @@ class RoutingReport:
     failed_sources: dict[str, str] = field(default_factory=dict)
     #: sources not contacted because their circuit breaker was open.
     skipped_sources: list[str] = field(default_factory=list)
+    #: sources not contacted because the limit was already satisfied.
+    limit_skipped_sources: list[str] = field(default_factory=list)
     #: source name -> retry count, for sources that needed retries.
     retries: dict[str, int] = field(default_factory=dict)
 
@@ -113,7 +116,13 @@ class Router:
         self.last_report = report
         bank = self.registry.get(target)
         matches: list[SectionMatch] = []
-        for source in bank.sources:
+        for position, source in enumerate(bank.sources):
+            remaining = bank.sources[position:]
+            if self._limit_satisfied(query.limit, matches, remaining):
+                report.limit_skipped_sources = [
+                    skipped.name for skipped in remaining
+                ]
+                break
             matches.extend(self._route_to_source(query, source, report))
         if bank.sources and not report.source_matches:
             raise AllSourcesFailedError(
@@ -130,7 +139,88 @@ class Router:
         result.extend(matches)
         return result.limited(query.limit)
 
+    def explain(
+        self, query: XdbQuery | str, databank: str | None = None
+    ) -> Document:
+        """Run the fan-out and render the federated plan with row counts.
+
+        The tree has one ``<source>`` element per databank source, in
+        routing order, with the observed match count (``rows``), its
+        status (answered / failed / skipped / not-contacted when limit
+        pushdown stopped the fan-out early) and whether augmentation was
+        needed — plus a final ``<limit>`` operator with the row count
+        actually returned.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        result = self.execute(query, databank)
+        report = self.last_report
+        if report is None:  # execute always sets it; belt and braces
+            raise FederationError("routing produced no report to explain")
+        plan_element = Element(
+            "plan",
+            {
+                "query": format_query(query),
+                "kind": "federated",
+                "databank": report.databank,
+            },
+        )
+        for name in sorted(report.source_matches):
+            attributes = {
+                "name": name,
+                "rows": str(report.source_matches[name]),
+                "status": "answered",
+            }
+            if name in report.augmented_sources:
+                attributes["augmented"] = "true"
+            plan_element.append(Element("source", attributes))
+        for name in sorted(report.failed_sources):
+            failed = Element("source", {"name": name, "status": "failed"})
+            failed.append_text(report.failed_sources[name])
+            plan_element.append(failed)
+        for name in report.skipped_sources:
+            plan_element.append(
+                Element("source", {"name": name, "status": "skipped"})
+            )
+        for name in report.limit_skipped_sources:
+            plan_element.append(
+                Element("source", {"name": name, "status": "not-contacted"})
+            )
+        limit_element = Element(
+            "operator", {"name": "limit", "rows": str(len(result))}
+        )
+        if query.limit is not None:
+            limit_element.attributes["detail"] = str(query.limit)
+        plan_element.append(limit_element)
+        return Document(plan_element, name="plan.xml")
+
     # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _limit_satisfied(
+        limit: int | None,
+        matches: list[SectionMatch],
+        remaining: list[InformationSource],
+    ) -> bool:
+        """Can the remaining sources be skipped without changing the answer?
+
+        Sound only when every collected match ranks uniformly (score
+        1.0, which the source adapters normalize to): the final order is
+        then the stable (source, document, context) sort, so once
+        ``limit`` matches come from sources whose names sort *before*
+        every remaining source's name, nothing a remaining source could
+        return displaces them.
+        """
+        if limit is None or not remaining:
+            return False
+        floor = min(source.name for source in remaining)
+        guaranteed = 0
+        for match in matches:
+            if match.score != 1.0:
+                return False  # ranked scores: cannot reason positionally
+            if match.source < floor:
+                guaranteed += 1
+        return guaranteed >= limit
 
     def _route_to_source(
         self,

@@ -84,18 +84,15 @@ class NetmarkSource(InformationSource):
     def native_search(self, query: XdbQuery) -> list[SectionMatch]:
         check_supports(self.capabilities, query, self.name)
         self._count_query()
-        matches = self._engine.execute(query).matches
-        return [
-            SectionMatch(
-                doc_id=match.doc_id,
-                file_name=match.file_name,
-                context=match.context,
-                content=match.content,
-                section=match.section,
-                source=self.name,
-            )
-            for match in matches
-        ]
+        attributed: list[SectionMatch] = []
+        for match in self._engine.execute(query).matches:
+            clone = match.with_source(self.name)
+            # Federated answers rank uniformly: local INTENSE boosts are
+            # not comparable across repositories, and the router's
+            # limit pushdown relies on uniform scores.
+            clone.score = 1.0
+            attributed.append(clone)
+        return attributed
 
     def fetch_document(self, file_name: str) -> str:
         entry = self.store.lookup_by_name(file_name)
@@ -128,7 +125,10 @@ class ContentOnlySource(InformationSource):
 
     def native_search(self, query: XdbQuery) -> list[SectionMatch]:
         check_supports(self.capabilities, query, self.name)
-        assert query.content is not None  # content-only ⇒ must have content
+        if query.content is None:  # content-only ⇒ must have content
+            raise CapabilityError(
+                f"source {self.name!r} answers content searches only"
+            )
         self._count_query()
         matches: list[SectionMatch] = []
         for doc_index, (file_name, content) in enumerate(

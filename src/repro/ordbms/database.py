@@ -33,6 +33,10 @@ class DatabaseStats:
     rows_updated: int = 0
     rows_deleted: int = 0
     rowid_fetches: int = 0
+    #: Batched fetch *calls* (each covers many rowids; the rows still
+    #: count into :attr:`rowid_fetches`).  The fig6 bench reports the
+    #: call ratio — batch calls are the read path's unit of round trips.
+    batch_fetches: int = 0
     transactions_committed: int = 0
     transactions_rolled_back: int = 0
 
@@ -126,3 +130,9 @@ class Database:
         """O(1) fetch by physical ROWID (counted in stats)."""
         self.stats.rowid_fetches += 1
         return self.table(table_name).fetch(rowid)
+
+    def fetch_many(self, table_name: str, rowids: list[RowId]) -> list[dict[str, Any]]:
+        """Batch fetch by ROWID list — one call, ``len(rowids)`` rows."""
+        self.stats.rowid_fetches += len(rowids)
+        self.stats.batch_fetches += 1
+        return self.table(table_name).fetch_many(rowids)

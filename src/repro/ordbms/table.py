@@ -10,7 +10,7 @@ automatically created B+tree indexes, so enforcement is O(log n).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import CatalogError, ConstraintError, RowIdError
 from repro.ordbms.btree import BTreeIndex
@@ -31,6 +31,11 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._heap = HeapFile(schema.name)
+        #: Write-generation counter: bumped by every mutation (insert,
+        #: update, delete, restore).  Read-side caches such as
+        #: :class:`repro.store.accessor.NodeAccessor` snapshot this value
+        #: and invalidate themselves when it moves.
+        self._generation = 0
         self._indexes: dict[str, BTreeIndex] = {}
         self._text_indexes: dict[str, TextIndex] = {}
         # Unique enforcement piggybacks on B+tree indexes over these columns.
@@ -93,12 +98,18 @@ class Table:
 
     # -- mutation -----------------------------------------------------------
 
+    @property
+    def generation(self) -> int:
+        """Monotonic write counter; moves on every mutation of this table."""
+        return self._generation
+
     def insert(self, values: Mapping[str, Any]) -> RowId:
         """Validate, constraint-check and store a row; returns its ROWID."""
         row = self.schema.make_row(values)
         self._check_unique(row, exclude=None)
         rowid = self._heap.insert(row)
         self._index_row(rowid, row)
+        self._generation += 1
         return rowid
 
     def update(self, rowid: RowId, changes: Mapping[str, Any]) -> None:
@@ -111,11 +122,13 @@ class Table:
         self._unindex_row(rowid, old_row)
         self._heap.update(rowid, new_row)
         self._index_row(rowid, new_row)
+        self._generation += 1
 
     def delete(self, rowid: RowId) -> dict[str, Any]:
         """Delete the row at ``rowid``; returns its former values."""
         old_row = self._heap.delete(rowid)
         self._unindex_row(rowid, old_row)
+        self._generation += 1
         return self.schema.row_to_dict(old_row)
 
     def restore(self, rowid: RowId, values: Mapping[str, Any]) -> None:
@@ -124,12 +137,26 @@ class Table:
         self._check_unique(row, exclude=rowid)
         self._heap.restore(rowid, row)
         self._index_row(rowid, row)
+        self._generation += 1
 
     # -- access ---------------------------------------------------------------
 
     def fetch(self, rowid: RowId) -> dict[str, Any]:
         """O(1) fetch by physical ROWID, as a column->value dict."""
         return self._with_rowid(rowid, self._heap.fetch(rowid))
+
+    def fetch_many(self, rowids: Iterable[RowId]) -> list[dict[str, Any]]:
+        """Batch fetch by physical ROWID list, in the given order.
+
+        One call replaces N point :meth:`fetch` calls — the entry point
+        the read path's :class:`~repro.store.accessor.NodeAccessor` uses
+        to turn per-hop traffic into set-at-a-time traffic.  Each rowid
+        must be live (same contract as :meth:`fetch`).
+        """
+        return [
+            self._with_rowid(rowid, self._heap.fetch(rowid))
+            for rowid in rowids
+        ]
 
     def try_fetch(self, rowid: RowId) -> dict[str, Any] | None:
         """Like :meth:`fetch` but returns None for dead/out-of-range rowids."""

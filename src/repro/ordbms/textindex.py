@@ -129,16 +129,14 @@ class TextIndex:
             return set()
         if len(tokens) == 1:
             return self.lookup(tokens[0])
-        candidate_rows = None
-        for term in tokens:
+        candidate_rows: set[RowId] = set(self._postings.get(tokens[0], ()))
+        for term in tokens[1:]:
             by_row = self._postings.get(term)
             if not by_row:
                 return set()
-            rows = set(by_row)
-            candidate_rows = rows if candidate_rows is None else candidate_rows & rows
-            if not candidate_rows:
-                return set()
-        assert candidate_rows is not None
+            candidate_rows &= set(by_row)
+        if not candidate_rows:
+            return set()
         matches: set[RowId] = set()
         first = self._postings[tokens[0]]
         for rowid in candidate_rows:

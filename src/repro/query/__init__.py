@@ -9,11 +9,15 @@ from repro.query.language import (
     percent_decode,
     percent_encode,
 )
+from repro.query.plan import Candidate, PlanContext, PlanNode
 from repro.query.results import ResultSet, SectionMatch
 
 __all__ = [
+    "Candidate",
     "ContentSpec",
     "ContextSpec",
+    "PlanContext",
+    "PlanNode",
     "QueryEngine",
     "ResultSet",
     "SectionMatch",

@@ -76,6 +76,10 @@ class XdbQuery:
       (``Nodename=chapter``); may stand alone or combine with content;
     * ``doc`` — restrict to documents whose file name contains the value;
     * ``format`` — restrict to one source format (``Format=pdf``).
+
+    ``explain`` (``Explain=1``) asks for the *query plan* instead of
+    results: the operator tree the engine would execute, annotated with
+    observed per-operator row counts.
     """
 
     context: ContextSpec | None = None
@@ -86,6 +90,7 @@ class XdbQuery:
     stylesheet: str | None = None
     databank: str | None = None
     limit: int | None = None
+    explain: bool = False
     extras: tuple[tuple[str, str], ...] = field(default=())
 
     def __post_init__(self) -> None:

@@ -1,69 +1,72 @@
 """XDB Query evaluation (paper §2.1.3-2.1.4).
 
-The engine implements the paper's strategy literally:
+The engine implements the paper's strategy literally, compiled into an
+explicit operator tree (:mod:`repro.query.plan`) and pulled lazily:
 
 1. **Index probe.**  The search key goes to the text index over
-   ``XML.NODEDATA`` — every hit is a TEXT node row.
+   ``XML.NODEDATA`` — every hit is a TEXT node row (``IndexProbe``; the
+   ABL-IDX ablation swaps in ``Scan``).
 2. **Upward traversal.**  Each hit is resolved "based on its designated
    unique ROWID ... traversing up the tree structure via its parent or
    sibling node until the first context is found":
 
    * For a *context* search the hit must be heading text, i.e. have a
-     CONTEXT element among its proper ancestors (content text never does —
-     contexts are siblings of content, not ancestors).
-   * For a *content* search the hit resolves to its
-     :func:`~repro.store.traversal.governing_context` (nearest enclosing or
-     preceding CONTEXT).
+     CONTEXT element among its proper ancestors (``ContextLift``).
+   * For a *content* search the hit resolves to its governing context —
+     nearest enclosing or preceding CONTEXT (``GoverningLift``).
 
 3. **Downward sibling walk.**  The matched context's section is collected
-   through ``SIBLINGID`` hops and reconstructed.
+   through ``SIBLINGID`` hops (``SectionWalk``) and reconstructed lazily
+   at materialization.
 
 A combined ``Context=X&Content=Y`` query intersects: sections whose
-heading matches X *and* whose scope contains Y.
+heading matches X *and* whose scope contains Y.  On the indexed path a
+document-level semijoin (``Intersect``) prunes candidates whose document
+cannot contain Y before any section is walked.
 
-``use_index=False`` switches step 1 to a full table scan — kept only for
-the ABL-IDX ablation benchmark.
+``limit`` pushes all the way down: ``Rank`` orders candidates by score
+(stable within ties), ``Limit`` stops the pull, and the expensive
+operators sit below it — a limit-5 query walks a handful of sections no
+matter how large the corpus.  ``explain`` runs the same plan and returns
+the operator tree with observed row counts instead of results.
+
+All row access goes through one per-query
+:class:`~repro.store.accessor.NodeAccessor` (batched, memoized,
+write-generation guarded), shared with the lazy
+:class:`~repro.query.results.SectionMatch` loaders the plan emits.
 """
 
 from __future__ import annotations
 
-import re
-from typing import Any, Iterable
-
-from repro.errors import DocumentNotFoundError
-from repro.ordbms import RowId
-from repro.ordbms.table import ROWID_PSEUDO
-from repro.ordbms.textindex import tokenize
+from repro.errors import QueryError
 from repro.query.ast import ContentSpec, ContextSpec, XdbQuery
 from repro.query.language import format_query, parse_query
-from repro.query.results import ResultSet, SectionMatch
-from repro.sgml.nodetypes import NodeType
-from repro.store.traversal import (
-    context_title,
-    governing_context,
-    parent_of,
-    section_text,
+from repro.query.plan import (
+    ContentFilter,
+    ContextLift,
+    DocFilter,
+    FormatFilter,
+    GoverningLift,
+    IndexProbe,
+    Intersect,
+    Limit,
+    Materialize,
+    NodenameProbe,
+    PlanContext,
+    PlanNode,
+    Present,
+    Rank,
+    Scan,
+    SectionWalk,
+    Sort,
+    Union,
+    phrase_in,
 )
+from repro.query.results import ResultSet, SectionMatch
+from repro.sgml.dom import Document, Element
 from repro.store.xmlstore import XmlStore
 
-Row = dict[str, Any]
-
-
-def phrase_in(phrase: str, text: str) -> bool:
-    """Token-level phrase containment, case-insensitive.
-
-    ``Budget`` is contained in ``FY04 Budget Summary`` but not in
-    ``Budgetary`` — token boundaries matter, substring match does not.
-    """
-    needle = tokenize(phrase, keep_stopwords=True)
-    haystack = tokenize(text, keep_stopwords=True)
-    if not needle:
-        return False
-    span = len(needle)
-    return any(
-        haystack[start:start + span] == needle
-        for start in range(len(haystack) - span + 1)
-    )
+__all__ = ["QueryEngine", "phrase_in"]
 
 
 class QueryEngine:
@@ -79,55 +82,39 @@ class QueryEngine:
         """Run a parsed query or a raw XDB query string."""
         if isinstance(query, str):
             query = parse_query(query)
-        if query.kind == "nodename":
-            assert query.nodename is not None
-            matches = self.nodename_search(query.nodename, query.content)
-        elif query.kind == "context":
-            assert query.context is not None
-            matches = self.context_search(query.context)
-        elif query.kind == "content":
-            assert query.content is not None
-            matches = self.content_search(query.content)
-        else:
-            assert query.context is not None and query.content is not None
-            matches = self.combined_search(query.context, query.content)
-        matches = self._apply_filters(matches, query)
+        _, root = self.compile(query)
         result = ResultSet(format_query(query))
-        result.extend(matches)
+        result.extend(list(root.rows()))
         return result.limited(query.limit)
 
-    def _apply_filters(
-        self, matches: list[SectionMatch], query: XdbQuery
-    ) -> list[SectionMatch]:
-        """Apply the Doc= and Format= narrowing filters."""
-        if query.doc:
-            needle = query.doc.lower()
-            matches = [
-                match for match in matches if needle in match.file_name.lower()
-            ]
-        if query.format:
-            wanted = query.format
-            kept = []
-            for match in matches:
-                try:
-                    entry = self.store.describe(match.doc_id)
-                except DocumentNotFoundError:
-                    kept.append(match)  # federated matches lack local entries
-                    continue
-                if entry.file_name != match.file_name:
-                    kept.append(match)
-                    continue
-                if entry.format == wanted:
-                    kept.append(match)
-            matches = kept
-        return matches
+    def explain(self, query: XdbQuery | str) -> Document:
+        """Execute the query's plan and render it with observed row counts.
 
-    # -- the three search kinds -----------------------------------------------
+        The plan runs to completion (so the counts reflect real work,
+        limit pushdown included) but no match is materialized beyond its
+        lazy shell.  The result::
+
+            <plan query="Context=Budget&amp;limit=5" kind="context">
+              <operator name="materialize" rows="5">
+                <operator name="present" rows="5">
+                  ...
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        _, root = self.compile(query)
+        for _ in root.rows():
+            pass
+        plan_element = Element(
+            "plan", {"query": format_query(query), "kind": query.kind}
+        )
+        plan_element.append(root.explain_element())
+        return Document(plan_element, name="plan.xml")
+
+    # -- the three search kinds (list-returning spec API) ---------------------
 
     def context_search(self, spec: ContextSpec) -> list[SectionMatch]:
         """Sections whose heading matches any phrase in ``spec``."""
-        context_rows = self._matching_contexts(spec)
-        return [self._to_match(row) for row in self._ordered(context_rows)]
+        return self._run(XdbQuery(context=spec))
 
     def content_search(self, spec: ContentSpec) -> list[SectionMatch]:
         """Sections containing the content terms (grouped by context).
@@ -138,40 +125,18 @@ class QueryEngine:
         (document, node) order; callers wanting relevance order use
         :meth:`~repro.query.results.ResultSet.ranked`.
         """
-        hits = self._content_hit_rows(spec)
-        contexts: dict[RowId | None, Row] = {}
-        boosts: dict[RowId, float] = {}
-        doc_level: dict[int, Row] = {}
-        for hit in hits:
-            context = governing_context(self.store.database, hit)
-            if context is None:
-                doc_level.setdefault(hit["DOC_ID"], hit)
-                continue
-            key = context[ROWID_PSEUDO]
-            contexts.setdefault(key, context)
-            if self._is_emphasized(hit):
-                boosts[key] = boosts.get(key, 0.0) + 0.5
-        matches = [
-            self._to_match(row, score=1.0 + boosts.get(row[ROWID_PSEUDO], 0.0))
-            for row in self._ordered(contexts.values())
-            if self._section_satisfies(row, spec)
-        ]
-        for doc_id in sorted(doc_level):
-            matches.append(self._document_match(doc_id, doc_level[doc_id]))
-        return matches
+        return self._run(XdbQuery(content=spec))
 
-    def _is_emphasized(self, row: Row) -> bool:
-        """True when a text row sits inside INTENSE (emphasis) markup."""
-        current = row
-        while True:
-            parent = parent_of(self.store.database, current)
-            if parent is None:
-                return False
-            if parent["NODETYPE"] == int(NodeType.INTENSE):
-                return True
-            if parent["NODETYPE"] == int(NodeType.CONTEXT):
-                return False
-            current = parent
+    def combined_search(
+        self, context_spec: ContextSpec, content_spec: ContentSpec
+    ) -> list[SectionMatch]:
+        """Sections matching the context whose scope contains the content.
+
+        Paper example: ``Context=Technology Gap&Content=Shrinking`` returns
+        the Technology Gap sections of documents where "Shrinking" occurs
+        *within* that section.
+        """
+        return self._run(XdbQuery(context=context_spec, content=content_spec))
 
     def nodename_search(
         self, nodename: str, content: ContentSpec | None = None
@@ -183,180 +148,88 @@ class QueryEngine:
         element's text.  With a content spec, only matching instances
         whose text satisfies it are returned.
         """
-        from repro.store.compose import compose_node
+        return self._run(XdbQuery(nodename=nodename, content=content))
 
-        database = self.store.database
-        rows = self.store.xml_table.lookup("NODENAME", nodename)
-        matches: list[SectionMatch] = []
-        for row in self._ordered(rows):
-            node = compose_node(database, row)
-            text = re.sub(r"\s+", " ", node.text_content()).strip()
-            if content is not None and not self._text_satisfies(text, content):
-                continue
-            if row["NODETYPE"] == int(NodeType.CONTEXT):
-                heading = context_title(database, row)
-            else:
-                governing = governing_context(database, row)
-                heading = (
-                    context_title(database, governing)
-                    if governing is not None
-                    else self.store.describe(row["DOC_ID"]).file_name
-                )
-            entry = self.store.describe(row["DOC_ID"])
-            matches.append(
-                SectionMatch(
-                    doc_id=entry.doc_id,
-                    file_name=entry.file_name,
-                    context=heading,
-                    content=text,
-                    section=node if hasattr(node, "tag") else None,
-                )
-            )
-        return matches
+    def _run(self, query: XdbQuery) -> list[SectionMatch]:
+        _, root = self.compile(query)
+        return list(root.rows())
 
-    def _text_satisfies(self, text: str, spec: ContentSpec) -> bool:
-        tokens = set(tokenize(text, keep_stopwords=True))
-        if spec.mode == "phrase":
-            return phrase_in(spec.text, text)
-        wanted = [term.lower() for term in spec.terms]
-        if spec.mode == "any":
-            return any(term in tokens for term in wanted)
-        return all(term in tokens for term in wanted)
+    # -- plan construction ------------------------------------------------------
 
-    def combined_search(
-        self, context_spec: ContextSpec, content_spec: ContentSpec
-    ) -> list[SectionMatch]:
-        """Sections matching the context whose scope contains the content.
+    def compile(self, query: XdbQuery) -> tuple[PlanContext, PlanNode]:
+        """Build the operator tree for ``query`` (root is a Materialize).
 
-        Paper example: ``Context=Technology Gap&Content=Shrinking`` returns
-        the Technology Gap sections of documents where "Shrinking" occurs
-        *within* that section.
+        The shape by query kind (leaf → root), shared tail elided::
+
+            context:   probe*       > context-lift   > sort > ...
+            content:   probe* union > governing-lift        > ...
+            combined:  probe*       > context-lift   > sort > intersect > ...
+            nodename:  nodename-probe                > sort > ...
+
+        Tail: doc/format filters, ``rank``, the expensive per-candidate
+        test (``section-walk`` / ``content-filter``) when the kind has
+        one, ``limit``, ``present``, ``materialize``.  The expensive test
+        sits *under* the limit on purpose: that is the pushdown.
         """
-        matches = []
-        for row in self._ordered(self._matching_contexts(context_spec)):
-            if self._section_satisfies(row, content_spec):
-                matches.append(self._to_match(row))
-        return matches
+        ctx = PlanContext(self.store, self.store.new_accessor(), self.use_index)
+        kind = query.kind
+        if kind == "context":
+            node = self._context_pipeline(ctx, self._spec(query.context))
+        elif kind == "content":
+            spec = self._spec(query.content)
+            node = GoverningLift(ctx, self._content_source(ctx, spec))
+        elif kind == "combined":
+            node = self._context_pipeline(ctx, self._spec(query.context))
+            if self.use_index:
+                node = Intersect(ctx, node, self._spec(query.content))
+        else:  # nodename
+            node = Sort(ctx, NodenameProbe(ctx, self._spec(query.nodename)))
+        if query.doc:
+            node = DocFilter(ctx, node, query.doc)
+        if query.format:
+            node = FormatFilter(ctx, node, query.format)
+        node = Rank(ctx, node)
+        # The expensive per-candidate test goes under the limit so only
+        # candidates the limit admits ever pay for it.
+        if kind in {"content", "combined"}:
+            node = SectionWalk(ctx, node, self._spec(query.content))
+        elif kind == "nodename" and query.content is not None:
+            node = ContentFilter(ctx, node, query.content)
+        node = Limit(ctx, node, query.limit)
+        node = Present(ctx, node)
+        return ctx, Materialize(ctx, node)
 
-    # -- plumbing ---------------------------------------------------------------
+    def _context_pipeline(self, ctx: PlanContext, spec: ContextSpec) -> PlanNode:
+        pairs = [
+            (self._probe(ctx, phrase, phrase_mode=True), phrase)
+            for phrase in spec.phrases
+        ]
+        return Sort(ctx, ContextLift(ctx, pairs))
 
-    def _matching_contexts(self, spec: ContextSpec) -> list[Row]:
-        """CONTEXT rows whose heading text matches any phrase."""
-        database = self.store.database
-        found: dict[RowId, Row] = {}
-        for phrase in spec.phrases:
-            for hit in self._text_rows_matching(phrase, phrase_mode=True):
-                context = self._context_ancestor(hit)
-                if context is None:
-                    continue
-                rowid = context[ROWID_PSEUDO]
-                if rowid in found:
-                    continue
-                # The index matched one TEXT node; confirm the phrase holds
-                # across the whole (possibly multi-node) heading.
-                if phrase_in(phrase, context_title(database, context)):
-                    found[rowid] = context
-        return list(found.values())
-
-    def _context_ancestor(self, row: Row) -> Row | None:
-        """Nearest proper ancestor with NODETYPE CONTEXT (else None)."""
-        current = row
-        while True:
-            parent = parent_of(self.store.database, current)
-            if parent is None:
-                return None
-            if parent["NODETYPE"] == int(NodeType.CONTEXT):
-                return parent
-            current = parent
-
-    def _content_hit_rows(self, spec: ContentSpec) -> list[Row]:
+    def _content_source(self, ctx: PlanContext, spec: ContentSpec) -> PlanNode:
         if spec.mode == "phrase":
-            return self._text_rows_matching(spec.text, phrase_mode=True)
-        if spec.mode == "any":
-            rows: dict[RowId, Row] = {}
-            for term in spec.terms:
-                for row in self._text_rows_matching(term, phrase_mode=False):
-                    rows.setdefault(row[ROWID_PSEUDO], row)
-            return list(rows.values())
-        # mode == "all": terms may be satisfied by *different* text nodes of
-        # one section, so collect hits per term and let the section-level
-        # check do the conjunction.
-        rows = {}
-        for term in spec.terms:
-            for row in self._text_rows_matching(term, phrase_mode=False):
-                rows.setdefault(row[ROWID_PSEUDO], row)
-        return list(rows.values())
+            return self._probe(ctx, spec.text, phrase_mode=True)
+        # "any"/"all" alike read every term's postings; the conjunction
+        # (for "all") happens at the section level, since terms may be
+        # satisfied by *different* text nodes of one section.
+        return Union(
+            ctx,
+            *[
+                self._probe(ctx, term, phrase_mode=False)
+                for term in spec.terms
+            ],
+        )
 
-    def _text_rows_matching(self, key: str, phrase_mode: bool) -> list[Row]:
-        """TEXT rows whose data matches ``key`` (index or scan path)."""
-        xml_table = self.store.xml_table
+    def _probe(self, ctx: PlanContext, key: str, phrase_mode: bool) -> PlanNode:
         if self.use_index:
-            index = xml_table.text_index_on("NODEDATA")
-            assert index is not None  # created with the schema
-            if phrase_mode:
-                rowids = index.lookup_phrase(key)
-            else:
-                rowids = index.lookup_all(tokenize(key))
-            rows = [xml_table.fetch(rowid) for rowid in rowids]
-        else:
-            rows = list(
-                xml_table.scan(
-                    lambda row: row["NODEDATA"] is not None
-                    and self._scan_match(key, row["NODEDATA"], phrase_mode)
-                )
-            )
-        return [row for row in rows if row["NODETYPE"] == int(NodeType.TEXT)]
+            return IndexProbe(ctx, key, phrase_mode)
+        return Scan(ctx, key, phrase_mode)
 
     @staticmethod
-    def _scan_match(key: str, data: str, phrase_mode: bool) -> bool:
-        if phrase_mode:
-            return phrase_in(key, data)
-        tokens = set(tokenize(data, keep_stopwords=True))
-        return all(term.lower() in tokens for term in tokenize(key))
-
-    def _section_satisfies(self, context_row: Row, spec: ContentSpec) -> bool:
-        """Does the section under ``context_row`` satisfy the content spec?
-
-        The heading participates: ``Content=Shuttle`` returns documents
-        containing the term *anywhere*, headings included.
-        """
-        heading = context_title(self.store.database, context_row)
-        text = heading + " " + section_text(self.store.database, context_row)
-        tokens = tokenize(text, keep_stopwords=True)
-        token_set = set(tokens)
-        if spec.mode == "phrase":
-            return phrase_in(spec.text, text)
-        wanted = [term.lower() for term in spec.terms]
-        if spec.mode == "any":
-            return any(term in token_set for term in wanted)
-        return all(term in token_set for term in wanted)
-
-    def _ordered(self, rows: Iterable[Row]) -> list[Row]:
-        """Stable order: by document then node id."""
-        return sorted(rows, key=lambda row: (row["DOC_ID"], row["NODEID"]))
-
-    def _to_match(self, context_row: Row, score: float = 1.0) -> SectionMatch:
-        database = self.store.database
-        entry = self.store.describe(context_row["DOC_ID"])
-        section = self.store.section(context_row)
-        return SectionMatch(
-            doc_id=entry.doc_id,
-            file_name=entry.file_name,
-            context=context_title(database, context_row),
-            content=section_text(database, context_row),
-            section=section,
-            score=score,
-        )
-
-    def _document_match(self, doc_id: int, hit: Row) -> SectionMatch:
-        """A content hit with no governing context matches the whole doc."""
-        entry = self.store.describe(doc_id)
-        snippet = (hit["NODEDATA"] or "").strip()
-        snippet = re.sub(r"\s+", " ", snippet)
-        return SectionMatch(
-            doc_id=doc_id,
-            file_name=entry.file_name,
-            context=entry.file_name,
-            content=snippet,
-            section=None,
-        )
+    def _spec(value):
+        """Narrow an optional query field the kind dispatch guarantees."""
+        if value is None:
+            raise QueryError(
+                "query kind dispatch produced an incomplete specification"
+            )
+        return value

@@ -120,6 +120,7 @@ def parse_query(query_string: str) -> XdbQuery:
     stylesheet: str | None = None
     databank: str | None = None
     limit: int | None = None
+    explain = False
     extras: list[tuple[str, str]] = []
 
     for key, value in parse_pairs(query_string):
@@ -152,6 +153,8 @@ def parse_query(query_string: str) -> XdbQuery:
                 limit = int(value)
             except ValueError:
                 raise QuerySyntaxError(f"limit must be an integer, got {value!r}")
+        elif lowered == "explain":
+            explain = value.strip().lower() in {"1", "true", "yes"}
         else:
             extras.append((key, value))
 
@@ -170,6 +173,7 @@ def parse_query(query_string: str) -> XdbQuery:
         stylesheet=stylesheet,
         databank=databank,
         limit=limit,
+        explain=explain,
         extras=tuple(extras),
     )
 
@@ -199,6 +203,8 @@ def format_query(query: XdbQuery) -> str:
         parts.append("databank=" + percent_encode(query.databank))
     if query.limit is not None:
         parts.append(f"limit={query.limit}")
+    if query.explain:
+        parts.append("Explain=1")
     for key, value in query.extras:
         parts.append(percent_encode(key) + "=" + percent_encode(value))
     return "&".join(parts)

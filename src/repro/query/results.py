@@ -14,32 +14,151 @@ consumes::
       </result>
       ...
     </results>
+
+Matches are **lazy**: the engine constructs them with a loader instead of
+materialized strings, and the section title, content text and DOM
+fragment are resolved on first attribute access (then cached on the
+match).  Sorting, limiting and federated routing therefore never pay for
+section reconstruction of matches that get cut; only the matches that
+actually render resolve.  Loader-backed resolution goes through the
+per-query :class:`~repro.store.accessor.NodeAccessor`, whose
+write-generation guard keeps late resolution consistent with the store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
+from repro.ordbms import RowId
 from repro.sgml.dom import Document, Element
 
 
-@dataclass(frozen=True)
+class SectionLoader(Protocol):
+    """Deferred resolution hooks for one matched section."""
+
+    def context(self) -> str: ...
+
+    def content(self) -> str: ...
+
+    def section(self) -> Element | None: ...
+
+
+#: Unresolved-field sentinel (``None`` is a legal section value).
+_UNSET: object = object()
+
+
 class SectionMatch:
     """One matched section of one document.
 
     ``section`` is the reconstructed DOM fragment (a ``<section>``
     element); ``source`` names the information source that produced the
     match ("local" for the store the query ran against; federation fills
-    in databank source names).
+    in databank source names).  ``rowid`` is the physical address of the
+    matched CONTEXT row when the match came straight off a local store
+    (None for document-level, nodename and remote matches).
+
+    Construct either eagerly (``context=``/``content=`` strings) or
+    lazily (``loader=``); lazy fields resolve once, on first access.
     """
 
-    doc_id: int
-    file_name: str
-    context: str
-    content: str
-    section: Element | None = None
-    source: str = "local"
-    score: float = 1.0
+    __slots__ = (
+        "doc_id", "file_name", "source", "score", "rowid",
+        "_context", "_content", "_section", "_loader",
+    )
+
+    def __init__(
+        self,
+        doc_id: int,
+        file_name: str,
+        context: str | object = _UNSET,
+        content: str | object = _UNSET,
+        section: Element | None | object = _UNSET,
+        source: str = "local",
+        score: float = 1.0,
+        loader: SectionLoader | None = None,
+        rowid: RowId | None = None,
+    ) -> None:
+        self.doc_id = doc_id
+        self.file_name = file_name
+        self.source = source
+        self.score = score
+        self.rowid = rowid
+        self._loader = loader
+        self._context = context
+        self._content = content
+        if section is _UNSET and loader is None:
+            section = None
+        self._section = section
+
+    # -- lazy fields --------------------------------------------------------
+
+    @property
+    def context(self) -> str:
+        """The matched section's heading (resolved once)."""
+        if self._context is _UNSET:
+            self._context = self._require_loader().context()
+        return self._context  # type: ignore[return-value]
+
+    @property
+    def content(self) -> str:
+        """The matched section's content text (resolved once)."""
+        if self._content is _UNSET:
+            self._content = self._require_loader().content()
+        return self._content  # type: ignore[return-value]
+
+    @property
+    def section(self) -> Element | None:
+        """The reconstructed ``<section>`` fragment (resolved once)."""
+        if self._section is _UNSET:
+            self._section = self._require_loader().section()
+        return self._section  # type: ignore[return-value]
+
+    def _require_loader(self) -> SectionLoader:
+        if self._loader is None:
+            from repro.errors import QueryError
+
+            raise QueryError(
+                "SectionMatch has neither a value nor a loader for a "
+                "lazy field"
+            )
+        return self._loader
+
+    def with_source(self, source: str) -> "SectionMatch":
+        """A copy attributed to ``source``, preserving laziness."""
+        clone = SectionMatch(
+            doc_id=self.doc_id,
+            file_name=self.file_name,
+            context=self._context,
+            content=self._content,
+            section=self._section,
+            source=source,
+            score=self.score,
+            loader=self._loader,
+            rowid=self.rowid,
+        )
+        return clone
+
+    # -- value semantics ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SectionMatch):
+            return NotImplemented
+        return (
+            self.doc_id == other.doc_id
+            and self.file_name == other.file_name
+            and self.source == other.source
+            and self.score == other.score
+            and self.context == other.context
+            and self.content == other.content
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SectionMatch(doc_id={self.doc_id!r}, "
+            f"file_name={self.file_name!r}, source={self.source!r}, "
+            f"score={self.score!r})"
+        )
 
     def brief(self, width: int = 60) -> str:
         """One-line human summary used by examples and the CLI surface."""
@@ -85,12 +204,18 @@ class ResultSet:
         self.matches.extend(matches)
 
     def documents(self) -> list[str]:
-        """Distinct matched document names, preserving first-seen order."""
-        seen: list[str] = []
+        """Distinct matched document names, preserving first-hit order.
+
+        Deduplication is O(1) per match; the first occurrence of a name
+        pins its position, later hits of the same document are dropped.
+        """
+        seen: set[str] = set()
+        ordered: list[str] = []
         for match in self.matches:
             if match.file_name not in seen:
-                seen.append(match.file_name)
-        return seen
+                seen.add(match.file_name)
+                ordered.append(match.file_name)
+        return ordered
 
     def ranked(self) -> list[SectionMatch]:
         """Matches by descending relevance score (stable within ties)."""
@@ -100,11 +225,32 @@ class ResultSet:
         )
 
     def limited(self, limit: int | None) -> "ResultSet":
+        """The best ``limit`` matches, in the original presentation order.
+
+        Contract: limiting always happens on **ranked** order — the kept
+        matches are the ``limit`` highest-scored ones (ties broken by
+        the stable result order, i.e. document order for engine output
+        and (source, doc, context) order for federated output).  The
+        survivors are then *presented* in their original relative order,
+        so a limited result renders exactly like the full result minus
+        the dropped tail.  With uniform scores this is precisely "the
+        first ``limit`` matches"; with INTENSE-boosted scores it never
+        drops a higher-scored match in favour of a lower-scored one.
+        """
         if limit is None or len(self.matches) <= limit:
             return self
+        by_rank = sorted(
+            range(len(self.matches)),
+            key=lambda index: -self.matches[index].score,
+        )
+        keep = set(by_rank[:limit])
         return ResultSet(
             self.query_string,
-            self.matches[:limit],
+            [
+                match
+                for index, match in enumerate(self.matches)
+                if index in keep
+            ],
             partial=self.partial,
             source_errors=dict(self.source_errors),
         )

@@ -9,7 +9,9 @@ to access NETMARK."
 * ``GET /search?Context=...&Content=...[&xslt=name][&databank=name]`` —
   run an XDB query; with ``xslt`` the result XML is transformed by a named
   stylesheet before returning (Fig 7); with ``databank`` the query fans
-  out through the federation router instead of the local store.
+  out through the federation router instead of the local store; with
+  ``Explain=1`` the response is the executed query plan annotated with
+  per-operator row counts instead of the results.
 * ``GET /doc/<id>`` — the reconstructed stored document.
 * ``GET /docs`` — the document catalog as XML.
 * ``PUT /dav/<path>`` / ``GET /dav/<path>`` / ``DELETE /dav/<path>`` /
@@ -113,6 +115,16 @@ class NetmarkHttpApi:
 
     def _search(self, query_string: str) -> HttpResponse:
         query = parse_query(query_string)
+        if query.explain:
+            # Explain=1: run the plan and return the annotated operator
+            # tree instead of results (stylesheets do not apply to plans).
+            if query.databank:
+                if self.router is None:
+                    return HttpResponse(422, "no databanks configured")
+                plan_document = self.router.explain(query)
+            else:
+                plan_document = self.engine.explain(query)
+            return HttpResponse(200, serialize(plan_document, indent=2))
         if query.databank:
             if self.router is None:
                 return HttpResponse(422, "no databanks configured")

@@ -5,6 +5,7 @@ physical ROWID links give O(1) parent/sibling traversal; reconstruction
 rebuilds documents and sections for retrieval and result composition.
 """
 
+from repro.store.accessor import AccessorStats, NodeAccessor
 from repro.store.compose import compose_document, compose_node, compose_section
 from repro.store.decompose import DecomposeResult, Decomposer, classify_counts
 from repro.store.schema import (
@@ -35,9 +36,11 @@ from repro.store.traversal import (
 from repro.store.xmlstore import StoredDocument, XmlStore
 
 __all__ = [
+    "AccessorStats",
     "DOC_TABLE",
     "DecomposeResult",
     "Decomposer",
+    "NodeAccessor",
     "StoredDocument",
     "XML_TABLE",
     "XmlStore",

@@ -5,6 +5,12 @@ document retrieval (HTTP GET of a stored document) and by result
 composition, which lifts individual *sections* back into DOM fragments
 before XSLT formatting.
 
+All row access funnels through a :class:`~repro.store.accessor.NodeAccessor`
+so child sets come back in batched fetches and repeated composition of
+overlapping fragments (a section and the document containing it) reuses
+cached rows.  Callers may pass their own accessor to share its caches;
+otherwise an ephemeral one is made per call.
+
 The decompose→compose round trip preserves structure, attributes, text
 and node order exactly; the property-based tests drive random trees
 through it.
@@ -17,24 +23,32 @@ from typing import Any
 from repro.ordbms import Database
 from repro.sgml.dom import Document, Element, Text
 from repro.sgml.nodetypes import NodeType
+from repro.store.accessor import NodeAccessor
 from repro.store.schema import XML_TABLE, decode_attributes
-from repro.store.traversal import children_of
 
 Row = dict[str, Any]
 
 
-def compose_node(database: Database, row: Row) -> Element | Text:
+def compose_node(
+    database: Database, row: Row, accessor: NodeAccessor | None = None
+) -> Element | Text:
     """Rebuild the DOM subtree rooted at ``row``."""
+    accessor = accessor or NodeAccessor(database)
     if row["NODETYPE"] == int(NodeType.TEXT):
         return Text(row["NODEDATA"] or "")
     element = Element(row["NODENAME"] or "node", decode_attributes(row["ATTRS"]))
     element.synthetic = row["NODETYPE"] == int(NodeType.SIMULATION)
-    for child_row in children_of(database, row):
-        element.append(compose_node(database, child_row))
+    for child_row in accessor.children(row):
+        element.append(compose_node(database, child_row, accessor))
     return element
 
 
-def compose_document(database: Database, doc_id: int, name: str = "") -> Document:
+def compose_document(
+    database: Database,
+    doc_id: int,
+    name: str = "",
+    accessor: NodeAccessor | None = None,
+) -> Document:
     """Rebuild the full DOM of document ``doc_id``."""
     xml_table = database.table(XML_TABLE)
     roots = [
@@ -48,7 +62,7 @@ def compose_document(database: Database, doc_id: int, name: str = "") -> Documen
         raise StoreError(
             f"document {doc_id} has {len(roots)} root nodes, expected 1"
         )
-    root = compose_node(database, roots[0])
+    root = compose_node(database, roots[0], accessor)
     if isinstance(root, Text):  # a bare text root cannot occur via decompose
         wrapper = Element("document", synthetic=True)
         wrapper.append(root)
@@ -56,21 +70,22 @@ def compose_document(database: Database, doc_id: int, name: str = "") -> Documen
     return Document(root, name=name)
 
 
-def compose_section(database: Database, context_row: Row) -> Element:
+def compose_section(
+    database: Database, context_row: Row, accessor: NodeAccessor | None = None
+) -> Element:
     """Rebuild one section as ``<section><context>…</context>…</section>``.
 
     The section element is synthetic — it represents the *query result*
     shape, not necessarily a stored element.  Content is every sibling
     subtree up to the next context, reconstructed in full.
     """
-    from repro.store.traversal import next_sibling_of
-
+    accessor = accessor or NodeAccessor(database)
     section = Element("section", synthetic=True)
-    section.append(compose_node(database, context_row))
-    sibling = next_sibling_of(database, context_row)
+    section.append(compose_node(database, context_row, accessor))
+    sibling = accessor.next_sibling(context_row)
     while sibling is not None:
         if sibling["NODETYPE"] == int(NodeType.CONTEXT):
             break
-        section.append(compose_node(database, sibling))
-        sibling = next_sibling_of(database, sibling)
+        section.append(compose_node(database, sibling, accessor))
+        sibling = accessor.next_sibling(sibling)
     return section

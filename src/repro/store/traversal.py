@@ -9,21 +9,13 @@ The paper's evaluation strategy for context/content search:
     traversing back down the tree structure via the sibling node retrieves
     the corresponding content text."
 
-These functions implement exactly that, against the XML table:
-
-* :func:`governing_context` — from any node row, hop up ``PARENTROWID``
-  links; at each level scan *preceding* siblings for the nearest CONTEXT
-  element.  This resolves both canonical ``<section>`` shapes (the context
-  is the first child, content its following siblings) and flat HTML (an
-  ``<h2>`` heading precedes its paragraphs as a sibling).
-* :func:`section_scope` — from a CONTEXT row, walk forward through
-  ``SIBLINGID`` links (and down into subtrees) until the next CONTEXT at
-  the same level, collecting the section's rows.
-* :func:`section_text` — the concatenated TEXT data of a scope, i.e. the
-  "content portion" a context query returns.
-
-All hops are O(1) physical fetches; the ablation bench counts them against
-the key-join alternative.
+The traversal algorithms live in :class:`repro.store.accessor.NodeAccessor`
+— memoized and batch-fetching, which is what the query plan pipeline
+rides on.  This module keeps the original free-function surface for
+callers that hold only a :class:`~repro.ordbms.database.Database` (tests,
+benchmarks, one-off walks): each call delegates to a fresh accessor, so
+the semantics are identical by construction, just without cross-call
+caching.  Hot paths should hold a ``NodeAccessor`` instead.
 """
 
 from __future__ import annotations
@@ -31,8 +23,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.ordbms import Database, RowId
-from repro.ordbms.table import ROWID_PSEUDO
-from repro.sgml.nodetypes import NodeType
+from repro.store.accessor import NodeAccessor
 from repro.store.schema import XML_TABLE
 
 Row = dict[str, Any]
@@ -45,39 +36,30 @@ def fetch_node(database: Database, rowid: RowId) -> Row:
 
 def parent_of(database: Database, row: Row) -> Row | None:
     """Follow ``PARENTROWID`` up one level (None at the root)."""
-    parent_rowid = row["PARENTROWID"]
-    if parent_rowid is None:
-        return None
-    return fetch_node(database, parent_rowid)
+    return NodeAccessor(database).parent(row)
 
 
 def next_sibling_of(database: Database, row: Row) -> Row | None:
     """Follow ``SIBLINGID`` across one hop (None for the last child)."""
-    sibling_rowid = row["SIBLINGID"]
-    if sibling_rowid is None:
-        return None
-    return fetch_node(database, sibling_rowid)
+    return NodeAccessor(database).next_sibling(row)
 
 
 def children_of(database: Database, row: Row) -> list[Row]:
-    """All direct children, in document order.
+    """All direct children, in document order (one batched fetch).
 
     Uses the B+tree index on ``PARENTNODEID`` (node ids are globally
     unique) — NETMARK keeps the logical parent id alongside the physical
     link precisely so child sets have an indexed entry point.
     """
-    xml_table = database.table(XML_TABLE)
-    children = xml_table.lookup("PARENTNODEID", row["NODEID"])
-    children.sort(key=lambda child: child["ORDINAL"])
-    return children
+    return NodeAccessor(database).children(row)
 
 
 def is_context(row: Row) -> bool:
-    return row["NODETYPE"] == int(NodeType.CONTEXT)
+    return NodeAccessor.is_context(row)
 
 
 def is_text(row: Row) -> bool:
-    return row["NODETYPE"] == int(NodeType.TEXT)
+    return NodeAccessor.is_text(row)
 
 
 def governing_context(database: Database, row: Row) -> Row | None:
@@ -88,24 +70,7 @@ def governing_context(database: Database, row: Row) -> Row | None:
     preceding siblings (via ordinals) for the latest CONTEXT element.
     Returns None for front matter that precedes every context.
     """
-    current = row
-    while True:
-        parent = parent_of(database, current)
-        if parent is None:
-            return None
-        if is_context(parent):
-            return parent
-        # Scan preceding siblings (ordinal < current's) for a CONTEXT.
-        siblings = children_of(database, parent)
-        best: Row | None = None
-        for sibling in siblings:
-            if sibling["ORDINAL"] >= current["ORDINAL"]:
-                break
-            if is_context(sibling):
-                best = sibling
-        if best is not None:
-            return best
-        current = parent
+    return NodeAccessor(database).governing_context(row)
 
 
 def section_scope(database: Database, context_row: Row) -> list[Row]:
@@ -116,51 +81,22 @@ def section_scope(database: Database, context_row: Row) -> list[Row]:
     forward hops, exactly the "traversing back down the tree structure via
     the sibling node" step of the paper.
     """
-    scope: list[Row] = []
-    sibling = next_sibling_of(database, context_row)
-    while sibling is not None:
-        if is_context(sibling):
-            break
-        scope.append(sibling)
-        scope.extend(_subtree_rows(database, sibling))
-        sibling = next_sibling_of(database, sibling)
-    return scope
-
-
-def _subtree_rows(database: Database, row: Row) -> list[Row]:
-    """All descendant rows of ``row`` (document order)."""
-    result: list[Row] = []
-    for child in children_of(database, row):
-        result.append(child)
-        result.extend(_subtree_rows(database, child))
-    return result
+    return NodeAccessor(database).section_scope(context_row)
 
 
 def section_text(database: Database, context_row: Row) -> str:
     """The content text of the section governed by ``context_row``."""
-    pieces = [
-        scope_row["NODEDATA"]
-        for scope_row in section_scope(database, context_row)
-        if is_text(scope_row) and scope_row["NODEDATA"]
-    ]
-    return " ".join(piece.strip() for piece in pieces if piece.strip())
+    return NodeAccessor(database).section_text(context_row)
 
 
 def context_title(database: Database, context_row: Row) -> str:
     """The heading text of a CONTEXT element (its TEXT descendants)."""
-    pieces = [
-        scope_row["NODEDATA"]
-        for scope_row in _subtree_rows(database, context_row)
-        if is_text(scope_row) and scope_row["NODEDATA"]
-    ]
-    return " ".join(piece.strip() for piece in pieces if piece.strip())
+    return NodeAccessor(database).context_title(context_row)
 
 
 def scope_rowids(database: Database, context_row: Row) -> set[RowId]:
     """The physical rowids of a section scope (for containment tests)."""
-    return {
-        scope_row[ROWID_PSEUDO] for scope_row in section_scope(database, context_row)
-    }
+    return NodeAccessor(database).scope_rowids(context_row)
 
 
 def iter_contexts(database: Database, doc_id: int) -> Iterator[Row]:

@@ -24,6 +24,7 @@ from repro.errors import DocumentNotFoundError
 from repro.ordbms import Database, RowId, Table
 from repro.sgml.config import DEFAULT_CONFIG, NodeTypeConfig
 from repro.sgml.dom import Document, Element
+from repro.store.accessor import NodeAccessor
 from repro.store.compose import compose_document, compose_section
 from repro.store.decompose import DecomposeResult, Decomposer
 from repro.store.schema import (
@@ -61,6 +62,7 @@ class XmlStore:
         self.config = config
         self._doc_table, self._xml_table = create_netmark_schema(self.database)
         self._decomposer = Decomposer(self.database, config)
+        self._accessor = NodeAccessor(self.database)
 
     # -- persistence ----------------------------------------------------------
 
@@ -89,6 +91,7 @@ class XmlStore:
         store._doc_table = database.table(DOC_TABLE)
         store._xml_table = database.table(XML_TABLE)
         store._decomposer = Decomposer(database, config)
+        store._accessor = NodeAccessor(database)
         max_doc = max(
             (row["DOC_ID"] for row in store._doc_table.scan()), default=0
         )
@@ -193,11 +196,23 @@ class XmlStore:
     def document(self, doc_id: int) -> Document:
         """Reconstruct the full DOM of a stored document."""
         entry = self.describe(doc_id)
-        return compose_document(self.database, doc_id, name=entry.file_name)
+        return compose_document(
+            self.database, doc_id, name=entry.file_name,
+            accessor=self._accessor,
+        )
 
     def section(self, context_row: Row) -> Element:
         """Reconstruct the section governed by a CONTEXT row."""
-        return compose_section(self.database, context_row)
+        return compose_section(self.database, context_row, self._accessor)
+
+    @property
+    def accessor(self) -> NodeAccessor:
+        """The store's long-lived accessor (generation-guarded caches)."""
+        return self._accessor
+
+    def new_accessor(self) -> NodeAccessor:
+        """A fresh per-query accessor over this store's database."""
+        return NodeAccessor(self.database)
 
     def contexts(self, doc_id: int) -> Iterator[Row]:
         """CONTEXT element rows of one document."""

@@ -61,3 +61,70 @@ class TestLayering:
     def test_files_outside_repro_are_exempt(self):
         source = "from repro.federation.router import Router\n"
         assert analyze_source(source, "tests/helpers/mod.py") == []
+
+
+class TestModuleLayering:
+    """Module-granular contracts for the read-path hot spots."""
+
+    def check(self, source: str, virtual_path: str):
+        return [
+            violation
+            for violation in analyze_source(source, virtual_path)
+            if violation.rule == "module-layering"
+        ]
+
+    def test_accessor_may_not_import_composition(self):
+        source = "from repro.store.compose import compose_node\n"
+        [violation] = self.check(source, "src/repro/store/accessor.py")
+        assert (
+            "store.accessor may not import repro.store.compose"
+            in violation.message
+        )
+
+    def test_accessor_may_not_import_store_facade(self):
+        # The whole-unit grant is absent on purpose: only the schema
+        # module is granted, so the facade import stays a violation.
+        source = "from repro.store import XmlStore\n"
+        [violation] = self.check(source, "src/repro/store/accessor.py")
+        assert "repro.store" in violation.message
+
+    def test_accessor_granted_imports_are_clean(self):
+        source = (
+            "from repro.ordbms import Database, RowId\n"
+            "from repro.ordbms.table import ROWID_PSEUDO\n"
+            "from repro.sgml.nodetypes import NodeType\n"
+            "from repro.store.schema import XML_TABLE\n"
+            "from repro.errors import StoreError\n"
+        )
+        assert self.check(source, "src/repro/store/accessor.py") == []
+
+    def test_plan_may_not_import_the_engine(self):
+        # compile/execute is a one-way street: the engine compiles
+        # queries into plans, never the other way around.
+        source = "from repro.query.engine import QueryEngine\n"
+        [violation] = self.check(source, "src/repro/query/plan.py")
+        assert (
+            "query.plan may not import repro.query.engine"
+            in violation.message
+        )
+
+    def test_plan_may_not_import_the_parser(self):
+        source = "from repro.query.language import parse_query\n"
+        [violation] = self.check(source, "src/repro/query/plan.py")
+        assert "query.language" in violation.message
+
+    def test_plan_whole_unit_store_grant_covers_submodules(self):
+        source = (
+            "from repro.store.xmlstore import XmlStore\n"
+            "from repro.store.accessor import NodeAccessor\n"
+            "from repro.store.compose import compose_section\n"
+            "from repro.query.ast import ContentSpec\n"
+            "from repro.query.results import SectionMatch\n"
+        )
+        assert self.check(source, "src/repro/query/plan.py") == []
+
+    def test_unlisted_modules_are_exempt(self):
+        # The engine sits above the plan algebra; only the modules named
+        # in DEFAULT_MODULE_LAYERS carry a module-granular contract.
+        source = "from repro.query.language import parse_query\n"
+        assert self.check(source, "src/repro/query/engine.py") == []

@@ -1,0 +1,155 @@
+"""Router limit pushdown: stop the fan-out once the answer is fixed.
+
+The merged federation order is the stable (source, document, context)
+sort and source adapters normalize every score to 1.0, so once ``limit``
+matches come from sources sorting *before* every un-contacted source,
+the remaining sources cannot displace them — the router skips them and
+records the fact in ``RoutingReport.limit_skipped_sources``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.federation import (
+    ContentOnlySource,
+    NetmarkSource,
+    Router,
+)
+from repro.query.results import SectionMatch
+from repro.store import XmlStore
+
+
+class CountingSource(ContentOnlySource):
+    """A lessons-learned source that counts how often it is contacted."""
+
+    def __init__(self, name, documents):
+        super().__init__(name, documents)
+        self.contacts = 0
+
+    def native_search(self, query):
+        self.contacts += 1
+        return super().native_search(query)
+
+    def fetch_all(self):
+        self.contacts += 1
+        return super().fetch_all()
+
+
+@pytest.fixture
+def rig():
+    store = XmlStore()
+    for i in range(3):
+        store.store_text(
+            "{\\ndoc1}\n{\\style Heading1}Title\n"
+            f"{{\\style Normal}}Engine review report {i}.\n",
+            f"rev{i}.ndoc",
+        )
+    late_a = CountingSource(
+        "llis", {"l1.md": "# Title\nEngine lesson\n\n# Body\nEngine.\n"}
+    )
+    late_b = CountingSource(
+        "zulu", {"z1.md": "# Title\nEngine notes\n\n# Body\nEngine.\n"}
+    )
+    router = Router()
+    bank = router.create_databank("eng", "engine material")
+    bank.add_source(NetmarkSource("ames", store))
+    bank.add_source(late_a)
+    bank.add_source(late_b)
+    return router, late_a, late_b
+
+
+class TestLimitPushdown:
+    def test_satisfied_limit_skips_remaining_sources(self, rig):
+        router, late_a, late_b = rig
+        results = router.execute("Content=engine&databank=eng&limit=2")
+        assert len(results) == 2
+        assert {match.source for match in results} == {"ames"}
+        assert router.last_report.limit_skipped_sources == ["llis", "zulu"]
+        assert late_a.contacts == 0
+        assert late_b.contacts == 0
+
+    def test_skipped_sources_cannot_change_the_answer(self, rig):
+        router, _, _ = rig
+        limited = router.execute("Content=engine&databank=eng&limit=2")
+        full = router.execute("Content=engine&databank=eng")
+        assert [
+            (m.source, m.file_name, m.context) for m in limited.matches
+        ] == [(m.source, m.file_name, m.context) for m in full.matches[:2]]
+
+    def test_unsatisfied_limit_contacts_everyone(self, rig):
+        router, late_a, late_b = rig
+        router.execute("Content=engine&databank=eng&limit=5")
+        assert router.last_report.limit_skipped_sources == []
+        assert late_a.contacts > 0
+        assert late_b.contacts > 0
+
+    def test_no_limit_means_no_skipping(self, rig):
+        router, late_a, late_b = rig
+        router.execute("Content=engine&databank=eng")
+        assert router.last_report.limit_skipped_sources == []
+        assert late_a.contacts > 0
+        assert late_b.contacts > 0
+
+    def test_partial_flag_unaffected_by_limit_skips(self, rig):
+        router, _, _ = rig
+        results = router.execute("Content=engine&databank=eng&limit=1")
+        # A limit skip is an optimization, not a degradation: the result
+        # is complete, so it must not be marked partial.
+        assert not results.partial
+        assert results.source_errors == {}
+
+
+class TestSoundnessGuards:
+    def remaining(self, *names):
+        return [SimpleNamespace(name=name) for name in names]
+
+    def match(self, source, score=1.0):
+        return SectionMatch(
+            1, "f.md", context="C", content="x", source=source, score=score
+        )
+
+    def test_positional_guarantee_counts_only_earlier_sources(self):
+        matches = [self.match("ames"), self.match("zulu")]
+        assert not Router._limit_satisfied(2, matches, self.remaining("llis"))
+        assert Router._limit_satisfied(
+            1, matches, self.remaining("llis", "zulu")
+        )
+
+    def test_ranked_scores_disable_pushdown(self):
+        # A non-uniform score means the final order is rank order, not
+        # (source, document) order — positional reasoning is unsound and
+        # the router must keep contacting sources.
+        matches = [self.match("ames", score=1.5), self.match("ames")]
+        assert not Router._limit_satisfied(1, matches, self.remaining("llis"))
+
+    def test_no_limit_or_no_remaining_never_satisfies(self):
+        matches = [self.match("ames")]
+        assert not Router._limit_satisfied(None, matches, self.remaining("z"))
+        assert not Router._limit_satisfied(1, matches, [])
+
+
+class TestFederatedExplain:
+    def test_explain_marks_not_contacted_sources(self, rig):
+        router, _, _ = rig
+        document = router.explain("Content=engine&databank=eng&limit=2")
+        plan = document.root
+        assert plan.tag == "plan"
+        assert plan.attributes["kind"] == "federated"
+        by_name = {
+            child.attributes["name"]: child.attributes
+            for child in plan.children
+            if child.tag == "source"
+        }
+        assert by_name["ames"]["status"] == "answered"
+        # The limit reached the source's own engine: ames returned only
+        # the two rows the query could ever use, not its full three.
+        assert by_name["ames"]["rows"] == "2"
+        assert by_name["llis"]["status"] == "not-contacted"
+        assert by_name["zulu"]["status"] == "not-contacted"
+        [limit_op] = [
+            child for child in plan.children if child.tag == "operator"
+        ]
+        assert limit_op.attributes == {
+            "name": "limit", "rows": "2", "detail": "2",
+        }

@@ -209,3 +209,43 @@ class TestHttpApi:
 
         with _pytest.raises(XsltError):
             node.install_stylesheet("bad.xsl", "<not-xsl/>")
+
+
+class TestExplainHttp:
+    @pytest.fixture
+    def node(self):
+        netmark = Netmark()
+        netmark.ingest("r.ndoc", NDOC)
+        return netmark
+
+    def test_explain_returns_plan_tree(self, node):
+        response = node.http_get("/search?Context=Budget&Explain=1")
+        assert response.ok
+        assert response.body.startswith("<plan")
+        assert 'kind="context"' in response.body
+        assert '<operator name="materialize" rows="1"' in response.body
+        assert '<operator name="limit"' in response.body
+
+    def test_explain_reflects_limit(self, node):
+        response = node.http_get("/search?Content=Travel&limit=1&Explain=1")
+        assert response.ok
+        assert 'name="limit" rows="1" detail="1"' in response.body
+
+    def test_explain_zero_is_a_normal_search(self, node):
+        response = node.http_get("/search?Context=Budget&Explain=0")
+        assert response.ok
+        assert response.body.startswith("<results")
+
+    def test_explain_ignores_stylesheets(self, node):
+        # Stylesheets apply to results, not plans: a missing stylesheet
+        # that would 404 a normal search leaves Explain=1 untouched.
+        response = node.http_get(
+            "/search?Context=Budget&xslt=nope.xsl&Explain=1"
+        )
+        assert response.ok
+        assert response.body.startswith("<plan")
+
+    def test_explain_unknown_databank_errors(self, node):
+        response = node.http_get("/search?Context=X&databank=any&Explain=1")
+        assert response.status == 500
+        assert "no databank" in response.body
