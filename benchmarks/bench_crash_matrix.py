@@ -1,0 +1,147 @@
+"""Crash matrix — kill the store at every WAL write and recover.
+
+The durability claim behind DESIGN.md §9: wherever the process dies, a
+reopen lands on a transaction boundary — the store either holds a
+document completely or not at all, with physical ROWIDs preserved — and
+the recovered store passes a full fsck.  This bench runs a small ingest
+workload once per (fault kind × WAL append) and reports the matrix; the
+fsck report of the last recovered store lands in the JSON artifact so CI
+can archive it.
+"""
+
+from conftest import print_table, write_artifact
+
+from repro.ordbms import MemoryLogDevice
+from repro.resilience import crash_matrix
+from repro.store import XmlStore, check_store
+
+DOCS = (
+    ("memo.md", "# Memo\n\nShip the crash matrix.\n"),
+    ("notes.md", "# Notes\n\n- torn tails\n- losers\n"),
+    ("plan.md", "# Plan\n\nRecover, then verify.\n"),
+)
+
+
+def observable_state(store: XmlStore) -> tuple:
+    """What a client can see: the catalog plus total live node count."""
+    catalog = tuple(
+        (entry.doc_id, entry.file_name) for entry in store.documents()
+    )
+    return (catalog, store.node_count)
+
+
+def test_report_crash_matrix(benchmark):
+    def report():
+        boundaries: list[tuple] = []
+
+        def run(device):
+            store = XmlStore.open(device)
+            boundaries.append(observable_state(store))
+            for name, text in DOCS:
+                store.store_text(text, name)
+                boundaries.append(observable_state(store))
+
+        matrix = crash_matrix(MemoryLogDevice, run)
+        per_kind: dict[str, dict[str, int]] = {}
+        last_report = None
+        for point in matrix.points:
+            tally = per_kind.setdefault(
+                point.kind, {"points": 0, "boundary": 0, "fsck_clean": 0}
+            )
+            tally["points"] += 1
+            assert point.crashed, (
+                f"append {point.index} ({point.kind}) did not crash"
+            )
+            recovered = XmlStore.open(point.device)
+            if observable_state(recovered) in boundaries:
+                tally["boundary"] += 1
+            last_report = check_store(recovered.database)
+            if last_report.ok:
+                tally["fsck_clean"] += 1
+        print_table(
+            f"Crash matrix: {matrix.total_appends} WAL appends x "
+            f"{len(per_kind)} fault kinds",
+            ["kind", "crash points", "at a boundary", "fsck clean"],
+            [
+                [kind, t["points"], t["boundary"], t["fsck_clean"]]
+                for kind, t in sorted(per_kind.items())
+            ],
+        )
+        write_artifact(
+            "BENCH_crash_matrix.json",
+            "crash_matrix",
+            {
+                "documents": len(DOCS),
+                "wal_appends": matrix.total_appends,
+                "boundaries": len(boundaries),
+                "kinds": {
+                    kind: tally for kind, tally in sorted(per_kind.items())
+                },
+                "last_fsck_report": (
+                    last_report.as_dict() if last_report else None
+                ),
+            },
+        )
+        # The property itself: every crash point recovered to a boundary
+        # and every recovered store is internally consistent.
+        for kind, tally in per_kind.items():
+            assert tally["boundary"] == tally["points"], kind
+            assert tally["fsck_clean"] == tally["points"], kind
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_no_fault_baseline(benchmark):
+    def report():
+        def run(device):
+            store = XmlStore.open(device)
+            for name, text in DOCS:
+                store.store_text(text, name)
+
+        matrix = crash_matrix(MemoryLogDevice, run, kinds=())
+        reopened = XmlStore.open(matrix.baseline.target)
+        report_ = check_store(reopened.database)
+        print_table(
+            "Crash matrix baseline: clean run, clean reopen",
+            ["wal appends", "documents", "nodes", "fsck"],
+            [[
+                matrix.total_appends,
+                len(reopened),
+                reopened.node_count,
+                "clean" if report_.ok else "VIOLATIONS",
+            ]],
+        )
+        write_artifact(
+            "BENCH_crash_matrix.json",
+            "baseline",
+            {
+                "wal_appends": matrix.total_appends,
+                "documents": len(reopened),
+                "nodes": reopened.node_count,
+                "fsck_ok": report_.ok,
+            },
+        )
+        assert len(reopened) == len(DOCS)
+        assert report_.ok
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_bench_recovery_reopen(benchmark):
+    """Time a reopen-with-recovery of the full workload's log."""
+    device = MemoryLogDevice()
+    store = XmlStore.open(device)
+    for name, text in DOCS:
+        store.store_text(text, name)
+    log_text = device.read_log()
+    checkpoint = device.load_checkpoint()
+
+    def reopen():
+        fresh = MemoryLogDevice()
+        fresh.append(log_text)
+        if checkpoint is not None:
+            fresh.save_checkpoint(checkpoint)
+        return XmlStore.open(fresh)
+
+    recovered = benchmark(reopen)
+    assert len(recovered) == len(DOCS)

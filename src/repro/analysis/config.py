@@ -82,6 +82,19 @@ DEFAULT_MODULE_LAYERS: dict[str, frozenset[str]] = {
     "query.plan": frozenset(
         {"ordbms", "sgml", "store", "query.ast", "query.results"}
     ),
+    # The WAL is the bottom of the durability stack: record codec and log
+    # devices only.  It must not import the database, tables or snapshot
+    # machinery — ``database.py`` imports *it* at runtime, and recovery
+    # feeds it parsed records, so anything more would be a cycle.
+    "ordbms.wal": frozenset({"ordbms.rowid", "ordbms.valuecodec"}),
+    # Recovery sits on top of the whole ORDBMS unit (it rebuilds
+    # databases from checkpoints and replays logs into live tables).
+    "ordbms.recovery": frozenset({"ordbms"}),
+    # fsck reads the NETMARK schema through the ORDBMS and the node-type
+    # vocabulary; it must not touch composition, the store facade or the
+    # query tier — a checker that imported what it checks derived state
+    # *through* would be checking itself.
+    "store.fsck": frozenset({"ordbms", "sgml", "store.schema"}),
 }
 
 

@@ -50,6 +50,30 @@ class QueryPlanError(DatabaseError):
     """The executor was given an inconsistent or unsupported plan."""
 
 
+class WalError(DatabaseError):
+    """Base class for write-ahead-log failures (device, format, replay)."""
+
+
+class CorruptLogError(WalError):
+    """A WAL record failed its CRC or structure check *mid-log*.
+
+    A bad record followed by well-formed records cannot be a torn tail
+    (torn writes only ever damage the end of the log), so the log has
+    been corrupted in place and replaying past the damage would apply
+    garbage.  Torn tails are handled silently — truncated, never raised.
+    """
+
+
+class RecoveryError(WalError):
+    """Crash recovery could not reconstruct a consistent database.
+
+    Raised when the log disagrees with the checkpoint it claims to
+    extend — a replayed insert lands at the wrong physical address, a
+    record names an unknown table or transaction, or the checkpoint
+    itself fails its integrity check.
+    """
+
+
 # ---------------------------------------------------------------------------
 # SGML / document layer
 # ---------------------------------------------------------------------------
@@ -89,6 +113,17 @@ class StoreError(ReproError):
 
 class DocumentNotFoundError(StoreError):
     """A document id or name does not exist in the store."""
+
+
+class FsckError(StoreError):
+    """The store consistency checker was misused or could not run.
+
+    Note the asymmetry: *violations found in the data* are reported in
+    the structured :class:`repro.store.fsck.FsckReport`, never raised —
+    fsck's job is to describe damage, not to crash on it.  This error
+    covers the checker itself failing (unknown repair code, a database
+    without the NETMARK schema).
+    """
 
 
 class QueryError(ReproError):
@@ -189,6 +224,18 @@ class CircuitOpenError(ResilienceError):
     Never retried by :class:`~repro.resilience.retry.RetryPolicy` —
     retrying an open circuit would defeat its purpose (shedding load
     from a failing component until the cooldown elapses).
+    """
+
+
+class CrashError(BaseException):
+    """An injected process death (crash-point testing only).
+
+    Deliberately derives from :class:`BaseException`, *not*
+    :class:`ReproError`: a crash models SIGKILL, so no library-level
+    ``except ReproError`` handler (daemon quarantine, retry policies,
+    the HTTP error mapper) may observe or absorb it — the "process" is
+    simply gone.  Only the crash harness itself catches it, at the
+    boundary that stands in for the operating system.
     """
 
 

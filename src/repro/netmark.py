@@ -22,7 +22,7 @@ from repro.errors import ServerError
 from repro.federation.databank import Databank, DatabankRegistry  # lint: allow-layering(composition root: the facade wires the federation tier)
 from repro.federation.router import Router  # lint: allow-layering(composition root: the facade wires the federation tier)
 from repro.federation.sources import InformationSource, NetmarkSource  # lint: allow-layering(composition root: the facade wires the federation tier)
-from repro.ordbms import Database
+from repro.ordbms import Database, LogDevice
 from repro.query.engine import QueryEngine
 from repro.query.results import ResultSet
 from repro.server.daemon import IngestRecord, NetmarkDaemon
@@ -30,6 +30,7 @@ from repro.server.http import HttpResponse, NetmarkHttpApi
 from repro.server.vfs import VirtualFileSystem
 from repro.server.webdav import WebDavServer
 from repro.sgml.config import DEFAULT_CONFIG, NodeTypeConfig
+from repro.store.fsck import FsckReport, check_store, repair_store
 from repro.store.xmlstore import StoredDocument, XmlStore
 
 
@@ -55,11 +56,20 @@ class Netmark:
         name: str = "netmark",
         config: NodeTypeConfig = DEFAULT_CONFIG,
         drop_folder: str = "/incoming",
+        device: LogDevice | None = None,
+        vfs: VirtualFileSystem | None = None,
     ) -> None:
         self.name = name
-        self.database = Database(name)
-        self.store = XmlStore(self.database, config)
-        self.vfs = VirtualFileSystem()
+        if device is not None:
+            # Durable node: open (or crash-recover) the store on its WAL
+            # device.  Pass the surviving ``vfs`` of the previous
+            # incarnation so the daemon can settle its ingest journal.
+            self.store = XmlStore.open(device, config)
+            self.database = self.store.database
+        else:
+            self.database = Database(name)
+            self.store = XmlStore(self.database, config)
+        self.vfs = vfs or VirtualFileSystem()
         self.dav = WebDavServer(self.vfs)
         self.daemon = NetmarkDaemon(self.store, self.vfs, drop_folder)
         self.registry = DatabankRegistry()
@@ -69,6 +79,14 @@ class Netmark:
         self.api = NetmarkHttpApi(self.store, self.dav, self.router)
         self.engine = QueryEngine(self.store)
         self.ledger = AssemblyLedger()
+        #: Records settled by daemon startup recovery (crash restarts).
+        self.recovered_ingests: list[IngestRecord] = []
+        if device is not None:
+            self.api.recovering = True
+            try:
+                self.recovered_ingests = self.daemon.startup_recovery()
+            finally:
+                self.api.recovering = False
 
     # -- ingestion ------------------------------------------------------------
 
@@ -168,6 +186,18 @@ class Netmark:
     def install_stylesheet(self, name: str, xml: str) -> None:
         self.api.install_stylesheet(name, xml)
         self.ledger.record(f"install stylesheet {name}")
+
+    # -- durability ---------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Fold the store into a fresh checkpoint and truncate its WAL."""
+        return self.store.checkpoint()
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Run the store consistency checker (optionally repairing)."""
+        if repair:
+            return repair_store(self.store.database)
+        return check_store(self.store.database)
 
     # -- catalog ------------------------------------------------------------------------
 

@@ -49,6 +49,7 @@ from repro.ordbms.executor import (
     Values,
     execute,
 )
+from repro.ordbms.recovery import RecoveryResult, recover
 from repro.ordbms.rowid import RowId
 from repro.ordbms.schema import Column, ForeignKey, TableSchema
 from repro.ordbms.snapshot import dump_database, load_database
@@ -65,6 +66,14 @@ from repro.ordbms.types import (
     TIMESTAMP,
     VARCHAR,
     DataType,
+)
+from repro.ordbms.valuecodec import decode_value, encode_value
+from repro.ordbms.wal import (
+    FileLogDevice,
+    LogDevice,
+    MemoryLogDevice,
+    WalRecord,
+    WriteAheadLog,
 )
 
 __all__ = [
@@ -84,6 +93,7 @@ __all__ = [
     "Distinct",
     "Expr",
     "FLOAT",
+    "FileLogDevice",
     "Filter",
     "ForeignKey",
     "HashJoin",
@@ -95,6 +105,8 @@ __all__ = [
     "Like",
     "Limit",
     "Lit",
+    "LogDevice",
+    "MemoryLogDevice",
     "NestedLoopJoin",
     "Not",
     "Or",
@@ -102,6 +114,7 @@ __all__ = [
     "Project",
     "ROWID",
     "ROWID_PSEUDO",
+    "RecoveryResult",
     "RowId",
     "STOPWORDS",
     "SeqScan",
@@ -117,11 +130,16 @@ __all__ = [
     "UnionAll",
     "VARCHAR",
     "Values",
+    "WalRecord",
+    "WriteAheadLog",
     "conjuncts",
+    "decode_value",
     "dump_database",
+    "encode_value",
     "equality_on",
     "execute",
     "execute_sql",
     "load_database",
+    "recover",
     "tokenize",
 ]

@@ -17,12 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.errors import TransactionError
+from repro.errors import TransactionError, WalError
 from repro.ordbms.catalog import Catalog
 from repro.ordbms.rowid import RowId
 from repro.ordbms.schema import TableSchema
 from repro.ordbms.table import Table
 from repro.ordbms.transaction import Transaction
+from repro.ordbms.wal import AUTOCOMMIT_TXID, LogDevice, WriteAheadLog
 
 
 @dataclass
@@ -39,6 +40,10 @@ class DatabaseStats:
     batch_fetches: int = 0
     transactions_committed: int = 0
     transactions_rolled_back: int = 0
+    #: Transactions whose *rollback itself* raised: an undo callback
+    #: failed, so the in-memory state may be partially reverted.  The
+    #: write-ahead log (when attached) still discards them cleanly.
+    transactions_failed: int = 0
 
     def reset(self) -> None:
         for field_name in self.__dataclass_fields__:
@@ -52,7 +57,12 @@ class Database:
     name: str = "netmarkdb"
     catalog: Catalog = field(default_factory=Catalog)
     stats: DatabaseStats = field(default_factory=DatabaseStats)
+    #: Attached write-ahead log; None means the database is volatile
+    #: (today's default).  Attach via :meth:`enable_wal` (fresh database)
+    #: or :func:`repro.ordbms.recovery.recover` (reopen after a crash).
+    wal: WriteAheadLog | None = None
     _current: Transaction | None = None
+    _next_txid: int = 1
 
     # -- DDL ----------------------------------------------------------------
 
@@ -71,7 +81,11 @@ class Database:
         """Open a transaction; only one may be active at a time."""
         if self._current is not None and self._current.is_active:
             raise TransactionError("a transaction is already active")
-        self._current = Transaction(self)
+        txid = self._next_txid
+        self._next_txid += 1
+        self._current = Transaction(self, txid=txid)
+        if self.wal is not None:
+            self.wal.log_begin(txid)
         return self._current
 
     def _transaction_closed(self, transaction: Transaction) -> None:
@@ -79,6 +93,8 @@ class Database:
             self._current = None
         if transaction._state == "committed":
             self.stats.transactions_committed += 1
+        elif transaction._state == "failed":
+            self.stats.transactions_failed += 1
         else:
             self.stats.transactions_rolled_back += 1
 
@@ -86,12 +102,70 @@ class Database:
     def in_transaction(self) -> bool:
         return self._current is not None and self._current.is_active
 
+    # -- durability -----------------------------------------------------------
+
+    def enable_wal(self, device: LogDevice) -> WriteAheadLog:
+        """Attach a write-ahead log to a fresh database.
+
+        Writes a baseline checkpoint immediately — the WAL carries no
+        DDL records, so the checkpoint is what makes the current schema
+        (and any rows already present) recoverable.  Every later commit
+        is durable the moment it returns.
+        """
+        wal = WriteAheadLog(device)
+        self.attach_wal(wal)
+        self.checkpoint()
+        return wal
+
+    def attach_wal(self, wal: WriteAheadLog, next_txid: int | None = None) -> None:
+        """Adopt an existing log (the recovery resume path)."""
+        if self.wal is not None:
+            raise WalError(
+                f"database {self.name!r} already has a write-ahead log"
+            )
+        if self.in_transaction:
+            raise TransactionError(
+                "cannot attach a write-ahead log inside an open transaction"
+            )
+        self.wal = wal
+        if next_txid is not None:
+            self._next_txid = max(self._next_txid, next_txid)
+
+    def checkpoint(self) -> int:
+        """Fold all durable state into a fresh checkpoint; truncate the log.
+
+        Returns the highest LSN the checkpoint covers.  Forbidden while
+        a transaction is open — a checkpoint must capture a transaction-
+        consistent image.
+        """
+        if self.wal is None:
+            raise WalError("checkpoint requires an attached write-ahead log")
+        if self.in_transaction:
+            raise TransactionError(
+                "cannot checkpoint while a transaction is active"
+            )
+        from repro.ordbms.snapshot import dump_database
+
+        return self.wal.write_checkpoint(dump_database(self))
+
+    def _wal_txid(self) -> int:
+        if self.in_transaction:
+            assert self._current is not None
+            return self._current.txid
+        return AUTOCOMMIT_TXID
+
     # -- DML (transaction-aware) ------------------------------------------------
 
     def insert(self, table_name: str, values: Mapping[str, Any]) -> RowId:
         table = self.table(table_name)
         rowid = table.insert(values)
         self.stats.rows_inserted += 1
+        if self.wal is not None:
+            self.wal.log_insert(
+                self._wal_txid(), table.schema.name, rowid,
+                table.raw_row(rowid),
+            )
+            self._sync_autocommit()
         if self.in_transaction:
             assert self._current is not None
             self._current.record_undo(
@@ -106,8 +180,15 @@ class Database:
         table = self.table(table_name)
         old = table.fetch(rowid)
         old.pop("ROWID_", None)
+        before = table.raw_row(rowid) if self.wal is not None else ()
         table.update(rowid, changes)
         self.stats.rows_updated += 1
+        if self.wal is not None:
+            self.wal.log_update(
+                self._wal_txid(), table.schema.name, rowid, before,
+                table.raw_row(rowid),
+            )
+            self._sync_autocommit()
         if self.in_transaction:
             assert self._current is not None
             self._current.record_undo(
@@ -117,14 +198,25 @@ class Database:
 
     def delete(self, table_name: str, rowid: RowId) -> None:
         table = self.table(table_name)
+        before = table.raw_row(rowid) if self.wal is not None else ()
         old = table.delete(rowid)
         self.stats.rows_deleted += 1
+        if self.wal is not None:
+            self.wal.log_delete(
+                self._wal_txid(), table.schema.name, rowid, before
+            )
+            self._sync_autocommit()
         if self.in_transaction:
             assert self._current is not None
             self._current.record_undo(
                 f"delete {table.schema.name} {rowid}",
                 lambda: table.restore(rowid, old),
             )
+
+    def _sync_autocommit(self) -> None:
+        """Outside a transaction every statement commits — and syncs."""
+        if self.wal is not None and not self.in_transaction:
+            self.wal.device.sync()
 
     def fetch(self, table_name: str, rowid: RowId) -> dict[str, Any]:
         """O(1) fetch by physical ROWID (counted in stats)."""

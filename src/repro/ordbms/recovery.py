@@ -1,0 +1,284 @@
+"""Crash recovery: rebuild a :class:`Database` from its log device.
+
+ARIES-lite, sized to the single-writer engine: one forward pass over the
+log replays every mutation *physically* — inserts must land at exactly
+the ROWID the log recorded, which is what lets ``PARENTROWID`` /
+``SIBLINGID`` values stored inside rows survive a crash — and resolves
+transactions as their COMMIT / ROLLBACK / TRUNCATE records stream past.
+Whatever is still unresolved at the end of the log died with the process
+and is undone from its logged before-images (the *losers*).
+
+Two properties fall out of the design and are what the crash harness
+asserts:
+
+* **Atomicity** — recovered state equals the pre- or post-transaction
+  state, never anything in between, because a transaction's mutations
+  are kept only once its COMMIT record is durable.
+* **Physical identity** — every replayed insert is verified to land at
+  the logged address, and every update/delete pre-image is compared
+  against the recovered heap; any disagreement means the log and the
+  checkpoint diverged, and recovery refuses with
+  :class:`~repro.errors.RecoveryError` rather than guess.
+
+Rolled-back transactions are replayed *then* undone at their ROLLBACK
+record's position in the LSN stream — not skipped — so that slot
+allocation during replay matches slot allocation during the original
+run exactly (a skipped insert would shift every later row's address).
+
+Derived state (B+tree and text indexes) is rebuilt incrementally as
+rows are applied; checkpoints load through :mod:`repro.ordbms.snapshot`,
+which rebuilds indexes the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError, RecoveryError, RowIdError
+from repro.ordbms.database import Database
+from repro.ordbms.snapshot import load_database
+from repro.ordbms.table import Table
+from repro.ordbms.wal import (
+    AUTOCOMMIT_TXID,
+    BEGIN,
+    CHECKPOINT,
+    COMMIT,
+    DELETE,
+    INSERT,
+    ROLLBACK,
+    TRUNCATE,
+    UPDATE,
+    LogDevice,
+    WalRecord,
+    WriteAheadLog,
+    decode_checkpoint,
+    highest_txid,
+    parse_log,
+)
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """What one recovery pass did, for logs, tests and post-mortems."""
+
+    database: Database
+    checkpoint_lsn: int
+    last_lsn: int
+    records_replayed: int
+    transactions_committed: int
+    transactions_rolled_back: int
+    #: Transaction ids that were open when the process died; their
+    #: mutations were undone from logged before-images.
+    losers_discarded: tuple[int, ...]
+    #: Human-readable reason the log's tail was truncated (torn write),
+    #: or None when the log parsed cleanly to its end.
+    torn_tail: str | None
+
+
+def recover(device: LogDevice, name: str = "recovered") -> RecoveryResult:
+    """Rebuild the database held by ``device`` and resume its WAL.
+
+    Loads the checkpoint (if any), replays log records with LSNs above
+    the checkpoint's, undoes losers, trims any torn tail off the device,
+    and attaches a resumed :class:`~repro.ordbms.wal.WriteAheadLog` so
+    the returned database is immediately writable-and-durable again.
+
+    Raises :class:`~repro.errors.CorruptLogError` for mid-log damage
+    (never silently skipped) and :class:`~repro.errors.RecoveryError`
+    when the log disagrees with the checkpoint it claims to extend.
+    """
+    checkpoint_text = device.load_checkpoint()
+    if checkpoint_text is None:
+        database = Database(name)
+        checkpoint_lsn = 0
+    else:
+        checkpoint_lsn, snapshot_text = decode_checkpoint(checkpoint_text)
+        database = load_database(snapshot_text, name)
+    records, torn_tail = parse_log(device.read_log())
+    if torn_tail is not None:
+        # Physically drop the torn bytes: appends after a damaged tail
+        # would otherwise read as mid-log corruption on the next boot.
+        device.truncate_log()
+        for record in records:
+            device.append(record.encode())
+        device.sync()
+    result = _replay(database, records, checkpoint_lsn, torn_tail)
+    last_lsn = max(checkpoint_lsn, records[-1].lsn if records else 0)
+    wal = WriteAheadLog(device, start_lsn=last_lsn + 1)
+    database.attach_wal(wal, next_txid=highest_txid(records) + 1)
+    return RecoveryResult(
+        database=database,
+        checkpoint_lsn=checkpoint_lsn,
+        last_lsn=last_lsn,
+        records_replayed=result[0],
+        transactions_committed=result[1],
+        transactions_rolled_back=result[2],
+        losers_discarded=result[3],
+        torn_tail=torn_tail,
+    )
+
+
+def _replay(
+    database: Database,
+    records: list[WalRecord],
+    checkpoint_lsn: int,
+    torn_tail: str | None,
+) -> tuple[int, int, int, tuple[int, ...]]:
+    """Forward pass; returns (replayed, committed, rolled_back, losers)."""
+    open_transactions: dict[int, list[WalRecord]] = {}
+    replayed = committed = rolled_back = 0
+    for record in records:
+        if record.lsn <= checkpoint_lsn:
+            # Already folded into the checkpoint: the process died
+            # between checkpoint save and log truncation.  Skipping is
+            # what makes replay idempotent.
+            continue
+        if record.kind == CHECKPOINT:
+            continue
+        if record.kind == BEGIN:
+            if record.txid in open_transactions:
+                raise RecoveryError(
+                    f"LSN {record.lsn}: BEGIN for transaction "
+                    f"{record.txid} which is already open"
+                )
+            open_transactions[record.txid] = []
+        elif record.kind in (INSERT, UPDATE, DELETE):
+            mutations = _mutations_of(open_transactions, record)
+            _apply(database, record)
+            if mutations is not None:
+                mutations.append(record)
+            replayed += 1
+        elif record.kind == COMMIT:
+            _close(open_transactions, record)
+            committed += 1
+        elif record.kind == ROLLBACK:
+            for mutation in reversed(_close(open_transactions, record)):
+                _undo(database, mutation)
+            rolled_back += 1
+        elif record.kind == TRUNCATE:
+            mutations = _close(open_transactions, record)
+            open_transactions[record.txid] = mutations  # stays open
+            if not 0 <= record.keep <= len(mutations):
+                raise RecoveryError(
+                    f"LSN {record.lsn}: TRUNCATE keeps {record.keep} of "
+                    f"{len(mutations)} logged mutations"
+                )
+            for mutation in reversed(mutations[record.keep:]):
+                _undo(database, mutation)
+            del mutations[record.keep:]
+    # Whatever is still open died with the process: undo newest-first
+    # across all losers (single-writer means at most one in practice).
+    losers = tuple(sorted(open_transactions))
+    leftovers = [
+        record
+        for mutations in open_transactions.values()
+        for record in mutations
+    ]
+    leftovers.sort(key=lambda record: record.lsn)
+    for record in reversed(leftovers):
+        _undo(database, record)
+    return replayed, committed, rolled_back, losers
+
+
+def _mutations_of(
+    open_transactions: dict[int, list[WalRecord]], record: WalRecord
+) -> list[WalRecord] | None:
+    """The open mutation list ``record`` belongs to (None = autocommit)."""
+    if record.txid == AUTOCOMMIT_TXID:
+        return None
+    try:
+        return open_transactions[record.txid]
+    except KeyError:
+        raise RecoveryError(
+            f"LSN {record.lsn}: {record.kind} for transaction "
+            f"{record.txid} which has no BEGIN record"
+        ) from None
+
+
+def _close(
+    open_transactions: dict[int, list[WalRecord]], record: WalRecord
+) -> list[WalRecord]:
+    try:
+        return open_transactions.pop(record.txid)
+    except KeyError:
+        raise RecoveryError(
+            f"LSN {record.lsn}: {record.kind} for transaction "
+            f"{record.txid} which has no BEGIN record"
+        ) from None
+
+
+def _table(database: Database, record: WalRecord) -> Table:
+    try:
+        return database.catalog.table(record.table)
+    except CatalogError:
+        raise RecoveryError(
+            f"LSN {record.lsn}: record names table {record.table!r} "
+            f"which the checkpoint does not define"
+        ) from None
+
+
+def _apply(database: Database, record: WalRecord) -> None:
+    """Redo one mutation physically, verifying addresses and pre-images."""
+    table = _table(database, record)
+    heap = table._heap  # noqa: SLF001 - physical replay, like snapshot.py
+    assert record.rowid is not None
+    if record.kind == INSERT:
+        assert record.after is not None
+        landed = heap.insert(record.after)
+        if landed != record.rowid:
+            raise RecoveryError(
+                f"LSN {record.lsn}: replayed insert landed at {landed}, "
+                f"log recorded {record.rowid} — slot allocation diverged"
+            )
+        table._index_row(landed, record.after)  # noqa: SLF001
+        return
+    current = _fetch(heap, table, record)
+    if current != record.before:
+        raise RecoveryError(
+            f"LSN {record.lsn}: {record.kind} pre-image disagrees with "
+            f"recovered row at {record.rowid} in {record.table}"
+        )
+    if record.kind == UPDATE:
+        assert record.after is not None
+        table._unindex_row(record.rowid, current)  # noqa: SLF001
+        heap.update(record.rowid, record.after)
+        table._index_row(record.rowid, record.after)  # noqa: SLF001
+    else:  # DELETE
+        heap.delete(record.rowid)
+        table._unindex_row(record.rowid, current)  # noqa: SLF001
+
+
+def _undo(database: Database, record: WalRecord) -> None:
+    """Reverse one already-applied mutation from its logged images."""
+    table = _table(database, record)
+    heap = table._heap  # noqa: SLF001
+    assert record.rowid is not None
+    try:
+        if record.kind == INSERT:
+            assert record.after is not None
+            heap.delete(record.rowid)
+            table._unindex_row(record.rowid, record.after)  # noqa: SLF001
+        elif record.kind == UPDATE:
+            assert record.before is not None and record.after is not None
+            table._unindex_row(record.rowid, record.after)  # noqa: SLF001
+            heap.update(record.rowid, record.before)
+            table._index_row(record.rowid, record.before)  # noqa: SLF001
+        else:  # DELETE
+            assert record.before is not None
+            heap.restore(record.rowid, record.before)
+            table._index_row(record.rowid, record.before)  # noqa: SLF001
+    except RowIdError as error:
+        raise RecoveryError(
+            f"LSN {record.lsn}: cannot undo {record.kind} at "
+            f"{record.rowid} in {record.table}: {error}"
+        ) from error
+
+
+def _fetch(heap, table: Table, record: WalRecord):
+    try:
+        return heap.fetch(record.rowid)
+    except RowIdError as error:
+        raise RecoveryError(
+            f"LSN {record.lsn}: {record.kind} addresses {record.rowid} "
+            f"in {record.table} but the recovered heap has no such row"
+        ) from error

@@ -20,11 +20,12 @@ table::
 
 Typed value encoding: ``~`` NULL, ``i:<n>``, ``f:<x>``, ``s:<escaped>``,
 ``t:<iso>``, ``r:<rowid>``.  Strings escape backslash, tab and newline.
+The value codec itself lives in :mod:`repro.ordbms.valuecodec`, shared
+with the write-ahead log so checkpoint and log records always agree.
 """
 
 from __future__ import annotations
 
-import datetime as _dt
 from typing import Any
 
 from repro.errors import DatabaseError
@@ -34,6 +35,7 @@ from repro.ordbms.rowid import RowId
 from repro.ordbms.schema import Column, ForeignKey, TableSchema
 from repro.ordbms.storage import _TOMBSTONE  # noqa: SLF001 - same package
 from repro.ordbms.table import Table
+from repro.ordbms.valuecodec import decode_value, encode_value
 
 MAGIC = "%NETMARK-SNAPSHOT 1"
 
@@ -46,65 +48,10 @@ _TYPE_NAMES = {
     "ROWID": _types.ROWID,
 }
 
-
-def _escape(text: str) -> str:
-    return (
-        text.replace("\\", "\\\\").replace("\t", "\\t").replace("\n", "\\n")
-        .replace("\r", "\\r")
-    )
-
-
-def _unescape(text: str) -> str:
-    out: list[str] = []
-    index = 0
-    while index < len(text):
-        char = text[index]
-        if char == "\\" and index + 1 < len(text):
-            out.append(
-                {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}.get(
-                    text[index + 1], text[index + 1]
-                )
-            )
-            index += 2
-        else:
-            out.append(char)
-            index += 1
-    return "".join(out)
-
-
-def _encode_value(value: Any) -> str:
-    if value is None:
-        return "~"
-    if isinstance(value, bool):
-        raise DatabaseError("boolean values are not storable")
-    if isinstance(value, int):
-        return f"i:{value}"
-    if isinstance(value, float):
-        return f"f:{value!r}"
-    if isinstance(value, str):
-        return f"s:{_escape(value)}"
-    if isinstance(value, _dt.datetime):
-        return f"t:{value.isoformat()}"
-    if isinstance(value, RowId):
-        return f"r:{value.encode()}"
-    raise DatabaseError(f"cannot snapshot value of type {type(value).__name__}")
-
-
-def _decode_value(text: str) -> Any:
-    if text == "~":
-        return None
-    tag, _, body = text.partition(":")
-    if tag == "i":
-        return int(body)
-    if tag == "f":
-        return float(body)
-    if tag == "s":
-        return _unescape(body)
-    if tag == "t":
-        return _dt.datetime.fromisoformat(body)
-    if tag == "r":
-        return RowId.decode(body)
-    raise DatabaseError(f"bad snapshot value {text!r}")
+# Historical private aliases (pre-valuecodec); kept so existing callers
+# and tests keep working against the shared codec.
+_encode_value = encode_value
+_decode_value = decode_value
 
 
 def _encode_schema(table: Table) -> str:

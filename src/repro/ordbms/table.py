@@ -86,6 +86,30 @@ class Table:
         self._text_indexes[column] = index
         return index
 
+    def rebuild_indexes(self) -> None:
+        """Rebuild every B+tree and text index from the heap.
+
+        Derived state is exactly that — derivable; this is the repair
+        path ``store.fsck --repair`` and recovery diagnostics use when
+        an index has drifted from the rows it claims to describe.
+        """
+        for column, index in list(self._indexes.items()):
+            fresh = BTreeIndex(index.name)
+            position = self.schema.position(column)
+            for rowid, row in self._heap.scan():
+                if row[position] is not None:
+                    fresh.insert(row[position], rowid)
+            self._indexes[column] = fresh
+        for column, text_index in list(self._text_indexes.items()):
+            fresh_text = TextIndex(text_index.name)
+            position = self.schema.position(column)
+            for rowid, row in self._heap.scan():
+                value = row[position]
+                if isinstance(value, str) and value:
+                    fresh_text.add(rowid, value)
+            self._text_indexes[column] = fresh_text
+        self._generation += 1
+
     def index_on(self, column: str) -> BTreeIndex | None:
         return self._indexes.get(column.upper())
 
@@ -157,6 +181,14 @@ class Table:
             self._with_rowid(rowid, self._heap.fetch(rowid))
             for rowid in rowids
         ]
+
+    def raw_row(self, rowid: RowId) -> tuple[Any, ...]:
+        """The stored tuple at ``rowid``, in schema column order.
+
+        The write-ahead log records row images in this physical form so
+        that replay can bypass validation and land bit-identical rows.
+        """
+        return self._heap.fetch(rowid)
 
     def try_fetch(self, rowid: RowId) -> dict[str, Any] | None:
         """Like :meth:`fetch` but returns None for dead/out-of-range rowids."""

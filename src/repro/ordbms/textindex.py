@@ -163,6 +163,19 @@ class TextIndex:
         """Yield every distinct indexed term (unordered)."""
         return iter(self._postings)
 
+    def signature(self) -> tuple[tuple[str, RowId, tuple[int, ...]], ...]:
+        """Canonical content signature, for index-agreement checks.
+
+        Two indexes built over the same rows produce equal signatures
+        regardless of insertion order; ``store.fsck`` compares a freshly
+        rebuilt index against the live one to detect drift.
+        """
+        return tuple(
+            (term, rowid, tuple(positions))
+            for term in sorted(self._postings)
+            for rowid, positions in sorted(self._postings[term].items())
+        )
+
     # -- internals --------------------------------------------------------------
 
     def _position_set(self, term: str, rowid: RowId) -> frozenset[int]:

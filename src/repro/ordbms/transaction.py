@@ -34,13 +34,20 @@ class Transaction:
     """An open transaction; obtained from :meth:`Database.begin`."""
 
     database: "Database"
+    #: Log-visible transaction id (0 is reserved for autocommit records).
+    txid: int = 0
     _undo_log: list[_UndoRecord] = field(default_factory=list)
     _savepoints: dict[str, int] = field(default_factory=dict)
-    _state: str = "active"  # active | committed | rolled_back
+    _state: str = "active"  # active | committed | rolled_back | failed
 
     @property
     def is_active(self) -> bool:
         return self._state == "active"
+
+    @property
+    def is_failed(self) -> bool:
+        """True when rollback itself raised; see :meth:`rollback`."""
+        return self._state == "failed"
 
     def record_undo(self, description: str, undo: Callable[[], None]) -> None:
         """Register a compensating action for a completed mutation."""
@@ -59,31 +66,66 @@ class Transaction:
             mark = self._savepoints[name]
         except KeyError:
             raise TransactionError(f"no savepoint named {name!r}") from None
-        while len(self._undo_log) > mark:
-            self._undo_log.pop().undo()
+        self._unwind(mark)
         # Savepoints created after the mark are no longer meaningful.
         self._savepoints = {
             sp_name: position
             for sp_name, position in self._savepoints.items()
             if position <= mark
         }
+        wal = self.database.wal
+        if wal is not None:
+            wal.log_truncate(self.txid, keep=mark)
 
     def commit(self) -> None:
-        """Make all mutations permanent and close the transaction."""
+        """Make all mutations permanent and close the transaction.
+
+        With a write-ahead log attached, the COMMIT record is appended
+        and synced *before* the state flips — once this method returns,
+        the transaction survives any crash.
+        """
         self._require_active()
+        wal = self.database.wal
+        if wal is not None:
+            wal.log_commit(self.txid)
         self._undo_log.clear()
         self._savepoints.clear()
         self._state = "committed"
         self.database._transaction_closed(self)
 
     def rollback(self) -> None:
-        """Undo every mutation and close the transaction."""
+        """Undo every mutation and close the transaction.
+
+        If an undo callback itself raises, the transaction moves to the
+        terminal ``failed`` state (never stranded ``active``) and the
+        original error surfaces wrapped in :class:`TransactionError`.
+        A failed transaction writes no ROLLBACK record, so an attached
+        write-ahead log still discards it cleanly on recovery.
+        """
         self._require_active()
-        while self._undo_log:
-            self._undo_log.pop().undo()
+        self._unwind(0)
         self._savepoints.clear()
         self._state = "rolled_back"
+        wal = self.database.wal
+        if wal is not None:
+            wal.log_rollback(self.txid)
         self.database._transaction_closed(self)
+
+    def _unwind(self, mark: int) -> None:
+        """Pop and run undo records down to ``mark``; fail terminally."""
+        while len(self._undo_log) > mark:
+            record = self._undo_log.pop()
+            try:
+                record.undo()
+            except Exception as error:  # lint: allow-broad-except(any undo failure must fail the transaction, not escape it)
+                self._savepoints.clear()
+                self._state = "failed"
+                self.database._transaction_closed(self)
+                raise TransactionError(
+                    f"rollback failed while undoing "
+                    f"{record.description!r}; transaction is now failed "
+                    f"and its in-memory effects may be partially applied"
+                ) from error
 
     # -- context manager: commit on success, roll back on exception -------
 

@@ -1,0 +1,125 @@
+"""Typed-value text encoding shared by snapshots and the write-ahead log.
+
+One encoding, two consumers: :mod:`repro.ordbms.snapshot` serialises
+whole heaps with it and :mod:`repro.ordbms.wal` serialises per-record row
+images — recovery can only promise byte-identical restored state because
+both speak exactly the same dialect.
+
+Encoding: ``~`` NULL, ``i:<n>``, ``f:<repr>``, ``s:<escaped>``,
+``t:<iso>``, ``r:<rowid>``.  Strings escape backslash, tab, newline and
+carriage return, so an encoded value never contains a raw line or field
+separator.  A whole row packs into a single whitespace-free token
+(:func:`pack_row`): values join on raw tabs, then the joined text is
+escaped *again* (backslash first, then space/tab/newline) — standard
+nesting, so inner escapes and separator escapes can never collide.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+from repro.errors import DatabaseError
+from repro.ordbms.rowid import RowId
+
+
+def escape(text: str) -> str:
+    """Escape backslash, tab, newline and carriage return."""
+    return (
+        text.replace("\\", "\\\\").replace("\t", "\\t").replace("\n", "\\n")
+        .replace("\r", "\\r")
+    )
+
+
+def unescape(text: str) -> str:
+    """Invert :func:`escape` (unknown escapes pass the char through)."""
+    out: list[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            out.append(
+                {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}.get(
+                    text[index + 1], text[index + 1]
+                )
+            )
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def encode_value(value: Any) -> str:
+    """Encode one storable value as tagged text."""
+    if value is None:
+        return "~"
+    if isinstance(value, bool):
+        raise DatabaseError("boolean values are not storable")
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    if isinstance(value, str):
+        return f"s:{escape(value)}"
+    if isinstance(value, _dt.datetime):
+        return f"t:{value.isoformat()}"
+    if isinstance(value, RowId):
+        return f"r:{value.encode()}"
+    raise DatabaseError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(text: str) -> Any:
+    """Invert :func:`encode_value`."""
+    if text == "~":
+        return None
+    tag, _, body = text.partition(":")
+    if tag == "i":
+        return int(body)
+    if tag == "f":
+        return float(body)
+    if tag == "s":
+        return unescape(body)
+    if tag == "t":
+        return _dt.datetime.fromisoformat(body)
+    if tag == "r":
+        return RowId.decode(body)
+    raise DatabaseError(f"bad encoded value {text!r}")
+
+
+#: Sentinel for a zero-column row image (cannot collide with real
+#: payloads: every non-empty pack starts with an encoded value tag).
+_EMPTY_ROW = "-"
+
+
+def pack_row(values: tuple[Any, ...]) -> str:
+    """Pack a whole row image into one whitespace-free token."""
+    joined = "\t".join(encode_value(value) for value in values)
+    if not joined:
+        return _EMPTY_ROW
+    return (
+        joined.replace("\\", "\\\\").replace("\t", "\\t")
+        .replace("\n", "\\n").replace(" ", "\\s")
+    )
+
+
+def unpack_row(token: str) -> tuple[Any, ...]:
+    """Invert :func:`pack_row`."""
+    if token == _EMPTY_ROW:
+        return ()
+    out: list[str] = []
+    index = 0
+    while index < len(token):
+        char = token[index]
+        if char == "\\" and index + 1 < len(token):
+            out.append(
+                {"\\": "\\", "t": "\t", "n": "\n", "s": " "}.get(
+                    token[index + 1], token[index + 1]
+                )
+            )
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    joined = "".join(out)
+    return tuple(decode_value(part) for part in joined.split("\t"))

@@ -23,11 +23,13 @@ from repro.resilience.breaker import (
     CircuitBreaker,
 )
 from repro.resilience.clock import LogicalClock
+from repro.resilience.crashpoints import CrashMatrix, CrashPoint, crash_matrix
 from repro.resilience.faults import (
     FaultEvent,
     FaultPlan,
     FaultProxy,
     FaultRule,
+    LogDeviceFaultProxy,
 )
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.retry import (
@@ -46,13 +48,17 @@ __all__ = [
     "BreakerConfig",
     "BreakerTransition",
     "CircuitBreaker",
+    "CrashMatrix",
+    "CrashPoint",
     "FaultEvent",
     "FaultPlan",
     "FaultProxy",
     "FaultRule",
+    "LogDeviceFaultProxy",
     "LogicalClock",
     "ResiliencePolicy",
     "RetryPolicy",
     "RetryStats",
     "call_with_retry",
+    "crash_matrix",
 ]

@@ -10,7 +10,18 @@ object's own code never changes.  Fault kinds:
 * ``timeout`` — advance the logical clock by ``latency`` ticks, then
   raise :class:`~repro.errors.SourceTimeoutError`;
 * ``slow`` — advance the clock by ``latency`` ticks and let the call
-  proceed.
+  proceed;
+* ``crash`` — raise :class:`~repro.errors.CrashError` (a modelled
+  process death; derives from ``BaseException`` so no library handler
+  can absorb it);
+* ``torn`` — write half the payload, then crash (death mid-write);
+* ``corrupt`` — silently mangle the payload and let the call succeed.
+
+The last three are write-path faults for durable devices: they fire
+through :meth:`FaultPlan.wrap_log_device`, which proxies a WAL
+:class:`~repro.ordbms.wal.LogDevice` (duck-typed — this package never
+imports the ORDBMS) and applies the data-mangling kinds to the bytes
+themselves.
 
 Rules are scripted (``fail twice on native_search, then recover``) or
 seeded-probabilistic (:meth:`FaultPlan.sometimes`); both are fully
@@ -26,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.errors import (
+    CrashError,
     ResilienceError,
     SourceTimeoutError,
     SourceUnavailableError,
@@ -33,7 +45,11 @@ from repro.errors import (
 from repro.resilience.clock import LogicalClock
 
 #: Fault kinds a rule may inject.
-KINDS = ("unavailable", "timeout", "slow")
+KINDS = ("unavailable", "timeout", "slow", "crash", "torn", "corrupt")
+
+#: Kinds that mangle written data instead of raising; only meaningful on
+#: log devices (:meth:`FaultPlan.wrap_log_device`).
+MANGLING_KINDS = ("torn", "corrupt")
 
 #: Operations gated on each wrappable component type.
 SOURCE_OPERATIONS = ("native_search", "fetch_document", "document_names")
@@ -45,6 +61,7 @@ STORE_OPERATIONS = (
     "delete_document",
 )
 VFS_OPERATIONS = ("read", "write", "move", "copy", "delete")
+LOG_OPERATIONS = ("append", "sync", "truncate_log", "save_checkpoint")
 
 
 @dataclass(frozen=True)
@@ -182,12 +199,26 @@ class FaultPlan:
 
     def apply(self, component: str, operation: str) -> None:
         """Called by proxies before delegating; raises when a fault fires."""
+        self.poll(component, operation)
+
+    def poll(self, component: str, operation: str) -> str | None:
+        """Gate one call, reporting data-mangling kinds to the caller.
+
+        Raises for the error kinds (``unavailable``, ``timeout``,
+        ``crash``); returns ``"torn"``/``"corrupt"`` when a mangling
+        fault fired so a device proxy can damage the payload; returns
+        None when the call proceeds untouched.
+        """
+        fired: str | None = None
         for rule in self.rules:
             if not rule.matches(component, operation):
                 continue
             if not rule.due(self._rng):
                 continue
-            self._inject(rule, component, operation)
+            kind = self._inject(rule, component, operation)
+            if kind is not None:
+                fired = kind
+        return fired
 
     def injected(self, component: str | None = None) -> int:
         """How many faults fired (optionally for one component)."""
@@ -213,9 +244,15 @@ class FaultPlan:
         """Proxy a ``VirtualFileSystem``."""
         return FaultProxy(self, component, vfs, VFS_OPERATIONS)
 
+    def wrap_log_device(self, device: Any, component: str = "wal") -> Any:
+        """Proxy a WAL ``LogDevice``; enables torn/corrupt/crash faults."""
+        return LogDeviceFaultProxy(self, component, device)
+
     # -- internals ----------------------------------------------------------
 
-    def _inject(self, rule: FaultRule, component: str, operation: str) -> None:
+    def _inject(
+        self, rule: FaultRule, component: str, operation: str
+    ) -> str | None:
         if rule.latency:
             self.clock.advance(rule.latency)
         self.events.append(
@@ -228,7 +265,12 @@ class FaultPlan:
             raise SourceTimeoutError(
                 f"injected: {site} timed out after {rule.latency} ticks"
             )
+        if rule.kind == "crash":
+            raise CrashError(f"injected: process died at {site}")
+        if rule.kind in MANGLING_KINDS:
+            return rule.kind
         # "slow": latency already charged; the call proceeds.
+        return None
 
 
 class FaultProxy:
@@ -267,3 +309,70 @@ class FaultProxy:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultProxy({self._component!r}, {self._target!r})"
+
+
+def _mangle(data: str) -> str:
+    """Deterministically damage one character of ``data`` (bit rot).
+
+    Flips the last character before any trailing newline — for a WAL
+    record line that is a CRC hex digit, guaranteeing detection.
+    """
+    text = data[:-1] if data.endswith("\n") else data
+    tail = data[len(text):]
+    if not text:
+        return data
+    flipped = "0" if text[-1] == "X" else "X"
+    return text[:-1] + flipped + tail
+
+
+class LogDeviceFaultProxy:
+    """Fault gate for a WAL ``LogDevice``: can damage the bytes themselves.
+
+    Write operations consult the plan first.  ``crash`` dies before the
+    write, ``torn`` writes half the payload and then dies (a genuinely
+    torn append), ``corrupt`` mangles one character and lets the call
+    "succeed" (silent bit rot — the seed for mid-log corruption tests).
+    Reads always pass through: recovery must be able to see whatever
+    the injected trouble left behind.
+    """
+
+    def __init__(self, plan: FaultPlan, component: str, target: Any) -> None:
+        self._plan = plan
+        self._component = component
+        self._target = target
+
+    def append(self, data: str) -> None:
+        kind = self._plan.poll(self._component, "append")
+        if kind == "torn":
+            self._target.append(data[: len(data) // 2])
+            raise CrashError(
+                f"injected: process died mid-append on {self._component}"
+            )
+        if kind == "corrupt":
+            data = _mangle(data)
+        self._target.append(data)
+
+    def sync(self) -> None:
+        self._plan.poll(self._component, "sync")
+        self._target.sync()
+
+    def truncate_log(self) -> None:
+        self._plan.poll(self._component, "truncate_log")
+        self._target.truncate_log()
+
+    def save_checkpoint(self, text: str) -> None:
+        kind = self._plan.poll(self._component, "save_checkpoint")
+        if kind == "torn":
+            self._target.save_checkpoint(text[: len(text) // 2])
+            raise CrashError(
+                f"injected: process died mid-checkpoint on {self._component}"
+            )
+        if kind == "corrupt":
+            text = _mangle(text)
+        self._target.save_checkpoint(text)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._target, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogDeviceFaultProxy({self._component!r}, {self._target!r})"

@@ -19,6 +19,16 @@ daemon retries transient failures (deterministic backoff on its
 and it remembers quarantined revisions by content — if a fault re-drops
 a poison file, or the quarantine move itself fails and the file is left
 behind, the next poll skips that exact revision instead of looping.
+
+Durability: every ingest is journalled to ``<drop>/.journal/inflight``
+before the store is touched and cleared once the outcome (success *or*
+handled failure) has been recorded.  After a crash,
+:meth:`NetmarkDaemon.startup_recovery` reads the journal and settles the
+interrupted ingest: if its transaction committed before the crash the
+file is moved on to ``processed/`` (the bookkeeping the crash cut off);
+if it did not, the file is quarantined to ``errors/`` rather than
+retried blindly — a document that was mid-ingest when the process died
+is a prime poison suspect.
 """
 
 from __future__ import annotations
@@ -85,7 +95,13 @@ class NetmarkDaemon:
         #: ``digest=None`` wildcards every revision of that name (used
         #: when the content itself is unreadable).
         self._skip_revisions: set[tuple[str, str | None]] = set()
-        for folder in (self.drop_folder, self.processed_folder, self.error_folder):
+        folders = (
+            self.drop_folder,
+            self.processed_folder,
+            self.error_folder,
+            self.journal_folder,
+        )
+        for folder in folders:
             if not self.vfs.is_dir(folder):
                 self.vfs.mkdir(folder, parents=True)
 
@@ -96,6 +112,15 @@ class NetmarkDaemon:
     @property
     def error_folder(self) -> str:
         return self.drop_folder + "/errors"
+
+    @property
+    def journal_folder(self) -> str:
+        return self.drop_folder + "/.journal"
+
+    @property
+    def journal_path(self) -> str:
+        """The in-flight ingest journal (a subfolder, so polls skip it)."""
+        return self.journal_folder + "/inflight"
 
     # -- the daemon loop body ---------------------------------------------------
 
@@ -134,6 +159,116 @@ class NetmarkDaemon:
         self.budget_exhausted = bool(self.pending_files())
         return total
 
+    # -- crash recovery -----------------------------------------------------------
+
+    def startup_recovery(self) -> list[IngestRecord]:
+        """Settle any ingest the journal says was in flight at a crash.
+
+        Call once after reopening the store (``XmlStore.open``) and before
+        the first :meth:`poll`.  For each journalled entry: if the store
+        already holds the journalled revision, the ingest's transaction
+        committed before the crash and only the file bookkeeping is
+        missing — the original is moved to ``processed/`` and a ``stored``
+        record is emitted.  Otherwise the transaction was discarded by
+        recovery; the file is quarantined to ``errors/`` (``failed``
+        record) instead of being retried, since a document that took the
+        process down once should not get a second unsupervised try.
+        """
+        records: list[IngestRecord] = []
+        if not self.vfs.is_file(self.journal_path):
+            return records
+        for line in self.vfs.read(self.journal_path).splitlines():
+            if not line.strip():
+                continue
+            path, _, rest = line.partition("\t")
+            _digest_text, _, marker_text = rest.partition("\t")
+            try:
+                marker = int(marker_text)
+            except ValueError:
+                marker = 1
+            records.append(self._settle_journalled(path, marker))
+        self._journal_clear()
+        self.history.extend(records)
+        return records
+
+    def _settle_journalled(self, path: str, marker: int) -> IngestRecord:
+        name = base_name(path)
+        if self._journalled_committed(name, marker):
+            if self.vfs.is_file(path):
+                if self.keep_originals:
+                    self._move(path, self.processed_folder)
+                else:
+                    try:
+                        self.vfs.delete(path)
+                    except ReproError:
+                        self._remember_skip(path)
+            entry = self.store.lookup_by_name(name)
+            doc_id = entry.doc_id if entry is not None else None
+            node_count = (
+                len(self.store.xml_table.lookup("DOC_ID", doc_id))
+                if doc_id is not None
+                else 0
+            )
+            return IngestRecord(
+                path=path, status="stored", doc_id=doc_id, node_count=node_count
+            )
+        if self.vfs.is_file(path):
+            self._remember_skip(path)
+            self._move(path, self.error_folder)
+        return IngestRecord(
+            path=path,
+            status="failed",
+            error="interrupted by a crash; quarantined on restart",
+        )
+
+    def _journal_begin(self, path: str, content: str) -> None:
+        """Record the ingest about to run, durably, before the store sees it."""
+        name = base_name(path)
+        line = f"{path}\t{_digest(content)}\t{self._journal_marker(name)}\n"
+        self.vfs.write(self.journal_path, line)
+
+    def _journal_clear(self) -> None:
+        try:
+            self.vfs.write(self.journal_path, "")
+        except ReproError:
+            pass  # a stale journal is settled (idempotently) on next startup
+
+    def _journal_marker(self, name: str) -> int:
+        """The evidence an ingest of ``name`` will leave if it commits.
+
+        Replace mode: the revision number the new document will carry.
+        Append mode: the number of stored documents with that file name
+        once the new one lands.  Either is checkable after recovery
+        without trusting any in-memory state.
+        """
+        if self.replace_existing:
+            existing = self.store.lookup_by_name(name)
+            if existing is None:
+                return 1
+            try:
+                return int(existing.metadata.get("revision", "1")) + 1
+            except ValueError:
+                return 2
+        return 1 + sum(
+            1 for entry in self.store.documents() if entry.file_name == name
+        )
+
+    def _journalled_committed(self, name: str, marker: int) -> bool:
+        """Did the journalled ingest's transaction survive recovery?"""
+        if self.replace_existing:
+            existing = self.store.lookup_by_name(name)
+            if existing is None:
+                return False
+            try:
+                revision = int(existing.metadata.get("revision", "1"))
+            except ValueError:
+                revision = 1
+            return revision >= marker
+        count = sum(
+            1 for entry in self.store.documents() if entry.file_name == name
+        )
+        return count >= marker
+
     # -- internals ------------------------------------------------------------------
 
     def _ingest(self, path: str) -> IngestRecord:
@@ -142,6 +277,7 @@ class NetmarkDaemon:
         try:
             content = self.vfs.read(path)
             modified = self.vfs.entry(path).modified
+            self._journal_begin(path, content)
 
             def store_once():
                 if self.replace_existing:
@@ -159,6 +295,10 @@ class NetmarkDaemon:
             else:
                 result = store_once()
         except ReproError as error:
+            # The failure was *observed* — quarantining records it, so the
+            # journal entry has served its purpose.  (A crash never reaches
+            # this handler: CrashError is a BaseException by design.)
+            self._journal_clear()
             self._remember_skip(path)
             self._move(path, self.error_folder)
             return IngestRecord(
@@ -174,6 +314,7 @@ class NetmarkDaemon:
                 self.vfs.delete(path)
             except ReproError:
                 self._remember_skip(path)
+        self._journal_clear()
         return IngestRecord(
             path=path,
             status="stored",

@@ -29,8 +29,11 @@ from typing import TYPE_CHECKING
 
 from repro.errors import (
     AllSourcesFailedError,
+    CorruptLogError,
+    FsckError,
     QueryError,
     QuerySyntaxError,
+    RecoveryError,
     ReproError,
     XsltError,
 )
@@ -72,6 +75,11 @@ class NetmarkHttpApi:
         self.dav = dav
         self.router = router
         self.engine = QueryEngine(store)
+        #: While True every request answers 503 with a structured
+        #: ``<error code="recovering">`` body — set it around startup
+        #: recovery (``XmlStore.open`` + ``NetmarkDaemon.startup_recovery``)
+        #: so clients see "try again shortly", never a half-recovered store.
+        self.recovering = False
         if not self.dav.vfs.is_dir(STYLESHEET_FOLDER):
             self.dav.vfs.mkdir(STYLESHEET_FOLDER, parents=True)
 
@@ -80,6 +88,11 @@ class NetmarkHttpApi:
     def request(self, method: str, target: str, body: str = "") -> HttpResponse:
         method = method.upper()
         path, _, query_string = target.partition("?")
+        if self.recovering:
+            return self._error(
+                503, "recovering",
+                "startup recovery is running; retry shortly",
+            )
         try:
             if path.startswith("/dav/") or path == "/dav":
                 return self._dav(method, path[len("/dav"):] or "/", body)
@@ -104,6 +117,15 @@ class NetmarkHttpApi:
             # never reach here — they return 200 with a <partial>
             # envelope (see ResultSet.to_xml).
             return HttpResponse(503, str(error))
+        except CorruptLogError as error:
+            # Durability-layer failures get structured bodies: a client
+            # (or operator script) can dispatch on the machine-readable
+            # code instead of parsing a free-text 500.
+            return self._error(500, "corrupt-log", str(error))
+        except RecoveryError as error:
+            return self._error(500, "recovery-failed", str(error))
+        except FsckError as error:
+            return self._error(500, "store-inconsistent", str(error))
         except ReproError as error:
             return HttpResponse(500, str(error))
 
@@ -196,6 +218,17 @@ class NetmarkHttpApi:
         else:
             return HttpResponse(405, f"method {method} not allowed on /dav")
         return HttpResponse(response.status, response.body, "text/plain")
+
+    # -- structured errors ---------------------------------------------------------
+
+    @staticmethod
+    def _error(status: int, code: str, message: str) -> HttpResponse:
+        """A machine-readable XML error envelope."""
+        from repro.sgml.dom import Document, Element
+
+        root = Element("error", {"code": code, "status": str(status)})
+        root.append_text(message)
+        return HttpResponse(status, serialize(Document(root), indent=2))
 
     # -- stylesheet management ----------------------------------------------------
 

@@ -213,7 +213,14 @@ class VirtualFileSystem:
         return sorted(names)
 
     def walk_files(self, path: str = "/") -> Iterator[str]:
-        """Every file path under ``path`` (recursive, sorted)."""
+        """Every file path under ``path``, recursively.
+
+        Ordering is part of the contract: paths come back in sorted
+        (lexicographic) order regardless of creation, move or overwrite
+        history.  The daemon's ingest order — and therefore DOC_ID
+        assignment, WAL contents and crash-recovery replay — all derive
+        from this ordering, so it must be deterministic.
+        """
         path = normalize_path(path)
         prefix = path if path.endswith("/") else path + "/"
         for file_path in sorted(self._files):

@@ -8,6 +8,12 @@ rebuilds documents and sections for retrieval and result composition.
 from repro.store.accessor import AccessorStats, NodeAccessor
 from repro.store.compose import compose_document, compose_node, compose_section
 from repro.store.decompose import DecomposeResult, Decomposer, classify_counts
+from repro.store.fsck import (
+    FsckReport,
+    Violation,
+    check_store,
+    repair_store,
+)
 from repro.store.schema import (
     DOC_TABLE,
     XML_TABLE,
@@ -40,10 +46,13 @@ __all__ = [
     "DOC_TABLE",
     "DecomposeResult",
     "Decomposer",
+    "FsckReport",
     "NodeAccessor",
     "StoredDocument",
+    "Violation",
     "XML_TABLE",
     "XmlStore",
+    "check_store",
     "children_of",
     "classify_counts",
     "compose_document",
@@ -63,6 +72,7 @@ __all__ = [
     "iter_contexts",
     "next_sibling_of",
     "parent_of",
+    "repair_store",
     "scope_rowids",
     "section_scope",
     "section_text",

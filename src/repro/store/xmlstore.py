@@ -63,6 +63,8 @@ class XmlStore:
         self._doc_table, self._xml_table = create_netmark_schema(self.database)
         self._decomposer = Decomposer(self.database, config)
         self._accessor = NodeAccessor(self.database)
+        #: Set by :meth:`open` when the store came back from a crash.
+        self.last_recovery = None
 
     # -- persistence ----------------------------------------------------------
 
@@ -84,7 +86,42 @@ class XmlStore:
         """
         from repro.ordbms.snapshot import load_database
 
-        database = load_database(snapshot_text)
+        return cls._adopt(load_database(snapshot_text), config)
+
+    @classmethod
+    def open(
+        cls, device: object, config: NodeTypeConfig = DEFAULT_CONFIG
+    ) -> "XmlStore":
+        """Open (or create) a *durable* store on a WAL ``LogDevice``.
+
+        First open (empty device): creates the NETMARK schema and writes
+        the baseline checkpoint — from then on every committed document
+        is durable the moment ``store_*`` returns.  Reopen (device holds
+        a checkpoint/log): runs crash recovery, which replays committed
+        work, discards any in-flight transaction, and resumes the log;
+        the :class:`~repro.ordbms.recovery.RecoveryResult` is kept on
+        :attr:`last_recovery`.
+        """
+        from repro.ordbms.recovery import recover
+
+        if device.load_checkpoint() is None and not device.read_log():
+            store = cls(config=config)
+            store.database.enable_wal(device)
+            return store
+        result = recover(device)
+        store = cls._adopt(result.database, config)
+        store.last_recovery = result
+        return store
+
+    def checkpoint(self) -> int:
+        """Fold the store into a fresh checkpoint and truncate its log."""
+        return self.database.checkpoint()
+
+    @classmethod
+    def _adopt(
+        cls, database: Database, config: NodeTypeConfig
+    ) -> "XmlStore":
+        """Wire a store around a database that already has the schema."""
         store = cls.__new__(cls)
         store.database = database
         store.config = config
@@ -92,6 +129,7 @@ class XmlStore:
         store._xml_table = database.table(XML_TABLE)
         store._decomposer = Decomposer(database, config)
         store._accessor = NodeAccessor(database)
+        store.last_recovery = None
         max_doc = max(
             (row["DOC_ID"] for row in store._doc_table.scan()), default=0
         )

@@ -128,3 +128,55 @@ class TestSavepoints:
         assert transaction.pending_undo_count == 0
         database.insert("T", {"ID": 1})
         assert transaction.pending_undo_count == 1
+
+
+class TestFailedRollback:
+    """An undo callback that raises must fail the transaction terminally."""
+
+    def poison(self, transaction):
+        def explode():
+            raise RuntimeError("disk fell out")
+
+        transaction.record_undo("poisoned step", explode)
+
+    def test_failure_surfaces_wrapped_and_chained(self, database):
+        transaction = database.begin()
+        self.poison(transaction)
+        with pytest.raises(TransactionError) as info:
+            transaction.rollback()
+        assert "poisoned step" in str(info.value)
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_failed_state_is_terminal(self, database):
+        transaction = database.begin()
+        self.poison(transaction)
+        with pytest.raises(TransactionError):
+            transaction.rollback()
+        assert transaction.is_failed
+        assert not transaction.is_active
+        for retry in (transaction.rollback, transaction.commit):
+            with pytest.raises(TransactionError):
+                retry()
+
+    def test_failure_counted_and_database_reusable(self, database):
+        transaction = database.begin()
+        self.poison(transaction)
+        with pytest.raises(TransactionError):
+            transaction.rollback()
+        assert database.stats.transactions_failed == 1
+        assert database.stats.transactions_rolled_back == 0
+        # The slot is released: a fresh transaction can begin and commit.
+        with database.begin():
+            database.insert("T", {"ID": 7})
+        assert len(database.table("T")) == 1
+
+    def test_undo_records_before_the_poison_still_ran(self, database):
+        transaction = database.begin()
+        database.insert("T", {"ID": 1})  # will be undone (popped last)
+        self.poison(transaction)
+        undone = []
+        transaction.record_undo("tracer", lambda: undone.append(True))
+        with pytest.raises(TransactionError):
+            transaction.rollback()
+        assert undone == [True]  # newest-first: tracer ran, then the poison
+        assert len(database.table("T")) == 1  # insert's undo never reached

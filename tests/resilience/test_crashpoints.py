@@ -1,0 +1,117 @@
+"""Write-path fault kinds (crash/torn/corrupt) and the crash matrix."""
+
+import pytest
+
+from repro.errors import CrashError, ResilienceError
+from repro.ordbms import MemoryLogDevice
+from repro.resilience import FaultPlan, crash_matrix
+from repro.resilience.faults import _mangle
+
+
+class TestMangle:
+    def test_flips_one_character_preserving_newline(self):
+        data = "1 BEGIN 1|0a0b0c0d\n"
+        mangled = _mangle(data)
+        assert mangled != data
+        assert mangled.endswith("\n")
+        assert len(mangled) == len(data)
+        assert mangled[:-2] == data[:-2]
+
+    def test_empty_payload_untouched(self):
+        assert _mangle("\n") == "\n"
+        assert _mangle("") == ""
+
+
+class TestLogDeviceFaultProxy:
+    def test_crash_fires_before_the_write(self):
+        device = MemoryLogDevice()
+        plan = FaultPlan()
+        plan.fail("wal", "append", kind="crash")
+        proxy = plan.wrap_log_device(device)
+        with pytest.raises(CrashError):
+            proxy.append("line|00000000\n")
+        assert device.read_log() == ""  # nothing landed
+        assert plan.injected("wal") == 1
+
+    def test_torn_writes_half_then_dies(self):
+        device = MemoryLogDevice()
+        plan = FaultPlan()
+        plan.fail("wal", "append", kind="torn")
+        proxy = plan.wrap_log_device(device)
+        payload = "0123456789\n"
+        with pytest.raises(CrashError):
+            proxy.append(payload)
+        assert device.read_log() == payload[: len(payload) // 2]
+
+    def test_corrupt_mangles_silently(self):
+        device = MemoryLogDevice()
+        plan = FaultPlan()
+        plan.fail("wal", "append", kind="corrupt")
+        proxy = plan.wrap_log_device(device)
+        proxy.append("body|00000000\n")  # no exception: silent bit rot
+        assert device.read_log() != "body|00000000\n"
+        assert device.read_log().endswith("\n")
+
+    def test_torn_checkpoint_keeps_half(self):
+        device = MemoryLogDevice()
+        plan = FaultPlan()
+        plan.fail("wal", "save_checkpoint", kind="torn")
+        proxy = plan.wrap_log_device(device)
+        with pytest.raises(CrashError):
+            proxy.save_checkpoint("0123456789")
+        assert device.load_checkpoint() == "01234"
+
+    def test_reads_always_pass_through(self):
+        device = MemoryLogDevice()
+        device.append("intact\n")
+        plan = FaultPlan()
+        plan.fail("wal", "*", kind="crash", times=None)
+        proxy = plan.wrap_log_device(device)
+        assert proxy.read_log() == "intact\n"
+        assert proxy.load_checkpoint() is None
+
+    def test_after_counts_clean_calls(self):
+        device = MemoryLogDevice()
+        plan = FaultPlan()
+        plan.fail("wal", "append", kind="crash", after=2, times=1)
+        proxy = plan.wrap_log_device(device)
+        proxy.append("one\n")
+        proxy.append("two\n")
+        with pytest.raises(CrashError):
+            proxy.append("three\n")
+        proxy.append("four\n")  # rule exhausted: calls pass again
+        assert device.read_log() == "one\ntwo\nfour\n"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultPlan().fail("wal", "append", kind="meteor")
+
+
+class TestCrashMatrix:
+    def test_enumerates_every_append_times_every_kind(self):
+        def run(device):
+            device.append("a|1\n")
+            device.append("b|2\n")
+            device.append("c|3\n")
+            device.sync()
+
+        matrix = crash_matrix(MemoryLogDevice, run)
+        assert matrix.total_appends == 3
+        assert len(matrix.points) == 6  # 3 appends x (crash, torn)
+        assert all(point.crashed for point in matrix.points)
+        assert matrix.baseline.target.read_log() == "a|1\nb|2\nc|3\n"
+
+    def test_surviving_devices_hold_the_prefix(self):
+        def run(device):
+            device.append("a|1\n")
+            device.append("b|2\n")
+
+        matrix = crash_matrix(MemoryLogDevice, run, kinds=("crash",))
+        by_index = {point.index: point for point in matrix.points}
+        assert by_index[1].device.read_log() == ""
+        assert by_index[2].device.read_log() == "a|1\n"
+
+    def test_workload_without_appends_yields_empty_matrix(self):
+        matrix = crash_matrix(MemoryLogDevice, lambda device: None)
+        assert matrix.total_appends == 0
+        assert matrix.points == ()

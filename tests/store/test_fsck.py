@@ -1,0 +1,210 @@
+"""store.fsck: clean stores, every seeded corruption class, and repair."""
+
+import pytest
+
+from repro.errors import FsckError
+from repro.ordbms import Database, ROWID_PSEUDO
+from repro.store import XmlStore, check_store, repair_store
+from repro.store.fsck import REPAIRABLE, main
+from repro.store.schema import XML_TABLE
+
+
+@pytest.fixture
+def loaded(loaded_store: XmlStore) -> XmlStore:
+    return loaded_store
+
+
+def xml_rows(store: XmlStore) -> list[dict]:
+    return list(store.xml_table.scan())
+
+
+def node_where(store: XmlStore, **conditions) -> dict:
+    for row in xml_rows(store):
+        if all(row[key] == value for key, value in conditions.items()):
+            return row
+    raise AssertionError(f"no node matching {conditions}")
+
+
+class TestCleanStore:
+    def test_sample_corpus_is_clean(self, loaded):
+        report = check_store(loaded.database)
+        assert report.ok
+        assert report.documents_checked == len(loaded)
+        assert report.nodes_checked == loaded.node_count
+        assert report.indexes_checked == 7  # 1 DOC + 4 XML btrees + 1 text
+
+    def test_empty_store_is_clean(self, store):
+        assert check_store(store.database).ok
+
+    def test_non_netmark_database_is_misuse(self):
+        with pytest.raises(FsckError):
+            check_store(Database("plain"))
+
+    def test_report_serialises(self, loaded):
+        report = check_store(loaded.database)
+        payload = report.as_dict()
+        assert payload["ok"] is True
+        assert "clean" in report.render_text()
+
+
+class TestCorruptionClasses:
+    """Each seeded corruption class is detected under its own code."""
+
+    def seed(self, store: XmlStore, code: str) -> None:
+        database = store.database
+        rows = xml_rows(store)
+        root = node_where(store, PARENTROWID=None, DOC_ID=1)
+        child = node_where(store, PARENTNODEID=root["NODEID"])
+        if code == "bad-node-type":
+            database.update(XML_TABLE, child[ROWID_PSEUDO], {"NODETYPE": 99})
+        elif code == "orphan-node":
+            doc_row = store.doc_table.lookup("DOC_ID", 1)[0]
+            database.delete("DOC", doc_row[ROWID_PSEUDO])
+        elif code == "empty-document":
+            for row in rows:
+                if row["DOC_ID"] == 1:
+                    database.delete(XML_TABLE, row[ROWID_PSEUDO])
+        elif code == "missing-root":
+            database.update(
+                XML_TABLE, root[ROWID_PSEUDO],
+                {"PARENTROWID": child[ROWID_PSEUDO],
+                 "PARENTNODEID": child["NODEID"]},
+            )
+        elif code == "multiple-roots":
+            database.update(
+                XML_TABLE, child[ROWID_PSEUDO],
+                {"PARENTROWID": None, "PARENTNODEID": None},
+            )
+        elif code == "dangling-parent":
+            victim = node_where(store, PARENTNODEID=child["NODEID"])
+            database.delete(XML_TABLE, victim[ROWID_PSEUDO])
+            orphaned = node_where(store, PARENTROWID=victim[ROWID_PSEUDO])
+            assert orphaned is not None  # its children now dangle
+        elif code == "foreign-parent":
+            other = node_where(store, PARENTROWID=None, DOC_ID=2)
+            database.update(
+                XML_TABLE, child[ROWID_PSEUDO],
+                {"PARENTROWID": other[ROWID_PSEUDO],
+                 "PARENTNODEID": other["NODEID"]},
+            )
+        elif code == "parent-id-mismatch":
+            database.update(
+                XML_TABLE, child[ROWID_PSEUDO], {"PARENTNODEID": 9999}
+            )
+        elif code == "parent-cycle":
+            grandchild = node_where(store, PARENTNODEID=child["NODEID"])
+            database.update(
+                XML_TABLE, child[ROWID_PSEUDO],
+                {"PARENTROWID": grandchild[ROWID_PSEUDO],
+                 "PARENTNODEID": grandchild["NODEID"]},
+            )
+        elif code == "dangling-sibling":
+            from repro.ordbms import RowId
+
+            database.update(
+                XML_TABLE, child[ROWID_PSEUDO],
+                {"SIBLINGID": RowId(9, 9, 9)},
+            )
+        elif code == "foreign-sibling":
+            other = node_where(store, PARENTROWID=None, DOC_ID=2)
+            database.update(
+                XML_TABLE, child[ROWID_PSEUDO],
+                {"SIBLINGID": other[ROWID_PSEUDO]},
+            )
+        elif code == "duplicate-ordinal":
+            first = next(
+                row for row in rows
+                if row["PARENTNODEID"] == root["NODEID"]
+                and row["SIBLINGID"] is not None
+            )
+            follower = node_where(store, ROWID_=first["SIBLINGID"])
+            database.update(
+                XML_TABLE, follower[ROWID_PSEUDO],
+                {"ORDINAL": first["ORDINAL"]},
+            )
+        elif code == "sibling-chain":
+            # A live but mis-linked chain: point a child at itself.
+            database.update(
+                XML_TABLE, child[ROWID_PSEUDO],
+                {"SIBLINGID": child[ROWID_PSEUDO]},
+            )
+        elif code == "btree-drift":
+            index = store.xml_table.index_on("NODENAME")
+            index.insert("ghost-entry", child[ROWID_PSEUDO])
+        elif code == "text-index-drift":
+            text_index = store.xml_table.text_index_on("NODEDATA")
+            text_index.add(child[ROWID_PSEUDO], "ghostterm never stored")
+        else:
+            raise AssertionError(f"unknown corruption class {code}")
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "bad-node-type",
+            "orphan-node",
+            "empty-document",
+            "missing-root",
+            "multiple-roots",
+            "dangling-parent",
+            "foreign-parent",
+            "parent-id-mismatch",
+            "parent-cycle",
+            "dangling-sibling",
+            "foreign-sibling",
+            "duplicate-ordinal",
+            "sibling-chain",
+            "btree-drift",
+            "text-index-drift",
+        ],
+    )
+    def test_detected(self, loaded, code):
+        assert check_store(loaded.database).ok  # pristine before seeding
+        self.seed(loaded, code)
+        report = check_store(loaded.database)
+        assert code in report.codes(), (
+            f"seeded {code}, fsck reported {sorted(report.codes())}"
+        )
+
+    @pytest.mark.parametrize("code", sorted(REPAIRABLE))
+    def test_repairable_classes_repair_clean(self, loaded, code):
+        self.seed(loaded, code)
+        report = repair_store(loaded.database)
+        assert report.repaired > 0
+        assert report.ok, (
+            f"after repairing {code}: {sorted(report.codes())}"
+        )
+
+    def test_structural_loss_survives_repair(self, loaded):
+        """Genuinely lost data is still reported after a repair pass."""
+        self.seed(loaded, "orphan-node")
+        report = repair_store(loaded.database)
+        assert "orphan-node" in report.codes()
+
+
+class TestCommandLine:
+    @pytest.fixture
+    def durable_base(self, tmp_path) -> str:
+        from repro.ordbms import FileLogDevice
+
+        base = str(tmp_path / "store")
+        device = FileLogDevice(base)
+        store = XmlStore.open(device)
+        store.store_text("# Title\n\nBody text here.\n", "note.md")
+        device.close()
+        return base
+
+    def test_clean_store_exits_zero(self, durable_base, capsys):
+        assert main([durable_base]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format(self, durable_base, capsys):
+        import json
+
+        assert main([durable_base, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["documents_checked"] == 1
+
+    def test_repair_flag(self, durable_base, capsys):
+        assert main([durable_base, "--repair"]) == 0
+        assert "repair actions" in capsys.readouterr().out
