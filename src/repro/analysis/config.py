@@ -32,6 +32,11 @@ def _builtin_exception_names() -> frozenset[str]:
 #: tier (netmark's facade carries per-line pragmas for its wiring role).
 DEFAULT_LAYERS: dict[str, frozenset[str]] = {
     "errors": frozenset(),
+    # Observability is a base layer like the error vocabulary: every
+    # tier may report into it (it is in ``universal_units``), and it may
+    # import nothing above ``errors`` itself — a metrics layer that
+    # reached into the tiers it measures would invert the DAG.
+    "obs": frozenset(),
     "analysis": frozenset(),
     "ordbms": frozenset(),
     "sgml": frozenset(),
@@ -110,8 +115,9 @@ class AnalysisConfig:
     module_layers: dict[str, frozenset[str]] = field(
         default_factory=lambda: dict(DEFAULT_MODULE_LAYERS)
     )
-    #: Units importable from anywhere (the error vocabulary).
-    universal_units: frozenset[str] = frozenset({"errors"})
+    #: Units importable from anywhere (the error vocabulary and the
+    #: observability base layer).
+    universal_units: frozenset[str] = frozenset({"errors", "obs"})
     #: Units free to import anything: the application tier and the
     #: package facade sit above the whole DAG.
     unrestricted_units: frozenset[str] = frozenset({"apps", "__root__"})

@@ -126,7 +126,10 @@ class ModuleLayeringRule:
         ``from repro.store import schema`` is credited as the submodule
         ``store.schema`` when that exact grant exists, else as the unit
         ``store`` — an ungranted facade import stays a violation even
-        when individual submodules are granted.
+        when individual submodules are granted.  ``from repro import X``
+        resolves to the unit ``X`` when that unit is granted (mirroring
+        the unit-level rule, so ``from repro import obs`` works in
+        module-contracted files too), else to ``__root__``.
         """
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -141,7 +144,10 @@ class ModuleLayeringRule:
                 if base is None:
                     continue
                 if base == "__root__":
-                    yield node, base
+                    for alias in node.names:
+                        yield node, (
+                            alias.name if alias.name in allowed else base
+                        )
                     continue
                 for alias in node.names:
                     refined = f"{base}.{alias.name}"

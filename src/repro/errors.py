@@ -272,3 +272,12 @@ class MediatorError(ReproError):
 
 class MappingError(MediatorError):
     """A GAV view mapping is inconsistent with the declared schemas."""
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the observability layer (bad metric name, span nesting)."""

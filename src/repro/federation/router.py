@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import AllSourcesFailedError, FederationError, ReproError
 from repro.federation.augment import AugmentationReport, execute_augmented, plan
 from repro.federation.databank import Databank, DatabankRegistry
@@ -30,6 +31,7 @@ from repro.federation.sources import InformationSource
 from repro.query.ast import XdbQuery
 from repro.query.language import format_query, parse_query
 from repro.query.results import ResultSet, SectionMatch
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.retry import RetryStats, call_with_retry
 from repro.sgml.dom import Document, Element
@@ -76,6 +78,20 @@ class RoutingReport:
         for name in self.skipped_sources:
             summary[name] = "skipped: circuit open"
         return summary
+
+
+#: Breaker states as gauge values: closed=0, half-open=1, open=2 — the
+#: conventional "bigger is worse" encoding, so dashboards can alert on
+#: ``repro_federation_breaker_state > 0``.
+_BREAKER_STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+def _note_breaker(name: str, breaker) -> None:
+    obs.set_gauge(
+        "repro_federation_breaker_state",
+        _BREAKER_STATE_VALUES.get(breaker.state, 2),
+        source=name,
+    )
 
 
 class Router:
@@ -235,6 +251,11 @@ class Router:
         )
         if breaker is not None and not breaker.allow():
             report.skipped_sources.append(source.name)
+            obs.inc(
+                "repro_federation_source_requests_total",
+                source=source.name, status="skipped",
+            )
+            _note_breaker(source.name, breaker)
             return []
 
         def attempt() -> tuple[bool, AugmentationReport, list[SectionMatch]]:
@@ -246,6 +267,7 @@ class Router:
             return source_plan.fully_native, augmentation, found
 
         stats = RetryStats()
+        started = policy.clock.now() if policy is not None else None
         try:
             if policy is not None:
                 native, augmentation, found = call_with_retry(
@@ -256,18 +278,52 @@ class Router:
         except ReproError as error:
             if stats.retries:
                 report.retries[source.name] = stats.retries
+                obs.inc(
+                    "repro_federation_retries_total", stats.retries,
+                    source=source.name,
+                )
             report.failed_sources[source.name] = (
                 f"{type(error).__name__}: {error}"
             )
+            obs.inc(
+                "repro_federation_source_requests_total",
+                source=source.name, status="failed",
+            )
             if breaker is not None:
                 breaker.record_failure()
+                _note_breaker(source.name, breaker)
+            self._note_latency(source.name, started)
             return []
         if stats.retries:
             report.retries[source.name] = stats.retries
+            obs.inc(
+                "repro_federation_retries_total", stats.retries,
+                source=source.name,
+            )
         if breaker is not None:
             breaker.record_success()
+            _note_breaker(source.name, breaker)
+        self._note_latency(source.name, started)
         report.source_matches[source.name] = len(found)
+        obs.inc(
+            "repro_federation_source_requests_total",
+            source=source.name, status="answered",
+        )
         if not native:
             report.augmented_sources.append(source.name)
             report.augmentation[source.name] = augmentation
         return found
+
+    def _note_latency(self, name: str, started: int | None) -> None:
+        """Record per-source latency in resilience-clock ticks.
+
+        Only meaningful under a policy: the logical clock advances across
+        retry backoffs (and injected faults), so the distribution shows
+        which sources burn time before answering or giving up.
+        """
+        if started is not None and self.resilience is not None:
+            obs.observe(
+                "repro_federation_source_latency_ticks",
+                self.resilience.clock.now() - started,
+                source=name,
+            )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ServerError
 from repro.federation.databank import Databank, DatabankRegistry  # lint: allow-layering(composition root: the facade wires the federation tier)
 from repro.federation.router import Router  # lint: allow-layering(composition root: the facade wires the federation tier)
@@ -58,8 +59,13 @@ class Netmark:
         drop_folder: str = "/incoming",
         device: LogDevice | None = None,
         vfs: VirtualFileSystem | None = None,
+        tracer: obs.Tracer | None = None,
     ) -> None:
         self.name = name
+        #: Span sink shared by the node's pipelines.  Default is the
+        #: no-op tracer; pass ``obs.Tracer()`` to collect ingest span
+        #: trees (``Trace=1`` searches trace per-request regardless).
+        self.tracer = tracer if tracer is not None else obs.NULL_TRACER
         if device is not None:
             # Durable node: open (or crash-recover) the store on its WAL
             # device.  Pass the surviving ``vfs`` of the previous
@@ -71,7 +77,9 @@ class Netmark:
             self.store = XmlStore(self.database, config)
         self.vfs = vfs or VirtualFileSystem()
         self.dav = WebDavServer(self.vfs)
-        self.daemon = NetmarkDaemon(self.store, self.vfs, drop_folder)
+        self.daemon = NetmarkDaemon(
+            self.store, self.vfs, drop_folder, tracer=self.tracer
+        )
         self.registry = DatabankRegistry()
         self.router = Router(self.registry)
         #: Named sources available to declarative databank specs.

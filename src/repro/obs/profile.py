@@ -1,0 +1,41 @@
+"""Deterministic operator profiling for the plan/cursor read path.
+
+``Explain=profile`` needs per-operator *timings* that mean the same
+thing on every machine and in every run.  Wall time cannot do that (and
+the determinism rules ban reading it in library code), so the profiler
+counts **work units**: its clock advances once each time any operator in
+the plan surfaces a row.  An operator's inclusive cost is then "how many
+rows moved anywhere in my subtree while I produced my output" — a
+machine-independent analogue of inclusive time that is bit-identical
+across runs.
+
+Wall time stays opt-in: a composition root or benchmark may pass
+``wall_clock=time.perf_counter`` and operators additionally accumulate
+float seconds (reported alongside ticks, never part of the
+deterministic contract).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class PlanProfiler:
+    """Work-unit clock + accumulators shared by one plan's cursors."""
+
+    __slots__ = ("_ticks", "wall_clock")
+
+    def __init__(self, wall_clock: Callable[[], float] | None = None) -> None:
+        self._ticks = 0
+        self.wall_clock = wall_clock
+
+    def now(self) -> int:
+        return self._ticks
+
+    def advance(self, units: int = 1) -> None:
+        self._ticks += units
+
+    @property
+    def total_ticks(self) -> int:
+        """Rows surfaced anywhere in the plan so far."""
+        return self._ticks

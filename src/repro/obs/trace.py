@@ -1,0 +1,259 @@
+"""Deterministic tracing: hierarchical spans over logical time.
+
+A :class:`Tracer` produces :class:`Span` trees — name, attributes,
+tick-stamped start/end — mirroring how a request flows through the
+ingest → parse → decompose → store and parse → plan → execute → compose
+pipelines.  Completed root spans land in the tracer's in-memory
+collector; :meth:`Tracer.export_jsonl` renders them as canonical JSONL
+(sorted keys, no whitespace variance), so two identical runs export
+bit-identical bytes.
+
+Time is *logical*: the tracer reads ticks from a duck-typed clock (any
+object with ``now() -> int`` — :class:`repro.resilience.clock.LogicalClock`
+qualifies; the layering contract forbids importing it here).  With no
+clock supplied the tracer runs its own counter that advances once per
+span boundary, so durations deterministically count enclosed span events
+rather than wall time.  Wall time is opt-in: pass ``wall_clock=`` a
+callable (e.g. ``time.perf_counter`` from a composition root or bench —
+library code itself must not read the wall clock) and spans also carry
+float durations, which are *excluded* from the deterministic export.
+
+``NULL_TRACER`` is the default for every instrumented component: its
+``span`` returns a shared no-op context manager, so the un-traced hot
+path pays one truthiness check and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator
+
+from repro.errors import ObservabilityError
+
+
+class _OwnClock:
+    """The tracer's fallback clock: advances once per span boundary."""
+
+    def __init__(self) -> None:
+        self._now = 0
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self) -> None:
+        self._now += 1
+
+    def reset(self) -> None:
+        self._now = 0
+
+
+class Span:
+    """One traced operation: a named interval with attributes and children."""
+
+    __slots__ = (
+        "name", "attrs", "start_tick", "end_tick", "children",
+        "wall_start", "wall_end",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        start_tick: int,
+        wall_start: float | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_tick = start_tick
+        self.end_tick: int | None = None
+        self.children: list[Span] = []
+        self.wall_start = wall_start
+        self.wall_end: float | None = None
+
+    @property
+    def ticks(self) -> int:
+        """Tick duration (0 while the span is still open)."""
+        if self.end_tick is None:
+            return 0
+        return self.end_tick - self.start_tick
+
+    @property
+    def wall_seconds(self) -> float | None:
+        if self.wall_start is None or self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    def to_dict(self, include_wall: bool = False) -> dict[str, Any]:
+        """A plain-data rendering of the span tree (deterministic keys)."""
+        data: dict[str, Any] = {
+            "name": self.name,
+            "start_tick": self.start_tick,
+            "end_tick": self.end_tick,
+            "ticks": self.ticks,
+        }
+        if self.attrs:
+            data["attrs"] = {
+                key: self.attrs[key] for key in sorted(self.attrs)
+            }
+        if include_wall and self.wall_seconds is not None:
+            data["wall_seconds"] = self.wall_seconds
+        if self.children:
+            data["children"] = [
+                child.to_dict(include_wall) for child in self.children
+            ]
+        return data
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, ticks={self.ticks})"
+
+
+class _ActiveSpan:
+    """Context manager closing one span (returned by :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes after the span has started (row counts etc.)."""
+        self.span.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._finish(self.span)
+
+
+class _NoopSpan:
+    """The shared do-nothing span handle of :class:`NullTracer`."""
+
+    __slots__ = ()
+    span = None
+
+    def annotate(self, **attrs: Any) -> None:
+        return
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Builds span trees and collects completed roots in memory."""
+
+    #: Instrumented code checks this before composing attributes, so the
+    #: no-op tracer never pays for attribute dict construction.
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Any | None = None,
+        wall_clock: Callable[[], float] | None = None,
+        max_roots: int = 1024,
+    ) -> None:
+        self._own_clock = _OwnClock() if clock is None else None
+        self._clock = clock if clock is not None else self._own_clock
+        self._wall_clock = wall_clock
+        self._stack: list[Span] = []
+        self.roots: list[Span] = []
+        self.max_roots = max_roots
+        self.dropped_roots = 0
+
+    # -- span construction -------------------------------------------------
+
+    def span(self, name: str, /, **attrs: Any) -> _ActiveSpan:
+        """Open a child span of the current span (or a new root).
+
+        ``name`` is positional-only so an attribute may also be called
+        ``name`` (e.g. ``span("store", name=file_name)``).
+        """
+        if self._own_clock is not None:
+            self._own_clock.advance()
+        wall = self._wall_clock() if self._wall_clock is not None else None
+        span = Span(name, attrs, self._clock.now(), wall)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} closed out of order"
+            )
+        self._stack.pop()
+        if self._own_clock is not None:
+            self._own_clock.advance()
+        span.end_tick = self._clock.now()
+        if self._wall_clock is not None:
+            span.wall_end = self._wall_clock()
+        if not self._stack:
+            if len(self.roots) >= self.max_roots:
+                self.dropped_roots += 1
+            else:
+                self.roots.append(span)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- collection ---------------------------------------------------------
+
+    def take_roots(self) -> list[Span]:
+        """Drain and return the completed root spans (oldest first)."""
+        roots, self.roots = self.roots, []
+        return roots
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.roots.clear()
+        self.dropped_roots = 0
+        if self._own_clock is not None:
+            self._own_clock.reset()
+
+    def export_jsonl(self) -> str:
+        """One canonical JSON line per completed root span tree.
+
+        Wall-time fields are excluded on purpose: the export is the
+        deterministic record (bit-identical across identical runs).
+        """
+        return "".join(
+            json.dumps(
+                root.to_dict(include_wall=False),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+            for root in self.roots
+        )
+
+
+class NullTracer(Tracer):
+    """The no-op tracer: every span is the shared do-nothing handle."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, /, **attrs: Any) -> _NoopSpan:  # type: ignore[override]
+        return _NOOP_SPAN
+
+
+#: Shared default for every instrumented component.
+NULL_TRACER = NullTracer()

@@ -50,6 +50,10 @@ class BTreeIndex:
         self.name = name
         self._root: _Leaf | _Internal = _Leaf()
         self._size = 0  # number of (key, rowid) pairs
+        #: Plain probe tally.  ``search`` runs once per tree hop on the
+        #: read path (thousands per query), so it must not pay a metrics
+        #: dispatch — callers publish this at call/query granularity.
+        self.probes = 0
 
     def __len__(self) -> int:
         return self._size
@@ -90,6 +94,7 @@ class BTreeIndex:
 
     def search(self, key: Any) -> list[RowId]:
         """Return all ROWIDs with exactly ``key`` (possibly empty)."""
+        self.probes += 1
         result: list[RowId] = []
         leaf: _Leaf | None = self._find_leaf(key)
         position = bisect.bisect_left(leaf.keys, key)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro import obs
 from repro.errors import TransactionError, WalError
 from repro.ordbms.catalog import Catalog
 from repro.ordbms.rowid import RowId
@@ -217,6 +218,7 @@ class Database:
         """Outside a transaction every statement commits — and syncs."""
         if self.wal is not None and not self.in_transaction:
             self.wal.device.sync()
+            obs.inc("repro_ordbms_wal_syncs_total", reason="autocommit")
 
     def fetch(self, table_name: str, rowid: RowId) -> dict[str, Any]:
         """O(1) fetch by physical ROWID (counted in stats)."""

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import CatalogError, RecoveryError, RowIdError
 from repro.ordbms.database import Database
 from repro.ordbms.snapshot import load_database
@@ -106,6 +107,13 @@ def recover(device: LogDevice, name: str = "recovered") -> RecoveryResult:
     last_lsn = max(checkpoint_lsn, records[-1].lsn if records else 0)
     wal = WriteAheadLog(device, start_lsn=last_lsn + 1)
     database.attach_wal(wal, next_txid=highest_txid(records) + 1)
+    obs.inc("repro_ordbms_recovery_runs_total")
+    obs.inc("repro_ordbms_recovery_records_replayed_total", result[0])
+    obs.inc("repro_ordbms_recovery_losers_discarded_total", len(result[3]))
+    if torn_tail is not None:
+        obs.inc("repro_ordbms_recovery_torn_tails_total")
+    if checkpoint_text is not None:
+        obs.inc("repro_ordbms_recovery_checkpoint_loads_total")
     return RecoveryResult(
         database=database,
         checkpoint_lsn=checkpoint_lsn,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
+from repro import obs
 from repro.errors import CatalogError, ConstraintError, RowIdError
 from repro.ordbms.btree import BTreeIndex
 from repro.ordbms.expr import Expr
@@ -177,10 +178,16 @@ class Table:
         to turn per-hop traffic into set-at-a-time traffic.  Each rowid
         must be live (same contract as :meth:`fetch`).
         """
-        return [
+        rows = [
             self._with_rowid(rowid, self._heap.fetch(rowid))
             for rowid in rowids
         ]
+        if rows:
+            obs.inc(
+                "repro_ordbms_rows_read_total", len(rows),
+                table=self.schema.name, path="fetch",
+            )
+        return rows
 
     def raw_row(self, rowid: RowId) -> tuple[Any, ...]:
         """The stored tuple at ``rowid``, in schema column order.
@@ -204,28 +211,50 @@ class Table:
         self, predicate: Expr | Callable[[Mapping[str, Any]], bool] | None = None
     ) -> Iterator[dict[str, Any]]:
         """Yield rows (as dicts, including the ROWID pseudo-column)."""
-        for rowid, row in self._heap.scan():
-            record = self._with_rowid(rowid, row)
-            if predicate is None:
-                yield record
-            elif isinstance(predicate, Expr):
-                if predicate.evaluate(record):
+        examined = 0
+        try:
+            for rowid, row in self._heap.scan():
+                examined += 1
+                record = self._with_rowid(rowid, row)
+                if predicate is None:
                     yield record
-            elif predicate(record):
-                yield record
+                elif isinstance(predicate, Expr):
+                    if predicate.evaluate(record):
+                        yield record
+                elif predicate(record):
+                    yield record
+        finally:
+            # One bump per scan (early close included), not one per row:
+            # the counter must not be the scan's hot-path cost.
+            if examined:
+                obs.inc(
+                    "repro_ordbms_rows_read_total", examined,
+                    table=self.schema.name, path="scan",
+                )
 
     def lookup(self, column: str, value: Any) -> list[dict[str, Any]]:
         """Equality lookup, via index when one exists, else a scan."""
         column = column.upper()
         index = self._indexes.get(column)
         if index is not None:
-            return [self.fetch(rowid) for rowid in index.search(value)]
+            rows = [self.fetch(rowid) for rowid in index.search(value)]
+            obs.inc(
+                "repro_ordbms_lookups_total",
+                table=self.schema.name, path="index",
+            )
+            obs.inc("repro_ordbms_btree_probes_total", index=index.name)
+            return rows
         position = self.schema.position(column)
-        return [
+        rows = [
             self._with_rowid(rowid, row)
             for rowid, row in self._heap.scan()
             if row[position] == value
         ]
+        obs.inc(
+            "repro_ordbms_lookups_total",
+            table=self.schema.name, path="scan",
+        )
+        return rows
 
     def __len__(self) -> int:
         return len(self._heap)

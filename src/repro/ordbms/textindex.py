@@ -20,6 +20,7 @@ import re
 from collections import defaultdict
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.ordbms.rowid import RowId
 
 _WORD_RE = re.compile(r"[A-Za-z0-9]+(?:'[A-Za-z]+)?")
@@ -101,15 +102,20 @@ class TextIndex:
 
     # -- queries --------------------------------------------------------------
 
+    def _rows(self, term: str) -> set[RowId]:
+        return set(self._postings.get(term.lower(), ()))
+
     def lookup(self, term: str) -> set[RowId]:
         """ROWIDs whose text contains ``term`` (case-insensitive)."""
-        return set(self._postings.get(term.lower(), ()))
+        obs.inc("repro_ordbms_textindex_lookups_total", kind="term")
+        return self._rows(term)
 
     def lookup_all(self, terms: Iterable[str]) -> set[RowId]:
         """ROWIDs containing *every* term (conjunctive)."""
+        obs.inc("repro_ordbms_textindex_lookups_total", kind="all")
         result: set[RowId] | None = None
         for term in terms:
-            postings = self.lookup(term)
+            postings = self._rows(term)
             result = postings if result is None else result & postings
             if not result:
                 return set()
@@ -117,18 +123,20 @@ class TextIndex:
 
     def lookup_any(self, terms: Iterable[str]) -> set[RowId]:
         """ROWIDs containing *any* term (disjunctive)."""
+        obs.inc("repro_ordbms_textindex_lookups_total", kind="any")
         result: set[RowId] = set()
         for term in terms:
-            result |= self.lookup(term)
+            result |= self._rows(term)
         return result
 
     def lookup_phrase(self, phrase: str) -> set[RowId]:
         """ROWIDs whose text contains ``phrase`` as consecutive tokens."""
+        obs.inc("repro_ordbms_textindex_lookups_total", kind="phrase")
         tokens = tokenize(phrase, keep_stopwords=True)
         if not tokens:
             return set()
         if len(tokens) == 1:
-            return self.lookup(tokens[0])
+            return self._rows(tokens[0])
         candidate_rows: set[RowId] = set(self._postings.get(tokens[0], ()))
         for term in tokens[1:]:
             by_row = self._postings.get(term)
@@ -152,6 +160,7 @@ class TextIndex:
 
     def lookup_prefix(self, prefix: str) -> set[RowId]:
         """ROWIDs containing any term that starts with ``prefix``."""
+        obs.inc("repro_ordbms_textindex_lookups_total", kind="prefix")
         prefix = prefix.lower()
         result: set[RowId] = set()
         for term, by_row in self._postings.items():

@@ -33,6 +33,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro import obs
 from repro.errors import CorruptLogError, WalError
 from repro.ordbms.rowid import RowId
 from repro.ordbms.valuecodec import pack_row, unpack_row
@@ -374,6 +375,7 @@ class WriteAheadLog:
         self.device.append(record.encode())
         self.records_written += 1
         self._next_lsn = record.lsn + 1
+        obs.inc("repro_ordbms_wal_appends_total", kind=record.kind.lower())
         return record.lsn
 
     def _take_lsn(self) -> int:
@@ -422,6 +424,7 @@ class WriteAheadLog:
     def log_commit(self, txid: int) -> int:
         lsn = self._append(WalRecord(self._take_lsn(), COMMIT, txid))
         self.device.sync()
+        obs.inc("repro_ordbms_wal_syncs_total", reason="commit")
         return lsn
 
     def log_rollback(self, txid: int) -> int:
@@ -450,6 +453,8 @@ class WriteAheadLog:
         self.device.truncate_log()
         self._append(WalRecord(self._take_lsn(), CHECKPOINT))
         self.device.sync()
+        obs.inc("repro_ordbms_wal_syncs_total", reason="checkpoint")
+        obs.inc("repro_ordbms_wal_checkpoints_total")
         return covered_lsn
 
     # -- read side -----------------------------------------------------------

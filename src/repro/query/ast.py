@@ -79,7 +79,11 @@ class XdbQuery:
 
     ``explain`` (``Explain=1``) asks for the *query plan* instead of
     results: the operator tree the engine would execute, annotated with
-    observed per-operator row counts.
+    observed per-operator row counts.  ``Explain=profile`` additionally
+    profiles the run (``profile`` is then also true): each operator
+    carries its inclusive cost in deterministic work-unit ticks.
+    ``trace`` (``Trace=1``) asks the server to attach the request's span
+    tree to the XML envelope.
     """
 
     context: ContextSpec | None = None
@@ -91,6 +95,8 @@ class XdbQuery:
     databank: str | None = None
     limit: int | None = None
     explain: bool = False
+    profile: bool = False
+    trace: bool = False
     extras: tuple[tuple[str, str], ...] = field(default=())
 
     def __post_init__(self) -> None:

@@ -38,7 +38,9 @@ write-generation guarded), shared with the lazy
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import QueryError
+from repro.obs import PlanProfiler
 from repro.query.ast import ContentSpec, ContextSpec, XdbQuery
 from repro.query.language import format_query, parse_query
 from repro.query.plan import (
@@ -82,12 +84,15 @@ class QueryEngine:
         """Run a parsed query or a raw XDB query string."""
         if isinstance(query, str):
             query = parse_query(query)
-        _, root = self.compile(query)
+        ctx, root = self.compile(query)
+        matches = list(root.rows())
+        obs.inc("repro_query_rows_returned_total", len(matches))
+        self._publish_plan_stats(ctx)
         result = ResultSet(format_query(query))
-        result.extend(list(root.rows()))
+        result.extend(matches)
         return result.limited(query.limit)
 
-    def explain(self, query: XdbQuery | str) -> Document:
+    def explain(self, query: XdbQuery | str, wall_clock=None) -> Document:
         """Execute the query's plan and render it with observed row counts.
 
         The plan runs to completion (so the counts reflect real work,
@@ -98,15 +103,26 @@ class QueryEngine:
               <operator name="materialize" rows="5">
                 <operator name="present" rows="5">
                   ...
+
+        With ``query.profile`` set (``Explain=profile``) the plan element
+        additionally carries ``profile="work-units"`` and
+        ``total-ticks``, and every operator its inclusive ``ticks`` — the
+        deterministic cost model of :class:`repro.obs.PlanProfiler`.
+        ``wall_clock`` (e.g. ``time.perf_counter``, injected only from a
+        composition root or benchmark) adds real ``wall_ms`` per
+        operator on top.
         """
         if isinstance(query, str):
             query = parse_query(query)
-        _, root = self.compile(query)
+        ctx, root = self.compile(query, wall_clock=wall_clock)
         for _ in root.rows():
             pass
-        plan_element = Element(
-            "plan", {"query": format_query(query), "kind": query.kind}
-        )
+        self._publish_plan_stats(ctx)
+        attributes = {"query": format_query(query), "kind": query.kind}
+        if ctx.profiler is not None:
+            attributes["profile"] = "work-units"
+            attributes["total-ticks"] = str(ctx.profiler.total_ticks)
+        plan_element = Element("plan", attributes)
         plan_element.append(root.explain_element())
         return Document(plan_element, name="plan.xml")
 
@@ -151,12 +167,48 @@ class QueryEngine:
         return self._run(XdbQuery(nodename=nodename, content=content))
 
     def _run(self, query: XdbQuery) -> list[SectionMatch]:
-        _, root = self.compile(query)
-        return list(root.rows())
+        ctx, root = self.compile(query)
+        matches = list(root.rows())
+        obs.inc("repro_query_rows_returned_total", len(matches))
+        self._publish_plan_stats(ctx)
+        return matches
+
+    @staticmethod
+    def _publish_plan_stats(ctx: PlanContext) -> None:
+        """Fold the query's accessor traffic into the metric registry.
+
+        The accessor's own counters are plain ints on the hot path (tree
+        hops run thousands of times per query); one aggregate publish per
+        executed plan keeps the metrics layer off that path.  Traffic
+        from *lazy* match materialization after the drain is not
+        included — these series describe plan execution.
+        """
+        stats = ctx.accessor.stats
+        if stats.rows_fetched:
+            obs.inc(
+                "repro_store_accessor_rows_fetched_total",
+                stats.rows_fetched,
+            )
+        if stats.batch_fetches:
+            obs.inc(
+                "repro_store_accessor_batch_fetches_total",
+                stats.batch_fetches,
+            )
+        if stats.child_lookups:
+            obs.inc(
+                "repro_store_accessor_index_probes_total",
+                stats.child_lookups,
+            )
+        if stats.cache_hits:
+            obs.inc(
+                "repro_store_accessor_cache_hits_total", stats.cache_hits
+            )
 
     # -- plan construction ------------------------------------------------------
 
-    def compile(self, query: XdbQuery) -> tuple[PlanContext, PlanNode]:
+    def compile(
+        self, query: XdbQuery, wall_clock=None
+    ) -> tuple[PlanContext, PlanNode]:
         """Build the operator tree for ``query`` (root is a Materialize).
 
         The shape by query kind (leaf → root), shared tail elided::
@@ -171,7 +223,12 @@ class QueryEngine:
         one, ``limit``, ``present``, ``materialize``.  The expensive test
         sits *under* the limit on purpose: that is the pushdown.
         """
-        ctx = PlanContext(self.store, self.store.new_accessor(), self.use_index)
+        obs.inc("repro_query_queries_total", kind=query.kind)
+        profiler = PlanProfiler(wall_clock) if query.profile else None
+        ctx = PlanContext(
+            self.store, self.store.new_accessor(), self.use_index,
+            profiler=profiler,
+        )
         kind = query.kind
         if kind == "context":
             node = self._context_pipeline(ctx, self._spec(query.context))

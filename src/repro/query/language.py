@@ -20,6 +20,9 @@ precise query syntax" even in the paper):
   a second ``Context`` adds alternatives; a second ``Content`` adds terms.
 * A fully-quoted content value means phrase mode; ``any:``/``all:``
   prefixes force disjunctive/conjunctive term matching.
+* ``Explain=1`` asks for the plan, ``Explain=profile`` for the plan with
+  per-operator work-unit costs; ``Trace=1`` asks the server to attach
+  the request's span tree to the result envelope.
 """
 
 from __future__ import annotations
@@ -121,6 +124,8 @@ def parse_query(query_string: str) -> XdbQuery:
     databank: str | None = None
     limit: int | None = None
     explain = False
+    profile = False
+    trace = False
     extras: list[tuple[str, str]] = []
 
     for key, value in parse_pairs(query_string):
@@ -154,7 +159,14 @@ def parse_query(query_string: str) -> XdbQuery:
             except ValueError:
                 raise QuerySyntaxError(f"limit must be an integer, got {value!r}")
         elif lowered == "explain":
-            explain = value.strip().lower() in {"1", "true", "yes"}
+            cleaned = value.strip().lower()
+            if cleaned == "profile":
+                explain = True
+                profile = True
+            else:
+                explain = cleaned in {"1", "true", "yes"}
+        elif lowered == "trace":
+            trace = value.strip().lower() in {"1", "true", "yes"}
         else:
             extras.append((key, value))
 
@@ -174,6 +186,8 @@ def parse_query(query_string: str) -> XdbQuery:
         databank=databank,
         limit=limit,
         explain=explain,
+        profile=profile,
+        trace=trace,
         extras=tuple(extras),
     )
 
@@ -203,8 +217,12 @@ def format_query(query: XdbQuery) -> str:
         parts.append("databank=" + percent_encode(query.databank))
     if query.limit is not None:
         parts.append(f"limit={query.limit}")
-    if query.explain:
+    if query.profile:
+        parts.append("Explain=profile")
+    elif query.explain:
         parts.append("Explain=1")
+    if query.trace:
+        parts.append("Trace=1")
     for key, value in query.extras:
         parts.append(percent_encode(key) + "=" + percent_encode(value))
     return "&".join(parts)

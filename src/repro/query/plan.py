@@ -60,6 +60,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import DocumentNotFoundError, QueryError
+from repro.obs import PlanProfiler
 from repro.ordbms.table import ROWID_PSEUDO
 from repro.ordbms.textindex import TextIndex, tokenize
 from repro.query.ast import ContentSpec
@@ -119,11 +120,16 @@ class PlanContext:
     """
 
     def __init__(
-        self, store: XmlStore, accessor: NodeAccessor, use_index: bool
+        self,
+        store: XmlStore,
+        accessor: NodeAccessor,
+        use_index: bool,
+        profiler: PlanProfiler | None = None,
     ) -> None:
         self.store = store
         self.accessor = accessor
         self.use_index = use_index
+        self.profiler = profiler
         self._entries: dict[int, StoredDocument] = {}
 
     def entry(self, doc_id: int) -> StoredDocument:
@@ -205,9 +211,44 @@ class PlanNode:
         self.children = list(children)
         self.detail = detail
         self.rows_out = 0
+        self.ticks = 0
+        self.wall_seconds = 0.0
 
     def rows(self) -> Iterator[Any]:
-        for item in self._produce():
+        if self.ctx.profiler is None:
+            for item in self._produce():
+                self.rows_out += 1
+                yield item
+            return
+        yield from self._profiled_rows()
+
+    def _profiled_rows(self) -> Iterator[Any]:
+        """The instrumented pull loop behind ``Explain=profile``.
+
+        Inclusive cost per operator: the profiler's tick delta around
+        each ``next()`` (every row surfaced anywhere in the subtree
+        advances the clock) plus one tick for the row this operator
+        itself surfaces.  Wall time, when a clock was injected, brackets
+        the same ``next()`` calls — producer time only, consumer time
+        (whatever the caller does between pulls) is excluded.
+        """
+        profiler = self.ctx.profiler
+        wall = profiler.wall_clock
+        produce = self._produce()
+        while True:
+            start = profiler.now()
+            wall_start = wall() if wall is not None else 0.0
+            try:
+                item = next(produce)
+            except StopIteration:
+                self.ticks += profiler.now() - start
+                if wall is not None:
+                    self.wall_seconds += wall() - wall_start
+                return
+            profiler.advance()
+            self.ticks += profiler.now() - start
+            if wall is not None:
+                self.wall_seconds += wall() - wall_start
             self.rows_out += 1
             yield item
 
@@ -215,8 +256,17 @@ class PlanNode:
         raise QueryError(f"plan node {type(self).__name__} has no cursor")
 
     def explain_element(self) -> Element:
-        """``<operator name=… rows=…>`` with child operators nested."""
+        """``<operator name=… rows=…>`` with child operators nested.
+
+        Under ``Explain=profile`` each operator also carries ``ticks``
+        (inclusive work units — deterministic) and, when a wall clock was
+        injected at the composition root, ``wall_ms``.
+        """
         attributes = {"name": self.name, "rows": str(self.rows_out)}
+        if self.ctx.profiler is not None:
+            attributes["ticks"] = str(self.ticks)
+            if self.ctx.profiler.wall_clock is not None:
+                attributes["wall_ms"] = f"{self.wall_seconds * 1000.0:.3f}"
         if self.detail:
             attributes["detail"] = self.detail
         element = Element("operator", attributes)

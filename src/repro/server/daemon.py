@@ -37,7 +37,9 @@ import hashlib
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ReproError
+from repro.obs import NULL_TRACER, Tracer
 from repro.resilience.clock import LogicalClock
 from repro.resilience.retry import RetryPolicy, RetryStats, call_with_retry
 from repro.server.vfs import VirtualFileSystem, base_name, normalize_path
@@ -83,6 +85,11 @@ class NetmarkDaemon:
     retry: RetryPolicy | None = None
     clock: LogicalClock = field(default_factory=LogicalClock)
     retry_seed: int = 0
+    #: Span sink for the ingest pipeline; the no-op default costs one
+    #: attribute check per stage.  Composition roots (``Netmark``) swap
+    #: in a real :class:`~repro.obs.Tracer` to see poll/ingest stage
+    #: trees.
+    tracer: Tracer = NULL_TRACER
     #: Set by :meth:`run_until_idle` when ``max_polls`` ran out with work
     #: still pending — the budget was hit, not the folder drained.
     budget_exhausted: bool = False
@@ -137,8 +144,10 @@ class NetmarkDaemon:
     def poll(self) -> list[IngestRecord]:
         """One wake-up: ingest everything pending; returns the records."""
         records: list[IngestRecord] = []
-        for path in self.pending_files():
-            records.append(self._ingest(path))
+        pending = self.pending_files()
+        with self.tracer.span("daemon.poll", pending=len(pending)):
+            for path in pending:
+                records.append(self._ingest(path))
         self.history.extend(records)
         return records
 
@@ -186,7 +195,11 @@ class NetmarkDaemon:
                 marker = int(marker_text)
             except ValueError:
                 marker = 1
-            records.append(self._settle_journalled(path, marker))
+            record = self._settle_journalled(path, marker)
+            obs.inc(
+                "repro_server_startup_settled_total", status=record.status
+            )
+            records.append(record)
         self._journal_clear()
         self.history.extend(records)
         return records
@@ -272,12 +285,23 @@ class NetmarkDaemon:
     # -- internals ------------------------------------------------------------------
 
     def _ingest(self, path: str) -> IngestRecord:
+        with self.tracer.span("daemon.ingest", path=path) as span:
+            record = self._ingest_once(path)
+            span.annotate(status=record.status, attempts=record.attempts)
+        obs.inc("repro_server_ingest_total", status=record.status)
+        if record.node_count:
+            obs.inc("repro_server_ingest_nodes_total", record.node_count)
+        return record
+
+    def _ingest_once(self, path: str) -> IngestRecord:
         name = base_name(path)
         stats = RetryStats()
         try:
-            content = self.vfs.read(path)
-            modified = self.vfs.entry(path).modified
-            self._journal_begin(path, content)
+            with self.tracer.span("daemon.read"):
+                content = self.vfs.read(path)
+                modified = self.vfs.entry(path).modified
+            with self.tracer.span("daemon.journal"):
+                self._journal_begin(path, content)
 
             def store_once():
                 if self.replace_existing:
@@ -288,33 +312,37 @@ class NetmarkDaemon:
                     text=content, name=name, file_date=modified
                 )
 
-            if self.retry is not None:
-                result = call_with_retry(
-                    store_once, self.retry, self.clock, self._retry_rng, stats
-                )
-            else:
-                result = store_once()
+            with self.tracer.span("daemon.store", name=name):
+                if self.retry is not None:
+                    result = call_with_retry(
+                        store_once, self.retry, self.clock,
+                        self._retry_rng, stats,
+                    )
+                else:
+                    result = store_once()
         except ReproError as error:
             # The failure was *observed* — quarantining records it, so the
             # journal entry has served its purpose.  (A crash never reaches
             # this handler: CrashError is a BaseException by design.)
-            self._journal_clear()
-            self._remember_skip(path)
-            self._move(path, self.error_folder)
+            with self.tracer.span("daemon.quarantine"):
+                self._journal_clear()
+                self._remember_skip(path)
+                self._move(path, self.error_folder)
             return IngestRecord(
                 path=path,
                 status="failed",
                 error=str(error),
                 attempts=max(stats.attempts, 1),
             )
-        if self.keep_originals:
-            self._move(path, self.processed_folder)
-        else:
-            try:
-                self.vfs.delete(path)
-            except ReproError:
-                self._remember_skip(path)
-        self._journal_clear()
+        with self.tracer.span("daemon.finalize"):
+            if self.keep_originals:
+                self._move(path, self.processed_folder)
+            else:
+                try:
+                    self.vfs.delete(path)
+                except ReproError:
+                    self._remember_skip(path)
+            self._journal_clear()
         return IngestRecord(
             path=path,
             status="stored",

@@ -14,8 +14,15 @@ to access NETMARK."
   per-operator row counts instead of the results.
 * ``GET /doc/<id>`` — the reconstructed stored document.
 * ``GET /docs`` — the document catalog as XML.
+* ``GET /metrics`` — the process metrics in text exposition format
+  (served even while startup recovery is running: observability must
+  not go dark exactly when an operator needs it).
 * ``PUT /dav/<path>`` / ``GET /dav/<path>`` / ``DELETE /dav/<path>`` /
   ``MKCOL /dav/<path>`` — pass-through to the WebDAV layer.
+
+``Trace=1`` on ``/search`` traces the request through a per-request
+:class:`~repro.obs.Tracer` and appends the span tree as a ``<trace>``
+element to the response envelope (results and plans alike).
 
 Stylesheets are themselves WebDAV resources under ``/stylesheets`` —
 NETMARK really is "nothing more than intelligent storage" plus this thin
@@ -37,9 +44,13 @@ from repro.errors import (
     ReproError,
     XsltError,
 )
+from repro import obs
+from repro.obs import NULL_TRACER, Span, Tracer
+from repro.query.ast import XdbQuery
 from repro.query.engine import QueryEngine
-from repro.query.language import parse_query
+from repro.query.language import format_query, parse_query
 from repro.server.webdav import WebDavServer
+from repro.sgml.dom import Document, Element
 from repro.sgml.serializer import serialize
 from repro.store.xmlstore import XmlStore
 from repro.xslt.processor import transform
@@ -49,6 +60,36 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.federation.router import Router
 
 STYLESHEET_FOLDER = "/stylesheets"
+
+#: Fixed route vocabulary for the request counter — labels must stay
+#: low-cardinality, so unknown paths collapse into ``other``.
+_ROUTES = ("search", "docs", "doc", "dav", "databanks", "metrics")
+
+
+def _route_label(path: str) -> str:
+    head = path.lstrip("/").split("/", 1)[0]
+    return head if head in _ROUTES else "other"
+
+
+def _trace_element(span: Span) -> Element:
+    """Render one span tree as the ``<trace>`` envelope element."""
+    element = Element("trace")
+    element.append(_span_element(span))
+    return element
+
+
+def _span_element(span: Span) -> Element:
+    attributes = {
+        "name": span.name,
+        "start": str(span.start_tick),
+        "ticks": str(span.ticks),
+    }
+    for key in sorted(span.attrs):
+        attributes[key] = str(span.attrs[key])
+    element = Element("span", attributes)
+    for child in span.children:
+        element.append(_span_element(child))
+    return element
 
 
 @dataclass(frozen=True)
@@ -88,6 +129,20 @@ class NetmarkHttpApi:
     def request(self, method: str, target: str, body: str = "") -> HttpResponse:
         method = method.upper()
         path, _, query_string = target.partition("?")
+        response = self._dispatch(method, path, query_string, body)
+        obs.inc(
+            "repro_server_requests_total",
+            route=_route_label(path), status=str(response.status),
+        )
+        return response
+
+    def _dispatch(
+        self, method: str, path: str, query_string: str, body: str
+    ) -> HttpResponse:
+        if path == "/metrics" and method == "GET":
+            # Served even while recovering: the one endpoint an operator
+            # needs most during a rough startup.
+            return HttpResponse(200, obs.render_text(), "text/plain")
         if self.recovering:
             return self._error(
                 503, "recovering",
@@ -137,23 +192,47 @@ class NetmarkHttpApi:
 
     def _search(self, query_string: str) -> HttpResponse:
         query = parse_query(query_string)
+        # A per-request tracer: Trace=1 is self-service, so one slow
+        # request can be dissected without flipping any server state.
+        tracer = Tracer() if query.trace else NULL_TRACER
+        with tracer.span(
+            "request", route="/search", query=format_query(query)
+        ):
+            outcome = self._run_search(query, tracer)
+        if isinstance(outcome, HttpResponse):
+            return outcome
+        for root_span in tracer.take_roots():
+            outcome.root.append(_trace_element(root_span))
+        return HttpResponse(200, serialize(outcome, indent=2))
+
+    def _run_search(
+        self, query: XdbQuery, tracer: Tracer
+    ) -> HttpResponse | Document:
+        """Answer one search; a Document result still needs the envelope."""
         if query.explain:
             # Explain=1: run the plan and return the annotated operator
             # tree instead of results (stylesheets do not apply to plans).
             if query.databank:
                 if self.router is None:
                     return HttpResponse(422, "no databanks configured")
-                plan_document = self.router.explain(query)
-            else:
-                plan_document = self.engine.explain(query)
-            return HttpResponse(200, serialize(plan_document, indent=2))
+                with tracer.span("explain", tier="federated"):
+                    return self.router.explain(query)
+            with tracer.span("explain", tier="local"):
+                return self.engine.explain(query)
         if query.databank:
             if self.router is None:
                 return HttpResponse(422, "no databanks configured")
-            results = self.router.execute(query)
+            with tracer.span(
+                "execute", tier="federated", databank=query.databank
+            ) as span:
+                results = self.router.execute(query)
+                span.annotate(matches=len(results))
         else:
-            results = self.engine.execute(query)
-        document = results.to_xml()
+            with tracer.span("execute", tier="local") as span:
+                results = self.engine.execute(query)
+                span.annotate(matches=len(results))
+        with tracer.span("compose"):
+            document = results.to_xml()
         if query.stylesheet:
             stylesheet_path = f"{STYLESHEET_FOLDER}/{query.stylesheet}"
             response = self.dav.get(stylesheet_path)
@@ -161,8 +240,11 @@ class NetmarkHttpApi:
                 return HttpResponse(
                     404, f"stylesheet not found: {query.stylesheet}"
                 )
-            document = transform(compile_stylesheet(response.body), document)
-        return HttpResponse(200, serialize(document, indent=2))
+            with tracer.span("xslt", stylesheet=query.stylesheet):
+                document = transform(
+                    compile_stylesheet(response.body), document
+                )
+        return document
 
     def _document(self, raw_id: str) -> HttpResponse:
         try:

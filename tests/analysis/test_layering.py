@@ -63,6 +63,58 @@ class TestLayering:
         assert analyze_source(source, "tests/helpers/mod.py") == []
 
 
+class TestObsLayering:
+    """obs is a base layer: importable from everywhere, imports nothing.
+
+    The observability layer only works if every tier can report into it
+    — so, like ``errors``, it is a *universal unit* in the DAG.  The
+    price of that position: obs itself may import nothing above the
+    error vocabulary, or the DAG would silently invert.
+    """
+
+    def layering(self, source: str, virtual_path: str):
+        return [
+            violation
+            for violation in analyze_source(source, virtual_path)
+            if violation.rule in {"layering", "module-layering"}
+        ]
+
+    def test_every_unit_may_import_obs(self):
+        source = "from repro import obs\nfrom repro.obs import Tracer\n"
+        for unit in (
+            "sgml", "ordbms", "store", "query", "xslt", "server",
+            "federation", "resilience", "converters", "analysis",
+        ):
+            assert self.layering(source, f"src/repro/{unit}/mod.py") == [], unit
+
+    def test_module_contracted_files_may_import_obs(self):
+        # wal, recovery, plan and the accessor carry module-granular
+        # contracts; the universal grant must reach them too.
+        source = "from repro import obs\n"
+        for path in (
+            "src/repro/ordbms/wal.py",
+            "src/repro/ordbms/recovery.py",
+            "src/repro/query/plan.py",
+            "src/repro/store/accessor.py",
+        ):
+            assert self.layering(source, path) == [], path
+
+    def test_obs_may_import_only_errors(self):
+        source = "from repro.errors import ObservabilityError\n"
+        assert self.layering(source, "src/repro/obs/metrics.py") == []
+
+    def test_obs_may_not_import_upward(self):
+        for source in (
+            "from repro.ordbms import Database\n",
+            "from repro.query.engine import QueryEngine\n",
+            "from repro.resilience.clock import LogicalClock\n",
+            "from repro.server.http import NetmarkHttpApi\n",
+        ):
+            violations = self.layering(source, "src/repro/obs/trace.py")
+            assert violations, source
+            assert "obs may not import" in violations[0].message
+
+
 class TestModuleLayering:
     """Module-granular contracts for the read-path hot spots."""
 

@@ -1,0 +1,209 @@
+"""The perf gate gates: synthetic regressions must fail, noise must not.
+
+``benchmarks/`` is a script directory, not a package, so the gate module
+is loaded by file path.  The tests run the real ``check``/``main`` code
+against fixture artifacts seeded with known perturbations — an exact
+counter bumped by one, a timing float doubled, a ratio nudged inside
+tolerance — and assert which of those the gate catches.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+BASELINE = {
+    "limit_pushdown": {
+        "byte_identical": True,
+        "call_reduction": 7.81,
+        "documents": 400,
+        "lazy_table_calls": 32,
+        "queries_per_second": 20.0,
+        "query": "Context=Budget&limit=5",
+        "outcomes": [{"matches": 4, "status": "partial"}],
+    }
+}
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    (directory / name).write_text(json.dumps(payload))
+
+
+@pytest.fixture()
+def dirs(tmp_path: Path) -> tuple[Path, Path]:
+    fresh = tmp_path / "fresh"
+    baselines = tmp_path / "baselines"
+    fresh.mkdir()
+    baselines.mkdir()
+    _write(baselines, "BENCH_fig6.json", BASELINE)
+    return fresh, baselines
+
+
+def _gate(fresh: Path, baselines: Path, **kwargs):
+    return gate.check(fresh, baselines, artifacts=("BENCH_fig6.json",), **kwargs)
+
+
+class TestGateVerdicts:
+    def test_identical_run_passes(self, dirs):
+        fresh, baselines = dirs
+        _write(fresh, "BENCH_fig6.json", BASELINE)
+        deltas, errors = _gate(fresh, baselines)
+        assert not errors
+        assert all(d.status == "ok" for d in deltas)
+
+    def test_counter_drift_is_a_regression(self, dirs):
+        """Exact tier: a work counter off by one must fail the gate."""
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["lazy_table_calls"] = 33
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        failed = [d for d in deltas if d.failed]
+        assert [d.path for d in failed] == ["limit_pushdown.lazy_table_calls"]
+
+    def test_flag_flip_is_a_regression(self, dirs):
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["byte_identical"] = False
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        assert any(
+            d.failed and d.path == "limit_pushdown.byte_identical"
+            for d in deltas
+        )
+
+    def test_timing_noise_is_reported_not_gated(self, dirs):
+        """A halved QPS on a shared runner is drift, not failure."""
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["queries_per_second"] = 10.0
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        assert not any(d.failed for d in deltas)
+        assert any(
+            d.status == "drift"
+            and d.path == "limit_pushdown.queries_per_second"
+            for d in deltas
+        )
+
+    def test_gate_timings_turns_drift_into_failure(self, dirs):
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["queries_per_second"] = 10.0
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines, gate_timings=True)
+        assert any(
+            d.failed and d.path == "limit_pushdown.queries_per_second"
+            for d in deltas
+        )
+
+    def test_ratio_within_tolerance_passes(self, dirs):
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["call_reduction"] = 7.81 * 1.1
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        assert not any(d.failed for d in deltas)
+
+    def test_ratio_beyond_tolerance_is_a_regression(self, dirs):
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["call_reduction"] = 7.81 * 2
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        assert any(
+            d.failed and d.path == "limit_pushdown.call_reduction"
+            for d in deltas
+        )
+
+    def test_missing_key_is_a_regression_new_key_is_not(self, dirs):
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        del perturbed["limit_pushdown"]["documents"]
+        perturbed["limit_pushdown"]["brand_new_metric"] = 1
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        by_path = {d.path: d.status for d in deltas}
+        assert by_path["limit_pushdown.documents"] == "REGRESSION"
+        assert by_path["limit_pushdown.brand_new_metric"] == "new"
+
+    def test_list_shrink_is_a_regression(self, dirs):
+        """Dropped outcome rows change the list length (an exact int)."""
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["outcomes"] = []
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        assert any(
+            d.failed and d.path == "limit_pushdown.outcomes.len"
+            for d in deltas
+        )
+
+
+class TestCli:
+    def test_missing_fresh_artifact_errors(self, dirs):
+        fresh, baselines = dirs
+        deltas, errors = _gate(fresh, baselines)
+        assert not deltas
+        assert errors and "missing" in errors[0]
+
+    def test_main_exit_codes(self, dirs, capsys):
+        fresh, baselines = dirs
+        common = [
+            "--fresh-dir", str(fresh),
+            "--baseline-dir", str(baselines),
+            "BENCH_fig6.json",
+        ]
+        _write(fresh, "BENCH_fig6.json", BASELINE)
+        assert gate.main(common) == 0
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["lazy_table_calls"] = 99
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        assert gate.main(common) == 1
+        out = capsys.readouterr()
+        assert "lazy_table_calls" in out.out
+        assert "FAIL" in out.err
+
+    def test_update_baselines_round_trip(self, dirs, capsys):
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["limit_pushdown"]["lazy_table_calls"] = 99
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        common = [
+            "--fresh-dir", str(fresh),
+            "--baseline-dir", str(baselines),
+            "BENCH_fig6.json",
+        ]
+        assert gate.main(common) == 1
+        capsys.readouterr()
+        assert gate.main(common + ["--update-baselines"]) == 0
+        assert gate.main(common) == 0
+
+    def test_real_committed_baselines_pass(self):
+        """The repo's own artifacts must satisfy the committed baselines."""
+        fresh = gate.REPO_ROOT
+        baselines = gate.BASELINE_DIR
+        present = [
+            name for name in gate.GATED_ARTIFACTS
+            if (fresh / name).exists() and (baselines / name).exists()
+        ]
+        if not present:  # pragma: no cover - artifacts not generated yet
+            pytest.skip("figure artifacts not generated in this checkout")
+        deltas, errors = gate.check(
+            fresh, baselines, artifacts=tuple(present)
+        )
+        assert not errors
+        assert not [d for d in deltas if d.failed]

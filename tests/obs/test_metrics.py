@@ -1,0 +1,155 @@
+"""repro.obs.metrics: families, labels, snapshots, text exposition."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, validate_metric_name
+
+
+@pytest.fixture(autouse=True)
+def sandbox_registry():
+    previous = obs.get_registry()
+    obs.push_registry()
+    yield
+    obs.set_registry(previous)
+
+
+class TestNaming:
+    def test_convention_accepted(self):
+        assert validate_metric_name("repro_ordbms_wal_appends_total")
+        assert validate_metric_name("repro_federation_breaker_state")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["wal_appends", "repro_walAppends", "Repro_ordbms_x", "repro_x"],
+    )
+    def test_off_convention_rejected(self, bad):
+        with pytest.raises(ObservabilityError):
+            validate_metric_name(bad)
+
+    def test_registry_enforces_names(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("requests")
+
+
+class TestCounter:
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_server_requests_total")
+        counter.inc(route="search")
+        counter.inc(2, route="docs")
+        counter.inc(route="search")
+        assert counter.value(route="search") == 2
+        assert counter.value(route="docs") == 2
+        assert counter.value(route="never") == 0
+
+    def test_counters_cannot_decrease(self):
+        counter = MetricsRegistry().counter("repro_query_queries_total")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_non_string_label_values_coerce(self):
+        counter = MetricsRegistry().counter("repro_query_queries_total")
+        counter.inc(shard=3)
+        assert counter.value(shard="3") == 1
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_query_queries_total")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("repro_query_queries_total")
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("repro_federation_breaker_state")
+        gauge.set(2, source="eng")
+        gauge.set(0, source="eng")
+        assert gauge.value(source="eng") == 0
+        gauge.inc(source="eng")
+        gauge.dec(source="eng")
+        assert gauge.value(source="eng") == 0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_federation_source_latency_ticks", buckets=(1, 5, 10)
+        )
+        for value in (0, 3, 7, 100):
+            histogram.observe(value)
+        snap = registry.snapshot()
+        base = "repro_federation_source_latency_ticks"
+        assert snap[f'{base}_bucket{{le="1"}}'] == 1
+        assert snap[f'{base}_bucket{{le="5"}}'] == 2
+        assert snap[f'{base}_bucket{{le="10"}}'] == 3
+        assert snap[f'{base}_bucket{{le="+Inf"}}'] == 4
+        assert snap[f"{base}_count"] == 4
+        assert snap[f"{base}_sum"] == 110
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram(
+                "repro_obs_bad_buckets", buckets=(5, 1)
+            )
+
+
+class TestSnapshotAndExposition:
+    def test_snapshot_is_sorted_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_server_requests_total").inc(route="search")
+        registry.counter("repro_ordbms_wal_appends_total").inc(3)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap == {
+            "repro_ordbms_wal_appends_total": 3,
+            'repro_server_requests_total{route="search"}': 1,
+        }
+
+    def test_render_text_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_server_requests_total", "requests by route"
+        ).inc(route="search")
+        registry.gauge("repro_federation_breaker_state").set(2, source="a")
+        text = registry.render_text()
+        assert "# HELP repro_server_requests_total requests by route" in text
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert 'repro_server_requests_total{route="search"} 1' in text
+        assert "# TYPE repro_federation_breaker_state gauge" in text
+        assert 'repro_federation_breaker_state{source="a"} 2' in text
+        assert text.endswith("\n")
+
+    def test_integer_values_render_bare(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_obs_ints_total").inc(2.0)
+        registry.counter("repro_obs_floats_total").inc(0.5)
+        text = registry.render_text()
+        assert "repro_obs_ints_total 2\n" in text
+        assert "repro_obs_floats_total 0.5" in text
+
+
+class TestModuleHelpers:
+    def test_default_registry_helpers(self):
+        obs.inc("repro_query_queries_total", kind="context")
+        obs.set_gauge("repro_federation_breaker_state", 1, source="x")
+        obs.observe("repro_obs_units", 3)
+        snap = obs.snapshot()
+        assert snap['repro_query_queries_total{kind="context"}'] == 1
+        assert snap['repro_federation_breaker_state{source="x"}'] == 1
+        assert "repro_query_queries_total" in obs.render_text()
+
+    def test_set_enabled_makes_recording_a_noop(self):
+        previous = obs.set_enabled(False)
+        try:
+            obs.inc("repro_query_queries_total")
+            obs.set_gauge("repro_federation_breaker_state", 2)
+            obs.observe("repro_obs_units", 1)
+        finally:
+            obs.set_enabled(previous)
+        assert obs.snapshot() == {}
+
+    def test_push_registry_isolates(self):
+        obs.inc("repro_query_queries_total")
+        obs.push_registry()
+        assert obs.snapshot() == {}

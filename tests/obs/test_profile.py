@@ -1,0 +1,139 @@
+"""repro.obs.profile + the plan integration behind ``Explain=profile``."""
+
+import pytest
+
+from repro import obs
+from repro.obs import PlanProfiler
+from repro.query.engine import QueryEngine
+from repro.query.language import parse_query
+from repro.sgml.serializer import serialize
+from repro.store import XmlStore
+
+DOCUMENT = """
+<ndoc>
+<title>Mission Plan</title>
+<section><heading>Budget</heading>
+<p>The resource budget covers launch and recovery.</p>
+<p>Contingency resource lines are separate.</p>
+</section>
+<section><heading>Schedule</heading>
+<p>Milestones slip when the budget does.</p>
+</section>
+</ndoc>
+"""
+
+
+@pytest.fixture(autouse=True)
+def sandbox_registry():
+    previous = obs.get_registry()
+    obs.push_registry()
+    yield
+    obs.set_registry(previous)
+
+
+@pytest.fixture()
+def store():
+    loaded = XmlStore()
+    for index in range(4):
+        loaded.store_text(DOCUMENT, f"plan-{index}.xml")
+    return loaded
+
+
+class TestPlanProfiler:
+    def test_clock_counts_advances(self):
+        profiler = PlanProfiler()
+        assert profiler.now() == 0
+        profiler.advance()
+        profiler.advance(3)
+        assert profiler.now() == 4
+        assert profiler.total_ticks == 4
+
+
+class TestExplainProfile:
+    def test_plain_explain_has_no_ticks(self, store):
+        document = QueryEngine(store).explain("Context=Budget&Explain=1")
+        xml = serialize(document, indent=2)
+        assert 'rows="' in xml
+        assert "ticks" not in xml
+        assert "profile" not in xml
+
+    def test_profile_annotates_every_operator(self, store):
+        engine = QueryEngine(store)
+        query = parse_query("Context=Budget&Content=resource&Explain=profile")
+        assert query.profile and query.explain
+        document = engine.explain(query)
+        plan = document.root
+        assert plan.attributes["profile"] == "work-units"
+        total = int(plan.attributes["total-ticks"])
+        assert total > 0
+
+        def operators(element):
+            yield element
+            for child in element.children:
+                if getattr(child, "tag", None) == "operator":
+                    yield from operators(child)
+
+        (root_operator,) = [
+            child for child in plan.children if getattr(child, "tag", None) == "operator"
+        ]
+        seen = list(operators(root_operator))
+        assert len(seen) > 3  # materialize > present > limit > ...
+        for operator in seen:
+            assert "rows" in operator.attributes
+            assert int(operator.attributes["ticks"]) >= 0
+        # The root's inclusive cost covers every row surfaced anywhere.
+        assert int(root_operator.attributes["ticks"]) == total
+
+    def test_child_cost_is_contained_in_parent(self, store):
+        document = QueryEngine(store).explain(
+            "Context=Budget&Explain=profile"
+        )
+
+        def check(element):
+            for child in element.children:
+                if getattr(child, "tag", None) != "operator":
+                    continue
+                assert (
+                    int(child.attributes["ticks"])
+                    <= int(element.attributes["ticks"])
+                )
+                check(child)
+
+        (root_operator,) = [
+            child
+            for child in document.root.children
+            if getattr(child, "tag", None) == "operator"
+        ]
+        check(root_operator)
+
+    def test_ticks_are_deterministic_across_runs(self, store):
+        engine = QueryEngine(store)
+        first = serialize(
+            engine.explain("Context=Budget&Content=resource&Explain=profile"),
+            indent=2,
+        )
+        second = serialize(
+            engine.explain("Context=Budget&Content=resource&Explain=profile"),
+            indent=2,
+        )
+        assert first == second
+
+    def test_wall_clock_is_injected_only(self, store):
+        ticks = iter(range(10000))
+        document = QueryEngine(store).explain(
+            "Context=Budget&Explain=profile",
+            wall_clock=lambda: float(next(ticks)),
+        )
+        xml = serialize(document, indent=2)
+        assert "wall_ms" in xml
+        plain = serialize(
+            QueryEngine(store).explain("Context=Budget&Explain=profile"),
+            indent=2,
+        )
+        assert "wall_ms" not in plain
+
+    def test_unprofiled_execution_is_unchanged(self, store):
+        engine = QueryEngine(store)
+        profiled = engine.execute("Context=Budget&Explain=profile")
+        plain = engine.execute("Context=Budget")
+        assert len(profiled) == len(plain)

@@ -1,0 +1,155 @@
+"""repro.obs.trace: span trees, logical ticks, JSONL export, null tracer."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpanTrees:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("request", route="/search"):
+            with tracer.span("execute"):
+                with tracer.span("probe"):
+                    pass
+            with tracer.span("compose"):
+                pass
+        (root,) = tracer.take_roots()
+        assert root.name == "request"
+        assert root.attrs == {"route": "/search"}
+        assert [child.name for child in root.children] == [
+            "execute", "compose",
+        ]
+        assert [span.name for span in root.walk()] == [
+            "request", "execute", "probe", "compose",
+        ]
+
+    def test_own_clock_counts_span_boundaries(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.take_roots()
+        inner = root.children[0]
+        # outer: open@1, inner open@2, inner close@3, outer close@4.
+        assert (root.start_tick, root.end_tick) == (1, 4)
+        assert (inner.start_tick, inner.end_tick) == (2, 3)
+        assert root.ticks == 3
+        assert inner.ticks == 1
+
+    def test_external_clock_is_read_not_advanced(self):
+        class Clock:
+            def __init__(self):
+                self.t = 100
+
+            def now(self):
+                return self.t
+
+        clock = Clock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("step"):
+            clock.t = 107
+        (root,) = tracer.take_roots()
+        assert root.start_tick == 100
+        assert root.ticks == 7
+
+    def test_annotate_after_open(self):
+        tracer = Tracer()
+        with tracer.span("execute") as span:
+            span.annotate(matches=3)
+        (root,) = tracer.take_roots()
+        assert root.attrs == {"matches": 3}
+
+    def test_name_is_positional_only(self):
+        tracer = Tracer()
+        with tracer.span("store", name="report.ndoc"):
+            pass
+        (root,) = tracer.take_roots()
+        assert root.name == "store"
+        assert root.attrs == {"name": "report.ndoc"}
+
+    def test_out_of_order_close_is_an_error(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")
+        with pytest.raises(ObservabilityError):
+            outer.__exit__(None, None, None)
+
+    def test_exception_still_closes_the_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (root,) = tracer.take_roots()
+        assert root.end_tick is not None
+        assert tracer.current is None
+
+
+class TestCollection:
+    def test_take_roots_drains(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        assert len(tracer.take_roots()) == 1
+        assert tracer.take_roots() == []
+
+    def test_root_cap_drops_not_grows(self):
+        tracer = Tracer(max_roots=2)
+        for index in range(5):
+            with tracer.span("burst", index=index):
+                pass
+        assert len(tracer.roots) == 2
+        assert tracer.dropped_roots == 3
+
+    def test_reset_restarts_the_clock(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        tracer.reset()
+        with tracer.span("second"):
+            pass
+        (root,) = tracer.take_roots()
+        assert root.start_tick == 1
+
+
+class TestExport:
+    def test_jsonl_is_canonical_and_wall_free(self):
+        tracer = Tracer(wall_clock=iter(range(100)).__next__)
+        with tracer.span("request"):
+            with tracer.span("execute"):
+                pass
+        exported = tracer.export_jsonl()
+        (line,) = exported.strip().split("\n")
+        data = json.loads(line)
+        assert data["name"] == "request"
+        assert data["children"][0]["name"] == "execute"
+        assert "wall_seconds" not in line
+        assert line == json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    def test_wall_clock_measures_spans_when_injected(self):
+        ticks = iter(range(100))
+        tracer = Tracer(wall_clock=lambda: float(next(ticks)))
+        with tracer.span("outer"):
+            pass
+        (root,) = tracer.take_roots()
+        assert root.wall_seconds == 1.0
+        assert root.to_dict(include_wall=True)["wall_seconds"] == 1.0
+        assert "wall_seconds" not in root.to_dict()
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        first = NULL_TRACER.span("anything", key="value")
+        second = NULL_TRACER.span("else")
+        assert first is second
+        with first as handle:
+            handle.annotate(rows=5)
+        assert NULL_TRACER.take_roots() == []
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+        assert Tracer().enabled is True
