@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Baseline ratchet: ``analysis-baseline.json`` may only shrink.
+
+The baseline exists for *transitional* debt — entries are supposed to
+disappear as their exit plans execute, never to accumulate.  The
+analyzer itself cannot tell a long-standing entry from one added five
+minutes ago, so this guard compares the baseline against a committed
+lock file (``analysis-baseline.lock``) holding the entry set the team
+has reviewed:
+
+* an entry in the baseline but not in the lock is **new debt** — the
+  build fails; fix the finding or get the addition reviewed and run
+  ``--update``;
+* an entry in the lock but not in the baseline means debt was paid
+  down — the run passes and suggests ``--update`` to tighten the lock
+  so the entry cannot quietly come back.
+
+The lock format is one line per entry, tab-separated
+``rule<TAB>path<TAB>content`` — line-diffable in review, no JSON
+nesting to mis-merge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE = REPO_ROOT / "analysis-baseline.json"
+DEFAULT_LOCK = REPO_ROOT / "analysis-baseline.lock"
+
+
+def baseline_keys(path: Path) -> list[str]:
+    """The baseline's entries as canonical, sorted lock lines."""
+    payload = json.loads(path.read_text())
+    return sorted(
+        "\t".join((entry["rule"], entry["path"], entry["content"]))
+        for entry in payload.get("entries", [])
+    )
+
+
+def lock_keys(path: Path) -> list[str]:
+    return sorted(
+        line for line in path.read_text().splitlines() if line.strip()
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when analysis-baseline.json grows.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE, metavar="FILE",
+    )
+    parser.add_argument(
+        "--lock", type=Path, default=DEFAULT_LOCK, metavar="FILE",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the lock from the current baseline (after review)",
+    )
+    args = parser.parse_args(argv)
+
+    keys = baseline_keys(args.baseline)
+    if args.update:
+        args.lock.write_text("".join(key + "\n" for key in keys))
+        print(f"locked {len(keys)} baseline entry(ies) in {args.lock.name}")
+        return 0
+    if not args.lock.is_file():
+        print(
+            f"error: {args.lock} is missing; run "
+            f"{Path(sys.argv[0]).name} --update to create it"
+        )
+        return 1
+    locked = lock_keys(args.lock)
+    added = sorted(set(keys) - set(locked))
+    if added:
+        print("baseline ratchet: new debt entries are not allowed —")
+        for key in added:
+            rule, path, content = key.split("\t")
+            print(f"  + [{rule}] {path}: {content!r}")
+        print(
+            "fix the finding (or annotate/pragma it with a rationale); "
+            "if the entry was reviewed, re-lock with --update"
+        )
+        return 1
+    removed = sorted(set(locked) - set(keys))
+    if removed:
+        print(
+            f"baseline shrank by {len(removed)} entry(ies); run "
+            "--update to tighten the lock"
+        )
+    print(f"ok: {len(keys)} baseline entry(ies), all within the locked set")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

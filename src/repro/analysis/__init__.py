@@ -23,6 +23,17 @@ Rule families
 * **determinism** — no wall-clock reads or unseeded randomness in
   library code (benchmarks exempt).
 * **hygiene** — no ``print`` in library code.
+* **whole-program dataflow** (``--report dataflow``) — the
+  concurrency-readiness audit for the concurrent front end: mutated
+  module/class state must declare its guard
+  (``# repro: guarded-by(<lock>) <why>``), state written on both the
+  ingest and query paths is escalated, nested locks must follow one
+  global order, opened resources must be released on every CFG path,
+  and public entry points may only let their module's declared
+  exception policy escape.  Built on :mod:`repro.analysis.cfg`
+  (intraprocedural CFGs), :mod:`repro.analysis.dataflow` (forward
+  fixpoint engine) and :mod:`repro.analysis.callgraph` (project-wide
+  symbol table and call graph).
 
 Escape hatches, in order of preference: fix the code; annotate a
 deliberate, permanent exception with ``# lint: allow-<rule>(<reason>)``
@@ -42,14 +53,17 @@ from repro.analysis.config import AnalysisConfig, DEFAULT_CONFIG
 from repro.analysis.core import (
     AnalysisReport,
     FileContext,
+    ProjectRule,
     Rule,
     Violation,
     analyze_paths,
+    analyze_project_sources,
     analyze_source,
 )
-from repro.analysis.rules import ALL_RULES, rule_ids
+from repro.analysis.rules import ALL_PROJECT_RULES, ALL_RULES, rule_ids
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "AnalysisConfig",
     "AnalysisReport",
@@ -57,9 +71,11 @@ __all__ = [
     "BaselineEntry",
     "DEFAULT_CONFIG",
     "FileContext",
+    "ProjectRule",
     "Rule",
     "Violation",
     "analyze_paths",
+    "analyze_project_sources",
     "analyze_source",
     "load_baseline",
     "rule_ids",

@@ -1,0 +1,92 @@
+"""Synchronization annotations: ``# repro: guarded-by(<lock>) <rationale>``.
+
+The concurrency-readiness rules treat every mutable module-level or
+class-level binding as a hazard for the upcoming multi-worker front end
+— *unless* the code declares who guards it.  The declaration is a
+structured comment on the binding's line (or the line directly above)::
+
+    _REGISTRY = MetricsRegistry()  # repro: guarded-by(gil) swapped only by test harnesses before traffic
+
+The ``<lock>`` names the synchronization device.  Real lock objects
+(``threading.Lock`` attributes) are named by their attribute; two
+conventional pseudo-locks are recognised for state that needs no lock:
+
+* ``gil`` — single opcode-level reads/writes the GIL already serializes;
+* ``import-time`` — populated during import, read-only afterwards.
+
+The rationale is mandatory, exactly like lint-pragma reasons: an
+annotation without one does not suppress and is itself reported
+(rule id ``guarded-by``).  The full inventory of annotated state is the
+audited shared-state list the MVCC work starts from — see the
+``--report dataflow`` JSON output.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: A well-formed annotation: guarded-by(<lock>) <non-empty rationale>.
+_GUARDED_RE = re.compile(
+    r"#\s*repro:\s*guarded-by\(([^()]*)\)\s*(.*)", re.DOTALL
+)
+#: Anything that tries to be one, for malformed-annotation detection.
+_ATTEMPT_RE = re.compile(r"#\s*repro:\s*guarded-by")
+
+
+@dataclass(frozen=True)
+class GuardedBy:
+    """One guarded-by declaration."""
+
+    lock: str
+    rationale: str
+    line: int
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.lock.strip()) and bool(self.rationale.strip())
+
+
+def extract_guarded(source: str) -> tuple[list[GuardedBy], list[int]]:
+    """Parse guarded-by annotations out of ``source``.
+
+    Returns ``(annotations, malformed_lines)``.  Comments are found with
+    :mod:`tokenize`, so annotation-looking text inside string literals is
+    ignored (this module documents the syntax without declaring it).
+    """
+    annotations: list[GuardedBy] = []
+    malformed: list[int] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [], []
+    for line, text in comments:
+        match = _GUARDED_RE.search(text)
+        if match:
+            annotations.append(
+                GuardedBy(
+                    lock=match.group(1).strip(),
+                    rationale=match.group(2).strip(),
+                    line=line,
+                )
+            )
+        elif _ATTEMPT_RE.search(text):
+            malformed.append(line)
+    return annotations, malformed
+
+
+def guard_for_line(
+    annotations: list[GuardedBy], line: int
+) -> GuardedBy | None:
+    """The declaration covering ``line``: same line, or the line above."""
+    for annotation in annotations:
+        if annotation.ok and annotation.line in (line, line - 1):
+            return annotation
+    return None

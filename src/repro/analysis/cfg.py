@@ -1,0 +1,285 @@
+"""Intraprocedural control-flow graphs over function bodies.
+
+:func:`build_cfg` lowers one function (or module) body into a graph of
+statement nodes with two synthetic endpoints, ``entry`` and ``exit``.
+The dataflow engine (:mod:`repro.analysis.dataflow`) runs fixpoint
+analyses over it; the resource-lifecycle rule is the first client.
+
+Precision contract (what the graph does and does not model):
+
+* **Branches, loops, with** — modeled exactly: ``if``/``while``/``for``
+  bodies and else-arms fork and join; ``break``/``continue`` jump to the
+  loop exit/header; ``with`` is a plain statement followed by its body
+  (the context manager's cleanup guarantee is the *rules'* knowledge,
+  not the graph's).
+* **try/except/finally** — every statement inside a ``try`` body gets an
+  *exception edge* to each of its handlers and to the ``finally`` block,
+  so a may-analysis sees the path where the body is cut short.
+  ``return``/``raise``/``break``/``continue`` route through every
+  enclosing ``finally`` before reaching their target.
+* **Shared finally** — each ``finally`` body is built once; abrupt and
+  normal exits merge through it.  That over-approximates paths (a state
+  can appear to flow from an abrupt route to the normal continuation),
+  which is safe for the may-analyses this package runs.
+* **Implicit exceptions outside try** — *not* modeled.  If every
+  statement could jump to ``exit``, every fact would reach ``exit`` and
+  may-analyses would drown in noise.  A raise site outside a ``try`` is
+  modeled only when it is an explicit ``raise``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+
+
+@dataclass
+class CfgNode:
+    """One graph node: a statement, or a synthetic entry/exit."""
+
+    index: int
+    stmt: ast.AST | None
+    kind: str  # ENTRY | EXIT | STMT
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class Cfg:
+    """The graph: nodes plus successor sets, entry at 0, exit at 1."""
+
+    nodes: list[CfgNode] = field(default_factory=list)
+    succs: list[set[int]] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+
+    def preds(self) -> list[set[int]]:
+        """Predecessor sets, computed on demand."""
+        preds: list[set[int]] = [set() for _ in self.nodes]
+        for source, targets in enumerate(self.succs):
+            for target in targets:
+                preds[target].add(source)
+        return preds
+
+    def statement_nodes(self) -> list[CfgNode]:
+        return [node for node in self.nodes if node.kind == STMT]
+
+
+@dataclass
+class _FinallyFrame:
+    """An enclosing ``finally`` an abrupt exit must route through."""
+
+    entry: int
+    frontier: set[int]
+    #: Loop-nesting depth the owning ``try`` sits at; ``break`` and
+    #: ``continue`` only route through finallys at or above their loop.
+    loop_depth: int
+
+
+@dataclass
+class _LoopFrame:
+    head: int
+    break_sources: set[int] = field(default_factory=set)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[CfgNode] = [
+            CfgNode(0, None, ENTRY),
+            CfgNode(1, None, EXIT),
+        ]
+        self.succs: list[set[int]] = [set(), set()]
+        #: Exception landing pads (handler/finally entries) for each
+        #: ``try`` body currently being built, innermost last.
+        self._exc_targets: list[list[int]] = []
+        self._finally_stack: list[_FinallyFrame] = []
+        self._loop_stack: list[_LoopFrame] = []
+
+    # -- graph primitives ---------------------------------------------------
+
+    def _new_node(self, stmt: ast.AST) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CfgNode(index, stmt, STMT))
+        self.succs.append(set())
+        # Any statement inside a try body may be cut short: wire the
+        # exception edge to every active landing pad.
+        for targets in self._exc_targets:
+            for target in targets:
+                self.succs[index].add(target)
+        return index
+
+    def _edges(self, sources: set[int], target: int) -> None:
+        for source in sources:
+            self.succs[source].add(target)
+
+    # -- abrupt-exit routing ------------------------------------------------
+
+    def _route_through_finallys(
+        self, sources: set[int], frames: list[_FinallyFrame]
+    ) -> set[int]:
+        """Connect ``sources`` through each finally; returns the tail."""
+        current = sources
+        for frame in reversed(frames):
+            self._edges(current, frame.entry)
+            current = frame.frontier
+        return current
+
+    def _abrupt_to_exit(self, node: int) -> None:
+        tail = self._route_through_finallys({node}, self._finally_stack)
+        self._edges(tail, 1)
+
+    def _abrupt_to_loop(self, node: int, target: str) -> None:
+        if not self._loop_stack:
+            return  # malformed source; the parser would have said so
+        loop = self._loop_stack[-1]
+        depth = len(self._loop_stack)
+        inner = [
+            frame for frame in self._finally_stack
+            if frame.loop_depth >= depth
+        ]
+        tail = self._route_through_finallys({node}, inner)
+        if target == "break":
+            loop.break_sources |= tail
+        else:
+            self._edges(tail, loop.head)
+
+    # -- statement lowering -------------------------------------------------
+
+    def flow(self, stmts: list[ast.stmt], preds: set[int]) -> set[int]:
+        """Lower a statement list; returns the fall-through frontier."""
+        current = preds
+        for stmt in stmts:
+            current = self._flow_stmt(stmt, current)
+        return current
+
+    def _flow_stmt(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._flow_if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._flow_loop(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._flow_try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._new_node(stmt)
+            self._edges(preds, node)
+            return self.flow(stmt.body, {node})
+        if isinstance(stmt, ast.Return):
+            node = self._new_node(stmt)
+            self._edges(preds, node)
+            self._abrupt_to_exit(node)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            node = self._new_node(stmt)
+            self._edges(preds, node)
+            # Landing pads were wired by _new_node when inside a try
+            # body; outside one, the raise unwinds through finallys.
+            self._abrupt_to_exit(node)
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = self._new_node(stmt)
+            self._edges(preds, node)
+            self._abrupt_to_loop(node, "break")
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = self._new_node(stmt)
+            self._edges(preds, node)
+            self._abrupt_to_loop(node, "continue")
+            return set()
+        if isinstance(stmt, ast.Match):
+            return self._flow_match(stmt, preds)
+        # Simple statements — and nested def/class, which are opaque.
+        node = self._new_node(stmt)
+        self._edges(preds, node)
+        return {node}
+
+    def _flow_if(self, stmt: ast.If, preds: set[int]) -> set[int]:
+        node = self._new_node(stmt)
+        self._edges(preds, node)
+        out = self.flow(stmt.body, {node})
+        if stmt.orelse:
+            out |= self.flow(stmt.orelse, {node})
+        else:
+            out |= {node}
+        return out
+
+    def _flow_loop(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        head = self._new_node(stmt)
+        self._edges(preds, head)
+        frame = _LoopFrame(head)
+        self._loop_stack.append(frame)
+        body_out = self.flow(stmt.body, {head})  # type: ignore[attr-defined]
+        self._edges(body_out, head)
+        self._loop_stack.pop()
+        orelse = getattr(stmt, "orelse", [])
+        out = self.flow(orelse, {head}) if orelse else {head}
+        return out | frame.break_sources
+
+    def _flow_match(self, stmt: ast.Match, preds: set[int]) -> set[int]:
+        node = self._new_node(stmt)
+        self._edges(preds, node)
+        out: set[int] = {node}
+        for case in stmt.cases:
+            out |= self.flow(case.body, {node})
+        return out
+
+    def _flow_try(self, stmt: ast.Try, preds: set[int]) -> set[int]:
+        # Build the finally subgraph first so abrupt exits inside the
+        # body can route through it the moment they are lowered.
+        finally_frame: _FinallyFrame | None = None
+        if stmt.finalbody:
+            fin_entry = len(self.nodes)
+            fin_frontier = self.flow(stmt.finalbody, set())
+            finally_frame = _FinallyFrame(
+                entry=fin_entry,
+                frontier=fin_frontier,
+                loop_depth=len(self._loop_stack),
+            )
+
+        # Handler landing pads: one node per ExceptHandler clause.
+        handler_nodes = [self._new_node(handler) for handler in stmt.handlers]
+        pads = list(handler_nodes)
+        if finally_frame is not None:
+            pads.append(finally_frame.entry)
+
+        self._exc_targets.append(pads)
+        if finally_frame is not None:
+            self._finally_stack.append(finally_frame)
+        body_out = self.flow(stmt.body, preds)
+        self._exc_targets.pop()
+
+        if stmt.orelse:
+            body_out = self.flow(stmt.orelse, body_out)
+
+        handler_out: set[int] = set()
+        for handler, node in zip(stmt.handlers, handler_nodes):
+            handler_out |= self.flow(handler.body, {node})
+
+        if finally_frame is not None:
+            self._finally_stack.pop()
+
+        if finally_frame is None:
+            return body_out | handler_out
+        self._edges(body_out | handler_out, finally_frame.entry)
+        # The unmatched-exception route: the finally completes and the
+        # exception keeps unwinding (through outer finallys, then out).
+        tail = self._route_through_finallys(
+            set(finally_frame.frontier), self._finally_stack
+        )
+        self._edges(tail, 1)
+        return set(finally_frame.frontier)
+
+
+def build_cfg(
+    func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Module,
+) -> Cfg:
+    """Lower ``func``'s body into a :class:`Cfg`."""
+    builder = _Builder()
+    frontier = builder.flow(list(func.body), {0})
+    builder._edges(frontier, 1)
+    return Cfg(nodes=builder.nodes, succs=builder.succs)

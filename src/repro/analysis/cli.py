@@ -16,7 +16,11 @@ from typing import TextIO
 
 from repro.analysis.baseline import Baseline, dump_baseline, load_baseline
 from repro.analysis.core import AnalysisReport, analyze_paths
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    DATAFLOW_RULE_IDS,
+)
 from repro.errors import AnalysisError
 
 DEFAULT_BASELINE = "analysis-baseline.json"
@@ -34,6 +38,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--format", choices=("human", "json"), default="human",
         help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--report", choices=("all", "dataflow"), default="all",
+        help=(
+            "rule selection: 'dataflow' runs only the whole-program "
+            "concurrency/resource/exception-flow family (default: all)"
+        ),
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -101,6 +112,17 @@ def _render_json(report: AnalysisReport, out: TextIO) -> None:
             {"rule": entry.rule, "path": entry.path, "content": entry.content}
             for entry in report.stale_baseline
         ],
+        # The audited shared-state inventory: every guarded-by
+        # annotation in the analyzed tree, with its lock and rationale.
+        "guarded_state": [
+            {
+                "path": path,
+                "line": annotation.line,
+                "lock": annotation.lock,
+                "rationale": annotation.rationale,
+            }
+            for path, annotation in report.guarded_inventory
+        ],
     }
     out.write(json.dumps(payload, indent=2) + "\n")
 
@@ -124,7 +146,23 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     if missing:
         out.write(f"error: no such path: {', '.join(missing)}\n")
         return 2
-    report = analyze_paths(args.paths, baseline=baseline)
+    if args.report == "dataflow":
+        rules = [
+            rule for rule in ALL_RULES if rule.id in DATAFLOW_RULE_IDS
+        ]
+        project_rules = ALL_PROJECT_RULES
+    else:
+        rules, project_rules = ALL_RULES, ALL_PROJECT_RULES
+    report = analyze_paths(
+        args.paths, rules=rules, baseline=baseline,
+        project_rules=project_rules,
+    )
+    if args.report == "dataflow":
+        # Entries for rules that did not run are not stale, just idle.
+        report.stale_baseline = [
+            entry for entry in report.stale_baseline
+            if entry.rule in DATAFLOW_RULE_IDS
+        ]
     if args.write_baseline:
         target = args.baseline or DEFAULT_BASELINE
         dump_baseline(report.violations, report.line_contents, target)

@@ -100,7 +100,96 @@ DEFAULT_MODULE_LAYERS: dict[str, frozenset[str]] = {
     # query tier — a checker that imported what it checks derived state
     # *through* would be checking itself.
     "store.fsck": frozenset({"ordbms", "sgml", "store.schema"}),
+    # The analyzer's own dataflow stack is layered the same way the
+    # durability stack is: the CFG builder is pure AST lowering, the
+    # fixpoint engine sees only graphs, and the call-graph indexer sees
+    # only parsed file contexts — none of them may reach the rules or
+    # the driver that orchestrates them.
+    "analysis.cfg": frozenset(),
+    "analysis.dataflow": frozenset({"analysis.cfg"}),
+    "analysis.callgraph": frozenset({"analysis.core"}),
 }
+
+
+#: Method names that mutate their receiver.  The shared-state rules
+#: treat a call ``<module-var>.<name>(...)`` as a write to that variable
+#: when ``<name>`` is listed here; anything else (``.get``, ``.render``)
+#: is presumed a read.  ``counter``/``gauge``/``histogram`` are included
+#: because the metrics registry's accessors create series on first use.
+DEFAULT_MUTATOR_METHODS: frozenset[str] = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "counter", "define",
+        "discard", "extend", "gauge", "histogram", "inc", "insert",
+        "install", "observe", "pop", "popitem", "popleft", "push",
+        "record", "register", "remove", "set", "set_enabled",
+        "setdefault", "update", "write",
+    }
+)
+
+
+#: Resource constructors called by bare name: name -> release methods.
+#: ``x = open(...)`` must reach every function exit closed, escaped
+#: (returned/stored/passed on), or inside a ``with``.
+DEFAULT_RESOURCE_CALLS: dict[str, frozenset[str]] = {
+    "open": frozenset({"close"}),
+    "FileLogDevice": frozenset({"close"}),
+}
+
+#: Resource-producing *methods* (attribute calls): the transaction and
+#: cursor factories.  ``db.begin()`` without commit/rollback/close on
+#: some path is a leaked transaction.
+DEFAULT_RESOURCE_METHODS: dict[str, frozenset[str]] = {
+    "begin": frozenset({"commit", "rollback", "close"}),
+    "cursor": frozenset({"close"}),
+}
+
+
+#: Exception-flow policy: module id -> exception names an entry point in
+#: that module may let escape (an escaping class must be one of these or
+#: a subclass).  Longest matching prefix wins; modules with no matching
+#: prefix are not checked.  The table *is* the public error contract:
+#: the HTTP facade maps everything to status codes (only the stylesheet
+#: installer's validation error passes through), the ingest daemon
+#: quarantines per-file failures and surfaces only server-tier faults,
+#: and the facades surface the full domain vocabulary.
+DEFAULT_EXCEPTION_POLICY: dict[str, frozenset[str]] = {
+    "server.http": frozenset({"XsltError"}),
+    "server.daemon": frozenset({"ServerError"}),
+    "server.webdav": frozenset({"ServerError"}),
+    "netmark": frozenset({"ReproError"}),
+    "federation": frozenset({"ReproError"}),
+}
+
+#: Exceptions that may escape *any* entry point: the crash-injection
+#: signal (which models SIGKILL and must never be caught), the
+#: abstract-method and invariant guards, and the observability layer's
+#: own config errors (every instrumented function transitively reaches
+#: them).
+DEFAULT_UBIQUITOUS_EXCEPTIONS: frozenset[str] = frozenset(
+    {"CrashError", "NotImplementedError", "AssertionError",
+     "ObservabilityError"}
+)
+
+
+#: Call-graph roots of the daemon ingest path (writers).
+DEFAULT_INGEST_ROOTS: frozenset[str] = frozenset(
+    {
+        "server.daemon.NetmarkDaemon.poll",
+        "server.daemon.NetmarkDaemon.run_until_idle",
+        "server.daemon.NetmarkDaemon.startup_recovery",
+        "netmark.Netmark.ingest",
+    }
+)
+
+#: Call-graph roots of the query read path (readers).
+DEFAULT_READ_ROOTS: frozenset[str] = frozenset(
+    {
+        "server.http.NetmarkHttpApi.request",
+        "netmark.Netmark.search",
+        "netmark.Netmark.federated_search",
+        "federation.router.Router.execute",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -160,6 +249,29 @@ class AnalysisConfig:
     #: ``random`` module names that do NOT go through an explicit seed.
     #: Only the seedable class constructor is allowed.
     seeded_random_names: frozenset[str] = frozenset({"Random"})
+
+    # -- whole-program dataflow policy --------------------------------------
+
+    #: Receiver methods counted as writes by the shared-state rules.
+    mutator_methods: frozenset[str] = DEFAULT_MUTATOR_METHODS
+    #: Bare-name resource constructors -> release method names.
+    resource_calls: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_RESOURCE_CALLS)
+    )
+    #: Resource-producing attribute calls -> release method names.
+    resource_methods: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_RESOURCE_METHODS)
+    )
+    #: Module-prefix -> allowed escaping exceptions for entry points.
+    exception_policy: dict[str, frozenset[str]] = field(
+        default_factory=lambda: dict(DEFAULT_EXCEPTION_POLICY)
+    )
+    #: Exceptions every entry point may let escape.
+    ubiquitous_exceptions: frozenset[str] = DEFAULT_UBIQUITOUS_EXCEPTIONS
+    #: Function qualnames rooting the ingest (writer) call paths.
+    ingest_roots: frozenset[str] = DEFAULT_INGEST_ROOTS
+    #: Function qualnames rooting the query (reader) call paths.
+    read_roots: frozenset[str] = DEFAULT_READ_ROOTS
 
 
 #: The configuration CI and the meta-test run with.

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from typing import Iterable, Iterator, Protocol
 
+from repro.analysis.annotations import GuardedBy, extract_guarded
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
 from repro.analysis.pragmas import Pragma, extract_pragmas
@@ -47,6 +48,23 @@ class Rule(Protocol):
     ) -> Iterator[Violation]: ...
 
 
+class ProjectRule(Protocol):
+    """A whole-program rule: sees the full project index, not one file.
+
+    Project rules run after every file has been parsed; their findings
+    flow through the same pragma and baseline suppression as per-file
+    findings (a pragma on the reported line suppresses, the baseline
+    matches on path + rule + line content).
+    """
+
+    id: str
+    summary: str
+
+    def check_project(
+        self, project: object, config: AnalysisConfig
+    ) -> Iterator[Violation]: ...
+
+
 @dataclass
 class FileContext:
     """Everything a rule may ask about one parsed source file."""
@@ -58,6 +76,8 @@ class FileContext:
     pragmas: list[Pragma]
     malformed_pragma_lines: list[int]
     unit: str | None  # repro layer unit, None outside the repro package
+    guarded: list[GuardedBy] = field(default_factory=list)
+    malformed_guard_lines: list[int] = field(default_factory=list)
 
     def violation(
         self, rule_id: str, node: ast.AST | int, message: str
@@ -80,6 +100,26 @@ class FileContext:
 
     def path_endswith(self, suffix: str) -> bool:
         return self.path == suffix or self.path.endswith("/" + suffix)
+
+
+def module_id_of(path: str) -> str | None:
+    """The dotted ``repro``-relative module id of a path (None outside).
+
+    ``src/repro/store/accessor.py`` -> ``store.accessor``;
+    ``src/repro/obs/__init__.py`` -> ``obs``;
+    ``src/repro/netmark.py`` -> ``netmark``.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    tail = parts[len(parts) - 1 - parts[::-1].index("repro") + 1:]
+    if not tail or not tail[-1].endswith(".py"):
+        return None
+    if tail[-1] == "__init__.py":
+        tail = tail[:-1]
+    else:
+        tail = tail[:-1] + [tail[-1][:-3]]
+    return ".".join(tail) or None
 
 
 def unit_of(path: str) -> str | None:
@@ -115,6 +155,11 @@ class AnalysisReport:
     files_checked: int = 0
     #: (path, line) -> raw source line, for --write-baseline.
     line_contents: dict[tuple[str, int], str] = field(default_factory=dict)
+    #: The audited shared-state inventory: every well-formed guarded-by
+    #: annotation seen, as (path, annotation) pairs.
+    guarded_inventory: list[tuple[str, GuardedBy]] = field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
@@ -136,6 +181,7 @@ def build_context(source: str, path: str | Path) -> FileContext | None:
     except SyntaxError:
         return None
     pragmas, malformed = extract_pragmas(source)
+    guarded, malformed_guards = extract_guarded(source)
     return FileContext(
         path=norm,
         source=source,
@@ -144,6 +190,8 @@ def build_context(source: str, path: str | Path) -> FileContext | None:
         pragmas=pragmas,
         malformed_pragma_lines=malformed,
         unit=unit_of(norm),
+        guarded=guarded,
+        malformed_guard_lines=malformed_guards,
     )
 
 
@@ -238,19 +286,68 @@ def analyze_source(
     ]
 
 
+def _funnel(
+    report: AnalysisReport,
+    ctx: FileContext,
+    violations: Iterable[Violation],
+    baseline: Baseline | None,
+) -> None:
+    """Route raw findings through pragma and baseline suppression."""
+    for violation in violations:
+        content = ctx.line_content(violation.line)
+        report.line_contents[(violation.path, violation.line)] = content
+        if _pragma_suppresses(ctx, violation):
+            report.pragma_suppressed.append(violation)
+        elif baseline is not None and baseline.suppresses(
+            violation, content
+        ):
+            report.baselined.append(violation)
+        else:
+            report.violations.append(violation)
+
+
+def _run_project_rules(
+    report: AnalysisReport,
+    contexts: list[FileContext],
+    project_rules: Iterable[ProjectRule],
+    config: AnalysisConfig,
+    baseline: Baseline | None,
+) -> None:
+    from repro.analysis.callgraph import build_index
+
+    project_rules = list(project_rules)
+    if not project_rules:
+        return
+    index = build_index(contexts, config.mutator_methods)
+    by_path = {ctx.path: ctx for ctx in contexts}
+    for rule in project_rules:
+        for violation in sorted(rule.check_project(index, config)):
+            ctx = by_path.get(violation.path)
+            if ctx is None:
+                report.violations.append(violation)
+                continue
+            _funnel(report, ctx, [violation], baseline)
+
+
 def analyze_paths(
     paths: Iterable[str | Path],
     rules: Iterable[Rule] | None = None,
     config: AnalysisConfig = DEFAULT_CONFIG,
     baseline: Baseline | None = None,
+    project_rules: Iterable[ProjectRule] | None = None,
 ) -> AnalysisReport:
     """Run the full rule suite over files and directories."""
     if rules is None:
         from repro.analysis.rules import ALL_RULES
 
         rules = ALL_RULES
+    if project_rules is None:
+        from repro.analysis.rules import ALL_PROJECT_RULES
+
+        project_rules = ALL_PROJECT_RULES
     rules = list(rules)
     report = AnalysisReport()
+    contexts: list[FileContext] = []
     for file_path in _iter_python_files(paths):
         try:
             source = file_path.read_text()
@@ -259,19 +356,41 @@ def analyze_paths(
         ctx = build_context(source, file_path)
         if ctx is None:
             continue
+        contexts.append(ctx)
         report.files_checked += 1
-        for violation in analyze_context(ctx, rules, config):
-            content = ctx.line_content(violation.line)
-            report.line_contents[(violation.path, violation.line)] = content
-            if _pragma_suppresses(ctx, violation):
-                report.pragma_suppressed.append(violation)
-            elif baseline is not None and baseline.suppresses(
-                violation, content
-            ):
-                report.baselined.append(violation)
-            else:
-                report.violations.append(violation)
+        report.guarded_inventory.extend(
+            (ctx.path, annotation)
+            for annotation in ctx.guarded
+            if annotation.ok
+        )
+        _funnel(report, ctx, analyze_context(ctx, rules, config), baseline)
+    _run_project_rules(report, contexts, project_rules, config, baseline)
     if baseline is not None:
         report.stale_baseline = baseline.stale_entries()
     report.violations.sort()
     return report
+
+
+def analyze_project_sources(
+    sources: dict[str, str],
+    rules: Iterable[Rule] = (),
+    project_rules: Iterable[ProjectRule] = (),
+    config: AnalysisConfig = DEFAULT_CONFIG,
+) -> list[Violation]:
+    """Analyze a virtual multi-file project held in memory.
+
+    ``sources`` maps claimed paths to source text.  Pragmas apply; no
+    baseline.  This is the fixture-test entry point for project rules —
+    the per-file counterpart is :func:`analyze_source`.
+    """
+    report = AnalysisReport()
+    contexts: list[FileContext] = []
+    for path, source in sorted(sources.items()):
+        ctx = build_context(source, path)
+        if ctx is None:
+            continue
+        contexts.append(ctx)
+        _funnel(report, ctx, analyze_context(ctx, list(rules), config), None)
+    _run_project_rules(report, contexts, project_rules, config, None)
+    report.violations.sort()
+    return report.violations

@@ -1,0 +1,73 @@
+"""Cross-path shared state: writers on both the ingest and read paths.
+
+The roadmap's concurrent front end will run the ingest daemon and query
+serving on separate workers.  ``cross-path-state`` escalates the
+shared-state findings that matter most for that split: a module-level
+variable whose mutation sites are reachable from **both** a daemon
+ingest root and a query read root (``config.ingest_roots`` /
+``config.read_roots``) is contended state the moment those paths stop
+sharing one thread.  The finding names one reaching root on each side
+so the inventory doubles as the contention map for the MVCC work.
+
+A ``# repro: guarded-by(<lock>) <why>`` annotation on the binding line
+acknowledges the hazard and suppresses the finding (the annotation is
+still inventoried in the ``--report dataflow`` JSON).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.annotations import guard_for_line
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import Violation
+
+
+class CrossPathStateRule:
+    id = "cross-path-state"
+    summary = (
+        "state mutated on both the ingest and query paths must declare "
+        "its guard"
+    )
+
+    def check_project(
+        self, project: ProjectIndex, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        per_root = {
+            root: project.reachable([root])
+            for root in sorted(config.ingest_roots | config.read_roots)
+        }
+        mutated_from: dict[str, dict[str, str]] = {}
+        for site in project.mutations:
+            if site.function is None:
+                continue  # import-time population is single-threaded
+            for root, reach in per_root.items():
+                if site.function in reach:
+                    mutated_from.setdefault(site.var, {})[root] = (
+                        f"{site.path}:{site.line}"
+                    )
+        for qualname in sorted(mutated_from):
+            roots = mutated_from[qualname]
+            ingest = sorted(set(roots) & config.ingest_roots)
+            read = sorted(set(roots) & config.read_roots)
+            if not ingest or not read:
+                continue
+            variable = project.variables[qualname]
+            ctx = project.context_of(variable.module)
+            if ctx is None:
+                continue
+            if guard_for_line(ctx.guarded, variable.line) is not None:
+                continue
+            yield Violation(
+                path=ctx.path, line=variable.line, column=0,
+                rule=self.id,
+                message=(
+                    f"{qualname!r} is mutated on the ingest path "
+                    f"(from {ingest[0]}, at {roots[ingest[0]]}) and on "
+                    f"the query read path (from {read[0]}, at "
+                    f"{roots[read[0]]}); this is contended state for "
+                    "the concurrent front end — guard it and annotate "
+                    "with '# repro: guarded-by(<lock>) <why>'"
+                ),
+            )

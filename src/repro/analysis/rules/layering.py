@@ -15,7 +15,7 @@ import ast
 from typing import Iterator
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.core import FileContext, Violation
+from repro.analysis.core import FileContext, Violation, module_id_of
 
 
 class LayeringRule:
@@ -99,7 +99,7 @@ class ModuleLayeringRule:
     def check(
         self, ctx: FileContext, config: AnalysisConfig
     ) -> Iterator[Violation]:
-        module_id = _module_from_path(ctx.path)
+        module_id = module_id_of(ctx.path)
         if module_id is None:
             return
         grants = config.module_layers.get(module_id)
@@ -170,18 +170,3 @@ def _dotted_target(module: str) -> str | None:
     if not module.startswith("repro."):
         return None
     return module[len("repro."):]
-
-
-def _module_from_path(path: str) -> str | None:
-    """``src/repro/store/accessor.py`` -> ``store.accessor``."""
-    parts = path.replace("\\", "/").split("/")
-    if "repro" not in parts:
-        return None
-    tail = parts[len(parts) - 1 - parts[::-1].index("repro") + 1:]
-    if not tail or not tail[-1].endswith(".py"):
-        return None
-    if tail[-1] == "__init__.py":
-        tail = tail[:-1]
-    else:
-        tail = tail[:-1] + [tail[-1][:-3]]
-    return ".".join(tail) or None

@@ -1,0 +1,251 @@
+"""Resource lifecycle: everything opened must be closed on every path.
+
+``resource-lifecycle`` runs a forward may-analysis over each function's
+CFG (:mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow`).  The
+state is the set of local names that may hold an unreleased resource:
+
+* **gen** — ``x = open(...)`` / ``x = FileLogDevice(...)`` (the
+  bare-name constructors in ``config.resource_calls``) and
+  ``x = db.begin()`` / ``conn.cursor()`` (the attribute factories in
+  ``config.resource_methods``).
+* **kill by release** — ``x.close()`` / ``x.commit()`` /
+  ``x.rollback()``, per the constructor's release set.
+* **kill by transfer** — the name escaping the function takes ownership
+  with it: ``return x``, ``yield x``, ``f(x)``, ``self.h = x``,
+  ``y = x``, use as a ``with`` context.  Receiver position
+  (``x.read()``) is *not* a transfer.
+
+A name still live at the synthetic exit node — on *any* path, including
+the exception edges the CFG adds inside ``try`` bodies — is a leak,
+reported at the line that opened it.  A resource constructed inline in
+argument position (``recover(FileLogDevice(base))``) has no name to
+close and is reported immediately.  Generator functions are skipped:
+they hold resources across suspension points by design and their
+cleanup runs in ``close()``/GC, outside this CFG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.cfg import CfgNode, build_cfg
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import FileContext, Violation
+from repro.analysis.dataflow import run_forward
+
+
+def _resource_ctor(
+    call: ast.Call, config: AnalysisConfig
+) -> tuple[str, frozenset[str]] | None:
+    """``(ctor-name, release-methods)`` when ``call`` opens a resource."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        releases = config.resource_calls.get(func.id)
+        if releases is not None:
+            return func.id, releases
+        return None
+    if isinstance(func, ast.Attribute):
+        releases = config.resource_methods.get(func.attr)
+        if releases is not None:
+            return func.attr, releases
+    return None
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function defs."""
+    stack: list[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield child
+            stack.append(child)
+
+
+def _header_parts(stmt: ast.AST) -> list[ast.AST]:
+    """The expression subtrees a CFG node *itself* evaluates.
+
+    Compound statements get their own header node in the CFG while their
+    bodies become separate nodes, so the transfer function must only
+    look at the header (the ``if``/``while`` test, the ``for`` iterable,
+    the ``with`` items) — walking the whole subtree would apply body
+    effects at the header too.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        parts: list[ast.AST] = []
+        for item in stmt.items:
+            parts.append(item.context_expr)
+            if item.optional_vars is not None:
+                parts.append(item.optional_vars)
+        return parts
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def _header_walk(stmt: ast.AST) -> Iterator[ast.AST]:
+    for part in _header_parts(stmt):
+        yield part
+        yield from _walk_scope(part)
+
+
+def _bare_loads(stmt: ast.AST) -> set[str]:
+    """Names loaded outside receiver position (``x`` but not ``x.m()``)."""
+    receiver_only: set[int] = set()
+    for node in _header_walk(stmt):
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            receiver_only.add(id(node.value))
+    return {
+        node.id
+        for node in _header_walk(stmt)
+        if isinstance(node, ast.Name)
+        and isinstance(node.ctx, ast.Load)
+        and id(node) not in receiver_only
+    }
+
+
+class _LiveResources:
+    """The forward analysis: state = frozenset of may-open names."""
+
+    def __init__(self, config: AnalysisConfig,
+                 opens: dict[str, tuple[int, str, frozenset[str]]]):
+        self.config = config
+        #: name -> (line, ctor, release methods), latest open wins.
+        self.opens = opens
+
+    def initial(self) -> frozenset[str]:
+        return frozenset()
+
+    def join(self, left: frozenset[str],
+             right: frozenset[str]) -> frozenset[str]:
+        return left | right
+
+    def transfer(self, node: CfgNode,
+                 state: frozenset[str]) -> frozenset[str]:
+        stmt = node.stmt
+        out = set(state)
+        # Release calls: x.close() and friends.
+        for call in _header_walk(stmt):
+            if not (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and isinstance(call.func.value, ast.Name)):
+                continue
+            name = call.func.value.id
+            if name in out and call.func.attr in self.opens[name][2]:
+                out.discard(name)
+        # Ownership transfers: any bare (non-receiver) load.
+        out -= _bare_loads(stmt)
+        # With-statement receivers: the context manager protocol closes.
+        for item in getattr(stmt, "items", []):
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                out.discard(expr.id)
+        # Opens: x = <resource-ctor>(...).
+        if isinstance(stmt, ast.Assign) and isinstance(
+            stmt.value, ast.Call
+        ):
+            ctor = _resource_ctor(stmt.value, self.config)
+            if ctor is not None:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.opens[target.id] = (
+                            stmt.lineno, ctor[0], ctor[1]
+                        )
+                        out.add(target.id)
+        return frozenset(out)
+
+
+class ResourceLifecycleRule:
+    id = "resource-lifecycle"
+    summary = (
+        "an opened resource must be released, transferred, or managed "
+        "by 'with' on every path to function exit"
+    )
+
+    def check(
+        self, ctx: FileContext, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        yield from self._check_scope(ctx, ctx.tree, config)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node, config)
+
+    def _check_scope(
+        self, ctx: FileContext, scope: ast.AST, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        yield from self._check_inline(ctx, scope, config)
+        if any(
+            isinstance(node, (ast.Yield, ast.YieldFrom))
+            for node in _walk_scope(scope)
+        ):
+            return
+        cfg = build_cfg(scope)
+        opens: dict[str, tuple[int, str, frozenset[str]]] = {}
+        result = run_forward(cfg, _LiveResources(config, opens))
+        live = result.at_exit(cfg)
+        if not live:
+            return
+        for name in sorted(live):
+            line, ctor, releases = opens[name]
+            release_list = "/".join(sorted(releases))
+            yield ctx.violation(
+                self.id, line,
+                f"{name!r} opened here by {ctor}(...) may reach "
+                f"function exit without {release_list}; release it in "
+                "a finally, use 'with', or transfer ownership",
+            )
+
+    def _check_inline(
+        self, ctx: FileContext, scope: ast.AST, config: AnalysisConfig
+    ) -> Iterator[Violation]:
+        """Inline constructions with no binding: nothing can close them."""
+        parents: dict[int, ast.AST] = {id(scope): scope}
+        stack: list[ast.AST] = [scope]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue  # separate scope, checked on its own
+                parents[id(child)] = node
+                stack.append(child)
+        for node in _walk_scope(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = _resource_ctor(node, config)
+            if ctor is None:
+                continue
+            if self._owned(node, parents.get(id(node))):
+                continue
+            yield ctx.violation(
+                self.id, node,
+                f"{ctor[0]}(...) is constructed inline here with no "
+                "binding to release it; assign it to a name and close "
+                "it in a finally",
+            )
+
+    @staticmethod
+    def _owned(call: ast.Call, parent: ast.AST | None) -> bool:
+        if parent is None:
+            return True  # conservatively silent without context
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            return parent.value is call
+        if isinstance(parent, ast.withitem):
+            return parent.context_expr is call
+        if isinstance(parent, ast.Return):
+            return True  # a factory: the caller takes ownership
+        return False

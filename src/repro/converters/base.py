@@ -199,6 +199,7 @@ class ConverterRegistry:
 
 
 #: The default registry; populated by the format modules at import time.
+# repro: guarded-by(import-time) format modules register themselves on import; read-only afterwards
 registry = ConverterRegistry()
 
 

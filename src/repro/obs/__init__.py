@@ -59,7 +59,9 @@ __all__ = [
     "validate_metric_name",
 ]
 
+# repro: guarded-by(gil) hot paths only read the reference; it is swapped whole by harness/app setup before traffic
 _REGISTRY = MetricsRegistry()
+# repro: guarded-by(gil) one boolean, read/written atomically under the GIL; flipped only by harness setup
 _ENABLED = True
 
 

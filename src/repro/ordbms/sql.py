@@ -200,6 +200,7 @@ class _Parser:
 
     # -- DDL -----------------------------------------------------------------------
 
+    # repro: guarded-by(import-time) keyword table built at class creation, only ever read
     _TYPES = {
         "integer": _types.INTEGER,
         "float": _types.FLOAT,

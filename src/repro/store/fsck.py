@@ -461,14 +461,20 @@ def main(argv: list[str] | None = None) -> int:
     from repro.ordbms.recovery import recover
     from repro.ordbms.wal import FileLogDevice
 
-    result = recover(FileLogDevice(args.base))
-    database = result.database
-    report = repair_store(database) if args.repair else check_store(database)
-    if args.format == "json":
-        sys.stdout.write(json.dumps(report.as_dict(), indent=2) + "\n")
-    else:
-        sys.stdout.write(report.render_text())
-    return 0 if report.ok else 1
+    device = FileLogDevice(args.base)
+    try:
+        result = recover(device)
+        database = result.database
+        report = (
+            repair_store(database) if args.repair else check_store(database)
+        )
+        if args.format == "json":
+            sys.stdout.write(json.dumps(report.as_dict(), indent=2) + "\n")
+        else:
+            sys.stdout.write(report.render_text())
+        return 0 if report.ok else 1
+    finally:
+        device.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import XsltError
+from repro.errors import SgmlSyntaxError, XsltError
 from repro.sgml.dom import Document, Element, Node, Text
 from repro.sgml.parser import parse_xml
 from repro.xslt.xpath import XPathExpr, parse_xpath
@@ -134,8 +134,21 @@ class Stylesheet:
 
 
 def compile_stylesheet(markup: str | Document) -> Stylesheet:
-    """Parse and validate stylesheet XML into a :class:`Stylesheet`."""
-    document = markup if isinstance(markup, Document) else parse_xml(markup)
+    """Parse and validate stylesheet XML into a :class:`Stylesheet`.
+
+    Raises :class:`XsltError` for *any* bad sheet — malformed XML
+    included — so callers (the HTTP stylesheet installer) see one
+    error vocabulary.
+    """
+    if isinstance(markup, Document):
+        document = markup
+    else:
+        try:
+            document = parse_xml(markup)
+        except SgmlSyntaxError as error:
+            raise XsltError(
+                f"stylesheet is not well-formed XML: {error}"
+            ) from error
     root = document.root
     if root.tag not in {f"{XSL_PREFIX}stylesheet", f"{XSL_PREFIX}transform"}:
         raise XsltError(

@@ -1,0 +1,10 @@
+"""Fixture: well-formed guarded-by annotations."""
+
+# repro: guarded-by(gil) swapped whole by setup code before traffic
+REGISTRY = {}
+
+# repro: guarded-by(import-time) populated on import, read-only afterwards
+FORMATS = {}
+
+# repro: guarded-by(store._lock) every writer goes through Store.put
+CACHE = {}

@@ -1,0 +1,13 @@
+"""Fixture: broken guarded-by annotations are themselves findings."""
+
+# repro: guarded-by missing the bracketed lock name
+TABLE = {}
+
+# repro: guarded-by() forgot to name the lock
+QUEUE = []
+
+# repro: guarded-by(gil)
+FLAGS = {}
+
+# repro: guarded-by(not a lock) spaces are not a lock name
+LIMITS = {}

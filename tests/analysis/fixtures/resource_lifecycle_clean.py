@@ -1,0 +1,39 @@
+"""Fixture: every opened resource is released, managed, or transferred."""
+
+
+def with_managed(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def finally_closed(path):
+    fh = open(path)
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def ownership_returned(path):
+    fh = open(path)
+    return fh
+
+
+def handed_off(sink, path):
+    fh = open(path)
+    sink.adopt(fh)
+
+
+def committed(db, rows):
+    tx = db.begin()
+    try:
+        tx.stage(rows)
+        tx.commit()
+    finally:
+        tx.close()
+
+
+def streaming(path):
+    fh = open(path)
+    yield fh.read()
+    fh.close()

@@ -1,0 +1,18 @@
+"""Fixture: opened resources that may leak on some path."""
+
+
+def conditional_close(path, flush):
+    fh = open(path)
+    data = fh.read()
+    if flush:
+        fh.close()
+    return data
+
+
+def inline_argument(recover, base):
+    return recover(open(base))
+
+
+def leaked_transaction(db, rows):
+    tx = db.begin()
+    tx.stage(rows)

@@ -1,0 +1,17 @@
+"""Fixture: class state that is per-instance, immutable, or declared."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Job:
+    tags: list = field(default_factory=list)
+
+
+class Server:
+    FORMATS = ("xml", "html")
+    # repro: guarded-by(gil) read-mostly routing table, swapped whole at setup
+    routes = {}
+
+    def __init__(self):
+        self.sessions = {}

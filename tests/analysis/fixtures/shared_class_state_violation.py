@@ -1,0 +1,13 @@
+"""Fixture: mutable class-body assignments shared by every instance."""
+
+
+class SessionTable:
+    sessions = {}
+
+    def add(self, key, value):
+        self.sessions[key] = value
+
+
+class WorkerPool:
+    workers = list()
+    limits = dict(default=4)

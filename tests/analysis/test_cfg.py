@@ -1,0 +1,156 @@
+"""The CFG builder: branch, loop, with, and try/finally shapes."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import ENTRY, EXIT, build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def node_at(cfg, line):
+    [node] = [n for n in cfg.statement_nodes() if n.line == line]
+    return node
+
+
+class TestStraightLine:
+    def test_entry_and_exit_are_synthetic(self):
+        cfg = cfg_of("def f():\n    a = 1\n")
+        assert cfg.nodes[cfg.entry].kind == ENTRY
+        assert cfg.nodes[cfg.exit].kind == EXIT
+
+    def test_statements_chain_entry_to_exit(self):
+        cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+            """
+        )
+        first, second = node_at(cfg, 3), node_at(cfg, 4)
+        assert cfg.succs[cfg.entry] == {first.index}
+        assert cfg.succs[first.index] == {second.index}
+        assert cfg.succs[second.index] == {cfg.exit}
+
+
+class TestBranches:
+    def test_if_else_forks_and_joins(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    b = 2
+                c = 3
+            """
+        )
+        test = node_at(cfg, 3)
+        then, other, join = node_at(cfg, 4), node_at(cfg, 6), node_at(cfg, 7)
+        assert cfg.succs[test.index] == {then.index, other.index}
+        assert cfg.preds()[join.index] == {then.index, other.index}
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                c = 3
+            """
+        )
+        test, then, join = node_at(cfg, 3), node_at(cfg, 4), node_at(cfg, 5)
+        assert cfg.succs[test.index] == {then.index, join.index}
+
+
+class TestLoops:
+    def test_while_has_back_edge_and_break_exit(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                while x:
+                    if x:
+                        break
+                    x = 0
+                done = 1
+            """
+        )
+        head = node_at(cfg, 3)
+        brk, step, done = node_at(cfg, 5), node_at(cfg, 6), node_at(cfg, 7)
+        assert head.index in cfg.succs[step.index]  # back edge
+        assert cfg.preds()[done.index] == {head.index, brk.index}
+
+    def test_continue_jumps_to_header(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        continue
+                    a = 1
+            """
+        )
+        head, cont = node_at(cfg, 3), node_at(cfg, 5)
+        assert head.index in cfg.succs[cont.index]
+
+
+class TestTryFinally:
+    def test_return_routes_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    return 1
+                finally:
+                    cleanup = 1
+            """
+        )
+        ret, fin = node_at(cfg, 4), node_at(cfg, 6)
+        assert cfg.succs[ret.index] == {fin.index}
+        assert cfg.exit in cfg.succs[fin.index]
+
+    def test_try_body_has_exception_edge_to_handler(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    risky = 1
+                except ValueError:
+                    handled = 1
+                done = 1
+            """
+        )
+        risky, handler = node_at(cfg, 4), node_at(cfg, 5)
+        handled, done = node_at(cfg, 6), node_at(cfg, 7)
+        assert isinstance(handler.stmt, ast.ExceptHandler)
+        assert handler.index in cfg.succs[risky.index]
+        assert cfg.succs[handler.index] == {handled.index}
+        assert cfg.preds()[done.index] == {risky.index, handled.index}
+
+    def test_raise_outside_try_goes_to_exit(self):
+        cfg = cfg_of(
+            """
+            def f():
+                raise ValueError("boom")
+            """
+        )
+        boom = node_at(cfg, 3)
+        assert cfg.succs[boom.index] == {cfg.exit}
+
+
+class TestWith:
+    def test_with_header_precedes_body(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                with open(path) as fh:
+                    data = 1
+                done = 1
+            """
+        )
+        header, body, done = node_at(cfg, 3), node_at(cfg, 4), node_at(cfg, 5)
+        assert cfg.succs[header.index] == {body.index}
+        assert cfg.succs[body.index] == {done.index}

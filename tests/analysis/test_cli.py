@@ -91,3 +91,48 @@ class TestCli:
             str(REPO_ROOT / "analysis-baseline.json"),
         )
         assert code == 0, output
+
+    def test_dataflow_report_runs_only_that_family(self, tmp_path):
+        # print() is outside the dataflow family, so the focused report
+        # must not flag it; the unguarded class dict must still fire.
+        module = tmp_path / "mixed.py"
+        module.write_text(
+            "print('x')\n"
+            "\n"
+            "\n"
+            "class Table:\n"
+            "    rows = {}\n"
+        )
+        code, output = run_cli(
+            str(module), "--no-baseline", "--report", "dataflow"
+        )
+        assert code == 1
+        assert "shared-class-state" in output
+        assert "print-call" not in output
+
+    def test_dataflow_report_matches_ci(self):
+        """The dataflow gate CI runs: zero unbaselined findings in src."""
+        code, output = run_cli(
+            str(REPO_ROOT / "src"),
+            "--baseline",
+            str(REPO_ROOT / "analysis-baseline.json"),
+            "--report",
+            "dataflow",
+        )
+        assert code == 0, output
+
+    def test_json_output_carries_the_guarded_inventory(self, tmp_path):
+        module = tmp_path / "state.py"
+        module.write_text(
+            "# repro: guarded-by(gil) swapped whole before traffic\n"
+            "REGISTRY = {}\n"
+        )
+        code, output = run_cli(
+            str(module), "--no-baseline", "--format", "json"
+        )
+        payload = json.loads(output)
+        assert code == 0
+        [entry] = payload["guarded_state"]
+        assert entry["lock"] == "gil"
+        assert entry["line"] == 1
+        assert "swapped whole" in entry["rationale"]

@@ -1,0 +1,126 @@
+"""The forward-dataflow engine: fixpoints, joins, the divergence guard."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import run_forward
+from repro.errors import AnalysisError
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+class AssignedNames:
+    """May-analysis: the set of names that may have been assigned."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, node, state):
+        out = set(state)
+        for target in getattr(node.stmt, "targets", []):
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+        return frozenset(out)
+
+
+class Diverging:
+    """A deliberately non-monotone analysis: the state never stabilises."""
+
+    def initial(self):
+        return 0
+
+    def join(self, left, right):
+        return max(left, right)
+
+    def transfer(self, node, state):
+        return state + 1
+
+
+class TestFixpoint:
+    def test_straight_line_accumulates(self):
+        cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+            """
+        )
+        result = run_forward(cfg, AssignedNames())
+        assert result.at_exit(cfg) == {"a", "b"}
+
+    def test_branches_join_as_union(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    b = 2
+            """
+        )
+        result = run_forward(cfg, AssignedNames())
+        assert result.at_exit(cfg) == {"a", "b"}
+
+    def test_loop_converges_with_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                while x:
+                    a = 1
+                b = 2
+            """
+        )
+        result = run_forward(cfg, AssignedNames())
+        assert result.at_exit(cfg) == {"a", "b"}
+
+    def test_unreachable_code_stays_bottom(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                dead = 1
+            """
+        )
+        result = run_forward(cfg, AssignedNames())
+        [dead] = [n for n in cfg.statement_nodes() if n.line == 4]
+        assert result.before[dead.index] is None
+
+    def test_exception_edge_reaches_finally(self):
+        # On the exception path the assignment in the try body may be
+        # skipped, so only the finally's own fact is guaranteed — the
+        # may-union at exit still sees both.
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    a = 1
+                finally:
+                    b = 2
+            """
+        )
+        result = run_forward(cfg, AssignedNames())
+        [fin] = [n for n in cfg.statement_nodes() if n.line == 6]
+        assert result.before[fin.index] in ({"a"}, frozenset())
+        assert result.at_exit(cfg) == {"a", "b"}
+
+
+class TestDivergenceGuard:
+    def test_non_monotone_analysis_is_an_error_not_a_hang(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                while x:
+                    a = 1
+            """
+        )
+        with pytest.raises(AnalysisError, match="not monotone"):
+            run_forward(cfg, Diverging())

@@ -1,0 +1,140 @@
+"""Exception flow: interprocedural escape sets vs the declared policy."""
+
+from dataclasses import replace
+
+from repro.analysis import analyze_project_sources
+from repro.analysis.config import DEFAULT_CONFIG
+from repro.analysis.rules.excflow import ExceptionEscapeRule
+
+ERRS = "src/repro/pkga/errs.py"
+API = "src/repro/pkga/api.py"
+
+ERRS_SRC = (
+    "class GoodError(Exception):\n"
+    "    pass\n"
+    "\n"
+    "\n"
+    "class SubError(GoodError):\n"
+    "    pass\n"
+    "\n"
+    "\n"
+    "class BadError(Exception):\n"
+    "    pass\n"
+    "\n"
+    "\n"
+    "class CrashSignal(BaseException):\n"
+    "    pass\n"
+)
+
+CONFIG = replace(
+    DEFAULT_CONFIG,
+    exception_policy={"pkga.api": frozenset({"GoodError"})},
+)
+
+
+def run(api_source):
+    return analyze_project_sources(
+        {ERRS: ERRS_SRC, API: api_source},
+        project_rules=[ExceptionEscapeRule()],
+        config=CONFIG,
+    )
+
+
+class TestExceptionEscape:
+    def test_undeclared_exception_escaping_an_entry_point_fires(self):
+        [violation] = run(
+            "from repro.pkga.errs import BadError\n"
+            "\n"
+            "\n"
+            "def handle(doc):\n"
+            "    return _convert(doc)\n"
+            "\n"
+            "\n"
+            "def _convert(doc):\n"
+            "    if not doc:\n"
+            "        raise BadError(doc)\n"
+            "    return doc\n"
+        )
+        assert violation.rule == "exception-flow"
+        assert violation.path == API and violation.line == 4
+        assert "BadError" in violation.message
+        assert "pkga.api.handle" in violation.message
+
+    def test_private_helpers_are_not_entry_points(self):
+        # Only ``handle`` was flagged above: ``_convert`` raises the same
+        # class but is internal, so the contract does not apply to it.
+        violations = run(
+            "from repro.pkga.errs import BadError\n"
+            "\n"
+            "\n"
+            "def _convert(doc):\n"
+            "    raise BadError(doc)\n"
+        )
+        assert violations == []
+
+    def test_catching_and_wrapping_satisfies_the_policy(self):
+        assert (
+            run(
+                "from repro.pkga.errs import BadError, GoodError\n"
+                "\n"
+                "\n"
+                "def handle(doc):\n"
+                "    try:\n"
+                "        return _convert(doc)\n"
+                "    except BadError as error:\n"
+                "        raise GoodError(str(error)) from error\n"
+                "\n"
+                "\n"
+                "def _convert(doc):\n"
+                "    raise BadError(doc)\n"
+            )
+            == []
+        )
+
+    def test_subclasses_of_the_allowed_class_pass(self):
+        assert (
+            run(
+                "from repro.pkga.errs import SubError\n"
+                "\n"
+                "\n"
+                "def handle(doc):\n"
+                "    raise SubError(doc)\n"
+            )
+            == []
+        )
+
+    def test_except_exception_does_not_catch_baseexception_kin(self):
+        # The hierarchy is real: a BaseException subclass sails past an
+        # ``except Exception`` recovery block, so it still escapes.
+        [violation] = run(
+            "from repro.pkga.errs import CrashSignal\n"
+            "\n"
+            "\n"
+            "def handle(doc):\n"
+            "    try:\n"
+            "        return _boom(doc)\n"
+            "    except Exception:\n"
+            "        return None\n"
+            "\n"
+            "\n"
+            "def _boom(doc):\n"
+            "    raise CrashSignal(doc)\n"
+        )
+        assert "CrashSignal" in violation.message
+
+    def test_modules_without_a_policy_are_not_checked(self):
+        violations = analyze_project_sources(
+            {
+                ERRS: ERRS_SRC,
+                "src/repro/pkgb/free.py": (
+                    "from repro.pkga.errs import BadError\n"
+                    "\n"
+                    "\n"
+                    "def handle(doc):\n"
+                    "    raise BadError(doc)\n"
+                ),
+            },
+            project_rules=[ExceptionEscapeRule()],
+            config=CONFIG,
+        )
+        assert violations == []

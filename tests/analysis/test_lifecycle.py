@@ -1,0 +1,28 @@
+"""Resource lifecycle: the CFG-based may-leak analysis."""
+
+
+class TestResourceLifecycle:
+    def test_leaky_paths_fire_at_the_open_line(self, run_fixture):
+        violations = run_fixture(
+            "resource_lifecycle_violation.py",
+            "src/repro/store/example.py",
+            "resource-lifecycle",
+        )
+        assert [v.line for v in violations] == [5, 13, 17]
+        by_line = {v.line: v.message for v in violations}
+        # A close on only one branch leaves the other path leaking.
+        assert "open" in by_line[5] and "close" in by_line[5]
+        # An inline construction has no name anything could release.
+        assert "inline" in by_line[13]
+        # A transaction factory without commit/rollback/close.
+        assert "begin" in by_line[17]
+
+    def test_with_finally_transfer_and_generators_pass(self, run_fixture):
+        assert (
+            run_fixture(
+                "resource_lifecycle_clean.py",
+                "src/repro/store/example.py",
+                "resource-lifecycle",
+            )
+            == []
+        )

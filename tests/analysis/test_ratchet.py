@@ -1,0 +1,67 @@
+"""The baseline ratchet guard: debt may shrink, never grow."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "check_baseline_ratchet.py"
+
+spec = importlib.util.spec_from_file_location("check_baseline_ratchet",
+                                              SCRIPT)
+ratchet = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(ratchet)
+
+
+def write_baseline(path, entries):
+    path.write_text(json.dumps({"version": 1, "entries": entries}))
+
+
+def entry(content, rule="layering", path="src/repro/x.py"):
+    return {"rule": rule, "path": path, "content": content, "reason": "r"}
+
+
+class TestRatchet:
+    def test_update_then_check_roundtrips(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        lock = tmp_path / "baseline.lock"
+        write_baseline(baseline, [entry("import a"), entry("import b")])
+        args = ["--baseline", str(baseline), "--lock", str(lock)]
+        assert ratchet.main([*args, "--update"]) == 0
+        assert ratchet.main(args) == 0
+        assert "within the locked set" in capsys.readouterr().out
+
+    def test_new_entry_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        lock = tmp_path / "baseline.lock"
+        write_baseline(baseline, [entry("import a")])
+        args = ["--baseline", str(baseline), "--lock", str(lock)]
+        assert ratchet.main([*args, "--update"]) == 0
+        write_baseline(baseline, [entry("import a"), entry("import NEW")])
+        assert ratchet.main(args) == 1
+        assert "import NEW" in capsys.readouterr().out
+
+    def test_shrinking_passes_and_suggests_tightening(self, tmp_path,
+                                                      capsys):
+        baseline = tmp_path / "baseline.json"
+        lock = tmp_path / "baseline.lock"
+        write_baseline(baseline, [entry("import a"), entry("import b")])
+        args = ["--baseline", str(baseline), "--lock", str(lock)]
+        assert ratchet.main([*args, "--update"]) == 0
+        write_baseline(baseline, [entry("import a")])
+        assert ratchet.main(args) == 0
+        assert "shrank" in capsys.readouterr().out
+
+    def test_missing_lock_is_an_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [])
+        code = ratchet.main(
+            ["--baseline", str(baseline),
+             "--lock", str(tmp_path / "missing.lock")]
+        )
+        assert code == 1
+        assert "--update" in capsys.readouterr().out
+
+    def test_repo_lock_matches_the_committed_baseline(self):
+        # The committed pair must be in sync: CI runs exactly this check.
+        assert ratchet.main([]) == 0
