@@ -7,10 +7,23 @@ the recovered store passes a full fsck.  This bench runs a small ingest
 workload once per (fault kind × WAL append) and reports the matrix; the
 fsck report of the last recovered store lands in the JSON artifact so CI
 can archive it.
+
+The cluster half (DESIGN.md §12) lifts the same idea to whole nodes:
+kill the coordinator or a follower at every append of its device, drive
+a network partition through an election, and crash the 2PC coordinator
+at every protocol gate — reporting failover ticks, replication lag at
+the kill, and the committed-ingest loss count (which must be zero,
+everywhere, always) into ``BENCH_cluster_failover.json``.
 """
 
 from conftest import print_table, write_artifact
 
+from repro.cluster.harness import (
+    coordinator_kill_matrix,
+    follower_kill_matrix,
+    partition_drill,
+    twopc_crash_matrix,
+)
 from repro.ordbms import MemoryLogDevice
 from repro.resilience import crash_matrix
 from repro.store import XmlStore, check_store
@@ -125,6 +138,158 @@ def test_report_no_fault_baseline(benchmark):
         assert report_.ok
 
     benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def _failover_section(matrix) -> dict:
+    """The gated summary of one node-kill matrix (all work counters)."""
+    survived = [p for p in matrix.points if not p.died_at_boot]
+    lags = [p.lag_at_kill for p in survived if p.lag_at_kill is not None]
+    return {
+        "device_appends": matrix.total_appends,
+        "kill_points": len(matrix.points),
+        "boot_kills": len(matrix.points) - len(survived),
+        "acked_per_run": matrix.baseline_acked,
+        "lost_total": matrix.total_lost,
+        "all_converged": matrix.all_converged,
+        "all_fsck_clean": matrix.all_fsck_clean,
+        "max_failover_ticks": matrix.max_failover_ticks,
+        "max_lag_at_kill": max(lags) if lags else 0,
+    }
+
+
+def test_report_cluster_failover_matrix(benchmark):
+    """Kill a whole node at every WAL append; nothing acked may vanish."""
+
+    def report():
+        coordinator = coordinator_kill_matrix()
+        follower = follower_kill_matrix()
+        rows = []
+        for label, matrix in (
+            ("coordinator", coordinator),
+            ("follower", follower),
+        ):
+            section = _failover_section(matrix)
+            rows.append(
+                [
+                    label,
+                    section["kill_points"],
+                    section["lost_total"],
+                    "yes" if section["all_converged"] else "NO",
+                    "yes" if section["all_fsck_clean"] else "NO",
+                    section["max_failover_ticks"],
+                    section["max_lag_at_kill"],
+                ]
+            )
+        print_table(
+            "Cluster failover matrix: node killed at every device append",
+            [
+                "victim", "kill points", "acked lost", "converged",
+                "fsck clean", "max failover ticks", "max lag at kill",
+            ],
+            rows,
+        )
+        write_artifact(
+            "BENCH_cluster_failover.json",
+            "node_kill",
+            {
+                "coordinator": _failover_section(coordinator),
+                "follower": _failover_section(follower),
+            },
+        )
+        # The headline guarantee, asserted over every kill point.
+        assert coordinator.total_lost == 0
+        assert follower.total_lost == 0
+        assert coordinator.all_converged and follower.all_converged
+        assert coordinator.all_fsck_clean and follower.all_fsck_clean
+        # Follower deaths never trigger elections.
+        assert follower.max_failover_ticks == 0
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_cluster_partition_and_twopc(benchmark):
+    """Minority-coordinator partition + 2PC coordinator crash gates."""
+
+    def report():
+        drill = partition_drill()
+        twopc = twopc_crash_matrix()
+        print_table(
+            "Partition drill: coordinator isolated in the minority",
+            [
+                "demoted", "winner", "refused in minority", "acked",
+                "lost", "converged", "failover ticks",
+            ],
+            [[
+                drill.demoted,
+                drill.winner,
+                drill.refused_in_minority,
+                drill.acked_total,
+                drill.lost,
+                "yes" if drill.converged else "NO",
+                drill.failover_ticks,
+            ]],
+        )
+        print_table(
+            "2PC crash matrix: coordinator killed at every gate",
+            ["gate", "occurrence", "atomic", "committed everywhere"],
+            [
+                [
+                    point.operation,
+                    point.occurrence,
+                    "yes" if point.atomic else "NO",
+                    "yes" if point.committed_everywhere else "no",
+                ]
+                for point in twopc.points
+            ],
+        )
+        write_artifact(
+            "BENCH_cluster_failover.json",
+            "partition",
+            {
+                "demoted": drill.demoted,
+                "winner": drill.winner,
+                "refused_in_minority": drill.refused_in_minority,
+                "acked_total": drill.acked_total,
+                "lost": drill.lost,
+                "converged": drill.converged,
+                "fsck_clean": drill.fsck_clean,
+                "failover_ticks": drill.failover_ticks,
+            },
+        )
+        write_artifact(
+            "BENCH_cluster_failover.json",
+            "two_phase_commit",
+            {
+                "crash_points": len(twopc.points),
+                "all_atomic": twopc.all_atomic,
+                "committed_everywhere": sum(
+                    1 for p in twopc.points if p.committed_everywhere
+                ),
+            },
+        )
+        assert drill.lost == 0 and drill.converged and drill.fsck_clean
+        assert twopc.all_atomic
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_bench_cluster_failover_cycle(benchmark):
+    """Time one kill -> detect -> elect -> catch-up -> converge cycle."""
+    from repro.cluster import NetmarkCluster
+
+    def cycle():
+        cluster = NetmarkCluster(["n1", "n2", "n3"], heartbeat_timeout=2)
+        cluster.ingest("memo.md", DOCS[0][1])
+        cluster.kill("n1")
+        cluster.tick(4)
+        cluster.ingest("plan.md", DOCS[2][1])
+        cluster.revive("n1")
+        cluster.catch_up("n1")
+        return cluster
+
+    cluster = benchmark(cycle)
+    dumps = cluster.dumps()
+    assert len(dumps) == 3 and len(set(dumps.values())) == 1
 
 
 def test_bench_recovery_reopen(benchmark):

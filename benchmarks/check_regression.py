@@ -35,6 +35,7 @@ GATED_ARTIFACTS = (
     "BENCH_fig6.json",
     "BENCH_fig8.json",
     "BENCH_crash_matrix.json",
+    "BENCH_cluster_failover.json",
 )
 
 #: Key fragments that mark a float as a *timing* — noisy on shared CI,

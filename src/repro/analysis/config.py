@@ -27,9 +27,10 @@ def _builtin_exception_names() -> frozenset[str]:
 #: module by stem (``netmark``, ``errors``); ``repro/__init__.py`` is the
 #: pseudo-unit ``__root__``.  Each unit may import itself, everything in
 #: :attr:`AnalysisConfig.universal_units`, and the units listed here.
-#: Note what is *absent*: ``federation`` appears only under ``server``
-#: and ``apps`` — everything else must stay ignorant of the federated
-#: tier (netmark's facade carries per-line pragmas for its wiring role).
+#: Note what is *absent*: ``federation`` appears only under ``server``,
+#: ``cluster`` and ``apps`` — the lower tiers stay ignorant of the
+#: federated tier (netmark's facade carries per-line pragmas for its
+#: wiring role).
 DEFAULT_LAYERS: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     # Observability is a base layer like the error vocabulary: every
@@ -53,6 +54,15 @@ DEFAULT_LAYERS: dict[str, frozenset[str]] = {
     "xslt": frozenset({"sgml"}),
     "federation": frozenset(
         {"ordbms", "sgml", "store", "query", "resilience"}
+    ),
+    # The cluster is a composition tier like ``server``: it replicates
+    # the durable store (ordbms/store), elects over the resilience
+    # primitives, and load-balances reads through federation sources.
+    "cluster": frozenset(
+        {
+            "ordbms", "sgml", "store", "query", "converters",
+            "resilience", "federation",
+        }
     ),
     "server": frozenset(
         {"sgml", "store", "query", "xslt", "federation", "resilience"}
@@ -108,6 +118,15 @@ DEFAULT_MODULE_LAYERS: dict[str, frozenset[str]] = {
     "analysis.cfg": frozenset(),
     "analysis.dataflow": frozenset({"analysis.cfg"}),
     "analysis.callgraph": frozenset({"analysis.core"}),
+    # The shipping codec is log-records-in, log-records-out: it reads
+    # the coordinator's device through the WAL codec and nothing else —
+    # a shipper that imported the store or the replica would entangle
+    # the wire format with the state it transports.
+    "cluster.ship": frozenset({"ordbms.wal"}),
+    # Bully election is pure membership arithmetic over the simulated
+    # network; it must not see stores, replicas or the WAL — the caller
+    # hands it priorities, it hands back a winner.
+    "cluster.election": frozenset({"resilience"}),
 }
 
 
@@ -158,6 +177,7 @@ DEFAULT_EXCEPTION_POLICY: dict[str, frozenset[str]] = {
     "server.webdav": frozenset({"ServerError"}),
     "netmark": frozenset({"ReproError"}),
     "federation": frozenset({"ReproError"}),
+    "cluster": frozenset({"ReproError"}),
 }
 
 #: Exceptions that may escape *any* entry point: the crash-injection

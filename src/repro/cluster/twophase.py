@@ -1,0 +1,287 @@
+"""Two-phase commit for federated ingest, with a journaled coordinator.
+
+When one logical document must land in several stores atomically (the
+federated-write path), the cluster runs textbook presumed-abort 2PC:
+
+* **Phase 1** — the coordinator journals a ``PREPARE`` record *carrying
+  the full payload* (file name + content, packed with the WAL's own
+  value codec) for each participant, then collects votes.  Journaling
+  the payload is what makes recovery possible: a participant that died
+  between prepare and commit lost its in-memory prepared state, but the
+  coordinator can re-deliver the commit from its journal.
+* **Decision** — one ``DECIDE commit|abort`` record, CRC-stamped like
+  every journal line.  The decision point is the moment of atomicity:
+  once ``DECIDE commit`` is durable the transaction commits on every
+  participant, no matter who crashes when.
+* **Phase 2** — deliver the outcome to each participant, then journal
+  ``DONE``.  Participant commit is idempotent (a content digest check
+  skips re-application), so recovery can re-deliver blindly.
+
+Presumed abort: a transaction with ``PREPARE`` records but no durable
+decision aborts on recovery — the only safe reading of a coordinator
+that died before deciding.
+
+Crash points fire through ``FaultPlan.apply("2pc", op)`` with
+``op`` in :data:`~repro.resilience.faults.TWO_PHASE_OPERATIONS`, one
+gate before each journal write and each outcome delivery.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs
+from repro.converters import convert
+from repro.errors import ReproError, TwoPhaseError
+from repro.ordbms.valuecodec import pack_row, unpack_row
+from repro.ordbms.wal import LogDevice
+from repro.resilience.faults import FaultPlan
+
+#: Journal record kinds.
+PREPARE = "PREPARE"
+VOTE = "VOTE"
+DECIDE = "DECIDE"
+DONE = "DONE"
+
+COMMIT = "commit"
+ABORT = "abort"
+
+#: Metadata key participants stamp on committed documents; the digest
+#: check behind idempotent commit re-delivery.
+DIGEST_KEY = "ingest-digest"
+
+
+def content_digest(content: str) -> str:
+    """Stable digest of a payload (CRC32 hex — collision-tolerable:
+    it only guards re-delivery of the *same* transaction)."""
+    return f"{zlib.crc32(content.encode('utf-8')):08x}"
+
+
+def _crc(body: str) -> str:
+    return f"{zlib.crc32(body.encode('utf-8')):08x}"
+
+
+class DecisionLog:
+    """The coordinator's durable 2PC journal, one CRC'd line per event."""
+
+    def __init__(self, device: LogDevice) -> None:
+        self.device = device
+
+    def append(self, *fields: str) -> None:
+        for value in fields:
+            if " " in value or "\n" in value or "|" in value:
+                raise TwoPhaseError(
+                    f"journal field {value!r} contains a separator"
+                )
+        body = " ".join(fields)
+        self.device.append(f"{body}|{_crc(body)}\n")
+        self.device.sync()
+
+    def entries(self) -> list[tuple[str, ...]]:
+        """Parse the journal; a torn last line is dropped (the append
+        never became durable), damage elsewhere raises."""
+        text = self.device.read_log()
+        if not text:
+            return []
+        complete = text.endswith("\n")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        entries: list[tuple[str, ...]] = []
+        for index, line in enumerate(lines):
+            last = index == len(lines) - 1
+            body, sep, crc = line.rpartition("|")
+            if not sep or _crc(body) != crc or (last and not complete):
+                if last:
+                    break  # torn tail: the write died with the writer
+                raise TwoPhaseError(
+                    f"2PC journal line {index + 1} is damaged mid-log"
+                )
+            entries.append(tuple(body.split(" ")))
+        return entries
+
+
+class StoreParticipant:
+    """One store's side of the protocol: vote, then obey the decision."""
+
+    def __init__(self, name: str, store: Any) -> None:
+        self.name = name
+        self.store = store
+        #: gid -> (file_name, content) held between prepare and outcome.
+        self._prepared: dict[str, tuple[str, str]] = {}
+
+    def prepare(self, gid: str, file_name: str, content: str) -> bool:
+        """Phase-1 vote: yes only if the ingest is certain to apply.
+
+        Validation runs the real converter — a payload that cannot parse
+        will never commit anywhere, so the participant votes no and the
+        whole transaction aborts.
+        """
+        try:
+            convert(content, file_name)
+        except ReproError:
+            return False
+        self._prepared[gid] = (file_name, content)
+        return True
+
+    def commit(
+        self, gid: str, file_name: str, content: str
+    ) -> int | None:
+        """Apply the decided commit; idempotent by content digest.
+
+        The payload arrives with the call (from the coordinator's
+        journal), so commit works even when this participant lost its
+        prepared state in a crash.  Returns the document id, or None
+        when the digest check proved the work was already done.
+        """
+        self._prepared.pop(gid, None)
+        digest = content_digest(content)
+        existing = self.store.lookup_by_name(file_name)
+        if (
+            existing is not None
+            and existing.metadata.get(DIGEST_KEY) == digest
+        ):
+            return None
+        document = convert(content, file_name)
+        document.metadata[DIGEST_KEY] = digest
+        if existing is not None:
+            self.store.delete_document(existing.doc_id)
+        result = self.store.store_document(document)
+        return result.doc_id
+
+    def abort(self, gid: str) -> None:
+        """Drop prepared state; nothing was applied, nothing to undo."""
+        self._prepared.pop(gid, None)
+
+    @property
+    def prepared(self) -> tuple[str, ...]:
+        return tuple(sorted(self._prepared))
+
+
+@dataclass(frozen=True)
+class TwoPhaseOutcome:
+    """Result of one distributed ingest."""
+
+    gid: str
+    outcome: str  # COMMIT or ABORT
+    votes: dict[str, bool] = field(default_factory=dict)
+    #: participant -> doc id (None = idempotent skip); commit only.
+    applied: dict[str, int | None] = field(default_factory=dict)
+
+
+class TwoPhaseCoordinator:
+    """Drives the protocol across participants, journaling every step."""
+
+    def __init__(
+        self,
+        journal: DecisionLog,
+        participants: dict[str, StoreParticipant],
+        faults: FaultPlan | None = None,
+    ) -> None:
+        if not participants:
+            raise TwoPhaseError("2PC needs at least one participant")
+        self.journal = journal
+        self.participants = dict(sorted(participants.items()))
+        self.faults = faults
+
+    def _gate(self, operation: str) -> None:
+        if self.faults is not None:
+            self.faults.apply("2pc", operation)
+
+    def ingest(
+        self, gid: str, file_name: str, content: str
+    ) -> TwoPhaseOutcome:
+        """Run one document through the full protocol."""
+        payload = pack_row((file_name, content))
+        votes: dict[str, bool] = {}
+        for name, participant in self.participants.items():
+            self._gate("prepare")
+            self.journal.append(PREPARE, gid, name, payload)
+            try:
+                votes[name] = participant.prepare(gid, file_name, content)
+            except ReproError:
+                # An unreachable participant cannot promise anything.
+                votes[name] = False
+            self.journal.append(
+                VOTE, gid, name, "yes" if votes[name] else "no"
+            )
+        decision = COMMIT if all(votes.values()) else ABORT
+        self._gate("decide")
+        self.journal.append(DECIDE, gid, decision)
+        applied: dict[str, int | None] = {}
+        if decision == COMMIT:
+            for name, participant in self.participants.items():
+                self._gate("commit")
+                applied[name] = participant.commit(gid, file_name, content)
+        else:
+            for name, participant in self.participants.items():
+                self._gate("abort")
+                participant.abort(gid)
+        self.journal.append(DONE, gid)
+        obs.inc("repro_cluster_twopc_total", outcome=decision)
+        return TwoPhaseOutcome(
+            gid=gid, outcome=decision, votes=votes, applied=applied
+        )
+
+    # -- crash recovery -----------------------------------------------------
+
+    def recover(self) -> list[tuple[str, str]]:
+        """Finish every transaction the journal left unresolved.
+
+        Returns ``(gid, action)`` pairs in journal order, where action
+        is ``commit`` (a durable commit decision was re-delivered) or
+        ``abort`` (presumed abort, or an abort decision re-delivered).
+        """
+        prepared: dict[str, dict[str, str]] = {}
+        decided: dict[str, str] = {}
+        done: set[str] = set()
+        order: list[str] = []
+        for entry in self.journal.entries():
+            kind = entry[0]
+            if kind == PREPARE and len(entry) == 4:
+                _, gid, name, payload = entry
+                if gid not in prepared:
+                    prepared[gid] = {}
+                    order.append(gid)
+                prepared[gid][name] = payload
+            elif kind == DECIDE and len(entry) == 3:
+                decided[entry[1]] = entry[2]
+            elif kind == DONE and len(entry) == 2:
+                done.add(entry[1])
+            elif kind == VOTE:
+                continue
+            else:
+                raise TwoPhaseError(
+                    f"2PC journal holds malformed entry {entry!r}"
+                )
+        actions: list[tuple[str, str]] = []
+        for gid in order:
+            if gid in done:
+                continue
+            decision = decided.get(gid, ABORT)  # presumed abort
+            if decision == COMMIT:
+                for name, payload in sorted(prepared[gid].items()):
+                    participant = self._participant(gid, name)
+                    file_name, content = unpack_row(payload)
+                    participant.commit(gid, file_name, content)
+                actions.append((gid, COMMIT))
+            else:
+                for name in sorted(prepared[gid]):
+                    self._participant(gid, name).abort(gid)
+                actions.append((gid, ABORT))
+            if gid not in decided:
+                self.journal.append(DECIDE, gid, ABORT)
+            self.journal.append(DONE, gid)
+            obs.inc("repro_cluster_twopc_total", outcome=f"recovered-{decision}")
+        return actions
+
+    def _participant(self, gid: str, name: str) -> StoreParticipant:
+        try:
+            return self.participants[name]
+        except KeyError:
+            raise TwoPhaseError(
+                f"journal names participant {name!r} for {gid} but the "
+                f"coordinator knows no such store"
+            ) from None

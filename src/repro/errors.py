@@ -240,6 +240,64 @@ class CrashError(BaseException):
 
 
 # ---------------------------------------------------------------------------
+# Cluster (replication, election, distributed commit)
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for the replicated-cluster layer.
+
+    Covers membership, WAL shipping, election and distributed commit.
+    Operational unavailability (a partitioned peer) is modelled with the
+    resilience vocabulary (:class:`SourceUnavailableError`); this branch
+    is for cluster-protocol failures proper.
+    """
+
+
+class NotCoordinatorError(ClusterError):
+    """A write reached a node that is not the current write coordinator.
+
+    Carries the coordinator's name (when one is known) so clients — and
+    the HTTP layer's ``<error code="not-coordinator">`` envelope — can
+    redirect instead of blindly retrying the same replica.
+    """
+
+    def __init__(self, message: str, coordinator: str | None = None) -> None:
+        self.coordinator = coordinator
+        super().__init__(message)
+
+
+class NoQuorumError(ClusterError):
+    """The cluster cannot form a write quorum; ingest is refused.
+
+    Raised instead of accepting a write that could not be replicated to
+    a majority — accepting it would risk losing an acknowledged ingest
+    on the next failover, the one guarantee the cluster exists to keep.
+    """
+
+
+class ReplicaQuarantinedError(ClusterError):
+    """A replica's shipped log failed verification and was isolated.
+
+    Mid-stream corruption on a follower (a failed CRC with well-formed
+    records after it) means that replica's history can no longer be
+    trusted; it is quarantined — excluded from reads, acks and elections
+    — rather than crashing the cluster.  Rejoining requires a full
+    checkpoint resync.
+    """
+
+
+class TwoPhaseError(ClusterError):
+    """A distributed commit could not follow the 2PC state machine.
+
+    Participant votes deciding an abort are *not* errors (the
+    transaction aborts cleanly); this is for protocol violations — a
+    decision record for an unknown transaction, a commit against a
+    participant that never prepared and has no journaled payload.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Workloads / experiment support
 # ---------------------------------------------------------------------------
 

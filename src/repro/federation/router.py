@@ -327,3 +327,58 @@ class Router:
                 self.resilience.clock.now() - started,
                 source=name,
             )
+
+
+class ReadBalancer:
+    """Round-robin read fan-out over *replicas of one logical store*.
+
+    Unlike the :class:`Router`, which merges answers from sources that
+    hold *different* data, the balancer picks **one** source per query —
+    every candidate is an in-sync replica holding identical state, so
+    the first that answers is the whole answer.  A rotating cursor
+    spreads queries across replicas; a failing replica is skipped and
+    the next one tried (failover), and only a total loss raises
+    :class:`~repro.errors.AllSourcesFailedError`.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+        #: replica name that served the most recent query (post-mortems).
+        self.last_served_by: str | None = None
+
+    def execute(
+        self,
+        query: "XdbQuery | str",
+        sources: list[InformationSource],
+    ) -> tuple[list[SectionMatch], str]:
+        """Answer ``query`` from one replica; returns (matches, name)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not sources:
+            raise AllSourcesFailedError(
+                "no source answered: no in-sync replica is available"
+            )
+        start = self._cursor % len(sources)
+        self._cursor += 1
+        order = sources[start:] + sources[:start]
+        failures: dict[str, str] = {}
+        for source in order:
+            try:
+                found = source.native_search(query)
+            except ReproError as error:
+                failures[source.name] = f"{type(error).__name__}: {error}"
+                obs.inc(
+                    "repro_federation_replica_reads_total",
+                    source=source.name, status="failed",
+                )
+                continue
+            obs.inc(
+                "repro_federation_replica_reads_total",
+                source=source.name, status="answered",
+            )
+            self.last_served_by = source.name
+            return found, source.name
+        raise AllSourcesFailedError(
+            f"no source answered: all {len(order)} replicas failed "
+            f"({failures})"
+        )

@@ -153,6 +153,20 @@ class Netmark:
         """GET against the NETMARK HTTP API (search/doc/docs/dav routes)."""
         return self.api.get(target)
 
+    def attach_cluster(self, view) -> None:
+        """Bind this node's HTTP facade to a cluster membership view.
+
+        ``view`` is duck-typed (``role``, ``coordinator``,
+        ``is_coordinator``, ``describe()`` — e.g.
+        ``repro.cluster.NetmarkCluster.view(name)``): once attached,
+        non-coordinator nodes answer DAV writes with a structured 503
+        pointing at the coordinator, and ``GET /cluster`` serves the
+        membership table.  The facade stays ignorant of the cluster
+        package itself — lean middleware all the way down.
+        """
+        self.api.cluster = view
+        self.ledger.record("attach cluster view")
+
     # -- administration (assembly steps) -----------------------------------------------
 
     def create_databank(self, name: str, description: str = "") -> Databank:

@@ -42,7 +42,6 @@ from repro.ordbms.table import Table
 from repro.ordbms.wal import (
     AUTOCOMMIT_TXID,
     BEGIN,
-    CHECKPOINT,
     COMMIT,
     DELETE,
     INSERT,
@@ -56,6 +55,95 @@ from repro.ordbms.wal import (
     highest_txid,
     parse_log,
 )
+
+
+class StreamReplayer:
+    """Incremental ARIES-lite replay: one record at a time.
+
+    The follower half of WAL shipping (``repro.cluster``) and the inner
+    loop of :func:`recover` share this machinery.  Records at or below
+    ``applied_lsn`` are skipped — the property that makes catch-up after
+    a checkpoint install idempotent — and every applied mutation goes
+    through the same physical verification as crash recovery.
+
+    Transactions stay *open* across :meth:`apply` calls until their
+    COMMIT / ROLLBACK record streams past; :meth:`discard_in_flight`
+    undoes whatever is still open (the loser-discard step, used at
+    end-of-log and at failover promotion).
+    """
+
+    def __init__(self, database: Database, applied_lsn: int = 0) -> None:
+        self.database = database
+        self.applied_lsn = applied_lsn
+        self._open: dict[int, list[WalRecord]] = {}
+        self.records_applied = 0
+        self.transactions_committed = 0
+        self.transactions_rolled_back = 0
+
+    @property
+    def in_flight(self) -> tuple[int, ...]:
+        """Transaction ids begun but not yet resolved, ascending."""
+        return tuple(sorted(self._open))
+
+    def apply(self, record: WalRecord) -> bool:
+        """Replay one record; returns False when it was already covered."""
+        if record.lsn <= self.applied_lsn:
+            # Already folded into the checkpoint (or already shipped):
+            # skipping is what makes replay and catch-up idempotent.
+            return False
+        if record.kind == BEGIN:
+            if record.txid in self._open:
+                raise RecoveryError(
+                    f"LSN {record.lsn}: BEGIN for transaction "
+                    f"{record.txid} which is already open"
+                )
+            self._open[record.txid] = []
+        elif record.kind in (INSERT, UPDATE, DELETE):
+            mutations = _mutations_of(self._open, record)
+            _apply(self.database, record)
+            if mutations is not None:
+                mutations.append(record)
+            self.records_applied += 1
+        elif record.kind == COMMIT:
+            _close(self._open, record)
+            self.transactions_committed += 1
+        elif record.kind == ROLLBACK:
+            for mutation in reversed(_close(self._open, record)):
+                _undo(self.database, mutation)
+            self.transactions_rolled_back += 1
+        elif record.kind == TRUNCATE:
+            mutations = _close(self._open, record)
+            self._open[record.txid] = mutations  # stays open
+            if not 0 <= record.keep <= len(mutations):
+                raise RecoveryError(
+                    f"LSN {record.lsn}: TRUNCATE keeps {record.keep} of "
+                    f"{len(mutations)} logged mutations"
+                )
+            for mutation in reversed(mutations[record.keep:]):
+                _undo(self.database, mutation)
+            del mutations[record.keep:]
+        # CHECKPOINT markers carry no state; they only advance the LSN.
+        self.applied_lsn = record.lsn
+        return True
+
+    def discard_in_flight(self) -> tuple[int, ...]:
+        """Undo every open transaction (newest mutation first).
+
+        Returns the discarded transaction ids — the *losers* at a crash
+        or failover: their mutations were durable but their commit never
+        was, so recovered state must not contain them.
+        """
+        losers = tuple(sorted(self._open))
+        leftovers = [
+            record
+            for mutations in self._open.values()
+            for record in mutations
+        ]
+        leftovers.sort(key=lambda record: record.lsn)
+        for record in reversed(leftovers):
+            _undo(self.database, record)
+        self._open.clear()
+        return losers
 
 
 @dataclass(frozen=True)
@@ -133,59 +221,84 @@ def _replay(
     torn_tail: str | None,
 ) -> tuple[int, int, int, tuple[int, ...]]:
     """Forward pass; returns (replayed, committed, rolled_back, losers)."""
-    open_transactions: dict[int, list[WalRecord]] = {}
-    replayed = committed = rolled_back = 0
+    replayer = StreamReplayer(database, applied_lsn=checkpoint_lsn)
     for record in records:
-        if record.lsn <= checkpoint_lsn:
-            # Already folded into the checkpoint: the process died
-            # between checkpoint save and log truncation.  Skipping is
-            # what makes replay idempotent.
-            continue
-        if record.kind == CHECKPOINT:
-            continue
-        if record.kind == BEGIN:
-            if record.txid in open_transactions:
-                raise RecoveryError(
-                    f"LSN {record.lsn}: BEGIN for transaction "
-                    f"{record.txid} which is already open"
-                )
-            open_transactions[record.txid] = []
-        elif record.kind in (INSERT, UPDATE, DELETE):
-            mutations = _mutations_of(open_transactions, record)
-            _apply(database, record)
-            if mutations is not None:
-                mutations.append(record)
-            replayed += 1
-        elif record.kind == COMMIT:
-            _close(open_transactions, record)
-            committed += 1
-        elif record.kind == ROLLBACK:
-            for mutation in reversed(_close(open_transactions, record)):
-                _undo(database, mutation)
-            rolled_back += 1
-        elif record.kind == TRUNCATE:
-            mutations = _close(open_transactions, record)
-            open_transactions[record.txid] = mutations  # stays open
-            if not 0 <= record.keep <= len(mutations):
-                raise RecoveryError(
-                    f"LSN {record.lsn}: TRUNCATE keeps {record.keep} of "
-                    f"{len(mutations)} logged mutations"
-                )
-            for mutation in reversed(mutations[record.keep:]):
-                _undo(database, mutation)
-            del mutations[record.keep:]
+        replayer.apply(record)
     # Whatever is still open died with the process: undo newest-first
     # across all losers (single-writer means at most one in practice).
-    losers = tuple(sorted(open_transactions))
-    leftovers = [
-        record
-        for mutations in open_transactions.values()
-        for record in mutations
-    ]
-    leftovers.sort(key=lambda record: record.lsn)
-    for record in reversed(leftovers):
-        _undo(database, record)
-    return replayed, committed, rolled_back, losers
+    losers = replayer.discard_in_flight()
+    return (
+        replayer.records_applied,
+        replayer.transactions_committed,
+        replayer.transactions_rolled_back,
+        losers,
+    )
+
+
+@dataclass(frozen=True)
+class FollowerRecovery:
+    """A device reopened for *replication*, not for writing.
+
+    Unlike :func:`recover`, no write-ahead log is attached: a follower
+    never allocates LSNs of its own — every record it will ever apply
+    arrives from the coordinator's shipped stream.  The returned
+    :class:`StreamReplayer` is positioned at the device's last durable
+    record, with any transaction that was in flight at the crash left
+    *open* (its commit may still be shipped); promotion to coordinator
+    goes through :func:`recover` instead, which discards those losers.
+    """
+
+    database: Database
+    replayer: StreamReplayer
+    checkpoint_lsn: int
+    #: Reason the tail was trimmed (the follower died mid-append), or
+    #: None when the shipped log parsed cleanly to its end.
+    torn_tail: str | None
+
+
+def recover_follower(
+    device: LogDevice, name: str = "replica"
+) -> FollowerRecovery:
+    """Rebuild a follower's applied state from its shipped-log device.
+
+    Loads the checkpoint (if any), trims a torn tail physically (a
+    follower killed mid-append must ack from its last *durable* record,
+    never past it), and replays the surviving records through a
+    :class:`StreamReplayer` that stays attached for further shipping.
+
+    Raises :class:`~repro.errors.CorruptLogError` for mid-log damage —
+    the caller (the cluster membership layer) quarantines the replica
+    rather than replaying past corruption.
+    """
+    checkpoint_text = device.load_checkpoint()
+    if checkpoint_text is None:
+        database = Database(name)
+        checkpoint_lsn = 0
+    else:
+        checkpoint_lsn, snapshot_text = decode_checkpoint(checkpoint_text)
+        database = load_database(snapshot_text, name)
+    records, torn_tail = parse_log(device.read_log())
+    if torn_tail is not None:
+        device.truncate_log()
+        for record in records:
+            device.append(record.encode())
+        device.sync()
+    replayer = StreamReplayer(database, applied_lsn=checkpoint_lsn)
+    for record in records:
+        replayer.apply(record)
+    obs.inc("repro_ordbms_recovery_runs_total")
+    obs.inc(
+        "repro_ordbms_recovery_records_replayed_total",
+        replayer.records_applied,
+    )
+    if torn_tail is not None:
+        obs.inc("repro_ordbms_recovery_torn_tails_total")
+    return FollowerRecovery(
+        database=database,
+        replayer=replayer,
+        checkpoint_lsn=checkpoint_lsn,
+        torn_tail=torn_tail,
+    )
 
 
 def _mutations_of(

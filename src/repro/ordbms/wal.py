@@ -371,6 +371,15 @@ class WriteAheadLog:
     def next_lsn(self) -> int:
         return self._next_lsn
 
+    @property
+    def last_lsn(self) -> int:
+        """Highest LSN allocated so far (0 when nothing was written).
+
+        The coordinator's replication high-water mark: a follower whose
+        acknowledged LSN equals this value is fully in sync.
+        """
+        return self._next_lsn - 1
+
     def _append(self, record: WalRecord) -> int:
         self.device.append(record.encode())
         self.records_written += 1

@@ -31,6 +31,8 @@ from repro.resilience.faults import (
     FaultRule,
     LogDeviceFaultProxy,
 )
+from repro.resilience.heartbeat import HeartbeatMonitor
+from repro.resilience.netsim import Network, NetworkEvent
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.retry import (
     DEFAULT_RETRYABLE,
@@ -54,8 +56,11 @@ __all__ = [
     "FaultPlan",
     "FaultProxy",
     "FaultRule",
+    "HeartbeatMonitor",
     "LogDeviceFaultProxy",
     "LogicalClock",
+    "Network",
+    "NetworkEvent",
     "ResiliencePolicy",
     "RetryPolicy",
     "RetryStats",

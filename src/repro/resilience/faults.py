@@ -62,6 +62,10 @@ STORE_OPERATIONS = (
 )
 VFS_OPERATIONS = ("read", "write", "move", "copy", "delete")
 LOG_OPERATIONS = ("append", "sync", "truncate_log", "save_checkpoint")
+#: 2PC crash points: the coordinator consults ``apply("2pc", op)`` right
+#: before journaling a prepare, writing a decision, and delivering each
+#: commit/abort — the classic windows a distributed commit must survive.
+TWO_PHASE_OPERATIONS = ("prepare", "decide", "commit", "abort")
 
 
 @dataclass(frozen=True)

@@ -61,9 +61,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 STYLESHEET_FOLDER = "/stylesheets"
 
+#: Seconds of back-off advertised on every 503 (``Retry-After``).  One
+#: heartbeat-timeout's worth of logical time is how long recovery gates
+#: and failovers usually take in this codebase's simulations.
+RETRY_AFTER_SECONDS = 3
+
 #: Fixed route vocabulary for the request counter — labels must stay
 #: low-cardinality, so unknown paths collapse into ``other``.
-_ROUTES = ("search", "docs", "doc", "dav", "databanks", "metrics")
+_ROUTES = ("search", "docs", "doc", "dav", "databanks", "metrics", "cluster")
 
 
 def _route_label(path: str) -> str:
@@ -97,10 +102,22 @@ class HttpResponse:
     status: int
     body: str
     content_type: str = "text/xml"
+    #: Response headers beyond Content-Type, as (name, value) pairs.
+    #: Every 503 carries ``Retry-After`` — clients should back off, not
+    #: hammer a recovering or coordinator-less node.
+    headers: tuple[tuple[str, str], ...] = ()
 
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
+
+    def header(self, name: str) -> str | None:
+        """Case-insensitive header lookup (None when absent)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
 
 
 class NetmarkHttpApi:
@@ -121,6 +138,11 @@ class NetmarkHttpApi:
         #: recovery (``XmlStore.open`` + ``NetmarkDaemon.startup_recovery``)
         #: so clients see "try again shortly", never a half-recovered store.
         self.recovering = False
+        #: Optional cluster membership view (duck-typed: ``role``,
+        #: ``coordinator``, ``is_coordinator``, ``describe()``).  When
+        #: set, writes are gated to the coordinator and ``GET /cluster``
+        #: serves the membership table.
+        self.cluster = None
         if not self.dav.vfs.is_dir(STYLESHEET_FOLDER):
             self.dav.vfs.mkdir(STYLESHEET_FOLDER, parents=True)
 
@@ -147,9 +169,16 @@ class NetmarkHttpApi:
             return self._error(
                 503, "recovering",
                 "startup recovery is running; retry shortly",
+                retry_after=RETRY_AFTER_SECONDS,
             )
+        if path == "/cluster" and method == "GET":
+            return self._cluster_view()
         try:
             if path.startswith("/dav/") or path == "/dav":
+                if method != "GET":
+                    gate = self._cluster_write_gate()
+                    if gate is not None:
+                        return gate
                 return self._dav(method, path[len("/dav"):] or "/", body)
             if method != "GET":
                 return HttpResponse(405, f"method {method} not allowed on {path}")
@@ -171,7 +200,10 @@ class NetmarkHttpApi:
             # outage, not a server bug: 503, never 500.  Partial losses
             # never reach here — they return 200 with a <partial>
             # envelope (see ResultSet.to_xml).
-            return HttpResponse(503, str(error))
+            return self._error(
+                503, "all-sources-failed", str(error),
+                retry_after=RETRY_AFTER_SECONDS,
+            )
         except CorruptLogError as error:
             # Durability-layer failures get structured bodies: a client
             # (or operator script) can dispatch on the machine-readable
@@ -288,6 +320,49 @@ class NetmarkHttpApi:
                     item.make_child("source", name=source_name)
         return HttpResponse(200, serialize(Document(root), indent=2))
 
+    def _cluster_write_gate(self) -> HttpResponse | None:
+        """Refuse writes on a node that is not the cluster coordinator.
+
+        Followers answer reads; writes must land on the one node holding
+        the WAL-attached store.  With a known coordinator the client is
+        told exactly where to go (``coordinator`` attribute, 503 +
+        Retry-After rather than a silent 500); with no coordinator the
+        cluster is mid-failover and the client should simply wait.
+        """
+        view = self.cluster
+        if view is None or view.is_coordinator:
+            return None
+        coordinator = view.coordinator
+        if coordinator is None:
+            return self._error(
+                503, "no-coordinator",
+                "cluster has no coordinator (election in progress); "
+                "retry shortly",
+                retry_after=RETRY_AFTER_SECONDS,
+            )
+        return self._error(
+            503, "not-coordinator",
+            f"this node is a {view.role}; write to {coordinator}",
+            retry_after=RETRY_AFTER_SECONDS,
+            attributes={"coordinator": coordinator},
+        )
+
+    def _cluster_view(self) -> HttpResponse:
+        from repro.sgml.dom import Document, Element
+
+        root = Element("cluster")
+        view = self.cluster
+        if view is None:
+            root.attributes["enabled"] = "false"
+            return HttpResponse(200, serialize(Document(root), indent=2))
+        root.attributes["enabled"] = "true"
+        root.attributes["self"] = getattr(view, "name", "")
+        if view.coordinator is not None:
+            root.attributes["coordinator"] = view.coordinator
+        for row in view.describe():
+            root.append(Element("node", dict(row)))
+        return HttpResponse(200, serialize(Document(root), indent=2))
+
     def _dav(self, method: str, dav_path: str, body: str) -> HttpResponse:
         if method == "PUT":
             response = self.dav.put(dav_path, body)
@@ -304,13 +379,34 @@ class NetmarkHttpApi:
     # -- structured errors ---------------------------------------------------------
 
     @staticmethod
-    def _error(status: int, code: str, message: str) -> HttpResponse:
-        """A machine-readable XML error envelope."""
+    def _error(
+        status: int,
+        code: str,
+        message: str,
+        retry_after: int | None = None,
+        attributes: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """A machine-readable XML error envelope.
+
+        ``retry_after`` (seconds) emits the ``Retry-After`` header *and*
+        mirrors it as an attribute on the envelope, so both header-aware
+        clients and body-parsing scripts see the same advice.
+        """
         from repro.sgml.dom import Document, Element
 
-        root = Element("error", {"code": code, "status": str(status)})
+        attrs = {"code": code, "status": str(status)}
+        if retry_after is not None:
+            attrs["retry-after"] = str(retry_after)
+        if attributes:
+            attrs.update(attributes)
+        root = Element("error", attrs)
         root.append_text(message)
-        return HttpResponse(status, serialize(Document(root), indent=2))
+        headers: tuple[tuple[str, str], ...] = ()
+        if retry_after is not None:
+            headers = (("Retry-After", str(retry_after)),)
+        return HttpResponse(
+            status, serialize(Document(root), indent=2), headers=headers
+        )
 
     # -- stylesheet management ----------------------------------------------------
 

@@ -118,6 +118,18 @@ class XmlStore:
         return self.database.checkpoint()
 
     @classmethod
+    def adopt(
+        cls, database: Database, config: NodeTypeConfig = DEFAULT_CONFIG
+    ) -> "XmlStore":
+        """Wire a store view around a database that already has the schema.
+
+        The entry point for databases materialised elsewhere — crash
+        recovery output, a replication follower's applied state — where
+        the NETMARK tables exist but no :class:`XmlStore` does yet.
+        """
+        return cls._adopt(database, config)
+
+    @classmethod
     def _adopt(
         cls, database: Database, config: NodeTypeConfig
     ) -> "XmlStore":

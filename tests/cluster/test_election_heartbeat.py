@@ -1,0 +1,134 @@
+"""Heartbeats, the simulated network, and bully elections."""
+
+import pytest
+
+from repro.cluster import NetmarkCluster, elect
+from repro.errors import ClusterError, NoQuorumError, ResilienceError
+from repro.resilience import HeartbeatMonitor, LogicalClock, Network
+
+
+class TestHeartbeatMonitor:
+    def test_alive_within_timeout(self):
+        clock = LogicalClock()
+        monitor = HeartbeatMonitor(clock, timeout=3)
+        monitor.beat("n2")
+        clock.advance(3)
+        assert monitor.alive("n2")
+        clock.advance(1)
+        assert not monitor.alive("n2")
+        assert monitor.suspects() == ["n2"]
+
+    def test_never_seen_is_not_alive(self):
+        monitor = HeartbeatMonitor(LogicalClock(), timeout=3)
+        assert not monitor.alive("ghost")
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ResilienceError):
+            HeartbeatMonitor(LogicalClock(), timeout=0)
+
+
+class TestNetwork:
+    def test_partition_and_heal(self):
+        network = Network(LogicalClock(), ["a", "b", "c", "d"])
+        network.partition(["a", "b"], ["c", "d"])
+        assert network.reachable("a", "b")
+        assert not network.reachable("a", "c")
+        network.heal()
+        assert network.reachable("a", "c")
+
+    def test_partition_must_cover_every_node_once(self):
+        network = Network(LogicalClock(), ["a", "b", "c"])
+        with pytest.raises(ResilienceError):
+            network.partition(["a"], ["b"])  # c missing
+        with pytest.raises(ResilienceError):
+            network.partition(["a", "b"], ["b", "c"])  # b twice
+
+    def test_dead_nodes_are_unreachable(self):
+        network = Network(LogicalClock(), ["a", "b"])
+        network.kill("b")
+        assert not network.reachable("a", "b")
+        assert network.peers_of("a") == []
+        network.revive("b")
+        assert network.reachable("a", "b")
+
+
+class TestElection:
+    def build(self, names):
+        return Network(LogicalClock(), list(names))
+
+    def test_highest_acked_lsn_wins(self):
+        network = self.build(["a", "b", "c"])
+        record = elect(
+            network, "a", {"a": (5, "a"), "b": (9, "b"), "c": (7, "c")}
+        )
+        assert record.winner == "b"
+        assert record.quorum == ("a", "b", "c")
+        assert "a->b ELECTION" in record.messages
+        assert "b->a ALIVE" in record.messages
+        assert record.messages[-1].endswith("COORDINATOR")
+
+    def test_name_breaks_lsn_ties(self):
+        network = self.build(["a", "b", "c"])
+        record = elect(
+            network, "a", {"a": (5, "a"), "b": (5, "b"), "c": (5, "c")}
+        )
+        assert record.winner == "c"
+
+    def test_minority_partition_cannot_elect(self):
+        network = self.build(["a", "b", "c", "d", "e"])
+        network.partition(["a", "b"], ["c", "d", "e"])
+        with pytest.raises(NoQuorumError):
+            elect(network, "a", {"a": (9, "a"), "b": (1, "b")})
+
+    def test_initiator_must_be_eligible(self):
+        network = self.build(["a", "b"])
+        with pytest.raises(ClusterError):
+            elect(network, "ghost", {"a": (1, "a"), "b": (2, "b")})
+
+
+class TestClusterFailureDetection:
+    def test_dead_coordinator_is_detected_and_replaced(self):
+        cluster = NetmarkCluster(["n1", "n2", "n3"], heartbeat_timeout=2)
+        cluster.ingest("a.md", "# A\n\nalpha\n")
+        cluster.kill("n1")
+        cluster.tick(4)
+        assert cluster.coordinator in {"n2", "n3"}
+        assert cluster.stats.failovers == 1
+        assert cluster.elections[-1].winner == cluster.coordinator
+
+    def test_election_trace_is_deterministic(self):
+        def run():
+            cluster = NetmarkCluster(
+                ["n1", "n2", "n3"], heartbeat_timeout=2
+            )
+            cluster.ingest("a.md", "# A\n\nalpha\n")
+            cluster.kill("n1")
+            cluster.tick(4)
+            return [
+                (r.tick, r.initiator, r.winner, r.messages, r.quorum)
+                for r in cluster.elections
+            ]
+
+        assert run() == run()
+
+    def test_minority_coordinator_demotes_and_majority_elects(self):
+        cluster = NetmarkCluster(
+            ["n1", "n2", "n3", "n4", "n5"], heartbeat_timeout=2
+        )
+        cluster.ingest("a.md", "# A\n\nalpha\n")
+        cluster.partition(["n1", "n2"], ["n3", "n4", "n5"])
+        cluster.tick(4)
+        assert cluster.stats.demotions == 1
+        assert cluster.coordinator in {"n3", "n4", "n5"}
+        with pytest.raises(NoQuorumError):
+            # The write path re-checks quorum even if a stale client
+            # talks to the old coordinator's side.
+            cluster.partition(["n1"], ["n2"], ["n3"], ["n4"], ["n5"])
+            cluster.tick(3)
+            cluster.ingest("b.md", "# B\n\nbeta\n")
+
+    def test_grace_period_suppresses_startup_elections(self):
+        cluster = NetmarkCluster(["n1", "n2", "n3"], heartbeat_timeout=3)
+        cluster.tick(2)  # within the grace window
+        assert cluster.coordinator == "n1"
+        assert cluster.stats.failovers == 0

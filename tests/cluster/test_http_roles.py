@@ -1,0 +1,87 @@
+"""HTTP in a cluster: role gates, Retry-After, structured 503 bodies."""
+
+from repro.cluster import NetmarkCluster
+from repro.netmark import Netmark
+
+
+def clustered_node(node_name="n2"):
+    cluster = NetmarkCluster(["n1", "n2", "n3"], heartbeat_timeout=2)
+    nm = Netmark("edge")
+    nm.attach_cluster(cluster.view(node_name))
+    return cluster, nm
+
+
+class TestWriteGate:
+    def test_follower_refuses_dav_writes_with_coordinator_hint(self):
+        cluster, nm = clustered_node("n2")
+        response = nm.api.request("PUT", "/dav/a.md", "# A\n")
+        assert response.status == 503
+        assert response.header("Retry-After") is not None
+        assert 'code="not-coordinator"' in response.body
+        assert 'coordinator="n1"' in response.body
+
+    def test_coordinator_accepts_dav_writes(self):
+        cluster, nm = clustered_node("n1")
+        response = nm.api.request("PUT", "/dav/a.md", "# A\n")
+        assert response.ok
+
+    def test_no_coordinator_is_a_retryable_outage(self):
+        cluster, nm = clustered_node("n2")
+        cluster.kill("n1")  # no election until the timeout expires
+        response = nm.api.request("PUT", "/dav/a.md", "# A\n")
+        assert response.status == 503
+        assert 'code="no-coordinator"' in response.body
+        assert response.header("Retry-After") is not None
+
+    def test_gate_follows_failover(self):
+        cluster, nm = clustered_node("n2")
+        cluster.kill("n1")
+        cluster.tick(4)
+        if cluster.coordinator == "n2":
+            assert nm.api.request("PUT", "/dav/x", "y").ok
+        else:
+            response = nm.api.request("PUT", "/dav/x", "y")
+            assert f'coordinator="{cluster.coordinator}"' in response.body
+
+    def test_reads_pass_on_followers(self):
+        cluster, nm = clustered_node("n2")
+        assert nm.http_get("/docs").ok
+
+
+class TestClusterRoute:
+    def test_membership_table_renders(self):
+        cluster, nm = clustered_node("n2")
+        response = nm.http_get("/cluster")
+        assert response.ok
+        assert 'self="n2"' in response.body
+        assert 'coordinator="n1"' in response.body
+        assert response.body.count("<node ") == 3
+        assert 'role="coordinator"' in response.body
+
+    def test_unclustered_node_reports_disabled(self):
+        nm = Netmark("solo")
+        response = nm.http_get("/cluster")
+        assert response.ok
+        assert 'enabled="false"' in response.body
+
+    def test_quarantine_shows_in_the_table(self):
+        cluster, nm = clustered_node("n1")
+        cluster._quarantine("n3", "corrupt log (test)")
+        response = nm.http_get("/cluster")
+        assert 'role="quarantined"' in response.body
+
+
+class TestRetryAfterEverywhere:
+    def test_recovering_gate_carries_retry_after(self):
+        nm = Netmark("solo")
+        nm.api.recovering = True
+        response = nm.http_get("/docs")
+        assert response.status == 503
+        assert response.header("retry-after") is not None  # any case
+        assert 'code="recovering"' in response.body
+        assert "retry-after=" in response.body  # mirrored in the body
+
+    def test_non_503_responses_carry_no_retry_after(self):
+        nm = Netmark("solo")
+        assert nm.http_get("/docs").header("Retry-After") is None
+        assert nm.http_get("/nope").status == 404

@@ -1,0 +1,130 @@
+"""WAL shipping and follower replicas: batches, bundles, idempotence."""
+
+import pytest
+
+from repro.cluster import FollowerReplica, LogShipper, NetmarkCluster
+from repro.errors import ClusterError
+from repro.ordbms.wal import MemoryLogDevice, parse_log
+from repro.sgml.config import DEFAULT_CONFIG
+from repro.store.xmlstore import XmlStore
+
+
+def coordinator_rig():
+    """A WAL-backed store plus a shipper over its device."""
+    device = MemoryLogDevice()
+    store = XmlStore.open(device, DEFAULT_CONFIG)
+    return device, store, LogShipper(device)
+
+
+class TestLogShipper:
+    def test_bundle_carries_checkpoint_and_tail(self):
+        device, store, shipper = coordinator_rig()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        bundle = shipper.bundle()
+        assert bundle.checkpoint_lsn >= 0
+        assert bundle.last_lsn == store.database.wal.last_lsn
+        assert len(bundle.tail) > 0
+
+    def test_batch_after_ships_only_the_gap(self):
+        device, store, shipper = coordinator_rig()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        acked = store.database.wal.last_lsn
+        store.store_text("# B\n\nbeta\n", "b.md")
+        batch = shipper.batch_after(acked)
+        assert batch.first_lsn == acked + 1
+        assert batch.last_lsn == store.database.wal.last_lsn
+
+    def test_cannot_tail_ship_below_checkpoint(self):
+        device, store, shipper = coordinator_rig()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        store.checkpoint()  # truncates the live log
+        assert not shipper.can_ship_from(0)
+        with pytest.raises(ClusterError):
+            shipper.batch_after(0)
+
+
+class TestFollowerReplica:
+    def build_pair(self):
+        device, store, shipper = coordinator_rig()
+        follower = FollowerReplica.bootstrap(
+            "f1", MemoryLogDevice(), shipper.bundle()
+        )
+        return store, shipper, follower
+
+    def test_bootstrap_then_apply_converges(self):
+        store, shipper, follower = self.build_pair()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        follower.apply_batch(shipper.batch_after(follower.acked_lsn))
+        assert follower.acked_lsn == store.database.wal.last_lsn
+        assert follower.dump() == store.dump()
+        assert follower.store.lookup_by_name("a.md") is not None
+
+    def test_apply_is_idempotent_and_skips_overlap(self):
+        store, shipper, follower = self.build_pair()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        batch = shipper.batch_after(0)  # overlaps the bundled prefix
+        before = follower.acked_lsn
+        first = follower.apply_batch(batch)
+        again = follower.apply_batch(batch)
+        assert first == again == store.database.wal.last_lsn
+        assert first > before
+        # Re-applying appended nothing the second time.
+        records, torn = parse_log(follower.device.read_log())
+        assert torn is None
+        lsns = [record.lsn for record in records]
+        assert lsns == sorted(set(lsns))
+
+    def test_acked_records_are_durable_on_the_follower(self):
+        store, shipper, follower = self.build_pair()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        follower.apply_batch(shipper.batch_after(follower.acked_lsn))
+        # A fresh replica over the same device recovers to the same ack.
+        reopened = FollowerReplica("f1", follower.device)
+        assert reopened.acked_lsn == follower.acked_lsn
+        assert reopened.dump() == follower.dump()
+
+    def test_compact_folds_state_and_refuses_open_transactions(self):
+        store, shipper, follower = self.build_pair()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        follower.apply_batch(shipper.batch_after(follower.acked_lsn))
+        covered = follower.compact()
+        assert covered == follower.acked_lsn
+        reopened = FollowerReplica("f1", follower.device)
+        assert reopened.dump() == store.dump()
+
+    def test_install_bundle_discards_divergent_history(self):
+        store, shipper, follower = self.build_pair()
+        store.store_text("# A\n\nalpha\n", "a.md")
+        follower.apply_batch(shipper.batch_after(follower.acked_lsn))
+        store.store_text("# B\n\nbeta\n", "b.md")
+        store.checkpoint()  # follower's ack is now below the checkpoint
+        assert not shipper.can_ship_from(follower.acked_lsn)
+        follower.install_bundle(shipper.bundle())
+        assert follower.dump() == store.dump()
+
+
+class TestClusterReplication:
+    def test_every_ack_is_on_every_in_sync_replica(self):
+        cluster = NetmarkCluster(["n1", "n2", "n3"])
+        receipt = cluster.ingest("a.md", "# A\n\nalpha\n")
+        assert receipt.witnesses == ("n1", "n2", "n3")
+        dumps = cluster.dumps()
+        assert len(set(dumps.values())) == 1
+
+    def test_replication_lag_is_zero_on_the_fast_path(self):
+        cluster = NetmarkCluster(["n1", "n2", "n3"])
+        cluster.ingest("a.md", "# A\n\nalpha\n")
+        assert cluster.replication_lag() == {"n2": 0, "n3": 0}
+
+    def test_checkpoint_forces_bundle_resync_for_lagging_node(self):
+        cluster = NetmarkCluster(["n1", "n2", "n3"])
+        cluster.ingest("a.md", "# A\n\nalpha\n")
+        cluster.kill("n2")
+        cluster.ingest("b.md", "# B\n\nbeta\n")
+        cluster.checkpoint()  # n2's gap no longer coverable by the log
+        cluster.revive("n2")
+        cluster.catch_up("n2")
+        resynced = cluster.stats.catchups
+        assert resynced == 1
+        dumps = cluster.dumps()
+        assert len(dumps) == 3 and len(set(dumps.values())) == 1

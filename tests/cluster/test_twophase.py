@@ -1,0 +1,141 @@
+"""Two-phase commit: votes, decisions, crash recovery, idempotence."""
+
+import pytest
+
+from repro.cluster import (
+    DecisionLog,
+    StoreParticipant,
+    TwoPhaseCoordinator,
+)
+from repro.cluster.harness import twopc_crash_matrix
+from repro.cluster.twophase import ABORT, COMMIT, DIGEST_KEY
+from repro.errors import TwoPhaseError
+from repro.ordbms.wal import MemoryLogDevice
+from repro.store.xmlstore import XmlStore
+
+DOC = ("memo.md", "# Memo\n\ntwo stores, one truth\n")
+
+
+def build_rig(count=2):
+    stores = {f"s{i}": XmlStore() for i in range(1, count + 1)}
+    participants = {
+        name: StoreParticipant(name, store)
+        for name, store in stores.items()
+    }
+    journal = DecisionLog(MemoryLogDevice())
+    return stores, participants, journal
+
+
+class TestHappyPath:
+    def test_commit_lands_on_every_participant(self):
+        stores, participants, journal = build_rig()
+        outcome = TwoPhaseCoordinator(journal, participants).ingest(
+            "g1", *DOC
+        )
+        assert outcome.outcome == COMMIT
+        assert outcome.votes == {"s1": True, "s2": True}
+        for store in stores.values():
+            assert store.lookup_by_name(DOC[0]) is not None
+
+    def test_commit_is_idempotent_by_digest(self):
+        stores, participants, journal = build_rig()
+        coordinator = TwoPhaseCoordinator(journal, participants)
+        first = coordinator.ingest("g1", *DOC)
+        again = coordinator.ingest("g2", *DOC)
+        assert all(doc_id is not None for doc_id in first.applied.values())
+        assert all(doc_id is None for doc_id in again.applied.values())
+        entry = stores["s1"].lookup_by_name(DOC[0])
+        assert DIGEST_KEY in entry.metadata
+
+    def test_one_no_vote_aborts_everywhere(self):
+        stores, participants, journal = build_rig()
+        outcome = TwoPhaseCoordinator(journal, participants).ingest(
+            "g1", "bad.xml", "<a><b></a>"  # mismatched tags: vote no
+        )
+        assert outcome.outcome == ABORT
+        assert outcome.votes == {"s1": False, "s2": False}
+        for store in stores.values():
+            assert store.lookup_by_name("bad.xml") is None
+        for participant in participants.values():
+            assert participant.prepared == ()
+
+
+class TestJournal:
+    def test_lines_are_crc_guarded(self):
+        device = MemoryLogDevice()
+        journal = DecisionLog(device)
+        journal.append("DECIDE", "g1", "commit")
+        assert journal.entries() == [("DECIDE", "g1", "commit")]
+
+    def test_torn_tail_is_dropped(self):
+        device = MemoryLogDevice()
+        journal = DecisionLog(device)
+        journal.append("DECIDE", "g1", "commit")
+        device.append("DONE g1|deadbeef")  # bad CRC, no newline: torn
+        assert journal.entries() == [("DECIDE", "g1", "commit")]
+
+    def test_mid_log_damage_raises(self):
+        device = MemoryLogDevice()
+        journal = DecisionLog(device)
+        journal.append("DECIDE", "g1", "commit")
+        device.append("garbage-line|ffffffff\n")
+        journal.append("DONE", "g1")
+        with pytest.raises(TwoPhaseError, match="damaged mid-log"):
+            journal.entries()
+
+    def test_fields_may_not_carry_separators(self):
+        journal = DecisionLog(MemoryLogDevice())
+        with pytest.raises(TwoPhaseError):
+            journal.append("DECIDE", "g 1", "commit")
+
+
+class TestRecovery:
+    def test_undecided_transaction_presumes_abort(self):
+        stores, participants, journal = build_rig()
+        # Journal a prepare with no decision — the coordinator died.
+        from repro.ordbms.valuecodec import pack_row
+
+        journal.append("PREPARE", "g1", "s1", pack_row(DOC))
+        actions = TwoPhaseCoordinator(journal, participants).recover()
+        assert actions == [("g1", ABORT)]
+        assert stores["s1"].lookup_by_name(DOC[0]) is None
+        # The abort decision is now durable; recovery is idempotent.
+        assert TwoPhaseCoordinator(journal, participants).recover() == []
+
+    def test_decided_commit_is_redelivered_from_the_journal(self):
+        stores, participants, journal = build_rig()
+        from repro.ordbms.valuecodec import pack_row
+
+        payload = pack_row(DOC)
+        journal.append("PREPARE", "g1", "s1", payload)
+        journal.append("PREPARE", "g1", "s2", payload)
+        journal.append("DECIDE", "g1", COMMIT)
+        actions = TwoPhaseCoordinator(journal, participants).recover()
+        assert actions == [("g1", COMMIT)]
+        for store in stores.values():
+            assert store.lookup_by_name(DOC[0]) is not None
+
+    def test_unknown_participant_in_journal_raises(self):
+        _, participants, journal = build_rig()
+        from repro.ordbms.valuecodec import pack_row
+
+        journal.append("PREPARE", "g1", "ghost", pack_row(DOC))
+        journal.append("DECIDE", "g1", COMMIT)
+        with pytest.raises(TwoPhaseError, match="ghost"):
+            TwoPhaseCoordinator(journal, participants).recover()
+
+
+class TestCrashMatrix:
+    def test_every_crash_point_preserves_atomicity(self):
+        matrix = twopc_crash_matrix()
+        assert len(matrix.points) == 5  # 2 prepare + 1 decide + 2 commit
+        assert all(point.crashed for point in matrix.points)
+        assert matrix.all_atomic
+
+    def test_crash_after_decide_still_commits_everywhere(self):
+        matrix = twopc_crash_matrix()
+        for point in matrix.points:
+            if point.operation == "commit":
+                assert point.committed_everywhere
+            else:
+                assert not point.committed_everywhere

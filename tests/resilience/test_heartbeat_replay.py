@@ -1,0 +1,156 @@
+"""Deterministic replay: retry jitter and breaker probes on the clock.
+
+Same seed, same schedule — bit-identical.  These are the guarantees the
+cluster harness leans on when it promises a failover trace replays
+exactly from its fault-plan seed.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import CircuitOpenError, SourceUnavailableError
+from repro.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    HeartbeatMonitor,
+    LogicalClock,
+    RetryPolicy,
+    RetryStats,
+    call_with_retry,
+)
+
+
+def flaky(failures):
+    """An operation that fails ``failures`` times, then succeeds."""
+    state = {"left": failures}
+
+    def operation():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise SourceUnavailableError("transient (test)")
+        return "ok"
+
+    return operation
+
+
+class TestRetryJitterReplay:
+    def run_schedule(self, seed):
+        """One retried call; returns the exact backoff-tick trace."""
+        clock = LogicalClock()
+        rng = random.Random(seed)
+        stats = RetryStats()
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=2, multiplier=3, max_delay=40
+        )
+        ticks = [clock.now()]
+
+        def operation():
+            ticks.append(clock.now())
+            raise SourceUnavailableError("always down (test)")
+
+        with pytest.raises(SourceUnavailableError):
+            call_with_retry(operation, policy, clock, rng, stats=stats)
+        return tuple(ticks), stats.attempts, stats.backoff_ticks
+
+    def test_same_seed_is_bit_identical(self):
+        assert self.run_schedule(1234) == self.run_schedule(1234)
+
+    def test_different_seeds_diverge(self):
+        schedules = {self.run_schedule(seed)[0] for seed in range(8)}
+        assert len(schedules) > 1  # jitter is real, not a constant
+
+    def test_backoff_is_full_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=2, multiplier=3, max_delay=40)
+        rng = random.Random(99)
+        for attempt in range(1, 7):
+            ceiling = min(40, 2 * 3 ** (attempt - 1))
+            for _ in range(50):
+                assert 0 <= policy.backoff(attempt, rng) <= ceiling
+
+    def test_recovery_mid_schedule_replays_too(self):
+        def run(seed):
+            clock = LogicalClock()
+            stats = RetryStats()
+            result = call_with_retry(
+                flaky(3),
+                RetryPolicy(max_attempts=5, base_delay=4),
+                clock,
+                random.Random(seed),
+                stats=stats,
+            )
+            return result, clock.now(), stats.retries, stats.backoff_ticks
+
+        assert run(7) == run(7)
+
+
+class TestBreakerHalfOpenOnHeartbeats:
+    def drive(self, seed):
+        """Trip a breaker, then let heartbeat ticks carry it through
+        cooldown -> half-open -> closed.  Returns the transition trace."""
+        clock = LogicalClock()
+        monitor = HeartbeatMonitor(clock, timeout=4)
+        breaker = CircuitBreaker(
+            "peer", BreakerConfig(failure_threshold=2, cooldown=6), clock
+        )
+        rng = random.Random(seed)
+        # Two straight failures trip it.
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        probes = []
+        # Heartbeat loop: each tick a beat arrives; the breaker is only
+        # probed when the monitor still believes the peer is alive.
+        for _ in range(10):
+            clock.advance(1)
+            monitor.beat("peer")
+            if monitor.alive("peer") and breaker.allow():
+                probes.append(clock.now())
+                if rng.random() < 0.5:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+        trace = [
+            (t.tick, t.old_state, t.new_state)
+            for t in breaker.transitions
+        ]
+        return tuple(trace), tuple(probes), breaker.state
+
+    def test_half_open_waits_out_the_cooldown(self):
+        trace, probes, _state = self.drive(seed=5)
+        half_open = [t for t in trace if t[2] == "half-open"]
+        assert half_open
+        assert half_open[0][0] >= 6  # not a tick before cooldown
+
+    def test_same_seed_same_transition_schedule(self):
+        assert self.drive(seed=42) == self.drive(seed=42)
+
+    def test_check_raises_while_cooling_down(self):
+        clock = LogicalClock()
+        breaker = CircuitBreaker(
+            "peer", BreakerConfig(failure_threshold=1, cooldown=8), clock
+        )
+        breaker.record_failure()
+        clock.advance(7)
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+        clock.advance(1)
+        breaker.check()  # cooldown over: half-open lets the probe through
+        assert breaker.state == "half-open"
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = LogicalClock()
+        breaker = CircuitBreaker(
+            "peer", BreakerConfig(failure_threshold=1, cooldown=4), clock
+        )
+        breaker.record_failure()
+        clock.advance(4)
+        assert breaker.allow()  # half-open probe
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # cooldown restarted
+        clock.advance(4)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
