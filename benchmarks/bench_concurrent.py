@@ -1,0 +1,276 @@
+"""CONCURRENT — multi-worker serving under MVCC snapshot isolation.
+
+The paper's middleware serves many WebDAV/HTTP clients at once while the
+daemon ingests in the background.  This bench measures that whole read
+path end to end:
+
+* QPS vs worker count through :class:`~repro.server.workers.WorkerPool`
+  — four workers must answer at least 2x the single-worker rate;
+* reader latency while :class:`~repro.server.workers.IngestThread` bulk
+  ingests — a pinned reader's results stay byte-identical to the
+  quiesced run for the entire ingest (the acceptance property);
+* version-GC reclamation — pinned history survives the sweep, released
+  history is reclaimed.
+
+Workers spend most of each request streaming the response body back to
+a (simulated) WAN client, which is where real NETMARK deployments spend
+their wall clock; see :class:`_SlowClientApi`.
+"""
+
+import statistics
+import time
+
+import pytest
+from conftest import print_table, write_artifact
+
+from repro.netmark import Netmark
+from repro.server.workers import IngestThread, WorkerPool
+from repro.sgml.serializer import serialize
+from repro.store import XmlStore
+from repro.workloads import CorpusSpec, generate_corpus
+
+WORKER_COUNTS = (1, 2, 4)
+REQUESTS = 40
+READS = 16
+#: Per-response client drain.  ``time.sleep`` releases the GIL exactly
+#: like a socket write to a slow client does, so worker-count scaling is
+#: visible even on a single core: the drains overlap, the (brief) query
+#: compute serializes.
+CLIENT_DRAIN_SECONDS = 0.010
+QUERY_TARGET = "/search?Context=Budget&limit=5"
+QUERY = "Context=Budget"
+
+
+class _SlowClientApi:
+    """The in-process API plus a simulated client drain per response.
+
+    In the paper's deployment each response streams to a WebDAV client
+    over the network: the worker is occupied but the interpreter is
+    idle.  Wrapping the API (rather than slowing the library) keeps the
+    simulation local to this bench.
+    """
+
+    def __init__(self, api, drain_seconds=CLIENT_DRAIN_SECONDS):
+        self._api = api
+        self._drain = drain_seconds
+
+    def request(self, method, target, body=""):
+        response = self._api.request(method, target, body)
+        time.sleep(self._drain)  # the client drains the response body
+        return response
+
+
+@pytest.fixture(scope="module")
+def node():
+    loaded = Netmark()
+    for file in generate_corpus(CorpusSpec(documents=60, seed=140)):
+        loaded.drop(file.name, file.text)
+    loaded.poll()
+    return loaded
+
+
+def test_report_worker_scaling(benchmark, node):
+    """QPS vs worker count on the fig6 read workload (+ client drain)."""
+
+    def report():
+        expected = node.api.get(QUERY_TARGET).body  # also warms the index
+        api = _SlowClientApi(node.api)
+        rows = []
+        series = []
+        single_qps = None
+        for workers in WORKER_COUNTS:
+            with WorkerPool(api, workers=workers) as pool:
+                start = time.perf_counter()
+                futures = [
+                    pool.submit("GET", QUERY_TARGET)
+                    for _ in range(REQUESTS)
+                ]
+                responses = [
+                    future.result(timeout=120) for future in futures
+                ]
+                elapsed = time.perf_counter() - start
+            ok = sum(1 for response in responses if response.ok)
+            identical = all(
+                response.body == expected for response in responses
+            )
+            qps = REQUESTS / elapsed
+            if single_qps is None:
+                single_qps = qps
+            speedup = qps / single_qps
+            assert ok == REQUESTS
+            assert identical  # every worker reads the same committed state
+            rows.append(
+                [workers, REQUESTS, f"{qps:.1f}", f"{speedup:.2f}x"]
+            )
+            series.append(
+                {
+                    "workers": workers,
+                    "requests": REQUESTS,
+                    "responses_ok": ok,
+                    "byte_identical": identical,
+                    "queries_per_second": round(qps, 1),
+                    "speedup": round(speedup, 2),
+                }
+            )
+        print_table(
+            f"CONCURRENT: {QUERY_TARGET} QPS vs worker count "
+            f"({CLIENT_DRAIN_SECONDS * 1000:.0f}ms client drain)",
+            ["workers", "requests", "qps", "speedup"],
+            rows,
+        )
+        write_artifact("BENCH_concurrent.json", "worker_scaling", series)
+        # Acceptance: four workers answer at >= 2x the single-worker rate.
+        assert series[-1]["workers"] == 4
+        assert series[-1]["speedup"] >= 2.0
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_reader_latency_during_ingest(benchmark):
+    """A pinned reader during bulk ingest: byte-identical, never blocked."""
+
+    def report():
+        files = generate_corpus(CorpusSpec(documents=48, seed=141))
+        node = Netmark()
+        for file in files[:16]:
+            node.drop(file.name, file.text)
+        node.poll()
+        engine = node.api.engine
+
+        # Quiesced baseline: same pinned-read path, nothing else running.
+        quiesced_latencies = []
+        with node.store.snapshot() as pin:
+            matches = len(engine.execute(QUERY, snapshot=pin))
+            for _ in range(READS):
+                start = time.perf_counter()
+                quiesced = serialize(
+                    engine.execute(QUERY, snapshot=pin).to_xml(), indent=2
+                )
+                quiesced_latencies.append(time.perf_counter() - start)
+
+        for file in files[16:]:
+            node.drop(file.name, file.text)
+        retries_before = sum(
+            table.read_retries for table in node.store.database.catalog
+        )
+
+        ingest_latencies = []
+        observed = set()
+        with node.store.snapshot() as pin:
+            ingest = IngestThread(node.daemon)
+            ingest.start()
+            for _ in range(READS):
+                start = time.perf_counter()
+                observed.add(
+                    serialize(
+                        engine.execute(QUERY, snapshot=pin).to_xml(),
+                        indent=2,
+                    )
+                )
+                ingest_latencies.append(time.perf_counter() - start)
+            ingested = ingest.stop(timeout=120)
+            # One more read after the full ingest committed: the pin
+            # still reproduces the pre-ingest answer.
+            observed.add(
+                serialize(
+                    engine.execute(QUERY, snapshot=pin).to_xml(), indent=2
+                )
+            )
+        retries = (
+            sum(table.read_retries for table in node.store.database.catalog)
+            - retries_before
+        )
+
+        byte_identical = observed == {quiesced}
+        assert byte_identical  # the acceptance property
+        assert ingested == len(files) - 16
+        quiesced_p50 = statistics.median(quiesced_latencies)
+        ingest_p50 = statistics.median(ingest_latencies)
+        print_table(
+            f"CONCURRENT: pinned '{QUERY}' reads during bulk ingest "
+            f"({ingested} documents)",
+            ["phase", "reads", "p50", "max", "seqlock retries"],
+            [
+                [
+                    "quiesced",
+                    READS,
+                    f"{quiesced_p50 * 1000:.2f}ms",
+                    f"{max(quiesced_latencies) * 1000:.2f}ms",
+                    "-",
+                ],
+                [
+                    "during ingest",
+                    READS + 1,
+                    f"{ingest_p50 * 1000:.2f}ms",
+                    f"{max(ingest_latencies) * 1000:.2f}ms",
+                    retries,
+                ],
+            ],
+        )
+        write_artifact(
+            "BENCH_concurrent.json",
+            "reader_latency_during_ingest",
+            {
+                "documents_preloaded": 16,
+                "documents_ingested": ingested,
+                "reads": READS,
+                "result_matches": matches,
+                "byte_identical": byte_identical,
+                "quiesced_p50_latency_ms": round(quiesced_p50 * 1000, 3),
+                "ingest_p50_latency_ms": round(ingest_p50 * 1000, 3),
+                "ingest_max_latency_ms": round(
+                    max(ingest_latencies) * 1000, 3
+                ),
+                "latency_ratio": round(
+                    ingest_p50 / max(quiesced_p50, 1e-9), 2
+                ),
+            },
+        )
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_version_gc_reclamation(benchmark):
+    """GC never touches pinned history; released history is reclaimed."""
+
+    def report():
+        corpus = generate_corpus(CorpusSpec(documents=12, seed=142))
+        store = XmlStore()
+        for file in corpus[:6]:
+            store.store_text(file.text, file.name)
+        entry = store.documents()[0]
+        quiesced = serialize(store.document(entry.doc_id), indent=2)
+
+        with store.snapshot() as pin:
+            # corpus[6] shares entry 0's format (period-6 format cycle),
+            # so the converter accepts it under the old name.
+            store.replace_text(corpus[6].text, entry.file_name)
+            reclaimed_pinned = store.database.vacuum_versions()
+            pinned = serialize(
+                store.document(entry.doc_id, snapshot=pin), indent=2
+            )
+            assert pinned == quiesced  # the sweep spared the pinned rows
+        reclaimed_after = store.database.vacuum_versions()
+        versions_left = sum(
+            table.version_count for table in store.database.catalog
+        )
+        assert reclaimed_after > 0
+        assert versions_left == 0
+
+        print_table(
+            "CONCURRENT: version-GC around one superseded document",
+            ["sweep", "reclaimed", "versions left"],
+            [
+                ["while pinned", reclaimed_pinned, "-"],
+                ["after release", reclaimed_after, versions_left],
+            ],
+        )
+        write_artifact(
+            "BENCH_concurrent.json",
+            "version_gc",
+            {
+                "reclaimed_while_pinned": reclaimed_pinned,
+                "reclaimed_after_release": reclaimed_after,
+                "reclaimed_total": store.database.mvcc.reclaimed_total,
+                "versions_left": versions_left,
+            },
+        )
+    benchmark.pedantic(report, rounds=1, iterations=1)

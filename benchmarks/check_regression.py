@@ -36,6 +36,7 @@ GATED_ARTIFACTS = (
     "BENCH_fig8.json",
     "BENCH_crash_matrix.json",
     "BENCH_cluster_failover.json",
+    "BENCH_concurrent.json",
 )
 
 #: Key fragments that mark a float as a *timing* — noisy on shared CI,

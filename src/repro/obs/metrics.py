@@ -17,11 +17,20 @@ Naming convention (enforced by :func:`validate_metric_name`):
 Determinism: nothing here reads a clock or RNG.  Values move only when
 instrumented code calls ``inc``/``set``/``observe``, so two identical
 runs against a fresh registry produce bit-identical snapshots.
+
+Thread-safety: worker threads (``repro.server.workers``) bump counters
+concurrently with the ingest thread and with ``/metrics`` scrapes.  Every
+mutation and every read of series state happens under one lock — the
+*registry's* lock, shared down into each metric at registration time, so
+``snapshot()`` is atomic across families: it can never observe metric A
+after a request and metric B before it.  A metric constructed standalone
+(outside any registry) carries its own lock until registered.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from typing import Iterator
 
 from repro.errors import ObservabilityError
@@ -69,20 +78,30 @@ class Metric:
     def __init__(self, name: str, help_text: str = "") -> None:
         self.name = validate_metric_name(name)
         self.help_text = help_text
+        #: Reentrant because ``MetricsRegistry.snapshot`` holds the shared
+        #: lock while calling back into per-metric readers.  Replaced with
+        #: the registry's lock at registration (see module docstring).
+        self._lock = threading.RLock()
+        # repro: guarded-by(_lock) read-modify-write bumps from any worker
+        # thread must not interleave.
         self._series: dict[tuple[tuple[str, str], ...], float] = {}
 
     def _bump(self, amount: float, labels: dict[str, str]) -> None:
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
 
     def series(self) -> Iterator[tuple[str, float]]:
         """``(rendered_labels, value)`` pairs in deterministic order."""
-        for key in sorted(self._series):
-            yield _render_labels(key), self._series[key]
+        with self._lock:
+            items = sorted(self._series.items())
+        for key, value in items:
+            yield _render_labels(key), value
 
     def value(self, **labels: str) -> float:
         """Current value of one series (0 if never touched)."""
-        return self._series.get(_label_key(labels), 0)
+        with self._lock:
+            return self._series.get(_label_key(labels), 0)
 
     def snapshot_into(self, out: dict[str, float]) -> None:
         for rendered, value in self.series():
@@ -119,7 +138,8 @@ class Gauge(Metric):
     kind = "gauge"
 
     def set(self, value: float, **labels: str) -> None:
-        self._series[_label_key(labels)] = value
+        with self._lock:
+            self._series[_label_key(labels)] = value
 
     def inc(self, amount: float = 1, **labels: str) -> None:
         self._bump(amount, labels)
@@ -150,34 +170,43 @@ class Histogram(Metric):
                 f"histogram {name} needs ascending bucket bounds"
             )
         self.buckets = tuple(float(bound) for bound in buckets)
-        # label key -> [counts per bucket + inf, sum, count]
+        # repro: guarded-by(_lock) label key -> [counts per bucket + inf,
+        # sum, count]; multi-slot updates must be atomic to observers.
         self._dist: dict[tuple[tuple[str, str], ...], list[float]] = {}
 
     def observe(self, value: float, **labels: str) -> None:
         key = _label_key(labels)
-        slot = self._dist.get(key)
-        if slot is None:
-            slot = [0.0] * (len(self.buckets) + 1) + [0.0, 0.0]
-            self._dist[key] = slot
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                slot[index] += 1
-        slot[len(self.buckets)] += 1  # +Inf
-        slot[-2] += value  # sum
-        slot[-1] += 1  # count
+        with self._lock:
+            slot = self._dist.get(key)
+            if slot is None:
+                slot = [0.0] * (len(self.buckets) + 1) + [0.0, 0.0]
+                self._dist[key] = slot
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot[index] += 1
+            slot[len(self.buckets)] += 1  # +Inf
+            slot[-2] += value  # sum
+            slot[-1] += 1  # count
 
     def value(self, **labels: str) -> float:
         """The observation *count* for one series (histogram headline)."""
-        slot = self._dist.get(_label_key(labels))
-        return slot[-1] if slot is not None else 0
+        with self._lock:
+            slot = self._dist.get(_label_key(labels))
+            return slot[-1] if slot is not None else 0
 
     def series(self) -> Iterator[tuple[str, float]]:
-        for key in sorted(self._dist):
-            yield _render_labels(key), self._dist[key][-1]
+        for key, slot in self._dist_items():
+            yield _render_labels(key), slot[-1]
+
+    def _dist_items(
+        self,
+    ) -> list[tuple[tuple[tuple[str, str], ...], list[float]]]:
+        """A stable, sorted copy of the distribution (slots copied too)."""
+        with self._lock:
+            return [(key, list(self._dist[key])) for key in sorted(self._dist)]
 
     def snapshot_into(self, out: dict[str, float]) -> None:
-        for key in sorted(self._dist):
-            slot = self._dist[key]
+        for key, slot in self._dist_items():
             base = dict(key)
             for index, bound in enumerate(self.buckets):
                 labels = _label_key({**base, "le": _format_value(bound)})
@@ -194,8 +223,7 @@ class Histogram(Metric):
         if self.help_text:
             lines.append(f"# HELP {self.name} {self.help_text}")
         lines.append(f"# TYPE {self.name} {self.kind}")
-        for key in sorted(self._dist):
-            slot = self._dist[key]
+        for key, slot in self._dist_items():
             base = dict(key)
             for index, bound in enumerate(self.buckets):
                 labels = _label_key({**base, "le": _format_value(bound)})
@@ -230,18 +258,25 @@ class MetricsRegistry:
     """All metric families of one process (or one test's sandbox)."""
 
     def __init__(self) -> None:
+        #: One lock for the whole registry — shared down into every
+        #: registered metric so cross-family snapshots are atomic.
+        self._lock = threading.RLock()
+        # repro: guarded-by(_lock) registration races (two workers first
+        # to touch a counter) must produce exactly one family object.
         self._metrics: dict[str, Metric] = {}
 
     def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help_text, **kwargs)
-            self._metrics[name] = metric
-        elif type(metric) is not cls:
-            raise ObservabilityError(
-                f"metric {name!r} is already registered as {metric.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, **kwargs)
+                metric._lock = self._lock
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise ObservabilityError(
+                    f"metric {name!r} is already registered as {metric.kind}"
+                )
+            return metric
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         return self._get_or_create(Counter, name, help_text)
@@ -260,25 +295,32 @@ class MetricsRegistry:
         )
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def get(self, name: str) -> Metric | None:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def snapshot(self) -> dict[str, float]:
         """Every series as ``{"name{labels}": value}``, sorted by key.
 
         Plain data: JSON-serialisable, diff-able, and bit-identical for
         two identical instrumented runs (nothing here is clocked).
+        Atomic under concurrency: the registry lock is held across all
+        families, so the snapshot is one instant's view, never a mix of
+        before-and-after states of a single request.
         """
-        out: dict[str, float] = {}
-        for name in sorted(self._metrics):
-            self._metrics[name].snapshot_into(out)
-        return dict(sorted(out.items()))
+        with self._lock:
+            out: dict[str, float] = {}
+            for name in sorted(self._metrics):
+                self._metrics[name].snapshot_into(out)
+            return dict(sorted(out.items()))
 
     def render_text(self) -> str:
         """The ``/metrics`` text exposition (Prometheus-compatible)."""
-        lines: list[str] = []
-        for name in sorted(self._metrics):
-            self._metrics[name].render_into(lines)
-        return "\n".join(lines) + ("\n" if lines else "")
+        with self._lock:
+            lines: list[str] = []
+            for name in sorted(self._metrics):
+                self._metrics[name].render_into(lines)
+            return "\n".join(lines) + ("\n" if lines else "")

@@ -21,11 +21,19 @@ float durations, which are *excluded* from the deterministic export.
 ``NULL_TRACER`` is the default for every instrumented component: its
 ``span`` returns a shared no-op context manager, so the un-traced hot
 path pays one truthiness check and nothing else.
+
+Thread-safety: a tracer's *open-span stack* is thread-confined — spans
+open and close in LIFO order on the thread doing the work, so per-request
+tracers (one per ``/search``) and the daemon's tracer never share a
+stack.  The *collected roots* do cross threads (a worker finishes a span
+tree, a scraper drains it), so root collection and draining are guarded
+by a lock.  ``NULL_TRACER`` is freely shared: it is stateless.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Callable, Iterator
 
 from repro.errors import ObservabilityError
@@ -168,9 +176,16 @@ class Tracer:
         self._own_clock = _OwnClock() if clock is None else None
         self._clock = clock if clock is not None else self._own_clock
         self._wall_clock = wall_clock
+        # repro: guarded-by(gil) thread-confined by the LIFO span
+        # protocol: only the thread doing the traced work touches it.
         self._stack: list[Span] = []
+        self._roots_lock = threading.Lock()
+        # repro: guarded-by(_roots_lock) completed roots cross threads —
+        # appended by the finishing worker, drained by a collector.
         self.roots: list[Span] = []
         self.max_roots = max_roots
+        # repro: guarded-by(_roots_lock) bumped together with the
+        # append-or-drop decision it explains.
         self.dropped_roots = 0
 
     # -- span construction -------------------------------------------------
@@ -202,10 +217,11 @@ class Tracer:
         if self._wall_clock is not None:
             span.wall_end = self._wall_clock()
         if not self._stack:
-            if len(self.roots) >= self.max_roots:
-                self.dropped_roots += 1
-            else:
-                self.roots.append(span)
+            with self._roots_lock:
+                if len(self.roots) >= self.max_roots:
+                    self.dropped_roots += 1
+                else:
+                    self.roots.append(span)
 
     @property
     def current(self) -> Span | None:
@@ -216,13 +232,15 @@ class Tracer:
 
     def take_roots(self) -> list[Span]:
         """Drain and return the completed root spans (oldest first)."""
-        roots, self.roots = self.roots, []
+        with self._roots_lock:
+            roots, self.roots = self.roots, []
         return roots
 
     def reset(self) -> None:
         self._stack.clear()
-        self.roots.clear()
-        self.dropped_roots = 0
+        with self._roots_lock:
+            self.roots.clear()
+            self.dropped_roots = 0
         if self._own_clock is not None:
             self._own_clock.reset()
 
@@ -232,6 +250,8 @@ class Tracer:
         Wall-time fields are excluded on purpose: the export is the
         deterministic record (bit-identical across identical runs).
         """
+        with self._roots_lock:
+            roots = list(self.roots)
         return "".join(
             json.dumps(
                 root.to_dict(include_wall=False),
@@ -239,7 +259,7 @@ class Tracer:
                 separators=(",", ":"),
             )
             + "\n"
-            for root in self.roots
+            for root in roots
         )
 
 

@@ -49,6 +49,7 @@ from repro.ordbms.executor import (
     Values,
     execute,
 )
+from repro.ordbms.mvcc import ABSENT, MvccState, Snapshot
 from repro.ordbms.recovery import RecoveryResult, recover
 from repro.ordbms.rowid import RowId
 from repro.ordbms.schema import Column, ForeignKey, TableSchema
@@ -77,6 +78,7 @@ from repro.ordbms.wal import (
 )
 
 __all__ = [
+    "ABSENT",
     "ALL_TYPES",
     "Aggregate",
     "AggSpec",
@@ -107,6 +109,7 @@ __all__ = [
     "Lit",
     "LogDevice",
     "MemoryLogDevice",
+    "MvccState",
     "NestedLoopJoin",
     "Not",
     "Or",
@@ -118,6 +121,7 @@ __all__ = [
     "RowId",
     "STOPWORDS",
     "SeqScan",
+    "Snapshot",
     "Sort",
     "SqlError",
     "SqlResult",

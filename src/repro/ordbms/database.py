@@ -20,6 +20,7 @@ from typing import Any, Mapping
 from repro import obs
 from repro.errors import TransactionError, WalError
 from repro.ordbms.catalog import Catalog
+from repro.ordbms.mvcc import MvccState, Snapshot
 from repro.ordbms.rowid import RowId
 from repro.ordbms.schema import TableSchema
 from repro.ordbms.table import Table
@@ -62,13 +63,20 @@ class Database:
     #: (today's default).  Attach via :meth:`enable_wal` (fresh database)
     #: or :func:`repro.ordbms.recovery.recover` (reopen after a crash).
     wal: WriteAheadLog | None = None
+    #: Database-level MVCC state: the commit LSN every mutation statement
+    #: advances and the snapshot pins readers hold.  Tables created
+    #: through :meth:`create_table` share it, so one snapshot covers the
+    #: DOC and XML tables consistently.
+    mvcc: MvccState = field(default_factory=MvccState)
     _current: Transaction | None = None
     _next_txid: int = 1
 
     # -- DDL ----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> Table:
-        return self.catalog.create_table(schema)
+        table = self.catalog.create_table(schema)
+        table.bind_mvcc(self.mvcc)
+        return table
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
@@ -85,11 +93,16 @@ class Database:
         txid = self._next_txid
         self._next_txid += 1
         self._current = Transaction(self, txid=txid)
+        # Snapshots opened while this transaction is in flight pin the
+        # pre-transaction LSN: no reader ever sees a partial transaction
+        # (each document ingest is one transaction).
+        self.mvcc.transaction_opened()
         if self.wal is not None:
             self.wal.log_begin(txid)
         return self._current
 
     def _transaction_closed(self, transaction: Transaction) -> None:
+        self.mvcc.transaction_closed()
         if transaction is self._current:
             self._current = None
         if transaction._state == "committed":
@@ -102,6 +115,29 @@ class Database:
     @property
     def in_transaction(self) -> bool:
         return self._current is not None and self._current.is_active
+
+    # -- snapshots (MVCC) -----------------------------------------------------
+
+    def open_snapshot(self) -> Snapshot:
+        """Pin the current commit LSN for non-blocking consistent reads.
+
+        The returned handle is a context manager; release it (or leave
+        the ``with`` block) to let version-GC advance past its LSN::
+
+            with database.open_snapshot() as snap:
+                row = table.visible_row(rowid, snap.lsn)
+        """
+        return self.mvcc.open()
+
+    def vacuum_versions(self) -> int:
+        """Version-GC across every table, down to the current GC horizon.
+
+        Tables also auto-vacuum every
+        :data:`~repro.ordbms.table.AUTO_VACUUM_INTERVAL` statements; this
+        is the explicit sweep (e.g. after the last snapshot over a bulk
+        ingest closes).  Returns total history entries reclaimed.
+        """
+        return sum(table.vacuum_versions() for table in self.catalog)
 
     # -- durability -----------------------------------------------------------
 

@@ -137,6 +137,21 @@ class HeapFile:
                     if row is not _TOMBSTONE:
                         yield RowId(file_no, block_no, slot_no), row  # lint: allow-rowid-mint(the heap file IS the physical layer that mints addresses)
 
+    def scan_all(self) -> Iterator[tuple[RowId, Any]]:
+        """Yield ``(rowid, row-or-tombstone)`` for every allocated slot.
+
+        Unlike :meth:`scan`, tombstoned slots are included (their value
+        is the private tombstone sentinel) — the MVCC snapshot scan needs
+        their addresses to resolve pre-images of recently deleted rows.
+        The structure is append-only, so iterating concurrently with an
+        inserting writer is safe; callers wanting a stable inventory run
+        this under :meth:`repro.ordbms.table.Table.stable_read`.
+        """
+        for file_no, blocks in enumerate(self._files):
+            for block_no, block in enumerate(blocks):
+                for slot_no in range(len(block.slots)):
+                    yield RowId(file_no, block_no, slot_no), block.slots[slot_no]  # lint: allow-rowid-mint(the heap file IS the physical layer that mints addresses)
+
     def __len__(self) -> int:
         return self._live_rows
 

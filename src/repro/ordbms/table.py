@@ -10,12 +10,14 @@ automatically created B+tree indexes, so enforcement is O(log n).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Mapping
+import time
+from typing import Any, Callable, Iterable, Iterator, Mapping, TypeVar
 
 from repro import obs
 from repro.errors import CatalogError, ConstraintError, RowIdError
 from repro.ordbms.btree import BTreeIndex
 from repro.ordbms.expr import Expr
+from repro.ordbms.mvcc import ABSENT, MvccState
 from repro.ordbms.rowid import RowId
 from repro.ordbms.schema import TableSchema
 from repro.ordbms.storage import HeapFile
@@ -24,6 +26,13 @@ from repro.ordbms.textindex import TextIndex
 #: Pseudo-column name under which a row's own physical address is exposed,
 #: mirroring Oracle's ``ROWID`` pseudo-column.
 ROWID_PSEUDO = "ROWID_"
+
+#: Mutation statements between automatic version-GC sweeps.  Small enough
+#: to bound history growth during sustained ingest, large enough that the
+#: sweep cost amortizes to noise.
+AUTO_VACUUM_INTERVAL = 256
+
+_T = TypeVar("_T")
 
 
 class Table:
@@ -37,6 +46,21 @@ class Table:
         #: :class:`repro.store.accessor.NodeAccessor` snapshot this value
         #: and invalidate themselves when it moves.
         self._generation = 0
+        #: Seqlock for lock-free readers: odd while a mutation statement
+        #: is mid-flight (heap/index structures may be inconsistent),
+        #: even otherwise.  Readers snapshot it around structural reads
+        #: and retry on change — see :meth:`stable_read`.
+        self._seq = 0  # repro: guarded-by(gil) written by the single writer only; readers compare two atomic reads
+        #: MVCC pre-image history: rowid -> [(superseding_lsn, image)].
+        #: Appended chronologically by the writer; a reader pinned at S
+        #: takes the first entry with lsn > S (else the live heap row).
+        #: Vacuum swaps in a rebuilt dict, never mutates lists in place,
+        #: so concurrent readers keep a consistent reference.
+        self._history: dict[RowId, list[tuple[int, Any]]] = {}  # repro: guarded-by(_seq) writer-owned; readers go through stable_read's seqlock retry
+        self._mvcc: MvccState | None = None
+        self._mutations_since_vacuum = 0
+        #: Reader seqlock retries (contention evidence, never blocking).
+        self.read_retries = 0  # repro: guarded-by(gil) int bump; diagnostic counter, exactness not required
         self._indexes: dict[str, BTreeIndex] = {}
         self._text_indexes: dict[str, TextIndex] = {}
         # Unique enforcement piggybacks on B+tree indexes over these columns.
@@ -51,6 +75,92 @@ class Table:
             self.create_index(column)
         if column not in self._unique_columns:
             self._unique_columns.append(column)
+
+    # -- MVCC ----------------------------------------------------------------
+
+    def bind_mvcc(self, state: MvccState) -> None:
+        """Adopt the database's MVCC state (done by ``create_table``).
+
+        Unbound tables (constructed directly, e.g. in unit tests) skip
+        history recording entirely and behave exactly as before.
+        """
+        self._mvcc = state
+
+    def _begin_statement(self) -> int | None:
+        if self._mvcc is None:
+            return None
+        return self._mvcc.begin_statement()
+
+    def _record(self, lsn: int | None, rowid: RowId, image: Any) -> None:
+        """Record ``image`` as the pre-image superseded at ``lsn``."""
+        if lsn is None:
+            return
+        self._history.setdefault(rowid, []).append((lsn, image))
+
+    def _commit_statement(self, lsn: int | None) -> None:
+        self._generation += 1
+        if lsn is None or self._mvcc is None:
+            return
+        self._mvcc.commit_statement(lsn)
+        self._mutations_since_vacuum += 1
+        if self._mutations_since_vacuum >= AUTO_VACUUM_INTERVAL:
+            self.vacuum_versions()
+
+    def vacuum_versions(self, horizon: int | None = None) -> int:
+        """Version-GC: drop history entries at or below the GC horizon.
+
+        The horizon defaults to the database's — the oldest pinned LSN
+        (so a pinned generation is never reclaimed), or the current LSN
+        when no snapshot is open.  Runs on the writer thread; the new
+        history dict is swapped in atomically so concurrent readers keep
+        a consistent (pre-sweep) reference.  Returns entries reclaimed.
+        """
+        if self._mvcc is None:
+            return 0
+        if horizon is None:
+            horizon = self._mvcc.gc_horizon()
+        reclaimed = 0
+        fresh: dict[RowId, list[tuple[int, Any]]] = {}
+        for rowid, entries in self._history.items():
+            kept = [entry for entry in entries if entry[0] > horizon]
+            reclaimed += len(entries) - len(kept)
+            if kept:
+                fresh[rowid] = kept
+        self._history = fresh
+        self._mutations_since_vacuum = 0
+        self._mvcc.note_reclaimed(reclaimed)
+        return reclaimed
+
+    @property
+    def version_count(self) -> int:
+        """Retained pre-image history entries (GC-boundedness evidence)."""
+        return sum(len(entries) for entries in self._history.values())
+
+    def stable_read(self, read: Callable[[], _T]) -> _T:
+        """Run ``read`` lock-free against a structurally stable table.
+
+        Optimistic seqlock: retry while the writer is mid-statement or
+        moved the counter during the read.  ``read`` must be pure (no
+        side effects beyond its return value) since it may run several
+        times; a ``RuntimeError`` from a dict resized mid-iteration
+        counts as a torn read and retries too.  Readers only ever
+        *yield* the GIL — they never block on a lock.
+        """
+        while True:
+            start = self._seq
+            if start & 1:
+                self.read_retries += 1
+                time.sleep(0)  # yield to the writer mid-statement
+                continue
+            try:
+                result = read()
+            except RuntimeError:  # dict/list mutated during iteration
+                self.read_retries += 1
+                time.sleep(0)
+                continue
+            if self._seq == start:
+                return result
+            self.read_retries += 1
 
     # -- index management -------------------------------------------------
 
@@ -94,22 +204,26 @@ class Table:
         path ``store.fsck --repair`` and recovery diagnostics use when
         an index has drifted from the rows it claims to describe.
         """
-        for column, index in list(self._indexes.items()):
-            fresh = BTreeIndex(index.name)
-            position = self.schema.position(column)
-            for rowid, row in self._heap.scan():
-                if row[position] is not None:
-                    fresh.insert(row[position], rowid)
-            self._indexes[column] = fresh
-        for column, text_index in list(self._text_indexes.items()):
-            fresh_text = TextIndex(text_index.name)
-            position = self.schema.position(column)
-            for rowid, row in self._heap.scan():
-                value = row[position]
-                if isinstance(value, str) and value:
-                    fresh_text.add(rowid, value)
-            self._text_indexes[column] = fresh_text
-        self._generation += 1
+        self._seq += 1
+        try:
+            for column, index in list(self._indexes.items()):
+                fresh = BTreeIndex(index.name)
+                position = self.schema.position(column)
+                for rowid, row in self._heap.scan():
+                    if row[position] is not None:
+                        fresh.insert(row[position], rowid)
+                self._indexes[column] = fresh
+            for column, text_index in list(self._text_indexes.items()):
+                fresh_text = TextIndex(text_index.name)
+                position = self.schema.position(column)
+                for rowid, row in self._heap.scan():
+                    value = row[position]
+                    if isinstance(value, str) and value:
+                        fresh_text.add(rowid, value)
+                self._text_indexes[column] = fresh_text
+        finally:
+            self._seq += 1
+            self._generation += 1
 
     def index_on(self, column: str) -> BTreeIndex | None:
         return self._indexes.get(column.upper())
@@ -132,9 +246,15 @@ class Table:
         """Validate, constraint-check and store a row; returns its ROWID."""
         row = self.schema.make_row(values)
         self._check_unique(row, exclude=None)
-        rowid = self._heap.insert(row)
-        self._index_row(rowid, row)
-        self._generation += 1
+        lsn = self._begin_statement()
+        self._seq += 1
+        try:
+            rowid = self._heap.insert(row)
+            self._record(lsn, rowid, ABSENT)
+            self._index_row(rowid, row)
+        finally:
+            self._seq += 1
+            self._commit_statement(lsn)
         return rowid
 
     def update(self, rowid: RowId, changes: Mapping[str, Any]) -> None:
@@ -144,25 +264,44 @@ class Table:
         merged.update({key.upper(): value for key, value in changes.items()})
         new_row = self.schema.make_row(merged)
         self._check_unique(new_row, exclude=rowid)
-        self._unindex_row(rowid, old_row)
-        self._heap.update(rowid, new_row)
-        self._index_row(rowid, new_row)
-        self._generation += 1
+        lsn = self._begin_statement()
+        self._seq += 1
+        try:
+            self._record(lsn, rowid, old_row)
+            self._unindex_row(rowid, old_row)
+            self._heap.update(rowid, new_row)
+            self._index_row(rowid, new_row)
+        finally:
+            self._seq += 1
+            self._commit_statement(lsn)
 
     def delete(self, rowid: RowId) -> dict[str, Any]:
         """Delete the row at ``rowid``; returns its former values."""
-        old_row = self._heap.delete(rowid)
-        self._unindex_row(rowid, old_row)
-        self._generation += 1
+        old_row = self._heap.fetch(rowid)
+        lsn = self._begin_statement()
+        self._seq += 1
+        try:
+            self._record(lsn, rowid, old_row)
+            self._heap.delete(rowid)
+            self._unindex_row(rowid, old_row)
+        finally:
+            self._seq += 1
+            self._commit_statement(lsn)
         return self.schema.row_to_dict(old_row)
 
     def restore(self, rowid: RowId, values: Mapping[str, Any]) -> None:
         """Undo a delete: put ``values`` back at the original ``rowid``."""
         row = self.schema.make_row(values)
         self._check_unique(row, exclude=rowid)
-        self._heap.restore(rowid, row)
-        self._index_row(rowid, row)
-        self._generation += 1
+        lsn = self._begin_statement()
+        self._seq += 1
+        try:
+            self._record(lsn, rowid, ABSENT)
+            self._heap.restore(rowid, row)
+            self._index_row(rowid, row)
+        finally:
+            self._seq += 1
+            self._commit_statement(lsn)
 
     # -- access ---------------------------------------------------------------
 
@@ -254,6 +393,124 @@ class Table:
             "repro_ordbms_lookups_total",
             table=self.schema.name, path="scan",
         )
+        return rows
+
+    # -- snapshot access (MVCC) ----------------------------------------------
+
+    def _visible_image(self, rowid: RowId, pin: int) -> Any:
+        """The row tuple visible at ``pin``, or :data:`ABSENT`.
+
+        Reader order matters and is the inverse of the writer's: read
+        the live heap value *first*, then consult history.  The writer
+        records a statement's pre-image before its heap mutation (inside
+        the seqlock window), so by the time a reader can observe the
+        mutated heap, the superseding history entry already exists.
+        Runs inside :meth:`stable_read`.
+        """
+        try:
+            current: Any = self._heap.fetch(rowid)
+        except RowIdError:  # tombstoned or not-yet-allocated slot
+            current = ABSENT
+        entries = self._history.get(rowid)
+        if entries:
+            for lsn, image in entries:
+                if lsn > pin:
+                    # Oldest superseding statement: its pre-image is the
+                    # row as of every LSN at or below the pin.
+                    return image
+        return current
+
+    def visible_row(self, rowid: RowId, pin: int) -> dict[str, Any] | None:
+        """The row at ``rowid`` as of commit LSN ``pin`` (None if absent)."""
+        image = self.stable_read(lambda: self._visible_image(rowid, pin))
+        if image is ABSENT:
+            return None
+        return self._with_rowid(rowid, image)
+
+    def visible_many(
+        self, rowids: Iterable[RowId], pin: int
+    ) -> list[dict[str, Any]]:
+        """Batch :meth:`visible_row`; every rowid must be visible."""
+        rows = []
+        for rowid in rowids:
+            row = self.visible_row(rowid, pin)
+            if row is None:
+                raise RowIdError(
+                    f"ROWID {rowid} is not visible at LSN {pin} in table "
+                    f"{self.schema.name}"
+                )
+            rows.append(row)
+        if rows:
+            obs.inc(
+                "repro_ordbms_rows_read_total", len(rows),
+                table=self.schema.name, path="snapshot",
+            )
+        return rows
+
+    def changed_rowids_since(self, pin: int) -> set[RowId]:
+        """Rowids mutated by any statement after ``pin``.
+
+        History entries are appended in LSN order, so the last entry's
+        LSN bounds the row's whole history; vacuum keeps only suffixes.
+        """
+        return self.stable_read(
+            lambda: {
+                rowid
+                for rowid, entries in self._history.items()
+                if entries and entries[-1][0] > pin
+            }
+        )
+
+    def snapshot_scan(self, pin: int) -> Iterator[dict[str, Any]]:
+        """Yield every row visible at ``pin``, in physical order.
+
+        The slot inventory is captured stably first; rows inserted after
+        the capture carry LSNs above the pin and would be invisible
+        anyway, and tombstoned slots resolve through their pre-images.
+        """
+        rowids = self.stable_read(
+            lambda: [rowid for rowid, _ in self._heap.scan_all()]
+        )
+        examined = 0
+        for rowid in rowids:
+            examined += 1
+            row = self.visible_row(rowid, pin)
+            if row is not None:
+                yield row
+        if examined:
+            obs.inc(
+                "repro_ordbms_rows_read_total", examined,
+                table=self.schema.name, path="snapshot_scan",
+            )
+
+    def snapshot_search(
+        self, column: str, value: Any, pin: int
+    ) -> list[dict[str, Any]]:
+        """Generation-aware equality lookup as of ``pin``.
+
+        Candidates are the *live* index postings plus every rowid that
+        changed after the pin (which covers rows updated away from, or
+        deleted out of, the postings); each candidate's visible image is
+        then re-checked against ``value``.  The postings probe runs
+        before the changed-set read: any statement racing us either
+        finishes before the probe (its rowid is in the postings or gone
+        from them) or lands a history entry the changed-set read sees.
+        """
+        column = column.upper()
+        index = self._indexes.get(column)
+        if index is None:
+            self.schema.column(column)  # validates existence
+            return [
+                row for row in self.snapshot_scan(pin) if row[column] == value
+            ]
+        current = self.stable_read(lambda: set(index.search(value)))
+        candidates = current | self.changed_rowids_since(pin)
+        obs.inc("repro_ordbms_btree_probes_total", index=index.name)
+        rows = []
+        for rowid in sorted(candidates):
+            row = self.visible_row(rowid, pin)
+            if row is not None and row[column] == value:
+                rows.append(row)
         return rows
 
     def __len__(self) -> int:

@@ -64,6 +64,7 @@ from repro.query.plan import (
     Union,
     phrase_in,
 )
+from repro.ordbms import Snapshot
 from repro.query.results import ResultSet, SectionMatch
 from repro.sgml.dom import Document, Element
 from repro.store.xmlstore import XmlStore
@@ -80,11 +81,19 @@ class QueryEngine:
 
     # -- public entry points ------------------------------------------------
 
-    def execute(self, query: XdbQuery | str) -> ResultSet:
-        """Run a parsed query or a raw XDB query string."""
+    def execute(
+        self, query: XdbQuery | str, snapshot: Snapshot | None = None
+    ) -> ResultSet:
+        """Run a parsed query or a raw XDB query string.
+
+        With ``snapshot`` (see :meth:`XmlStore.snapshot`) the whole plan
+        — probes, lifts, walks, and the lazy match loaders the result
+        carries — executes against that one pinned commit LSN, immune to
+        (and never blocked by) concurrent ingest.
+        """
         if isinstance(query, str):
             query = parse_query(query)
-        ctx, root = self.compile(query)
+        ctx, root = self.compile(query, snapshot=snapshot)
         matches = list(root.rows())
         obs.inc("repro_query_rows_returned_total", len(matches))
         self._publish_plan_stats(ctx)
@@ -92,7 +101,12 @@ class QueryEngine:
         result.extend(matches)
         return result.limited(query.limit)
 
-    def explain(self, query: XdbQuery | str, wall_clock=None) -> Document:
+    def explain(
+        self,
+        query: XdbQuery | str,
+        wall_clock=None,
+        snapshot: Snapshot | None = None,
+    ) -> Document:
         """Execute the query's plan and render it with observed row counts.
 
         The plan runs to completion (so the counts reflect real work,
@@ -114,7 +128,9 @@ class QueryEngine:
         """
         if isinstance(query, str):
             query = parse_query(query)
-        ctx, root = self.compile(query, wall_clock=wall_clock)
+        ctx, root = self.compile(
+            query, wall_clock=wall_clock, snapshot=snapshot
+        )
         for _ in root.rows():
             pass
         self._publish_plan_stats(ctx)
@@ -207,7 +223,10 @@ class QueryEngine:
     # -- plan construction ------------------------------------------------------
 
     def compile(
-        self, query: XdbQuery, wall_clock=None
+        self,
+        query: XdbQuery,
+        wall_clock=None,
+        snapshot: Snapshot | None = None,
     ) -> tuple[PlanContext, PlanNode]:
         """Build the operator tree for ``query`` (root is a Materialize).
 
@@ -226,8 +245,8 @@ class QueryEngine:
         obs.inc("repro_query_queries_total", kind=query.kind)
         profiler = PlanProfiler(wall_clock) if query.profile else None
         ctx = PlanContext(
-            self.store, self.store.new_accessor(), self.use_index,
-            profiler=profiler,
+            self.store, self.store.new_accessor(snapshot), self.use_index,
+            profiler=profiler, snapshot=snapshot,
         )
         kind = query.kind
         if kind == "context":

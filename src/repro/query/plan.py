@@ -61,6 +61,7 @@ from typing import Any, Iterator
 
 from repro.errors import DocumentNotFoundError, QueryError
 from repro.obs import PlanProfiler
+from repro.ordbms.mvcc import Snapshot
 from repro.ordbms.table import ROWID_PSEUDO
 from repro.ordbms.textindex import TextIndex, tokenize
 from repro.query.ast import ContentSpec
@@ -125,18 +126,22 @@ class PlanContext:
         accessor: NodeAccessor,
         use_index: bool,
         profiler: PlanProfiler | None = None,
+        snapshot: Snapshot | None = None,
     ) -> None:
         self.store = store
         self.accessor = accessor
         self.use_index = use_index
         self.profiler = profiler
+        #: Pinned MVCC snapshot the whole plan executes against (None =
+        #: live reads, the single-threaded default).
+        self.snapshot = snapshot
         self._entries: dict[int, StoredDocument] = {}
 
     def entry(self, doc_id: int) -> StoredDocument:
         """Catalog entry for ``doc_id``, memoized per plan."""
         entry = self._entries.get(doc_id)
         if entry is None:
-            entry = self.store.describe(doc_id)
+            entry = self.store.describe(doc_id, snapshot=self.snapshot)
             self._entries[doc_id] = entry
         return entry
 
@@ -294,11 +299,17 @@ class IndexProbe(PlanNode):
         self.phrase_mode = phrase_mode
 
     def _produce(self) -> Iterator[Candidate]:
-        index = self.ctx.text_index()
+        self.ctx.text_index()  # missing index is a fault even under MVCC
         if self.phrase_mode:
-            rowids = index.lookup_phrase(self.key)
+            rowids = self.ctx.accessor.probe_text(
+                lambda index: index.lookup_phrase(self.key),
+                lambda data: phrase_in(self.key, data),
+            )
         else:
-            rowids = index.lookup_all(tokenize(self.key))
+            rowids = self.ctx.accessor.probe_text(
+                lambda index: index.lookup_all(tokenize(self.key)),
+                lambda data: scan_match(self.key, data, False),
+            )
         for row in self.ctx.accessor.nodes(list(rowids)):
             if row["NODETYPE"] == int(NodeType.TEXT):
                 yield Candidate("text", row["DOC_ID"], row)
@@ -316,10 +327,20 @@ class Scan(PlanNode):
         self.phrase_mode = phrase_mode
 
     def _produce(self) -> Iterator[Candidate]:
-        for row in self.ctx.store.xml_table.scan(
-            lambda row: row["NODEDATA"] is not None
-            and scan_match(self.key, row["NODEDATA"], self.phrase_mode)
-        ):
+        table = self.ctx.store.xml_table
+        if self.ctx.snapshot is not None:
+            rows: Iterator[Row] = (
+                row
+                for row in table.snapshot_scan(self.ctx.snapshot.lsn)
+                if row["NODEDATA"] is not None
+                and scan_match(self.key, row["NODEDATA"], self.phrase_mode)
+            )
+        else:
+            rows = table.scan(
+                lambda row: row["NODEDATA"] is not None
+                and scan_match(self.key, row["NODEDATA"], self.phrase_mode)
+            )
+        for row in rows:
             if row["NODETYPE"] == int(NodeType.TEXT):
                 yield Candidate("text", row["DOC_ID"], row)
 
@@ -428,7 +449,7 @@ class NodenameProbe(PlanNode):
         self.nodename = nodename
 
     def _produce(self) -> Iterator[Candidate]:
-        for row in self.ctx.store.xml_table.lookup("NODENAME", self.nodename):
+        for row in self.ctx.accessor.lookup_rows("NODENAME", self.nodename):
             yield Candidate("node", row["DOC_ID"], row)
 
 
@@ -508,8 +529,12 @@ class Intersect(PlanNode):
         self.spec = spec
 
     def _docs_with_token(self, token: str) -> set[int]:
-        index = self.ctx.text_index()
-        rows = self.ctx.accessor.nodes(list(index.lookup(token)))
+        self.ctx.text_index()  # missing index is a fault even under MVCC
+        rowids = self.ctx.accessor.probe_text(
+            lambda index: index.lookup(token),
+            lambda data: token.lower() in tokenize(data, keep_stopwords=True),
+        )
+        rows = self.ctx.accessor.nodes(list(rowids))
         return {row["DOC_ID"] for row in rows}
 
     def _allowed_docs(self) -> set[int] | None:

@@ -10,19 +10,23 @@ from repro.server.vfs import (
     parent_path,
 )
 from repro.server.webdav import DavResponse, LockInfo, ResourceProps, WebDavServer
+from repro.server.workers import IngestThread, ResponseFuture, WorkerPool
 
 __all__ = [
     "DavResponse",
     "FileEntry",
     "HttpResponse",
     "IngestRecord",
+    "IngestThread",
     "LockInfo",
     "NetmarkDaemon",
     "NetmarkHttpApi",
     "ResourceProps",
+    "ResponseFuture",
     "STYLESHEET_FOLDER",
     "VirtualFileSystem",
     "WebDavServer",
+    "WorkerPool",
     "base_name",
     "normalize_path",
     "parent_path",

@@ -79,6 +79,9 @@ class NetmarkDaemon:
     #: the store supersedes the stored document (new revision) instead of
     #: adding a duplicate — the WebDAV collaborative-editing behaviour.
     replace_existing: bool = True
+    # repro: guarded-by(gil) appended only by the ingest thread (the MVCC
+    # single writer); other threads read via IngestThread.records() and
+    # may observe a slightly stale prefix, never a torn record.
     history: list[IngestRecord] = field(default_factory=list)
     #: Retry transient failures this many times before quarantining
     #: (None: a single attempt, the pre-resilience behaviour).

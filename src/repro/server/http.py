@@ -137,6 +137,9 @@ class NetmarkHttpApi:
         #: ``<error code="recovering">`` body — set it around startup
         #: recovery (``XmlStore.open`` + ``NetmarkDaemon.startup_recovery``)
         #: so clients see "try again shortly", never a half-recovered store.
+        # repro: guarded-by(gil) a bool flipped by the controlling thread;
+        # workers re-read it per request, so a flip is seen at the next
+        # dispatch at the latest.
         self.recovering = False
         #: Optional cluster membership view (duck-typed: ``role``,
         #: ``coordinator``, ``is_coordinator``, ``describe()``).  When
@@ -249,9 +252,12 @@ class NetmarkHttpApi:
                     return HttpResponse(422, "no databanks configured")
                 with tracer.span("explain", tier="federated"):
                     return self.router.explain(query)
-            with tracer.span("explain", tier="local"):
-                return self.engine.explain(query)
+            with self.store.snapshot() as snapshot:
+                with tracer.span("explain", tier="local"):
+                    return self.engine.explain(query, snapshot=snapshot)
         if query.databank:
+            # Federated queries aggregate *remote* answers; the local
+            # MVCC snapshot has no authority over other sources.
             if self.router is None:
                 return HttpResponse(422, "no databanks configured")
             with tracer.span(
@@ -259,12 +265,19 @@ class NetmarkHttpApi:
             ) as span:
                 results = self.router.execute(query)
                 span.annotate(matches=len(results))
+            with tracer.span("compose"):
+                document = results.to_xml()
         else:
-            with tracer.span("execute", tier="local") as span:
-                results = self.engine.execute(query)
-                span.annotate(matches=len(results))
-        with tracer.span("compose"):
-            document = results.to_xml()
+            # Pin one MVCC snapshot per request: plan execution AND the
+            # lazy match materialization inside ``to_xml`` read the same
+            # commit LSN, so a response is internally consistent even
+            # while the daemon ingests concurrently.
+            with self.store.snapshot() as snapshot:
+                with tracer.span("execute", tier="local") as span:
+                    results = self.engine.execute(query, snapshot=snapshot)
+                    span.annotate(matches=len(results))
+                with tracer.span("compose"):
+                    document = results.to_xml()
         if query.stylesheet:
             stylesheet_path = f"{STYLESHEET_FOLDER}/{query.stylesheet}"
             response = self.dav.get(stylesheet_path)
@@ -286,7 +299,11 @@ class NetmarkHttpApi:
         from repro.errors import DocumentNotFoundError
 
         try:
-            document = self.store.document(doc_id)
+            # Snapshot-pinned so a reconstruction racing the daemon never
+            # interleaves nodes of two revisions (and shares no caches
+            # with other worker threads).
+            with self.store.snapshot() as snapshot:
+                document = self.store.document(doc_id, snapshot=snapshot)
         except DocumentNotFoundError as error:
             return HttpResponse(404, str(error))
         return HttpResponse(200, serialize(document, indent=2))
@@ -295,7 +312,9 @@ class NetmarkHttpApi:
         from repro.sgml.dom import Document, Element
 
         root = Element("documents")
-        for entry in self.store.documents():
+        with self.store.snapshot() as snapshot:
+            entries = self.store.documents(snapshot=snapshot)
+        for entry in entries:
             item = root.make_child(
                 "document",
                 id=str(entry.doc_id),

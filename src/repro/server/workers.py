@@ -1,0 +1,253 @@
+"""Multi-worker serving: a thread pool over the in-process HTTP API.
+
+The paper's NETMARK serves many WebDAV/HTTP clients at once while the
+daemon ingests in the background.  This module is that front end for the
+in-process API: :class:`WorkerPool` runs N worker threads pulling
+requests off one shared queue, and :class:`IngestThread` runs the daemon
+poll loop beside them.  The two sides never block each other:
+
+* every read request executes against its own MVCC snapshot (pinned
+  inside :class:`~repro.server.http.NetmarkHttpApi`), so workers read
+  lock-free via the seqlock/version-history protocol of
+  :mod:`repro.ordbms.mvcc`;
+* the daemon is the database's single writer — :class:`IngestThread` is
+  just that writer moved off the caller's thread.
+
+Thread-safety map (every shared location, with its guard):
+
+* the request queue — ``queue.Queue``, internally locked;
+* pending responses — per-request :class:`threading.Event` handoff;
+* metric counters — the registry lock (:mod:`repro.obs.metrics`);
+* snapshot pins — ``MvccState._pin_lock``;
+* table data — the seqlock protocol (single writer, optimistic readers).
+
+Typical use::
+
+    pool = WorkerPool(api, workers=4)
+    pool.start()
+    futures = [pool.submit("GET", "/search?Context=Budget") for _ in range(32)]
+    responses = [future.result() for future in futures]
+    pool.stop()
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.errors import ServerError
+from repro.server.http import HttpResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.daemon import IngestRecord, NetmarkDaemon
+    from repro.server.http import NetmarkHttpApi
+
+__all__ = ["IngestThread", "ResponseFuture", "WorkerPool"]
+
+
+class ResponseFuture:
+    """Handoff slot for one submitted request (a minimal future).
+
+    ``result()`` blocks until a worker has produced the response.  A
+    request that raised instead of responding re-raises the exception in
+    the waiting thread — errors surface where the caller is, never die
+    silently inside a worker.
+    """
+
+    __slots__ = ("_done", "_response", "_error")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        # repro: guarded-by(_done) written by exactly one worker before
+        # the event is set; readers wait on the event first.
+        self._response: HttpResponse | None = None
+        # repro: guarded-by(_done) same single-writer-then-publish scheme.
+        self._error: BaseException | None = None
+
+    def _fulfill(self, response: HttpResponse) -> None:
+        self._response = response
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> HttpResponse:
+        if not self._done.wait(timeout):
+            raise ServerError("request not answered within timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
+class _Job:
+    """One queued request: what to run plus where to publish the answer."""
+
+    __slots__ = ("method", "target", "body", "future")
+
+    def __init__(
+        self, method: str, target: str, body: str, future: ResponseFuture
+    ) -> None:
+        self.method = method
+        self.target = target
+        self.body = body
+        self.future = future
+
+
+#: Queue sentinel telling one worker to exit its loop.
+_POISON = None
+
+
+class WorkerPool:
+    """N worker threads answering API requests from one shared queue.
+
+    The pool owns only the dispatch: all request semantics (routing,
+    snapshots, error envelopes) live in the API object, which must be
+    thread-safe for reads — that is exactly what the MVCC snapshot work
+    makes true.  Per-worker request counts are published as
+    ``repro_server_worker_requests_total{worker=N}`` so a stuck or slow
+    worker shows up in ``/metrics``.
+    """
+
+    def __init__(self, api: "NetmarkHttpApi", workers: int = 4) -> None:
+        if workers < 1:
+            raise ServerError("a worker pool needs at least one worker")
+        self.api = api
+        self.workers = workers
+        #: Internally locked; the only channel between callers and workers.
+        self._queue: queue.Queue[_Job | None] = queue.Queue()
+        # repro: guarded-by(gil) list append/iterate only from the
+        # controlling thread (start/stop are not concurrent with each other).
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for number in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(number,),
+                name=f"netmark-worker-{number}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self) -> None:
+        """Drain the queue, stop every worker, join them (idempotent)."""
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_POISON)
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- request submission ------------------------------------------------
+
+    def submit(
+        self, method: str, target: str, body: str = ""
+    ) -> ResponseFuture:
+        """Enqueue one request; returns immediately with its future."""
+        if not self._started:
+            raise ServerError("worker pool is not running (call start())")
+        future = ResponseFuture()
+        self._queue.put(_Job(method, target, body, future))
+        return future
+
+    def request(
+        self, method: str, target: str, body: str = ""
+    ) -> HttpResponse:
+        """Submit and wait — the drop-in equivalent of ``api.request``."""
+        return self.submit(method, target, body).result()
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _worker_loop(self, number: int) -> None:
+        label = str(number)
+        while True:
+            job = self._queue.get()
+            try:
+                if job is _POISON:
+                    return
+                try:
+                    response = self.api.request(
+                        job.method, job.target, job.body
+                    )
+                except BaseException as error:  # lint: allow-broad-except(workers survive any request failure; the exception is republished to the submitter via the future)
+                    job.future._fail(error)
+                else:
+                    job.future._fulfill(response)
+                obs.inc(
+                    "repro_server_worker_requests_total", worker=label
+                )
+            finally:
+                self._queue.task_done()
+
+
+class IngestThread:
+    """The daemon's poll loop on its own thread — the single MVCC writer.
+
+    Started beside a :class:`WorkerPool`, it keeps polling the drop
+    folder until :meth:`stop` is called *and* the folder is drained (or
+    ``drain=False`` stops it at the next poll boundary).  Readers never
+    wait on it; it never waits on readers.
+    """
+
+    def __init__(self, daemon: "NetmarkDaemon") -> None:
+        self.daemon = daemon
+        self._stop = threading.Event()
+        # repro: guarded-by(gil) int increments on the ingest thread only;
+        # other threads read a possibly slightly-stale count, which is fine.
+        self.ingested = 0
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="netmark-ingest", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float | None = None) -> int:
+        """Signal the loop to finish, join it, return documents ingested."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        return self.ingested
+
+    def _run(self) -> None:
+        while True:
+            records = self.daemon.poll()
+            self.ingested += sum(1 for record in records if record.ok)
+            if not records and self._stop.is_set():
+                return
+            if not records:
+                # Idle poll: yield briefly instead of spinning the GIL
+                # away from the workers.
+                self._stop.wait(0.001)
+
+    def records(self) -> "list[IngestRecord]":
+        """The daemon's full ingest history (stable once stopped)."""
+        return list(self.daemon.history)

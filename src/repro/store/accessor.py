@@ -18,6 +18,14 @@ the same rows again and again while walking overlapping sections.  A
   counter and the next read through the accessor drops all cached state
   before answering.  A stale answer is therefore impossible: laziness
   never outlives a write.
+* **snapshot pinning** — constructed with a
+  :class:`~repro.ordbms.mvcc.Snapshot`, the accessor reads *through* the
+  pin instead: every row resolves to its version as of the snapshot's
+  commit LSN, index probes are patched with the rows that changed since
+  (generation-aware probing), and the caches never invalidate — the
+  pinned view cannot go stale because it never moves.  This is what lets
+  a whole query (plan operators plus lazy match resolution) execute
+  against one consistent generation while ingest runs concurrently.
 
 Accessors are cheap to construct; the query engine makes one per query,
 and the legacy :mod:`repro.store.traversal` functions make an ephemeral
@@ -27,10 +35,12 @@ one per call so every caller shares a single traversal implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
-from repro.ordbms import Database, RowId
+from repro.errors import RowIdError
+from repro.ordbms import Database, RowId, Snapshot
 from repro.ordbms.table import ROWID_PSEUDO
+from repro.ordbms.textindex import TextIndex
 from repro.sgml.nodetypes import NodeType
 from repro.store.schema import XML_TABLE
 
@@ -61,11 +71,17 @@ class AccessorStats:
 class NodeAccessor:
     """Memoizing, batch-fetching view over one store's XML table."""
 
-    def __init__(self, database: Database) -> None:
+    def __init__(
+        self, database: Database, snapshot: Snapshot | None = None
+    ) -> None:
         self.database = database
         self.table = database.table(XML_TABLE)
         self.stats = AccessorStats()
-        self._generation = self.table.generation
+        #: Pinned MVCC snapshot; None means "live" (generation-guarded).
+        self.snapshot = snapshot
+        self._generation = (
+            snapshot.lsn if snapshot is not None else self.table.generation
+        )
         self._rows: dict[RowId, Row] = {}
         self._children: dict[int, tuple[RowId, ...]] = {}
         self._governing: dict[RowId, RowId | None] = {}
@@ -78,6 +94,8 @@ class NodeAccessor:
 
     def _sync(self) -> None:
         """Drop every cache if the table has been written to since."""
+        if self.snapshot is not None:
+            return  # the pinned view never moves, so caches never stale
         generation = self.table.generation
         if generation != self._generation:
             self._generation = generation
@@ -104,18 +122,33 @@ class NodeAccessor:
         if row is not None:
             self.stats.cache_hits += 1
             return row
-        row = self.database.fetch(XML_TABLE, rowid)
+        if self.snapshot is not None:
+            pinned = self.table.visible_row(rowid, self.snapshot.lsn)
+            if pinned is None:
+                raise RowIdError(
+                    f"ROWID {rowid} is not visible at LSN "
+                    f"{self.snapshot.lsn}"
+                )
+            row = pinned
+        else:
+            row = self.database.fetch(XML_TABLE, rowid)
         self.stats.point_fetches += 1
         self.stats.rows_fetched += 1
         self._rows[rowid] = row
         return row
+
+    def _fetch_batch(self, rowids: list[RowId]) -> list[Row]:
+        """One batched fetch, through the pin when one is set."""
+        if self.snapshot is not None:
+            return self.table.visible_many(rowids, self.snapshot.lsn)
+        return self.database.fetch_many(XML_TABLE, rowids)
 
     def nodes(self, rowids: Sequence[RowId]) -> list[Row]:
         """Rows for ``rowids`` in order; missing ones come in ONE batch."""
         self._sync()
         missing = [rowid for rowid in rowids if rowid not in self._rows]
         if missing:
-            fetched = self.database.fetch_many(XML_TABLE, missing)
+            fetched = self._fetch_batch(missing)
             self.stats.batch_fetches += 1
             self.stats.rows_fetched += len(fetched)
             for row in fetched:
@@ -142,7 +175,7 @@ class NodeAccessor:
                 rowid for rowid in frontier if rowid not in self._rows
             ]
             if missing:
-                fetched = self.database.fetch_many(XML_TABLE, missing)
+                fetched = self._fetch_batch(missing)
                 self.stats.batch_fetches += 1
                 self.stats.rows_fetched += len(fetched)
                 for row in fetched:
@@ -180,15 +213,20 @@ class NodeAccessor:
             self.stats.cache_hits += 1
             return [self._rows[rowid] for rowid in cached]
         self.stats.child_lookups += 1
-        index = self.table.index_on("PARENTNODEID")
-        if index is not None:
-            child_rows = self.nodes(index.search(node_id))
-        else:  # schema always creates the index; scan is the safety net
-            child_rows = [
-                child
-                for child in self.table.scan()
-                if child["PARENTNODEID"] == node_id
-            ]
+        if self.snapshot is not None:
+            child_rows = self.table.snapshot_search(
+                "PARENTNODEID", node_id, self.snapshot.lsn
+            )
+        else:
+            index = self.table.index_on("PARENTNODEID")
+            if index is not None:
+                child_rows = self.nodes(index.search(node_id))
+            else:  # schema always creates the index; scan is the safety net
+                child_rows = [
+                    child
+                    for child in self.table.scan()
+                    if child["PARENTNODEID"] == node_id
+                ]
         child_rows.sort(key=lambda child: child["ORDINAL"])
         for child in child_rows:
             self._rows[child[ROWID_PSEUDO]] = child
@@ -196,6 +234,54 @@ class NodeAccessor:
             child[ROWID_PSEUDO] for child in child_rows
         )
         return child_rows
+
+    # -- generation-aware probes (MVCC) -----------------------------------------
+
+    def probe_text(
+        self,
+        lookup: Callable[[TextIndex], Iterable[RowId]],
+        predicate: Callable[[str], bool],
+    ) -> list[RowId]:
+        """A text-index probe whose result is correct *as of the pin*.
+
+        ``lookup`` runs the raw probe against the live NODEDATA index;
+        ``predicate`` re-evaluates the probe's semantics against a row's
+        visible NODEDATA.  Live mode: exactly the raw probe.  Snapshot
+        mode: rows unchanged since the pin keep the index's verdict,
+        while every row that changed after the pin (updated, deleted, or
+        inserted — whether or not it is still in the postings) is
+        re-judged on its pinned text.  The probe runs before the
+        changed-set read, so a racing statement either lands in the
+        postings we read or in the changed set we read after — never in
+        neither.
+        """
+        index = self.table.text_index_on("NODEDATA")
+        if index is None:
+            return []
+        if self.snapshot is None:
+            return list(lookup(index))
+        pin = self.snapshot.lsn
+        current = self.table.stable_read(lambda: set(lookup(index)))
+        changed = self.table.changed_rowids_since(pin)
+        visible = sorted(current - changed)
+        for rowid in sorted(changed):
+            row = self.table.visible_row(rowid, pin)
+            if row is None:
+                continue
+            data = row.get("NODEDATA")
+            if isinstance(data, str) and data and predicate(data):
+                visible.append(rowid)
+        visible.sort()  # physical order: deterministic regardless of races
+        return visible
+
+    def lookup_rows(self, column: str, value: Any) -> list[Row]:
+        """Equality lookup through the pin (live mode: ``Table.lookup``)."""
+        if self.snapshot is None:
+            return self.table.lookup(column, value)
+        rows = self.table.snapshot_search(column, value, self.snapshot.lsn)
+        for row in rows:
+            self._rows[row[ROWID_PSEUDO]] = row
+        return rows
 
     # -- node predicates -------------------------------------------------------
 

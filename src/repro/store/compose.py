@@ -24,7 +24,7 @@ from repro.ordbms import Database
 from repro.sgml.dom import Document, Element, Text
 from repro.sgml.nodetypes import NodeType
 from repro.store.accessor import NodeAccessor
-from repro.store.schema import XML_TABLE, decode_attributes
+from repro.store.schema import decode_attributes
 
 Row = dict[str, Any]
 
@@ -50,10 +50,10 @@ def compose_document(
     accessor: NodeAccessor | None = None,
 ) -> Document:
     """Rebuild the full DOM of document ``doc_id``."""
-    xml_table = database.table(XML_TABLE)
+    accessor = accessor or NodeAccessor(database)
     roots = [
         row
-        for row in xml_table.lookup("DOC_ID", doc_id)
+        for row in accessor.lookup_rows("DOC_ID", doc_id)
         if row["PARENTROWID"] is None
     ]
     if len(roots) != 1:

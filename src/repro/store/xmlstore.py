@@ -21,7 +21,7 @@ from typing import Any, Iterator
 
 from repro.converters import convert
 from repro.errors import DocumentNotFoundError
-from repro.ordbms import Database, RowId, Table
+from repro.ordbms import Database, RowId, Snapshot, Table
 from repro.sgml.config import DEFAULT_CONFIG, NodeTypeConfig
 from repro.sgml.dom import Document, Element
 from repro.store.accessor import NodeAccessor
@@ -209,16 +209,44 @@ class XmlStore:
             self.database.delete(DOC_TABLE, doc_rows[0][ROWID_PSEUDO])
         return len(node_rows)
 
+    # -- snapshots (MVCC) -----------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Pin a consistent read view over DOC + XML (context manager).
+
+        Every read taken through the handle — catalog lookups, query
+        execution via ``engine.execute(query, snapshot=snap)``, lazy
+        match resolution — sees the store exactly as of the pin, no
+        matter what the daemon ingests meanwhile, and never blocks::
+
+            with store.snapshot() as snap:
+                results = engine.execute(query, snapshot=snap)
+        """
+        return self.database.open_snapshot()
+
     # -- catalog ------------------------------------------------------------
 
-    def documents(self) -> list[StoredDocument]:
+    def documents(
+        self, snapshot: Snapshot | None = None
+    ) -> list[StoredDocument]:
         """All stored documents, in DOC_ID order."""
-        entries = [self._to_stored(row) for row in self._doc_table.scan()]
+        if snapshot is not None:
+            rows = self._doc_table.snapshot_scan(snapshot.lsn)
+        else:
+            rows = self._doc_table.scan()
+        entries = [self._to_stored(row) for row in rows]
         entries.sort(key=lambda entry: entry.doc_id)
         return entries
 
-    def describe(self, doc_id: int) -> StoredDocument:
-        rows = self._doc_table.lookup("DOC_ID", doc_id)
+    def describe(
+        self, doc_id: int, snapshot: Snapshot | None = None
+    ) -> StoredDocument:
+        if snapshot is not None:
+            rows = self._doc_table.snapshot_search(
+                "DOC_ID", doc_id, snapshot.lsn
+            )
+        else:
+            rows = self._doc_table.lookup("DOC_ID", doc_id)
         if not rows:
             raise DocumentNotFoundError(f"no document with id {doc_id}")
         return self._to_stored(rows[0])
@@ -243,12 +271,19 @@ class XmlStore:
 
     # -- retrieval -----------------------------------------------------------
 
-    def document(self, doc_id: int) -> Document:
+    def document(
+        self, doc_id: int, snapshot: Snapshot | None = None
+    ) -> Document:
         """Reconstruct the full DOM of a stored document."""
-        entry = self.describe(doc_id)
+        entry = self.describe(doc_id, snapshot=snapshot)
+        accessor = (
+            self.new_accessor(snapshot)
+            if snapshot is not None
+            else self._accessor
+        )
         return compose_document(
             self.database, doc_id, name=entry.file_name,
-            accessor=self._accessor,
+            accessor=accessor,
         )
 
     def section(self, context_row: Row) -> Element:
@@ -260,9 +295,9 @@ class XmlStore:
         """The store's long-lived accessor (generation-guarded caches)."""
         return self._accessor
 
-    def new_accessor(self) -> NodeAccessor:
-        """A fresh per-query accessor over this store's database."""
-        return NodeAccessor(self.database)
+    def new_accessor(self, snapshot: Snapshot | None = None) -> NodeAccessor:
+        """A fresh per-query accessor (optionally pinned to a snapshot)."""
+        return NodeAccessor(self.database, snapshot=snapshot)
 
     def contexts(self, doc_id: int) -> Iterator[Row]:
         """CONTEXT element rows of one document."""

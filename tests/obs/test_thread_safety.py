@@ -1,0 +1,145 @@
+"""Concurrency: the registry and tracer under multi-threaded load."""
+
+import threading
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer
+
+THREADS = 8
+BUMPS = 2000
+
+
+def _run_threads(target) -> None:
+    threads = [threading.Thread(target=target) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestRegistryUnderLoad:
+    def test_concurrent_counter_bumps_sum_exactly(self):
+        registry = MetricsRegistry()
+
+        def bump():
+            for _ in range(BUMPS):
+                registry.counter("repro_test_hits_total").inc(
+                    1, worker="shared"
+                )
+
+        _run_threads(bump)
+        counter = registry.get("repro_test_hits_total")
+        assert counter.value(worker="shared") == THREADS * BUMPS
+
+    def test_concurrent_histogram_observations_count_exactly(self):
+        registry = MetricsRegistry()
+
+        def observe():
+            for value in range(BUMPS):
+                registry.histogram("repro_test_ticks").observe(value % 7)
+
+        _run_threads(observe)
+        histogram = registry.get("repro_test_ticks")
+        assert histogram.value() == THREADS * BUMPS
+        snapshot = registry.snapshot()
+        assert snapshot["repro_test_ticks_count"] == THREADS * BUMPS
+
+    def test_registration_race_yields_one_family(self):
+        registry = MetricsRegistry()
+        created = []
+
+        def register():
+            created.append(registry.counter("repro_test_once_total"))
+
+        _run_threads(register)
+        assert len({id(metric) for metric in created}) == 1
+
+    def test_snapshot_during_concurrent_bumps_is_coherent(self):
+        """Counters bumped in lock-step pairs: any atomic snapshot shows
+        the pair equal — a torn snapshot would catch them apart."""
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_a_total")
+        b = registry.counter("repro_test_b_total")
+        stop = threading.Event()
+
+        def paired_bumps():
+            while not stop.is_set():
+                with registry._lock:
+                    a.inc()
+                    b.inc()
+
+        writer = threading.Thread(target=paired_bumps)
+        writer.start()
+        try:
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                assert snapshot.get(
+                    "repro_test_a_total", 0
+                ) == snapshot.get("repro_test_b_total", 0)
+        finally:
+            stop.set()
+            writer.join()
+
+
+class TestTracerUnderLoad:
+    def test_roots_collected_from_many_threads(self):
+        tracer = Tracer(max_roots=THREADS * 50)
+        collected = []
+
+        def trace_from_worker():
+            # Each thread builds its own spans via a thread-local tracer
+            # and hands the finished roots to the shared collector.
+            local = Tracer()
+            for index in range(50):
+                with local.span("op", index=index):
+                    pass
+            with tracer._roots_lock:
+                tracer.roots.extend(local.take_roots())
+
+        _run_threads(trace_from_worker)
+        roots = tracer.take_roots()
+        assert len(roots) == THREADS * 50
+        assert tracer.take_roots() == []
+
+    def test_export_while_draining_does_not_tear(self):
+        tracer = Tracer()
+        for index in range(64):
+            with tracer.span("op", index=index):
+                pass
+        errors = []
+
+        def drain():
+            try:
+                tracer.take_roots()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        def export():
+            try:
+                tracer.export_jsonl()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=drain), threading.Thread(target=export)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestModuleHelpersUnderLoad:
+    def test_module_inc_is_thread_safe(self):
+        previous = obs.push_registry()
+        try:
+
+            def bump():
+                for _ in range(BUMPS):
+                    obs.inc("repro_test_module_total")
+
+            _run_threads(bump)
+            assert (
+                obs.snapshot()["repro_test_module_total"] == THREADS * BUMPS
+            )
+        finally:
+            obs.set_registry(previous)

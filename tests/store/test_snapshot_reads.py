@@ -1,0 +1,148 @@
+"""Store-level MVCC: pinned reads stay byte-identical under ingest."""
+
+import pytest
+
+from repro.query.engine import QueryEngine
+from repro.sgml.serializer import serialize
+from repro.store import XmlStore
+from repro.workloads import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusSpec(documents=24, seed=77))
+
+
+@pytest.fixture
+def store(corpus):
+    loaded = XmlStore()
+    for file in corpus[:12]:
+        loaded.store_text(file.text, file.name)
+    return loaded
+
+
+class TestPinnedReads:
+    def test_pinned_document_is_byte_identical_under_bulk_ingest(
+        self, store, corpus
+    ):
+        doc_id = store.documents()[0].doc_id
+        quiesced = serialize(store.document(doc_id), indent=2)
+        with store.snapshot() as snap:
+            before = serialize(
+                store.document(doc_id, snapshot=snap), indent=2
+            )
+            # Bulk-ingest the rest of the corpus while the pin is open.
+            for file in corpus[12:]:
+                store.store_text(file.text, file.name)
+            after = serialize(
+                store.document(doc_id, snapshot=snap), indent=2
+            )
+        assert before == quiesced
+        assert after == quiesced
+
+    def test_pinned_catalog_does_not_grow(self, store, corpus):
+        with store.snapshot() as snap:
+            pinned_before = [
+                entry.doc_id for entry in store.documents(snapshot=snap)
+            ]
+            for file in corpus[12:16]:
+                store.store_text(file.text, file.name)
+            pinned_after = [
+                entry.doc_id for entry in store.documents(snapshot=snap)
+            ]
+        assert pinned_before == pinned_after
+        assert len(store.documents()) == len(pinned_before) + 4
+
+    def test_post_commit_snapshot_sees_new_documents(self, store, corpus):
+        with store.snapshot() as old_snap:
+            result = store.store_text(corpus[20].text, corpus[20].name)
+            assert all(
+                entry.doc_id != result.doc_id
+                for entry in store.documents(snapshot=old_snap)
+            )
+        with store.snapshot() as new_snap:
+            assert any(
+                entry.doc_id == result.doc_id
+                for entry in store.documents(snapshot=new_snap)
+            )
+            # The new document composes fully through the new pin.
+            document = store.document(result.doc_id, snapshot=new_snap)
+            assert document.root is not None
+
+    def test_pinned_read_survives_replacement(self, store, corpus):
+        entry = store.documents()[3]
+        quiesced = serialize(store.document(entry.doc_id), indent=2)
+        with store.snapshot() as snap:
+            # corpus[15] shares entry 3's format (the formats cycle with
+            # period 6), so the converter accepts it under the old name.
+            store.replace_text(
+                corpus[15].text, entry.file_name
+            )  # supersedes: old nodes deleted, new revision stored
+            pinned = serialize(
+                store.document(entry.doc_id, snapshot=snap), indent=2
+            )
+        assert pinned == quiesced
+        replacement = store.lookup_by_name(entry.file_name)
+        assert replacement.metadata.get("revision") == "2"
+
+    def test_vacuum_never_reclaims_a_pinned_generation(self, store, corpus):
+        entry = store.documents()[0]
+        quiesced = serialize(store.document(entry.doc_id), indent=2)
+        with store.snapshot() as snap:
+            # corpus[18] shares entry 0's format (period-6 format cycle).
+            store.replace_text(corpus[18].text, entry.file_name)
+            store.database.vacuum_versions()
+            pinned = serialize(
+                store.document(entry.doc_id, snapshot=snap), indent=2
+            )
+            assert pinned == quiesced
+        # Pin released: the superseded revision's history may now go.
+        reclaimed = store.database.vacuum_versions()
+        assert reclaimed > 0
+
+
+class TestSnapshotQueries:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "Context=Budget",
+            "Content=program",
+            "Context=Budget&Content=program",
+            "Nodename=title",
+        ],
+    )
+    def test_snapshot_query_matches_quiesced_run(self, store, query):
+        engine = QueryEngine(store)
+        quiesced = serialize(engine.execute(query).to_xml(), indent=2)
+        with store.snapshot() as snap:
+            pinned = serialize(
+                engine.execute(query, snapshot=snap).to_xml(), indent=2
+            )
+        assert pinned == quiesced
+
+    def test_snapshot_query_ignores_concurrent_ingest(self, store, corpus):
+        engine = QueryEngine(store)
+        query = "Context=Budget"
+        quiesced = serialize(engine.execute(query).to_xml(), indent=2)
+        with store.snapshot() as snap:
+            for file in corpus[12:20]:
+                store.store_text(file.text, file.name)
+            pinned = serialize(
+                engine.execute(query, snapshot=snap).to_xml(), indent=2
+            )
+        assert pinned == quiesced
+        # Without the pin, the same query reflects the new corpus.
+        live = serialize(engine.execute(query).to_xml(), indent=2)
+        assert live != quiesced
+
+    def test_scan_fallback_matches_quiesced_run(self, store, corpus):
+        engine = QueryEngine(store, use_index=False)
+        query = "Content=program"
+        quiesced = serialize(engine.execute(query).to_xml(), indent=2)
+        with store.snapshot() as snap:
+            for file in corpus[12:16]:
+                store.store_text(file.text, file.name)
+            pinned = serialize(
+                engine.execute(query, snapshot=snap).to_xml(), indent=2
+            )
+        assert pinned == quiesced
