@@ -1,0 +1,262 @@
+"""OVERLOAD — load shedding, deadlines and brownout under 2x offered load.
+
+Lean middleware must stay predictable past saturation: the worker pool
+sheds at a bounded queue (503 + Retry-After), every request carries a
+deadline started at enqueue, expired work is never executed, and
+sustained shedding browns searches out to their cheapest plan.
+
+The main drill is **fully deterministic**: a manual (threadless) worker
+pool driven slot by slot on a :class:`LogicalClock`, with a fixed
+service cost per request.  Offered load, queue depth, response ticks,
+shed/timeout counts — all integers, identical on every run, so the CI
+perf gate compares them exactly.  The acceptance claims:
+
+* at 2x offered load, goodput stays within 10% of saturated goodput;
+* queue depth and p99 response ticks stay bounded (the unprotected
+  contrast pool shows the collapse the bound prevents);
+* every shed request got 503 with Retry-After; zero requests executed
+  after their deadline expired;
+* sustained shedding enters brownout (degraded answers), recovery exits.
+
+A threaded smoke pass then checks the same machinery under real
+concurrency, asserting only race-free facts (everything resolves, no
+unjoined workers, shed envelopes carry Retry-After).
+"""
+
+import time
+
+from conftest import print_table, write_artifact
+
+from repro.netmark import Netmark
+from repro.resilience import LogicalClock
+from repro.server.overload import AdmissionController
+from repro.server.workers import WorkerPool
+from repro.workloads import CorpusSpec, generate_corpus
+
+TARGET = "/search?Context=Budget&limit=5"
+SERVICE_TICKS = 10  # simulated cost of one served request
+QUEUE_LIMIT = 8
+DEADLINE_TICKS = 200  # > worst admitted wait (8 * 10) + service (10)
+SLOTS = 100  # serving slots per phase (capacity: 1 request/slot)
+
+
+class _MeteredApi:
+    """The in-process API with a fixed logical service cost per request.
+
+    Also the referee for the headline guarantee: it counts any request
+    that reaches execution with an already-expired deadline (the pool's
+    dequeue check must make that count zero).
+    """
+
+    def __init__(self, api, clock):
+        self.api = api
+        self.clock = clock
+        self.late_executions = 0
+
+    def request(self, method, target, body="", budget=None):
+        if budget is not None and budget.expired:
+            self.late_executions += 1
+        self.clock.advance(SERVICE_TICKS)
+        return self.api.request(method, target, body, budget=budget)
+
+
+def _drill_node():
+    node = Netmark()
+    for file in generate_corpus(CorpusSpec(documents=30, seed=150)):
+        node.drop(file.name, file.text)
+    node.poll()
+    return node
+
+
+def _run_phase(pool, api, offered_per_slot, slots):
+    """Drive one load phase slot by slot; returns exact integer stats."""
+    clock = api.clock
+    inflight = []  # (future, submit_tick), not yet resolved
+    stats = {
+        "offered": 0, "completed": 0, "shed": 0, "timed_out": 0,
+        "degraded": 0, "max_queue_depth": 0, "bad_shed_envelopes": 0,
+    }
+    latencies = []
+
+    def settle():
+        for entry in inflight[:]:
+            future, submitted = entry
+            if not future.done():
+                continue
+            inflight.remove(entry)
+            response = future.result()
+            if response.status == 200:
+                stats["completed"] += 1
+                latencies.append(clock.now() - submitted)
+                if 'degraded="brownout"' in response.body:
+                    stats["degraded"] += 1
+            elif response.status == 504:
+                stats["timed_out"] += 1
+
+    def submit():
+        stats["offered"] += 1
+        future = pool.submit("GET", TARGET)
+        if future.done():  # resolved at submit time == shed
+            response = future.result()
+            assert response.status == 503
+            stats["shed"] += 1
+            if response.header("Retry-After") is None:
+                stats["bad_shed_envelopes"] += 1
+        else:
+            inflight.append((future, clock.now()))
+        stats["max_queue_depth"] = max(
+            stats["max_queue_depth"], pool.queue_depth()
+        )
+
+    for _ in range(slots):
+        for _ in range(offered_per_slot):
+            submit()
+        pool.serve_pending(1)
+        settle()
+    while pool.serve_pending(1):  # drain the tail
+        settle()
+    settle()
+    assert not inflight  # every admitted future resolved
+    latencies.sort()
+    stats["p99_response_ticks"] = (
+        latencies[(99 * (len(latencies) - 1)) // 100] if latencies else 0
+    )
+    return stats
+
+
+def test_report_overload_drill(benchmark):
+    """Deterministic 2x-overload drill on the logical clock."""
+
+    def report():
+        node = _drill_node()
+        clock = LogicalClock()
+        node.api.clock = clock
+        api = _MeteredApi(node.api, clock)
+        admission = AdmissionController(
+            queue_limit=QUEUE_LIMIT, enter_pressure=8, exit_pressure=1,
+            shed_cost=2, brownout_limit=1,
+        )
+        node.api.admission = admission
+        pool = WorkerPool(
+            api, admission=admission, deadline_ticks=DEADLINE_TICKS,
+            manual=True,
+        )
+
+        saturated = _run_phase(pool, api, offered_per_slot=1, slots=SLOTS)
+        overload = _run_phase(pool, api, offered_per_slot=2, slots=SLOTS)
+        brownout_during_overload = admission.brownout_active
+        recovery = _run_phase(pool, api, offered_per_slot=1, slots=SLOTS)
+
+        # Contrast: same deadline discipline, no admission control — the
+        # unbounded queue converts overload into mass deadline misses.
+        unprotected_pool = WorkerPool(
+            api, deadline_ticks=DEADLINE_TICKS, manual=True
+        )
+        unprotected = _run_phase(
+            unprotected_pool, api, offered_per_slot=2, slots=SLOTS
+        )
+
+        goodput_ratio = overload["completed"] / max(
+            saturated["completed"], 1
+        )
+        rows = []
+        for label, stats in (
+            ("saturated (1x)", saturated),
+            ("overload (2x)", overload),
+            ("recovery (1x)", recovery),
+            ("2x, no admission", unprotected),
+        ):
+            rows.append([
+                label, stats["offered"], stats["completed"], stats["shed"],
+                stats["timed_out"], stats["max_queue_depth"],
+                stats["p99_response_ticks"],
+            ])
+        print_table(
+            f"OVERLOAD: {TARGET} at 1x/2x offered load "
+            f"(service {SERVICE_TICKS} ticks, deadline {DEADLINE_TICKS})",
+            ["phase", "offered", "ok", "shed", "504", "max depth", "p99 ticks"],
+            rows,
+        )
+
+        # -- acceptance ------------------------------------------------
+        assert goodput_ratio >= 0.9  # goodput holds within 10%
+        assert overload["max_queue_depth"] <= QUEUE_LIMIT
+        assert overload["p99_response_ticks"] <= DEADLINE_TICKS
+        assert overload["shed"] > 0  # overload was real
+        assert overload["timed_out"] == 0  # admitted => finished in time
+        assert overload["bad_shed_envelopes"] == 0  # 503 always advises
+        assert api.late_executions == 0  # never executed past deadline
+        assert brownout_during_overload  # sustained shedding browned out
+        assert overload["degraded"] > 0
+        assert not admission.brownout_active  # recovery exited (hysteresis)
+        # The contrast pool shows what the bound prevents.
+        assert unprotected["completed"] < overload["completed"]
+        assert unprotected["timed_out"] > 0
+        assert unprotected["max_queue_depth"] > QUEUE_LIMIT
+
+        write_artifact("BENCH_overload.json", "overload_drill", {
+            "service_ticks": SERVICE_TICKS,
+            "queue_limit": QUEUE_LIMIT,
+            "deadline_ticks": DEADLINE_TICKS,
+            "slots_per_phase": SLOTS,
+            "saturated": saturated,
+            "overload": overload,
+            "recovery": recovery,
+            "unprotected_overload": unprotected,
+            "goodput_ratio": round(goodput_ratio, 3),
+            "late_executions": api.late_executions,
+            "brownout_entries": admission.brownout_entries,
+            "brownout_exits": admission.brownout_exits,
+        })
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_threaded_overload_smoke(benchmark):
+    """The same machinery under real threads: race-free claims only."""
+
+    REQUESTS = 120
+
+    def report():
+        node = _drill_node()
+
+        class _SlowClientApi:
+            clock = node.api.clock
+
+            def request(self, method, target, body="", budget=None):
+                response = node.api.request(method, target, body, budget=budget)
+                time.sleep(0.002)  # client drains the response body
+                return response
+
+        admission = AdmissionController(queue_limit=16, enter_pressure=8)
+        pool = WorkerPool(_SlowClientApi(), workers=4, admission=admission)
+        pool.start()
+        futures = [
+            pool.submit("GET", TARGET) for _ in range(REQUESTS)
+        ]
+        responses = [future.result(timeout=120) for future in futures]
+        unjoined = pool.stop(timeout=30)
+
+        statuses_valid = all(
+            response.status in (200, 503) for response in responses
+        )
+        sheds = [r for r in responses if r.status == 503]
+        sheds_advise_retry = all(
+            r.header("Retry-After") is not None for r in sheds
+        )
+        print_table(
+            f"OVERLOAD: threaded smoke, {REQUESTS} requests, 4 workers, "
+            "queue limit 16",
+            ["requests", "ok", "shed", "unjoined workers"],
+            [[REQUESTS, len(responses) - len(sheds), len(sheds), unjoined]],
+        )
+        assert statuses_valid
+        assert sheds_advise_retry
+        assert unjoined == 0
+        write_artifact("BENCH_overload.json", "threaded_smoke", {
+            "requests": REQUESTS,
+            "all_resolved": len(responses) == REQUESTS,
+            "statuses_valid": statuses_valid,
+            "sheds_advise_retry": sheds_advise_retry,
+            "unjoined_workers": unjoined,
+        })
+    benchmark.pedantic(report, rounds=1, iterations=1)

@@ -37,6 +37,7 @@ GATED_ARTIFACTS = (
     "BENCH_crash_matrix.json",
     "BENCH_cluster_failover.json",
     "BENCH_concurrent.json",
+    "BENCH_overload.json",
 )
 
 #: Key fragments that mark a float as a *timing* — noisy on shared CI,

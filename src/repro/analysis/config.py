@@ -50,7 +50,10 @@ DEFAULT_LAYERS: dict[str, frozenset[str]] = {
     "resilience": frozenset(),
     "converters": frozenset({"sgml"}),
     "store": frozenset({"ordbms", "sgml", "converters"}),
-    "query": frozenset({"ordbms", "sgml", "store"}),
+    # The query tier sees ``resilience`` for exactly one reason: plan
+    # execution checks the request's deadline/cancellation budget at
+    # operator pull boundaries (cooperative cancellation).
+    "query": frozenset({"ordbms", "sgml", "store", "resilience"}),
     "xslt": frozenset({"sgml"}),
     "federation": frozenset(
         {"ordbms", "sgml", "store", "query", "resilience"}
@@ -94,9 +97,19 @@ DEFAULT_MODULE_LAYERS: dict[str, frozenset[str]] = {
     # The plan algebra sits between the store and the engine.  It must
     # not import the engine (the engine compiles queries *into* plans)
     # or the query-language parser — compile/execute is a one-way street.
+    # ``resilience.deadline`` is granted for the per-pull budget check;
+    # the rest of the resilience unit (retry, breaker, faults) stays
+    # off-limits to operators.
     "query.plan": frozenset(
-        {"ordbms", "sgml", "store", "query.ast", "query.results"}
+        {
+            "ordbms", "sgml", "store", "query.ast", "query.results",
+            "resilience.deadline",
+        }
     ),
+    # The deadline/budget vocabulary is a base-layer primitive like the
+    # clock: every tier consults it, so it may import nothing above the
+    # error vocabulary (not even the rest of its own unit).
+    "resilience.deadline": frozenset(),
     # The WAL is the bottom of the durability stack: record codec and log
     # devices only.  It must not import the database, tables or snapshot
     # machinery — ``database.py`` imports *it* at runtime, and recovery

@@ -170,6 +170,15 @@ class ConverterRegistry:
         self._converters.append(converter)
         return converter
 
+    def unregister(self, converter: Converter) -> None:
+        """Remove ``converter`` (no-op if absent) — test fixtures only."""
+        for extension in converter.extensions:
+            extension = extension.lower().lstrip(".")
+            if self._by_extension.get(extension) is converter:
+                del self._by_extension[extension]
+        if converter in self._converters:
+            self._converters.remove(converter)
+
     def for_name(self, name: str) -> Converter | None:
         extension = Path(name).suffix.lower().lstrip(".")
         return self._by_extension.get(extension)

@@ -134,6 +134,28 @@ class QuerySyntaxError(QueryError):
     """An XDB query string could not be parsed."""
 
 
+class QueryTimeoutError(QueryError):
+    """A query ran past its deadline and was cancelled cooperatively.
+
+    Raised at a plan batch boundary (or a router fan-out boundary) when
+    the request's :class:`~repro.resilience.deadline.Budget` expires and
+    the caller did not ask for partial results (``Partial=1``).  The
+    HTTP layer maps this to 504 with a ``deadline-exceeded`` envelope —
+    the query was well-formed, the server just ran out of time.
+    """
+
+
+class QueryCancelledError(QueryError):
+    """A query was cancelled by its submitter before it finished.
+
+    Cooperative: the executing plan observes the request's
+    :class:`~repro.resilience.deadline.CancellationToken` at batch
+    boundaries and stops doing work for a client that is no longer
+    waiting (e.g. a :class:`~repro.server.workers.ResponseFuture` whose
+    ``result(timeout)`` expired).
+    """
+
+
 # ---------------------------------------------------------------------------
 # XSLT subset
 # ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.federation.sources import InformationSource
 from repro.query.ast import ContentSpec, XdbQuery
 from repro.query.engine import QueryEngine
 from repro.query.results import SectionMatch
+from repro.resilience.deadline import Budget
 from repro.store.xmlstore import XmlStore
 
 
@@ -99,8 +100,15 @@ def execute_augmented(
     query: XdbQuery,
     source: InformationSource,
     report: AugmentationReport | None = None,
+    budget: Budget | None = None,
 ) -> list[SectionMatch]:
-    """Run ``query`` against ``source``, augmenting as planned."""
+    """Run ``query`` against ``source``, augmenting as planned.
+
+    ``budget`` is the request's remaining deadline envelope; it rides
+    into the native search, gates each residual document fetch, and
+    bounds the residual query — so one slow source cannot spend another
+    source's share of the request.
+    """
     the_plan = plan(query, source)
     if the_plan.fully_native:
         if the_plan.native_query is None:
@@ -108,11 +116,13 @@ def execute_augmented(
                 "augmentation plan is marked fully native but carries "
                 "no native query"
             )
-        return source.native_search(the_plan.native_query)
+        return _native_search(source, the_plan.native_query, budget)
 
     report = report if report is not None else AugmentationReport()
     if the_plan.native_query is not None:
-        native_matches = source.native_search(the_plan.native_query)
+        native_matches = _native_search(
+            source, the_plan.native_query, budget
+        )
         candidate_names = _distinct_names(native_matches)
     else:
         candidate_names = source.document_names()
@@ -123,6 +133,8 @@ def execute_augmented(
     scratch = XmlStore()
     name_map: dict[int, str] = {}
     for file_name in candidate_names:
+        if budget is not None and not budget.admits(source.name):
+            break
         raw = source.fetch_document(file_name)
         result = scratch.store_text(raw, file_name)
         name_map[result.doc_id] = file_name
@@ -130,7 +142,10 @@ def execute_augmented(
         report.residual_nodes += result.node_count
     engine = QueryEngine(scratch)
     refined = engine.execute(
-        XdbQuery(context=query.context, content=query.content, limit=query.limit)
+        XdbQuery(
+            context=query.context, content=query.content, limit=query.limit
+        ),
+        budget=budget,
     )
     attributed: list[SectionMatch] = []
     for match in refined:
@@ -139,6 +154,21 @@ def execute_augmented(
         clone.score = 1.0  # federated answers rank uniformly
         attributed.append(clone)
     return attributed
+
+
+def _native_search(
+    source: InformationSource, query: XdbQuery, budget: Budget | None
+) -> list[SectionMatch]:
+    """Dispatch a native search, passing the budget only when one exists.
+
+    Sources are duck-typed at the federation boundary; an adapter written
+    before deadlines existed keeps working as long as no deadline is in
+    play (and under one, a budget-blind source simply runs to completion
+    — the router's own boundary check still bounds the fan-out).
+    """
+    if budget is None:
+        return source.native_search(query)
+    return source.native_search(query, budget=budget)
 
 
 def _distinct_names(matches: list[SectionMatch]) -> list[str]:

@@ -24,7 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.errors import AllSourcesFailedError, FederationError, ReproError
+from repro.errors import (
+    AllSourcesFailedError,
+    FederationError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+)
 from repro.federation.augment import AugmentationReport, execute_augmented, plan
 from repro.federation.databank import Databank, DatabankRegistry
 from repro.federation.sources import InformationSource
@@ -32,6 +38,7 @@ from repro.query.ast import XdbQuery
 from repro.query.language import format_query, parse_query
 from repro.query.results import ResultSet, SectionMatch
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.resilience.deadline import Budget, Deadline
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.retry import RetryStats, call_with_retry
 from repro.sgml.dom import Document, Element
@@ -51,6 +58,9 @@ class RoutingReport:
     skipped_sources: list[str] = field(default_factory=list)
     #: sources not contacted because the limit was already satisfied.
     limit_skipped_sources: list[str] = field(default_factory=list)
+    #: sources not contacted because the request's deadline had already
+    #: expired when the fan-out reached them.
+    deadline_skipped_sources: list[str] = field(default_factory=list)
     #: source name -> retry count, for sources that needed retries.
     retries: dict[str, int] = field(default_factory=dict)
 
@@ -66,7 +76,11 @@ class RoutingReport:
     @property
     def degraded(self) -> bool:
         """Did any source fail to contribute?"""
-        return bool(self.failed_sources or self.skipped_sources)
+        return bool(
+            self.failed_sources
+            or self.skipped_sources
+            or self.deadline_skipped_sources
+        )
 
     @property
     def total_retries(self) -> int:
@@ -77,6 +91,8 @@ class RoutingReport:
         summary = dict(self.failed_sources)
         for name in self.skipped_sources:
             summary[name] = "skipped: circuit open"
+        for name in self.deadline_skipped_sources:
+            summary[name] = "skipped: deadline expired"
         return summary
 
 
@@ -119,11 +135,30 @@ class Router:
 
     # -- query execution ----------------------------------------------------------
 
-    def execute(self, query: XdbQuery | str, databank: str | None = None) -> ResultSet:
-        """Run ``query`` against ``databank`` (or the query's own databank)."""
+    def execute(
+        self,
+        query: XdbQuery | str,
+        databank: str | None = None,
+        budget: "Budget | Deadline | None" = None,
+    ) -> ResultSet:
+        """Run ``query`` against ``databank`` (or the query's own databank).
+
+        With ``budget`` each source receives the *remaining* request
+        deadline (the budget carries an absolute expiry on the shared
+        clock, so whatever one source spends is gone for the next).
+        When the deadline expires mid-fan-out, the uncontacted sources
+        are folded into the ``<partial>`` envelope as
+        ``skipped: deadline expired`` — unless the budget forbids
+        partial answers, in which case the fan-out raises
+        :class:`~repro.errors.QueryTimeoutError`.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         query = self.aliases.rewrite(query)
+        if isinstance(budget, Deadline):
+            budget = Budget(deadline=budget)
+        if budget is not None and query.partial_ok:
+            budget.partial_ok = True
         target = databank or query.databank
         if target is None:
             self.last_report = RoutingReport()
@@ -134,13 +169,30 @@ class Router:
         matches: list[SectionMatch] = []
         for position, source in enumerate(bank.sources):
             remaining = bank.sources[position:]
+            if budget is not None and not budget.admits("router fan-out"):
+                report.deadline_skipped_sources = [
+                    skipped.name for skipped in remaining
+                ]
+                obs.inc(
+                    "repro_federation_deadline_skips_total", len(remaining)
+                )
+                break
             if self._limit_satisfied(query.limit, matches, remaining):
                 report.limit_skipped_sources = [
                     skipped.name for skipped in remaining
                 ]
                 break
-            matches.extend(self._route_to_source(query, source, report))
-        if bank.sources and not report.source_matches:
+            matches.extend(
+                self._route_to_source(query, source, report, budget)
+            )
+        if (
+            bank.sources
+            and not report.source_matches
+            and not report.deadline_skipped_sources
+        ):
+            # A deadline that expired before any source answered is a
+            # timeout (handled above), not a source outage: with
+            # Partial=1 the honest answer is an empty partial result.
             raise AllSourcesFailedError(
                 f"databank {target!r}: no source answered "
                 f"(failed: {sorted(report.failed_sources)}, "
@@ -151,6 +203,10 @@ class Router:
             format_query(query),
             partial=report.degraded,
             source_errors=report.error_summary(),
+            deadline_expired=bool(
+                report.deadline_skipped_sources
+                or (budget is not None and budget.timed_out)
+            ),
         )
         result.extend(matches)
         return result.limited(query.limit)
@@ -198,6 +254,10 @@ class Router:
             plan_element.append(
                 Element("source", {"name": name, "status": "skipped"})
             )
+        for name in report.deadline_skipped_sources:
+            plan_element.append(
+                Element("source", {"name": name, "status": "deadline-skipped"})
+            )
         for name in report.limit_skipped_sources:
             plan_element.append(
                 Element("source", {"name": name, "status": "not-contacted"})
@@ -243,6 +303,7 @@ class Router:
         query: XdbQuery,
         source: InformationSource,
         report: RoutingReport,
+        budget: Budget | None = None,
     ) -> list[SectionMatch]:
         """One source's contribution; failures land in ``report``, not up."""
         policy = self.resilience
@@ -263,7 +324,7 @@ class Router:
             # must not double-count the work of its failed tries.
             augmentation = AugmentationReport()
             source_plan = plan(query, source)
-            found = execute_augmented(query, source, augmentation)
+            found = execute_augmented(query, source, augmentation, budget)
             return source_plan.fully_native, augmentation, found
 
         stats = RetryStats()
@@ -275,6 +336,11 @@ class Router:
                 )
             else:
                 native, augmentation, found = attempt()
+        except (QueryTimeoutError, QueryCancelledError):
+            # The *request* ran out of time (or its client left) — that
+            # is not a source failure to degrade around; it propagates
+            # so the HTTP layer can answer 504 (or 499).
+            raise
         except ReproError as error:
             if stats.retries:
                 report.retries[source.name] = stats.retries

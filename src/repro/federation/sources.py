@@ -36,6 +36,7 @@ from repro.ordbms.textindex import tokenize
 from repro.query.ast import XdbQuery
 from repro.query.engine import QueryEngine
 from repro.query.results import SectionMatch
+from repro.resilience.deadline import Budget
 from repro.sgml.serializer import serialize
 from repro.store.xmlstore import XmlStore
 
@@ -49,11 +50,17 @@ class InformationSource:
         self.queries_served = 0
         self.documents_served = 0
 
-    def native_search(self, query: XdbQuery) -> list[SectionMatch]:
+    def native_search(
+        self, query: XdbQuery, budget: Budget | None = None
+    ) -> list[SectionMatch]:
         """Answer ``query`` with native machinery only.
 
         Raises :class:`~repro.errors.CapabilityError` if the query needs
         more than this source declares — the router must augment instead.
+        ``budget`` carries the *remaining* request deadline (absolute
+        expiry on the shared clock): sources check it cooperatively and
+        stop — or raise :class:`~repro.errors.QueryTimeoutError` — when
+        it runs out mid-search.
         """
         raise NotImplementedError
 
@@ -81,11 +88,13 @@ class NetmarkSource(InformationSource):
         self.store = store
         self._engine = QueryEngine(store)
 
-    def native_search(self, query: XdbQuery) -> list[SectionMatch]:
+    def native_search(
+        self, query: XdbQuery, budget: Budget | None = None
+    ) -> list[SectionMatch]:
         check_supports(self.capabilities, query, self.name)
         self._count_query()
         attributed: list[SectionMatch] = []
-        for match in self._engine.execute(query).matches:
+        for match in self._engine.execute(query, budget=budget).matches:
             clone = match.with_source(self.name)
             # Federated answers rank uniformly: local INTENSE boosts are
             # not comparable across repositories, and the router's
@@ -123,7 +132,9 @@ class ContentOnlySource(InformationSource):
     def add_document(self, file_name: str, content: str) -> None:
         self._documents[file_name] = content
 
-    def native_search(self, query: XdbQuery) -> list[SectionMatch]:
+    def native_search(
+        self, query: XdbQuery, budget: Budget | None = None
+    ) -> list[SectionMatch]:
         check_supports(self.capabilities, query, self.name)
         if query.content is None:  # content-only ⇒ must have content
             raise CapabilityError(
@@ -134,6 +145,8 @@ class ContentOnlySource(InformationSource):
         for doc_index, (file_name, content) in enumerate(
             sorted(self._documents.items())
         ):
+            if budget is not None and not budget.admits(self.name):
+                break
             tokens = set(tokenize(content, keep_stopwords=True))
             wanted = [term.lower() for term in query.content.terms]
             if query.content.mode == "any":
@@ -215,11 +228,15 @@ class StructuredSource(InformationSource):
     def __len__(self) -> int:
         return len(self._records)
 
-    def native_search(self, query: XdbQuery) -> list[SectionMatch]:
+    def native_search(
+        self, query: XdbQuery, budget: Budget | None = None
+    ) -> list[SectionMatch]:
         check_supports(self.capabilities, query, self.name)
         self._count_query()
         matches: list[SectionMatch] = []
         for index, record in enumerate(self._records):
+            if budget is not None and not budget.admits(self.name):
+                break
             sections = self._matching_sections(record, query)
             for context, content in sections:
                 matches.append(

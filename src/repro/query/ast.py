@@ -84,6 +84,11 @@ class XdbQuery:
     carries its inclusive cost in deterministic work-unit ticks.
     ``trace`` (``Trace=1``) asks the server to attach the request's span
     tree to the XML envelope.
+
+    ``deadline_ticks`` (``Deadline=N``) bounds how long the request may
+    run, in server clock ticks; ``partial_ok`` (``Partial=1``) asks for
+    whatever matches were collected by the deadline — rendered with a
+    ``<partial>`` envelope — instead of a 504.
     """
 
     context: ContextSpec | None = None
@@ -97,6 +102,8 @@ class XdbQuery:
     explain: bool = False
     profile: bool = False
     trace: bool = False
+    deadline_ticks: int | None = None
+    partial_ok: bool = False
     extras: tuple[tuple[str, str], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -107,6 +114,8 @@ class XdbQuery:
             )
         if self.limit is not None and self.limit <= 0:
             raise QuerySyntaxError("limit must be positive")
+        if self.deadline_ticks is not None and self.deadline_ticks <= 0:
+            raise QuerySyntaxError("Deadline must be positive")
         if self.nodename is not None:
             normalized = self.nodename.strip().lower()
             if not normalized:

@@ -66,6 +66,7 @@ from repro.query.plan import (
 )
 from repro.ordbms import Snapshot
 from repro.query.results import ResultSet, SectionMatch
+from repro.resilience.deadline import Budget, Deadline
 from repro.sgml.dom import Document, Element
 from repro.store.xmlstore import XmlStore
 
@@ -82,7 +83,10 @@ class QueryEngine:
     # -- public entry points ------------------------------------------------
 
     def execute(
-        self, query: XdbQuery | str, snapshot: Snapshot | None = None
+        self,
+        query: XdbQuery | str,
+        snapshot: Snapshot | None = None,
+        budget: Budget | Deadline | None = None,
     ) -> ResultSet:
         """Run a parsed query or a raw XDB query string.
 
@@ -90,16 +94,45 @@ class QueryEngine:
         — probes, lifts, walks, and the lazy match loaders the result
         carries — executes against that one pinned commit LSN, immune to
         (and never blocked by) concurrent ingest.
+
+        With ``budget`` (a :class:`~repro.resilience.deadline.Budget`,
+        or a bare :class:`~repro.resilience.deadline.Deadline` as
+        shorthand) every plan operator checks for expiry/cancellation at
+        its pull boundary: the run raises
+        :class:`~repro.errors.QueryTimeoutError` on expiry, or — when
+        the budget (or the query's ``Partial=1``) allows partial answers
+        — returns whatever was collected, with ``deadline_expired`` set.
+        The engine has no clock of its own: the query's ``Deadline=``
+        parameter is turned into a budget by the HTTP layer, which does.
         """
         if isinstance(query, str):
             query = parse_query(query)
-        ctx, root = self.compile(query, snapshot=snapshot)
-        matches = list(root.rows())
+        budget = self._coerce_budget(query, budget)
+        ctx, root = self.compile(query, snapshot=snapshot, budget=budget)
+        if budget is None or budget.admits("execute"):
+            matches = list(root.rows())
+        else:
+            matches = []  # expired before the first pull, Partial=1
         obs.inc("repro_query_rows_returned_total", len(matches))
         self._publish_plan_stats(ctx)
         result = ResultSet(format_query(query))
         result.extend(matches)
+        if budget is not None and budget.timed_out:
+            result.partial = True
+            result.deadline_expired = True
+            obs.inc("repro_query_deadline_partials_total")
         return result.limited(query.limit)
+
+    @staticmethod
+    def _coerce_budget(
+        query: XdbQuery, budget: Budget | Deadline | None
+    ) -> Budget | None:
+        """Normalize the budget argument and fold in ``Partial=1``."""
+        if isinstance(budget, Deadline):
+            budget = Budget(deadline=budget)
+        if budget is not None and query.partial_ok:
+            budget.partial_ok = True
+        return budget
 
     def explain(
         self,
@@ -227,6 +260,7 @@ class QueryEngine:
         query: XdbQuery,
         wall_clock=None,
         snapshot: Snapshot | None = None,
+        budget: Budget | None = None,
     ) -> tuple[PlanContext, PlanNode]:
         """Build the operator tree for ``query`` (root is a Materialize).
 
@@ -246,7 +280,7 @@ class QueryEngine:
         profiler = PlanProfiler(wall_clock) if query.profile else None
         ctx = PlanContext(
             self.store, self.store.new_accessor(snapshot), self.use_index,
-            profiler=profiler, snapshot=snapshot,
+            profiler=profiler, snapshot=snapshot, budget=budget,
         )
         kind = query.kind
         if kind == "context":

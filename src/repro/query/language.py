@@ -23,6 +23,9 @@ precise query syntax" even in the paper):
 * ``Explain=1`` asks for the plan, ``Explain=profile`` for the plan with
   per-operator work-unit costs; ``Trace=1`` asks the server to attach
   the request's span tree to the result envelope.
+* ``Deadline=N`` bounds the request to N server clock ticks;
+  ``Partial=1`` asks for whatever was found by the deadline (marked
+  partial) instead of a 504.
 """
 
 from __future__ import annotations
@@ -126,6 +129,8 @@ def parse_query(query_string: str) -> XdbQuery:
     explain = False
     profile = False
     trace = False
+    deadline_ticks: int | None = None
+    partial_ok = False
     extras: list[tuple[str, str]] = []
 
     for key, value in parse_pairs(query_string):
@@ -167,6 +172,15 @@ def parse_query(query_string: str) -> XdbQuery:
                 explain = cleaned in {"1", "true", "yes"}
         elif lowered == "trace":
             trace = value.strip().lower() in {"1", "true", "yes"}
+        elif lowered == "deadline":
+            try:
+                deadline_ticks = int(value)
+            except ValueError:
+                raise QuerySyntaxError(
+                    f"Deadline must be an integer tick count, got {value!r}"
+                )
+        elif lowered == "partial":
+            partial_ok = value.strip().lower() in {"1", "true", "yes"}
         else:
             extras.append((key, value))
 
@@ -188,6 +202,8 @@ def parse_query(query_string: str) -> XdbQuery:
         explain=explain,
         profile=profile,
         trace=trace,
+        deadline_ticks=deadline_ticks,
+        partial_ok=partial_ok,
         extras=tuple(extras),
     )
 
@@ -223,6 +239,10 @@ def format_query(query: XdbQuery) -> str:
         parts.append("Explain=1")
     if query.trace:
         parts.append("Trace=1")
+    if query.deadline_ticks is not None:
+        parts.append(f"Deadline={query.deadline_ticks}")
+    if query.partial_ok:
+        parts.append("Partial=1")
     for key, value in query.extras:
         parts.append(percent_encode(key) + "=" + percent_encode(value))
     return "&".join(parts)

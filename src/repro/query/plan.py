@@ -57,7 +57,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import DocumentNotFoundError, QueryError
 from repro.obs import PlanProfiler
@@ -71,6 +71,9 @@ from repro.sgml.nodetypes import NodeType
 from repro.store.accessor import NodeAccessor
 from repro.store.compose import compose_node, compose_section
 from repro.store.xmlstore import StoredDocument, XmlStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.deadline import Budget
 
 Row = dict[str, Any]
 
@@ -127,6 +130,7 @@ class PlanContext:
         use_index: bool,
         profiler: PlanProfiler | None = None,
         snapshot: Snapshot | None = None,
+        budget: "Budget | None" = None,
     ) -> None:
         self.store = store
         self.accessor = accessor
@@ -135,6 +139,11 @@ class PlanContext:
         #: Pinned MVCC snapshot the whole plan executes against (None =
         #: live reads, the single-threaded default).
         self.snapshot = snapshot
+        #: The request's time-and-cancellation budget
+        #: (:class:`repro.resilience.deadline.Budget`); every operator
+        #: checks it at its pull boundary, so one expired deadline stops
+        #: the whole tree cooperatively.  None = unbounded.
+        self.budget = budget
         self._entries: dict[int, StoredDocument] = {}
 
     def entry(self, doc_id: int) -> StoredDocument:
@@ -220,8 +229,21 @@ class PlanNode:
         self.wall_seconds = 0.0
 
     def rows(self) -> Iterator[Any]:
-        if self.ctx.profiler is None:
+        budget = self.ctx.budget
+        if self.ctx.profiler is None and budget is None:
             for item in self._produce():
+                self.rows_out += 1
+                yield item
+            return
+        if self.ctx.profiler is None:
+            # Cooperative cancellation: the budget check is this
+            # operator's batch boundary.  ``admits`` raises on
+            # cancellation or a hard deadline; with ``Partial=1`` it
+            # returns False and the whole tree stops pulling, leaving
+            # downstream operators with a truncated (partial) prefix.
+            for item in self._produce():
+                if not budget.admits(self.name):
+                    return
                 self.rows_out += 1
                 yield item
             return
@@ -238,6 +260,7 @@ class PlanNode:
         (whatever the caller does between pulls) is excluded.
         """
         profiler = self.ctx.profiler
+        budget = self.ctx.budget
         wall = profiler.wall_clock
         produce = self._produce()
         while True:
@@ -254,6 +277,8 @@ class PlanNode:
             self.ticks += profiler.now() - start
             if wall is not None:
                 self.wall_seconds += wall() - wall_start
+            if budget is not None and not budget.admits(self.name):
+                return
             self.rows_out += 1
             yield item
 

@@ -175,15 +175,18 @@ class ResultSet:
     ``partial`` marks a federated answer that is missing at least one
     source's contribution; ``source_errors`` carries the per-source
     error summary so callers (and the HTTP ``<partial>`` envelope) can
-    say *which* sources are unreachable and why.  A complete answer has
-    ``partial=False`` and renders byte-identically to the pre-resilience
-    format.
+    say *which* sources are unreachable and why.  ``deadline_expired``
+    marks a ``Partial=1`` answer truncated by its deadline — the matches
+    are a correct prefix of the full answer, not a complete one.  A
+    complete answer has ``partial=False`` and renders byte-identically
+    to the pre-resilience format.
     """
 
     query_string: str
     matches: list[SectionMatch] = field(default_factory=list)
     partial: bool = False
     source_errors: dict[str, str] = field(default_factory=dict)
+    deadline_expired: bool = False
 
     def __len__(self) -> int:
         return len(self.matches)
@@ -253,14 +256,20 @@ class ResultSet:
             ],
             partial=self.partial,
             source_errors=dict(self.source_errors),
+            deadline_expired=self.deadline_expired,
         )
 
     def to_xml(self) -> Document:
         """Render the canonical ``<results>`` tree for XSLT composition."""
         root = Element("results", {"query": self.query_string})
-        if self.partial:
+        if self.partial or self.deadline_expired:
             root.attributes["partial"] = "true"
             envelope = root.make_child("partial")
+            if self.deadline_expired:
+                truncated = envelope.make_child("deadline-expired")
+                truncated.append_text(
+                    "deadline expired; results are a truncated prefix"
+                )
             for name in sorted(self.source_errors):
                 unreachable = envelope.make_child("unreachable", source=name)
                 unreachable.append_text(self.source_errors[name])

@@ -24,6 +24,12 @@ from repro.resilience.breaker import (
 )
 from repro.resilience.clock import LogicalClock
 from repro.resilience.crashpoints import CrashMatrix, CrashPoint, crash_matrix
+from repro.resilience.deadline import (
+    Budget,
+    CancellationToken,
+    Deadline,
+    wall_tick_source,
+)
 from repro.resilience.faults import (
     FaultEvent,
     FaultPlan,
@@ -49,9 +55,12 @@ __all__ = [
     "BreakerBoard",
     "BreakerConfig",
     "BreakerTransition",
+    "Budget",
+    "CancellationToken",
     "CircuitBreaker",
     "CrashMatrix",
     "CrashPoint",
+    "Deadline",
     "FaultEvent",
     "FaultPlan",
     "FaultProxy",
@@ -66,4 +75,5 @@ __all__ = [
     "RetryStats",
     "call_with_retry",
     "crash_matrix",
+    "wall_tick_source",
 ]

@@ -1,7 +1,13 @@
 """The NETMARK server layer: WebDAV folders, ingestion daemon, HTTP API."""
 
 from repro.server.daemon import IngestRecord, NetmarkDaemon
-from repro.server.http import STYLESHEET_FOLDER, HttpResponse, NetmarkHttpApi
+from repro.server.http import (
+    STYLESHEET_FOLDER,
+    HttpResponse,
+    NetmarkHttpApi,
+    error_response,
+)
+from repro.server.overload import AdmissionController, degrade_query
 from repro.server.vfs import (
     FileEntry,
     VirtualFileSystem,
@@ -13,6 +19,7 @@ from repro.server.webdav import DavResponse, LockInfo, ResourceProps, WebDavServ
 from repro.server.workers import IngestThread, ResponseFuture, WorkerPool
 
 __all__ = [
+    "AdmissionController",
     "DavResponse",
     "FileEntry",
     "HttpResponse",
@@ -28,6 +35,8 @@ __all__ = [
     "WebDavServer",
     "WorkerPool",
     "base_name",
+    "degrade_query",
+    "error_response",
     "normalize_path",
     "parent_path",
 ]

@@ -24,6 +24,14 @@ to access NETMARK."
 :class:`~repro.obs.Tracer` and appends the span tree as a ``<trace>``
 element to the response envelope (results and plans alike).
 
+``Deadline=N`` bounds a search to ``N`` ticks of the API's clock; past
+the deadline the request answers 504 ``<error code="deadline-exceeded">``
+— or, with ``Partial=1``, 200 with a ``<partial><deadline-expired>``
+envelope around the prefix computed in time.  When an
+:class:`~repro.server.overload.AdmissionController` is attached and in
+brownout, searches are degraded to their cheapest plan (forced result
+limit, no XSLT) and stamped ``degraded="brownout"``.
+
 Stylesheets are themselves WebDAV resources under ``/stylesheets`` —
 NETMARK really is "nothing more than intelligent storage" plus this thin
 routing.
@@ -38,8 +46,10 @@ from repro.errors import (
     AllSourcesFailedError,
     CorruptLogError,
     FsckError,
+    QueryCancelledError,
     QueryError,
     QuerySyntaxError,
+    QueryTimeoutError,
     RecoveryError,
     ReproError,
     XsltError,
@@ -49,6 +59,9 @@ from repro.obs import NULL_TRACER, Span, Tracer
 from repro.query.ast import XdbQuery
 from repro.query.engine import QueryEngine
 from repro.query.language import format_query, parse_query
+from repro.resilience.clock import LogicalClock
+from repro.resilience.deadline import Budget, TickSource
+from repro.server.overload import AdmissionController, degrade_query
 from repro.server.webdav import WebDavServer
 from repro.sgml.dom import Document, Element
 from repro.sgml.serializer import serialize
@@ -74,6 +87,36 @@ _ROUTES = ("search", "docs", "doc", "dav", "databanks", "metrics", "cluster")
 def _route_label(path: str) -> str:
     head = path.lstrip("/").split("/", 1)[0]
     return head if head in _ROUTES else "other"
+
+
+def error_response(
+    status: int,
+    code: str,
+    message: str,
+    retry_after: int | None = None,
+    attributes: dict[str, str] | None = None,
+) -> HttpResponse:
+    """A machine-readable XML error envelope.
+
+    ``retry_after`` (seconds) emits the ``Retry-After`` header *and*
+    mirrors it as an attribute on the envelope, so both header-aware
+    clients and body-parsing scripts see the same advice.  Module-level
+    because the worker pool builds shed/timeout envelopes for requests
+    that never reach the API object.
+    """
+    attrs = {"code": code, "status": str(status)}
+    if retry_after is not None:
+        attrs["retry-after"] = str(retry_after)
+    if attributes:
+        attrs.update(attributes)
+    root = Element("error", attrs)
+    root.append_text(message)
+    headers: tuple[tuple[str, str], ...] = ()
+    if retry_after is not None:
+        headers = (("Retry-After", str(retry_after)),)
+    return HttpResponse(
+        status, serialize(Document(root), indent=2), headers=headers
+    )
 
 
 def _trace_element(span: Span) -> Element:
@@ -128,11 +171,23 @@ class NetmarkHttpApi:
         store: XmlStore,
         dav: WebDavServer,
         router: "Router | None" = None,
+        clock: TickSource | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.store = store
         self.dav = dav
         self.router = router
         self.engine = QueryEngine(store)
+        #: The clock ``Deadline=`` budgets and the latency histogram run
+        #: on.  Defaults to an idle logical clock (deadlines never fire
+        #: unless a test advances it); a real deployment passes
+        #: ``wall_tick_source(time.monotonic)`` at its composition root.
+        self.clock: TickSource = (
+            clock if clock is not None else LogicalClock()
+        )
+        #: Shared with the worker pool; when set and in brownout,
+        #: searches are degraded to their cheapest plan.
+        self.admission = admission
         #: While True every request answers 503 with a structured
         #: ``<error code="recovering">`` body — set it around startup
         #: recovery (``XmlStore.open`` + ``NetmarkDaemon.startup_recovery``)
@@ -151,18 +206,36 @@ class NetmarkHttpApi:
 
     # -- request routing ---------------------------------------------------
 
-    def request(self, method: str, target: str, body: str = "") -> HttpResponse:
+    def request(
+        self,
+        method: str,
+        target: str,
+        body: str = "",
+        budget: Budget | None = None,
+    ) -> HttpResponse:
         method = method.upper()
         path, _, query_string = target.partition("?")
-        response = self._dispatch(method, path, query_string, body)
+        route = _route_label(path)
+        started = self.clock.now()
+        response = self._dispatch(method, path, query_string, body, budget)
+        obs.observe(
+            "repro_server_request_latency_ticks",
+            self.clock.now() - started,
+            route=route,
+        )
         obs.inc(
             "repro_server_requests_total",
-            route=_route_label(path), status=str(response.status),
+            route=route, status=str(response.status),
         )
         return response
 
     def _dispatch(
-        self, method: str, path: str, query_string: str, body: str
+        self,
+        method: str,
+        path: str,
+        query_string: str,
+        body: str,
+        budget: Budget | None = None,
     ) -> HttpResponse:
         if path == "/metrics" and method == "GET":
             # Served even while recovering: the one endpoint an operator
@@ -186,7 +259,7 @@ class NetmarkHttpApi:
             if method != "GET":
                 return HttpResponse(405, f"method {method} not allowed on {path}")
             if path == "/search":
-                return self._search(query_string)
+                return self._search(query_string, budget)
             if path == "/docs":
                 return self._catalog()
             if path == "/databanks":
@@ -196,6 +269,24 @@ class NetmarkHttpApi:
             return HttpResponse(404, f"no route for {path}")
         except QuerySyntaxError as error:
             return HttpResponse(400, str(error))
+        except QueryCancelledError as error:
+            # The submitter walked away (or cancelled explicitly): 499 in
+            # the nginx tradition.  Nobody reads the body, but a
+            # structured one keeps logs greppable.  Must precede the
+            # QueryError clause — it is a QueryError subclass.
+            obs.inc(
+                "repro_server_requests_cancelled_total", stage="executing"
+            )
+            return self._error(499, "cancelled", str(error))
+        except QueryTimeoutError as error:
+            # A hard deadline (no Partial=1) expired mid-execution.
+            obs.inc(
+                "repro_server_requests_timed_out_total", stage="executing"
+            )
+            return self._error(
+                504, "deadline-exceeded", str(error),
+                retry_after=RETRY_AFTER_SECONDS,
+            )
         except (QueryError, XsltError) as error:
             return HttpResponse(422, str(error))
         except AllSourcesFailedError as error:
@@ -225,23 +316,57 @@ class NetmarkHttpApi:
 
     # -- handlers --------------------------------------------------------------
 
-    def _search(self, query_string: str) -> HttpResponse:
+    def _search(
+        self, query_string: str, budget: Budget | None = None
+    ) -> HttpResponse:
         query = parse_query(query_string)
+        budget = self._request_budget(query, budget)
+        degraded = False
+        if (
+            self.admission is not None
+            and self.admission.brownout_active
+            and not query.explain
+        ):
+            # Brownout: answer from the cheapest plan.  Explain requests
+            # are exempt — diagnosing the overload must show the real plan.
+            query = degrade_query(query, self.admission.brownout_limit)
+            degraded = True
+            obs.inc("repro_server_brownout_requests_total")
         # A per-request tracer: Trace=1 is self-service, so one slow
         # request can be dissected without flipping any server state.
         tracer = Tracer() if query.trace else NULL_TRACER
         with tracer.span(
             "request", route="/search", query=format_query(query)
         ):
-            outcome = self._run_search(query, tracer)
+            outcome = self._run_search(query, tracer, budget)
         if isinstance(outcome, HttpResponse):
             return outcome
+        if degraded:
+            outcome.root.attributes["degraded"] = "brownout"
         for root_span in tracer.take_roots():
             outcome.root.append(_trace_element(root_span))
         return HttpResponse(200, serialize(outcome, indent=2))
 
+    def _request_budget(
+        self, query: XdbQuery, budget: Budget | None
+    ) -> Budget | None:
+        """Fold query-level ``Deadline=``/``Partial=1`` into the budget.
+
+        The worker pool starts a request's budget at *enqueue* time; a
+        query-supplied deadline can only tighten it (shrink-only
+        composition), so queue wait always counts against the client's
+        deadline.
+        """
+        if query.deadline_ticks is not None:
+            if budget is None:
+                budget = Budget()
+            budget.tighten(self.clock, query.deadline_ticks)
+        if budget is not None and query.partial_ok:
+            budget.partial_ok = True
+        return budget
+
     def _run_search(
-        self, query: XdbQuery, tracer: Tracer
+        self, query: XdbQuery, tracer: Tracer, budget: Budget | None = None
     ) -> HttpResponse | Document:
         """Answer one search; a Document result still needs the envelope."""
         if query.explain:
@@ -263,7 +388,7 @@ class NetmarkHttpApi:
             with tracer.span(
                 "execute", tier="federated", databank=query.databank
             ) as span:
-                results = self.router.execute(query)
+                results = self.router.execute(query, budget=budget)
                 span.annotate(matches=len(results))
             with tracer.span("compose"):
                 document = results.to_xml()
@@ -274,7 +399,9 @@ class NetmarkHttpApi:
             # while the daemon ingests concurrently.
             with self.store.snapshot() as snapshot:
                 with tracer.span("execute", tier="local") as span:
-                    results = self.engine.execute(query, snapshot=snapshot)
+                    results = self.engine.execute(
+                        query, snapshot=snapshot, budget=budget
+                    )
                     span.annotate(matches=len(results))
                 with tracer.span("compose"):
                     document = results.to_xml()
@@ -397,35 +524,9 @@ class NetmarkHttpApi:
 
     # -- structured errors ---------------------------------------------------------
 
-    @staticmethod
-    def _error(
-        status: int,
-        code: str,
-        message: str,
-        retry_after: int | None = None,
-        attributes: dict[str, str] | None = None,
-    ) -> HttpResponse:
-        """A machine-readable XML error envelope.
-
-        ``retry_after`` (seconds) emits the ``Retry-After`` header *and*
-        mirrors it as an attribute on the envelope, so both header-aware
-        clients and body-parsing scripts see the same advice.
-        """
-        from repro.sgml.dom import Document, Element
-
-        attrs = {"code": code, "status": str(status)}
-        if retry_after is not None:
-            attrs["retry-after"] = str(retry_after)
-        if attributes:
-            attrs.update(attributes)
-        root = Element("error", attrs)
-        root.append_text(message)
-        headers: tuple[tuple[str, str], ...] = ()
-        if retry_after is not None:
-            headers = (("Retry-After", str(retry_after)),)
-        return HttpResponse(
-            status, serialize(Document(root), indent=2), headers=headers
-        )
+    #: The envelope builder, shared with the worker pool (which must
+    #: answer shed/expired requests without an API object in hand).
+    _error = staticmethod(error_response)
 
     # -- stylesheet management ----------------------------------------------------
 

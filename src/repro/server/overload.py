@@ -1,0 +1,154 @@
+"""Admission control and brownout degradation for the serving front end.
+
+"Lean middleware" is an economics claim: the stack must stay cheap and
+predictable when offered load exceeds capacity.  Two mechanisms keep it
+so, both owned by :class:`AdmissionController`:
+
+**Load shedding.**  The :class:`~repro.server.workers.WorkerPool` queue
+is bounded; a request arriving at a full queue is refused *immediately*
+with 503 + ``Retry-After`` instead of being buried in an ever-growing
+backlog.  Shedding at the front door is what keeps goodput flat past
+saturation — every admitted request still completes within its deadline
+instead of all requests timing out together.
+
+**Brownout.**  Sustained shedding flips the server into a degraded mode
+where every search is answered from its cheapest plan: a forced result
+limit (limit pushdown makes a small limit genuinely cheap) and no XSLT
+composition.  Entry/exit use hysteresis on an integer *pressure* signal
+— each shed pumps pressure up, each accepted request bleeds it off — so
+the server neither browns out on one burst nor flaps at the boundary.
+
+The controller is shared by every submitter thread; its counters are the
+"shared shed state" the dataflow guarded-by check watches.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+
+from repro import obs
+from repro.errors import ServerError
+from repro.query.ast import XdbQuery
+
+__all__ = ["AdmissionController", "degrade_query"]
+
+
+def degrade_query(query: XdbQuery, brownout_limit: int) -> XdbQuery:
+    """The brownout rewrite: cheapest plan for the same question.
+
+    Forces ``limit`` down to ``brownout_limit`` (never up — a tighter
+    client limit survives) and drops the stylesheet, so the answer is a
+    small, composition-free result the plan's limit pushdown computes
+    almost for free.
+    """
+    limit = query.limit
+    if limit is None or limit > brownout_limit:
+        limit = brownout_limit
+    return replace(query, limit=limit, stylesheet=None)
+
+
+class AdmissionController:
+    """Bounded-queue shed accounting plus brownout hysteresis.
+
+    ``queue_limit`` bounds the worker-pool queue (the pool reads it at
+    construction).  Pressure mechanics: a shed adds ``shed_cost``, an
+    accepted request subtracts one, and the value is clamped to
+    ``[0, enter_pressure + shed_cost]``.  Brownout begins when pressure
+    reaches ``enter_pressure`` and ends only when it falls back to
+    ``exit_pressure`` — the gap between the two is the hysteresis band.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = 64,
+        enter_pressure: int = 8,
+        exit_pressure: int = 0,
+        shed_cost: int = 4,
+        brownout_limit: int = 5,
+    ) -> None:
+        if queue_limit < 1:
+            raise ServerError("admission control needs queue_limit >= 1")
+        if not 0 <= exit_pressure < enter_pressure:
+            raise ServerError(
+                "brownout hysteresis needs 0 <= exit_pressure < "
+                f"enter_pressure, got {exit_pressure}/{enter_pressure}"
+            )
+        if shed_cost < 1 or brownout_limit < 1:
+            raise ServerError(
+                "shed_cost and brownout_limit must be positive"
+            )
+        self.queue_limit = queue_limit
+        self.enter_pressure = enter_pressure
+        self.exit_pressure = exit_pressure
+        self.shed_cost = shed_cost
+        self.brownout_limit = brownout_limit
+        self._pressure_cap = enter_pressure + shed_cost
+        self._lock = threading.Lock()
+        # repro: guarded-by(_lock) pressure and the brownout flag are
+        # read-modify-written by every submitter thread at once.
+        self._pressure = 0
+        # repro: guarded-by(_lock) flips only inside the pressure update.
+        self._brownout = False
+        # repro: guarded-by(_lock) shed/transition tallies, bumped under
+        # the same critical section that decided them.
+        self.sheds = 0
+        # repro: guarded-by(_lock) see ``sheds``.
+        self.brownout_entries = 0
+        # repro: guarded-by(_lock) see ``sheds``.
+        self.brownout_exits = 0
+
+    # -- signals from the worker pool ---------------------------------------
+
+    def on_shed(self) -> None:
+        """One request was refused at a full queue."""
+        with self._lock:
+            self.sheds += 1
+            self._pressure = min(
+                self._pressure_cap, self._pressure + self.shed_cost
+            )
+            entered = (
+                not self._brownout
+                and self._pressure >= self.enter_pressure
+            )
+            if entered:
+                self._brownout = True
+                self.brownout_entries += 1
+        # Metric publication happens outside the lock: the registry has
+        # its own lock and nothing here depends on atomicity with the
+        # pressure update.
+        obs.inc("repro_server_requests_shed_total")
+        if entered:
+            obs.inc(
+                "repro_server_brownout_transitions_total", direction="enter"
+            )
+            obs.set_gauge("repro_server_brownout", 1)
+
+    def on_accept(self) -> None:
+        """One request was admitted to the queue."""
+        with self._lock:
+            if self._pressure > 0:
+                self._pressure -= 1
+            exited = (
+                self._brownout and self._pressure <= self.exit_pressure
+            )
+            if exited:
+                self._brownout = False
+                self.brownout_exits += 1
+        if exited:
+            obs.inc(
+                "repro_server_brownout_transitions_total", direction="exit"
+            )
+            obs.set_gauge("repro_server_brownout", 0)
+
+    # -- state queries ------------------------------------------------------
+
+    @property
+    def brownout_active(self) -> bool:
+        with self._lock:
+            return self._brownout
+
+    @property
+    def pressure(self) -> int:
+        with self._lock:
+            return self._pressure

@@ -1,0 +1,121 @@
+"""Deadline propagation through the federation router."""
+
+import pytest
+
+from repro.errors import QueryTimeoutError
+from repro.federation import NetmarkSource, Router
+from repro.resilience import Budget, CancellationToken, Deadline, LogicalClock
+from repro.sgml.serializer import serialize
+from repro.store.xmlstore import XmlStore
+
+NDOC = (
+    "{\\ndoc1}\n{\\style Heading1}Budget\n"
+    "{\\style Normal}Travel funds for the engine review.\n"
+)
+
+
+class SteppingClock:
+    """Advances one tick per read — deterministic mid-query expiry."""
+
+    def __init__(self) -> None:
+        self.tick = 0
+
+    def now(self) -> int:
+        self.tick += 1
+        return self.tick
+
+
+def build_router(count=3):
+    router = Router()
+    bank = router.create_databank("app")
+    for index in range(count):
+        store = XmlStore()
+        store.store_text(NDOC, f"s{index}-doc.ndoc")
+        bank.add_source(NetmarkSource(f"s{index}", store))
+    return router
+
+
+class TestRouterDeadlines:
+    def test_hard_expiry_raises_through_the_fan_out(self):
+        router = build_router()
+        clock = LogicalClock()
+        budget = Budget(deadline=Deadline(clock, 5))
+        clock.advance(6)
+        with pytest.raises(QueryTimeoutError):
+            router.execute("Context=Budget&databank=app", budget=budget)
+
+    def test_partial_ok_skips_remaining_sources(self):
+        router = build_router()
+        # Enough budget for the first source, not for the whole fan-out:
+        # the shared absolute expiry means later sources see only what
+        # the earlier ones left over.
+        budget = Budget(
+            deadline=Deadline(SteppingClock(), 12), partial_ok=True
+        )
+        results = router.execute(
+            "Context=Budget&databank=app", budget=budget
+        )
+        report = router.last_report
+        assert report.deadline_skipped_sources  # at least one skipped
+        assert results.deadline_expired and results.partial
+        # Skipped sources contributed nothing; answered ones did.
+        answered = {match.source for match in results}
+        assert answered.isdisjoint(report.deadline_skipped_sources)
+
+    def test_all_sources_skipped_is_partial_not_an_outage(self):
+        router = build_router()
+        clock = LogicalClock()
+        budget = Budget(deadline=Deadline(clock, 1), partial_ok=True)
+        clock.advance(2)
+        # Pre-expired budget: nothing runs, but this is a deadline
+        # story, not AllSourcesFailedError.
+        results = router.execute(
+            "Context=Budget&databank=app", budget=budget
+        )
+        assert len(results) == 0
+        assert results.deadline_expired
+        assert sorted(router.last_report.deadline_skipped_sources) == [
+            "s0", "s1", "s2",
+        ]
+
+    def test_deadline_envelope_renders_in_result_xml(self):
+        router = build_router()
+        clock = LogicalClock()
+        budget = Budget(deadline=Deadline(clock, 1), partial_ok=True)
+        clock.advance(2)
+        results = router.execute(
+            "Context=Budget&databank=app", budget=budget
+        )
+        xml = serialize(results.to_xml(), indent=2)
+        assert 'partial="true"' in xml
+        assert "<deadline-expired>" in xml
+
+    def test_partial_flag_read_from_query_string(self):
+        router = build_router()
+        clock = LogicalClock()
+        budget = Budget(deadline=Deadline(clock, 1))
+        clock.advance(2)
+        results = router.execute(
+            "Context=Budget&databank=app&Partial=1", budget=budget
+        )
+        assert results.deadline_expired
+
+    def test_cancellation_propagates_out_of_the_fan_out(self):
+        router = build_router()
+        token = CancellationToken()
+        token.cancel("client disconnected")
+        from repro.errors import QueryCancelledError
+
+        with pytest.raises(QueryCancelledError):
+            router.execute(
+                "Context=Budget&databank=app",
+                budget=Budget(token=token, partial_ok=True),
+            )
+
+    def test_no_budget_is_byte_identical_to_before(self):
+        router = build_router()
+        results = router.execute("Context=Budget&databank=app")
+        assert len(results) == 3
+        assert not results.partial
+        xml = serialize(results.to_xml(), indent=2)
+        assert "partial" not in xml

@@ -1,0 +1,127 @@
+"""Deadline and cancellation semantics on the local query path."""
+
+import pytest
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    QuerySyntaxError,
+)
+from repro.query import QueryEngine, parse_query
+from repro.query.language import format_query
+from repro.resilience import Budget, CancellationToken, Deadline
+from repro.resilience.clock import LogicalClock
+from repro.sgml.serializer import serialize
+
+
+class SteppingClock:
+    """A tick source that advances by one on every read.
+
+    Plan operators consult the budget once per pulled row, so with this
+    clock a query deterministically runs out of time mid-plan — no
+    threads, no sleeps.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.tick = start
+
+    def now(self) -> int:
+        self.tick += 1
+        return self.tick
+
+
+@pytest.fixture
+def engine(loaded_store):
+    return QueryEngine(loaded_store)
+
+
+class TestQueryLanguage:
+    def test_deadline_and_partial_parse(self):
+        query = parse_query("Context=Budget&Deadline=50&Partial=1")
+        assert query.deadline_ticks == 50
+        assert query.partial_ok
+
+    def test_round_trip_through_format(self):
+        query = parse_query("Context=Budget&Deadline=7&Partial=1")
+        assert parse_query(format_query(query)) == query
+
+    def test_bad_deadline_values_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Context=Budget&Deadline=soon")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Context=Budget&Deadline=0")
+
+
+class TestHardDeadline:
+    def test_expired_budget_raises_timeout(self, engine):
+        clock = LogicalClock()
+        budget = Budget(deadline=Deadline(clock, 5))
+        clock.advance(6)
+        with pytest.raises(QueryTimeoutError):
+            engine.execute("Context=Budget", budget=budget)
+
+    def test_mid_plan_expiry_raises_timeout(self, engine):
+        # Expires after a handful of admission checks, i.e. mid-pull.
+        budget = Budget(deadline=Deadline(SteppingClock(), 3))
+        with pytest.raises(QueryTimeoutError):
+            engine.execute("Context=Budget", budget=budget)
+
+    def test_deadline_accepted_directly_as_budget(self, engine):
+        clock = LogicalClock()
+        deadline = Deadline(clock, 2)
+        clock.advance(3)
+        with pytest.raises(QueryTimeoutError):
+            engine.execute("Context=Budget", budget=deadline)
+
+    def test_untouched_budget_changes_nothing(self, engine):
+        clock = LogicalClock()
+        with_budget = engine.execute(
+            "Context=Budget", budget=Budget(deadline=Deadline(clock, 10_000))
+        )
+        without = engine.execute("Context=Budget")
+        assert len(with_budget) == len(without) == 3
+        assert not with_budget.partial
+
+
+class TestPartialResults:
+    def test_partial_ok_truncates_instead_of_raising(self, engine):
+        full = engine.execute("Context=Budget")
+        budget = Budget(
+            deadline=Deadline(SteppingClock(), 3), partial_ok=True
+        )
+        result = engine.execute("Context=Budget", budget=budget)
+        assert result.deadline_expired and result.partial
+        assert len(result) < len(full)
+
+    def test_partial_flag_comes_from_the_query_string(self, engine):
+        budget = Budget(deadline=Deadline(SteppingClock(), 3))
+        result = engine.execute(
+            "Context=Budget&Partial=1", budget=budget
+        )
+        assert result.deadline_expired
+
+    def test_truncated_result_renders_deadline_envelope(self, engine):
+        budget = Budget(
+            deadline=Deadline(SteppingClock(), 3), partial_ok=True
+        )
+        result = engine.execute("Context=Budget", budget=budget)
+        xml = serialize(result.to_xml(), indent=2)
+        assert 'partial="true"' in xml
+        assert "<deadline-expired>" in xml
+
+
+class TestCancellation:
+    def test_cancelled_token_aborts_execution(self, engine):
+        token = CancellationToken()
+        token.cancel("caller gave up")
+        with pytest.raises(QueryCancelledError, match="caller gave up"):
+            engine.execute(
+                "Context=Budget", budget=Budget(token=token)
+            )
+
+    def test_cancellation_beats_partial_ok(self, engine):
+        token = CancellationToken()
+        token.cancel()
+        budget = Budget(token=token, partial_ok=True)
+        with pytest.raises(QueryCancelledError):
+            engine.execute("Context=Budget", budget=budget)

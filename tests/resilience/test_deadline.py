@@ -1,0 +1,133 @@
+"""Deadlines, budgets and cooperative cancellation primitives."""
+
+import pytest
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResilienceError,
+)
+from repro.resilience import (
+    Budget,
+    CancellationToken,
+    Deadline,
+    wall_tick_source,
+)
+from repro.resilience.clock import LogicalClock
+
+
+class TestDeadline:
+    def test_remaining_counts_down_and_clamps_at_zero(self):
+        clock = LogicalClock()
+        deadline = Deadline(clock, 10)
+        assert deadline.remaining() == 10
+        assert not deadline.expired()
+        clock.advance(7)
+        assert deadline.remaining() == 3
+        clock.advance(10)
+        assert deadline.expired()
+        assert deadline.remaining() == 0
+
+    def test_expiry_is_inclusive_at_the_boundary_tick(self):
+        clock = LogicalClock()
+        deadline = Deadline(clock, 5)
+        clock.advance(5)
+        assert deadline.expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ResilienceError):
+            Deadline(LogicalClock(), -1)
+
+    def test_at_builds_an_absolute_deadline(self):
+        clock = LogicalClock(start=50)
+        deadline = Deadline.at(clock, 40)
+        assert deadline.expired()  # already in the past
+
+    def test_tightened_takes_the_earlier_expiry(self):
+        clock = LogicalClock()
+        outer = Deadline(clock, 100)
+        inner = outer.tightened(10)
+        assert inner.expires_at == 10
+        # A looser child cannot extend the parent.
+        loose = inner.tightened(500)
+        assert loose.expires_at == inner.expires_at
+
+
+class TestWallTickSource:
+    def test_ticks_derive_from_the_injected_wall_clock(self):
+        readings = [5.0, 5.25, 6.0]  # first read pins the origin
+        source = wall_tick_source(lambda: readings.pop(0), ticks_per_second=4)
+        assert source.now() == 1  # (5.25 - 5.0) * 4
+        assert source.now() == 4  # (6.0 - 5.0) * 4
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(ResilienceError):
+            wall_tick_source(lambda: 0.0, ticks_per_second=0)
+
+    def test_composes_with_deadline(self):
+        readings = [0.0, 0.0, 0.010, 0.030]
+        source = wall_tick_source(
+            lambda: readings.pop(0), ticks_per_second=1000
+        )
+        deadline = Deadline(source, 20)  # 20ms
+        assert not deadline.expired()  # at 10ms
+        assert deadline.expired()  # at 30ms
+
+
+class TestCancellationToken:
+    def test_check_passes_until_cancelled(self):
+        token = CancellationToken()
+        token.check("anywhere")
+        assert not token.cancelled
+        token.cancel("client went away")
+        assert token.cancelled
+        with pytest.raises(QueryCancelledError, match="client went away"):
+            token.check("scan")
+
+    def test_first_reason_wins(self):
+        token = CancellationToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+
+class TestBudget:
+    def test_unlimited_budget_always_admits(self):
+        budget = Budget()
+        assert budget.admits("anywhere")
+        assert budget.remaining() is None
+        assert not budget.expired and not budget.cancelled
+
+    def test_cancellation_raises_even_with_partial_ok(self):
+        token = CancellationToken()
+        budget = Budget(token=token, partial_ok=True)
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            budget.admits("scan")
+
+    def test_hard_expiry_raises_with_site(self):
+        clock = LogicalClock()
+        budget = Budget(deadline=Deadline(clock, 3))
+        assert budget.admits("scan")
+        clock.advance(4)
+        with pytest.raises(QueryTimeoutError, match="at scan"):
+            budget.admits("scan")
+
+    def test_partial_ok_expiry_is_sticky_not_raising(self):
+        clock = LogicalClock()
+        budget = Budget(deadline=Deadline(clock, 3), partial_ok=True)
+        clock.advance(4)
+        assert not budget.admits("scan")
+        assert budget.timed_out
+        # Sticky: still refused even if a later check happens to be
+        # under a (reset) deadline — a truncated answer stays truncated.
+        assert not budget.admits("compose")
+
+    def test_tighten_is_shrink_only(self):
+        clock = LogicalClock()
+        budget = Budget()
+        budget.tighten(clock, 100)
+        budget.tighten(clock, 10)
+        assert budget.remaining() == 10
+        budget.tighten(clock, 1000)
+        assert budget.remaining() == 10

@@ -1,0 +1,120 @@
+"""Daemon ingest under slow and hung converters.
+
+The worker pool and the ingest thread must stay independent even when a
+converter misbehaves: a *slow* converter (modelled as injected logical
+latency) keeps the heartbeat advancing and readers answering; a *hung*
+converter freezes the heartbeat — the watchdog signature — while
+readers still answer off their MVCC snapshots.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.converters import registry
+from repro.converters.base import Converter, Section
+from repro.netmark import Netmark
+from repro.resilience import LogicalClock
+from repro.server.workers import IngestThread, WorkerPool
+
+
+class SlowConverter(Converter):
+    """Charges a fixed logical latency per document — slow, not stuck."""
+
+    format_name = "slowdoc"
+    extensions = ("slowdoc",)
+
+    def __init__(self, clock: LogicalClock, latency: int) -> None:
+        self.clock = clock
+        self.latency = latency
+        self.converted = 0
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        self.clock.advance(self.latency)
+        self.converted += 1
+        return [Section(title="Budget", blocks=[text.strip() or name])]
+
+
+class HungConverter(Converter):
+    """Blocks inside ``upmark`` until released — a wedged parser."""
+
+    format_name = "hungdoc"
+    extensions = ("hungdoc",)
+
+    def __init__(self) -> None:
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def upmark(self, text: str, name: str) -> list[Section]:
+        self.entered.set()
+        self.release.wait()
+        return [Section(title="Budget", blocks=[text.strip() or name])]
+
+
+@pytest.fixture
+def slow_converter():
+    converter = SlowConverter(LogicalClock(), latency=250)
+    registry.register(converter)
+    yield converter
+    registry.unregister(converter)
+
+
+@pytest.fixture
+def hung_converter():
+    converter = HungConverter()
+    registry.register(converter)
+    yield converter
+    converter.release.set()  # never leave the ingest thread wedged
+    registry.unregister(converter)
+
+
+class TestSlowConverter:
+    def test_ingest_heartbeats_and_readers_stay_live(self, slow_converter):
+        previous = obs.push_registry()
+        try:
+            node = Netmark()
+            for index in range(5):
+                node.drop(f"doc{index}.slowdoc", f"slow document {index}")
+            ingest = IngestThread(node.daemon)
+            ingest.start()
+            with WorkerPool(node.api, workers=2) as pool:
+                # Readers answer while the slow ingest grinds on.
+                for _ in range(8):
+                    assert pool.request("GET", "/docs").ok
+                assert ingest.stop(timeout=30) == 5
+                # Slow is not stuck: the loop kept beating (first poll
+                # plus at least the final idle poll that observed stop).
+                assert ingest.heartbeats >= 2
+                # The latency really was charged, once per document.
+                assert slow_converter.clock.now() == 5 * 250
+                response = pool.request("GET", "/search?Context=Budget")
+                assert response.ok
+                assert response.body.count("<result ") == 5
+            gauge = obs.get_registry().get("repro_server_ingest_heartbeat")
+            assert gauge is not None
+        finally:
+            obs.set_registry(previous)
+
+
+class TestHungConverter:
+    def test_frozen_heartbeat_but_live_readers(self, hung_converter):
+        node = Netmark()
+        node.ingest("seed.md", "# Budget\n\nSeed content.\n")
+        node.drop("stuck.hungdoc", "this one wedges the parser")
+        ingest = IngestThread(node.daemon)
+        ingest.start()
+        assert hung_converter.entered.wait(5)  # poll is now wedged
+        frozen = ingest.heartbeats
+        with WorkerPool(node.api, workers=2) as pool:
+            # The MVCC readers never wait on the wedged writer.
+            for _ in range(4):
+                assert pool.request("GET", "/search?Context=Budget").ok
+            # The watchdog signature: the heartbeat has stopped moving.
+            assert ingest.heartbeats == frozen
+            # Unwedge; ingest completes and the heartbeat moves again.
+            hung_converter.release.set()
+            assert ingest.stop(timeout=30) == 1
+            assert ingest.heartbeats > frozen
+            response = pool.request("GET", "/search?Context=Budget")
+            assert "stuck.hungdoc" in response.body
