@@ -1,0 +1,123 @@
+"""Cache-correctness differential drill (the PR 10 CI gate artifact).
+
+One store, two engines — cache-enabled and bare — driven through a
+seeded pseudo-random interleaving of queries, ingests, replacements and
+deletions.  Every query's rendered XML must be **byte-identical** across
+the two engines; any divergence is counted as a mismatch and fails the
+run on the spot.
+
+The artifact (``BENCH_cache_differential.json``) carries only
+deterministic counters — schedule composition, cache hit/miss traffic,
+``mismatches`` (always 0) — so the perf-regression gate compares it
+exactly: a changed hit count means the keying or invalidation behaviour
+changed, and ``mismatches`` anything but 0 means the cache lied.
+"""
+
+import random
+
+from conftest import print_table, write_artifact
+
+from repro.query.cache import QueryCache
+from repro.query.engine import QueryEngine
+from repro.sgml.serializer import serialize
+from repro.store import XmlStore
+from repro.workloads import CorpusSpec, generate_corpus
+
+SEED = 2010
+STEPS = 150
+WRITE_EVERY = 0.25  # probability a step mutates instead of querying
+
+QUERIES = [
+    "Context=Budget",
+    "Context=Technology Gap",
+    "Content=relay",
+    "Content=relay marker",
+    "Content=relay,milestones",
+    "Context=Budget&Content=relay",
+    "Context=Budget&limit=3",
+    "Context=Risk Assessment&Content=schedule",
+    "Context=Budget&Doc=doc-00",
+    "Context=Budget&Format=md",
+    "Context=Budget&Cache=0",
+]
+
+
+def _xml(result) -> str:
+    return serialize(result.to_xml(), indent=2)
+
+
+def test_report_cache_differential(benchmark):
+    def report():
+        rng = random.Random(SEED)
+        store = XmlStore()
+        cached = QueryEngine(store, cache=QueryCache())
+        baseline = QueryEngine(store)
+        files = generate_corpus(
+            CorpusSpec(documents=30, seed=SEED, planted_term="relay")
+        )
+        pending = list(files[10:])
+        loaded = []
+        for file in files[:10]:
+            store.store_text(file.text, file.name)
+            loaded.append(file)
+
+        queries = writes = mismatches = 0
+        for _ in range(STEPS):
+            if rng.random() < WRITE_EVERY:
+                writes += 1
+                choice = rng.random()
+                if choice < 0.5 and pending:
+                    file = pending.pop(0)
+                    store.store_text(file.text, file.name)
+                    loaded.append(file)
+                elif choice < 0.8 and loaded:
+                    file = rng.choice(loaded)
+                    text = file.text
+                    if file.name.endswith(".md"):
+                        text += "\nAmended relay budget paragraph.\n"
+                    store.replace_text(text, file.name)
+                elif len(loaded) > 2:
+                    file = loaded.pop(rng.randrange(len(loaded)))
+                    entry = store.lookup_by_name(file.name)
+                    store.delete_document(entry.doc_id)
+                continue
+            queries += 1
+            query = rng.choice(QUERIES)
+            got = _xml(cached.execute(query))
+            want = _xml(baseline.execute(query))
+            if got != want:
+                mismatches += 1
+                raise AssertionError(f"cache diverged on {query!r}")
+
+        result_counters = cached.cache.snapshot_counters()
+        lift_counters = store.lift_cache.snapshot_counters()
+        assert result_counters["hits"] > 0  # the schedule replayed
+        assert mismatches == 0
+        print_table(
+            f"Cache differential: seed {SEED}, {STEPS} steps",
+            ["queries", "writes", "result hits", "result misses",
+             "lift hits", "mismatches"],
+            [[queries, writes, result_counters["hits"],
+              result_counters["misses"], lift_counters["hits"],
+              mismatches]],
+        )
+        write_artifact(
+            "BENCH_cache_differential.json",
+            "differential",
+            {
+                "seed": SEED,
+                "steps": STEPS,
+                "queries": queries,
+                "writes": writes,
+                "result_cache_hits": result_counters["hits"],
+                "result_cache_misses": result_counters["misses"],
+                "result_cache_evictions": result_counters["evictions"],
+                "lift_cache_hits": lift_counters["hits"],
+                "lift_cache_misses": lift_counters["misses"],
+                "lift_cache_invalidations": lift_counters["invalidations"],
+                "lift_cache_rejected_puts": lift_counters["rejected_puts"],
+                "mismatches": mismatches,
+                "byte_identical": mismatches == 0,
+            },
+        )
+    benchmark.pedantic(report, rounds=1, iterations=1)

@@ -20,6 +20,7 @@ import pytest
 from conftest import print_table, write_artifact
 
 from repro.ordbms.table import Table
+from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine
 from repro.query.language import format_query, parse_query
 from repro.query.results import ResultSet
@@ -210,6 +211,69 @@ def test_report_limit_pushdown_fetches(benchmark, stores):
         )
         assert identical  # the pushdown may never change the answer
         assert eager.calls >= 5 * lazy.calls
+    benchmark.pedantic(report, rounds=1, iterations=1)
+
+
+def test_report_result_cache(benchmark, stores):
+    """Hot-query replay through the generation-keyed result cache.
+
+    The cache's acceptance claim (PR 10): a hot fig6 context search at
+    the largest corpus must replay at >= 5x the uncached engine's
+    throughput, byte-identically, and a hot hit must touch the physical
+    tables **zero** times.  The 5x floor is hard-asserted here and
+    banked in the artifact as ``ratchet_speedup_floor`` — the perf gate
+    treats it as a monotone floor, so the win cannot quietly regress.
+    """
+
+    def report():
+        store, expected = stores[SIZES[-1]]
+        query = f"Context={HEADING}"
+        uncached_engine = QueryEngine(store)
+        cached_engine = QueryEngine(store, cache=QueryCache())
+        uncached_time, uncached_result = _timed(
+            lambda: uncached_engine.execute(query)
+        )
+        first = cached_engine.execute(query)  # the priming miss
+        assert not first.cached
+        cached_time, cached_result = _timed(
+            lambda: cached_engine.execute(query), repeats=9
+        )
+        assert cached_result.cached
+        assert len(cached_result) == expected
+        identical = serialize(cached_result.to_xml(), indent=2) == serialize(
+            uncached_result.to_xml(), indent=2
+        )
+        with _TableCalls() as hot:
+            hit = cached_engine.execute(query)
+        assert hit.cached
+        speedup = uncached_time / cached_time
+        print_table(
+            f"FIG6: result cache, Context={HEADING} ({SIZES[-1]} docs)",
+            ["path", "best run", "QPS", "table calls"],
+            [
+                ["uncached engine", f"{uncached_time * 1000:.2f}ms",
+                 f"{1 / uncached_time:.0f}", "-"],
+                ["cached replay", f"{cached_time * 1e6:.1f}us",
+                 f"{1 / cached_time:.0f}", hot.calls],
+            ],
+        )
+        write_artifact(
+            "BENCH_fig6.json",
+            "result_cache",
+            {
+                "documents": SIZES[-1],
+                "matches": expected,
+                "uncached_queries_per_second": round(1 / uncached_time, 1),
+                "cached_queries_per_second": round(1 / cached_time, 1),
+                "speedup": round(speedup, 1),
+                "ratchet_speedup_floor": 5,
+                "hot_hit_table_calls": hot.calls,
+                "byte_identical": identical,
+            },
+        )
+        assert identical  # the cache may never change the answer
+        assert hot.calls == 0  # a hot hit is pure memory
+        assert speedup >= 5  # the banked acceptance floor
     benchmark.pedantic(report, rounds=1, iterations=1)
 
 

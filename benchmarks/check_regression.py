@@ -11,6 +11,14 @@ environment noise on shared CI runners, so they are reported but only
 e.g. on a dedicated perf box.  Other floats (ratios like
 ``call_reduction``) sit in between and get the tolerance by default.
 
+Keys whose leaf name starts with ``ratchet_`` are **monotone floors**:
+the fresh value must be >= the committed baseline, always gated, no
+timing exemption.  Benches write them as hard-asserted claims (e.g.
+``ratchet_speedup_floor``), so once a win is banked in the baseline a
+later change can only keep it or raise it — lowering the floor fails CI
+until the regression is owned via ``--update-baselines`` *and* the
+separate ``scripts/check_baseline_ratchet.py`` bench lock is re-locked.
+
 Usage::
 
     python benchmarks/check_regression.py            # gate (CI mode)
@@ -38,7 +46,12 @@ GATED_ARTIFACTS = (
     "BENCH_cluster_failover.json",
     "BENCH_concurrent.json",
     "BENCH_overload.json",
+    "BENCH_cache_differential.json",
 )
+
+#: Leaf-name prefix marking a key as a monotone floor: fresh >= baseline
+#: or the gate fails, regardless of type or timing pattern.
+RATCHET_PREFIX = "ratchet_"
 
 #: Key fragments that mark a float as a *timing* — noisy on shared CI,
 #: gated only under ``--gate-timings``.  ``speedup`` and ``overhead`` are
@@ -57,6 +70,10 @@ DEFAULT_TOLERANCE = 0.25
 def is_timing_key(path: str) -> bool:
     leaf = path.rsplit(".", 1)[-1]
     return any(pattern in leaf for pattern in TIMING_PATTERNS)
+
+
+def is_ratchet_key(path: str) -> bool:
+    return path.rsplit(".", 1)[-1].startswith(RATCHET_PREFIX)
 
 
 def flatten(value: object, prefix: str = "") -> dict[str, object]:
@@ -109,6 +126,15 @@ def compare_values(
     """The gate verdict for one key (see module docstring for the tiers)."""
     if type(baseline) is bool or type(fresh) is bool:
         return "ok" if baseline == fresh else "REGRESSION"
+    if is_ratchet_key(path):
+        # Monotone floor: the banked value may only hold or rise.  The
+        # timing exemption deliberately does not apply — ratchet keys are
+        # asserted claims the bench already enforced, not measurements.
+        if isinstance(baseline, (int, float)) and isinstance(
+            fresh, (int, float)
+        ):
+            return "ok" if float(fresh) >= float(baseline) else "REGRESSION"
+        return "REGRESSION"
     if isinstance(baseline, (int, float)) and isinstance(fresh, (int, float)):
         if isinstance(baseline, int) and isinstance(fresh, int):
             # Work counters: exact.

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Baseline ratchet: ``analysis-baseline.json`` may only shrink.
+"""Baseline ratchets: debt may only shrink, banked perf may only rise.
 
+Two locks, one guard:
+
+**Analysis debt** (``analysis-baseline.json`` vs ``analysis-baseline.lock``).
 The baseline exists for *transitional* debt — entries are supposed to
 disappear as their exit plans execute, never to accumulate.  The
 analyzer itself cannot tell a long-standing entry from one added five
 minutes ago, so this guard compares the baseline against a committed
-lock file (``analysis-baseline.lock``) holding the entry set the team
-has reviewed:
+lock file holding the entry set the team has reviewed:
 
 * an entry in the baseline but not in the lock is **new debt** — the
   build fails; fix the finding or get the addition reviewed and run
@@ -15,9 +17,21 @@ has reviewed:
   down — the run passes and suggests ``--update`` to tighten the lock
   so the entry cannot quietly come back.
 
-The lock format is one line per entry, tab-separated
-``rule<TAB>path<TAB>content`` — line-diffable in review, no JSON
-nesting to mis-merge.
+**Bench ratchets** (``benchmarks/baselines/BENCH_*.json`` vs
+``benchmarks/baselines/ratchets.lock``).  Benchmark keys whose leaf name
+starts with ``ratchet_`` are banked performance floors (see
+``benchmarks/check_regression.py``).  The committed *baseline* side of
+those keys is what this guard ratchets: a committed ratchet value may
+never drop below (or vanish from) the locked value, so a
+``--update-baselines`` run cannot quietly launder a perf regression into
+the baseline — lowering a floor fails here until the lock itself is
+re-reviewed and rewritten with ``--update``.
+
+Both lock formats are one line per entry, tab-separated — line-diffable
+in review, no JSON nesting to mis-merge:
+
+* analysis: ``rule<TAB>path<TAB>content``
+* bench:    ``artifact<TAB>dotted.key<TAB>value``
 """
 
 from __future__ import annotations
@@ -30,6 +44,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_BASELINE = REPO_ROOT / "analysis-baseline.json"
 DEFAULT_LOCK = REPO_ROOT / "analysis-baseline.lock"
+DEFAULT_BENCH_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_BENCH_LOCK = DEFAULT_BENCH_BASELINES / "ratchets.lock"
+
+#: Leaf-name prefix marking a benchmark key as a banked floor (kept in
+#: sync with ``benchmarks/check_regression.py``).
+RATCHET_PREFIX = "ratchet_"
 
 
 def baseline_keys(path: Path) -> list[str]:
@@ -47,9 +67,108 @@ def lock_keys(path: Path) -> list[str]:
     )
 
 
+def _flatten(value: object, prefix: str = "") -> dict[str, object]:
+    """Nested JSON -> ``{dotted.path: scalar}`` (lists indexed)."""
+    flat: dict[str, object] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(_flatten(value[key], child))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            flat.update(_flatten(item, f"{prefix}[{index}]"))
+    else:
+        flat[prefix] = value
+    return flat
+
+
+def bench_ratchets(baseline_dir: Path) -> dict[tuple[str, str], float]:
+    """Every ``ratchet_*`` key in the committed bench baselines."""
+    ratchets: dict[tuple[str, str], float] = {}
+    for artifact in sorted(baseline_dir.glob("BENCH_*.json")):
+        flat = _flatten(json.loads(artifact.read_text()))
+        for path, value in flat.items():
+            leaf = path.rsplit(".", 1)[-1]
+            if leaf.startswith(RATCHET_PREFIX) and isinstance(
+                value, (int, float)
+            ):
+                ratchets[(artifact.name, path)] = float(value)
+    return ratchets
+
+
+def bench_lock(path: Path) -> dict[tuple[str, str], float]:
+    locked: dict[tuple[str, str], float] = {}
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        artifact, key, value = line.split("\t")
+        locked[(artifact, key)] = float(value)
+    return locked
+
+
+def write_bench_lock(
+    path: Path, ratchets: dict[tuple[str, str], float]
+) -> None:
+    lines = [
+        f"{artifact}\t{key}\t{value:g}"
+        for (artifact, key), value in sorted(ratchets.items())
+    ]
+    path.write_text("".join(line + "\n" for line in lines))
+
+
+def check_bench_ratchets(
+    baseline_dir: Path, lock_path: Path
+) -> tuple[int, list[str]]:
+    """Returns (exit status, messages) for the bench-ratchet side."""
+    ratchets = bench_ratchets(baseline_dir)
+    if not lock_path.is_file():
+        if not ratchets:
+            return 0, []
+        return 1, [
+            f"error: {lock_path} is missing but the bench baselines carry "
+            f"{len(ratchets)} ratchet key(s); run --update to create it"
+        ]
+    locked = bench_lock(lock_path)
+    messages: list[str] = []
+    status = 0
+    for (artifact, key), floor in sorted(locked.items()):
+        current = ratchets.get((artifact, key))
+        if current is None:
+            messages.append(
+                f"bench ratchet: {artifact} lost its banked key {key} "
+                f"(locked at {floor:g})"
+            )
+            status = 1
+        elif current < floor:
+            messages.append(
+                f"bench ratchet: {artifact} {key} dropped to {current:g}, "
+                f"below the locked floor {floor:g} — a perf win was "
+                "un-banked; restore it or re-lock with --update after review"
+            )
+            status = 1
+    grown = sorted(
+        (entry, value)
+        for entry, value in ratchets.items()
+        if entry not in locked or value > locked[entry]
+    )
+    if status == 0 and grown:
+        messages.append(
+            f"bench ratchet: {len(grown)} key(s) rose above (or are new to) "
+            "the lock; run --update to bank them"
+        )
+    if status == 0:
+        messages.append(
+            f"ok: {len(ratchets)} bench ratchet key(s), none below the lock"
+        )
+    return status, messages
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail when analysis-baseline.json grows.",
+        description=(
+            "Fail when analysis-baseline.json grows or a committed bench "
+            "ratchet drops."
+        ),
     )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE, metavar="FILE",
@@ -58,8 +177,16 @@ def main(argv: list[str] | None = None) -> int:
         "--lock", type=Path, default=DEFAULT_LOCK, metavar="FILE",
     )
     parser.add_argument(
+        "--bench-baselines", type=Path, default=DEFAULT_BENCH_BASELINES,
+        metavar="DIR",
+    )
+    parser.add_argument(
+        "--bench-lock", type=Path, default=DEFAULT_BENCH_LOCK,
+        metavar="FILE",
+    )
+    parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the lock from the current baseline (after review)",
+        help="rewrite both locks from the current baselines (after review)",
     )
     args = parser.parse_args(argv)
 
@@ -67,6 +194,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.update:
         args.lock.write_text("".join(key + "\n" for key in keys))
         print(f"locked {len(keys)} baseline entry(ies) in {args.lock.name}")
+        ratchets = bench_ratchets(args.bench_baselines)
+        write_bench_lock(args.bench_lock, ratchets)
+        print(
+            f"locked {len(ratchets)} bench ratchet key(s) in "
+            f"{args.bench_lock.name}"
+        )
         return 0
     if not args.lock.is_file():
         print(
@@ -93,7 +226,12 @@ def main(argv: list[str] | None = None) -> int:
             "--update to tighten the lock"
         )
     print(f"ok: {len(keys)} baseline entry(ies), all within the locked set")
-    return 0
+    bench_status, messages = check_bench_ratchets(
+        args.bench_baselines, args.bench_lock
+    )
+    for message in messages:
+        print(message)
+    return bench_status
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.federation.databank import Databank, DatabankRegistry  # lint: allow-
 from repro.federation.router import Router  # lint: allow-layering(composition root: the facade wires the federation tier)
 from repro.federation.sources import InformationSource, NetmarkSource  # lint: allow-layering(composition root: the facade wires the federation tier)
 from repro.ordbms import Database, LogDevice
+from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine
 from repro.query.results import ResultSet
 from repro.server.daemon import IngestRecord, NetmarkDaemon
@@ -84,7 +85,11 @@ class Netmark:
         self.router = Router(self.registry)
         #: Named sources available to declarative databank specs.
         self.source_catalog: dict[str, InformationSource] = {}
-        self.api = NetmarkHttpApi(self.store, self.dav, self.router)
+        # The production composition root runs with the result cache on:
+        # cached answers are byte-identical, Cache=0 opts a request out.
+        self.api = NetmarkHttpApi(
+            self.store, self.dav, self.router, cache=QueryCache()
+        )
         self.engine = QueryEngine(self.store)
         self.ledger = AssemblyLedger()
         #: Records settled by daemon startup recovery (crash restarts).

@@ -1,6 +1,7 @@
 """The XDB Query engine: context + content search over the XML store."""
 
 from repro.query.ast import ContentSpec, ContextSpec, XdbQuery
+from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine, phrase_in
 from repro.query.language import (
     format_query,
@@ -18,6 +19,7 @@ __all__ = [
     "ContextSpec",
     "PlanContext",
     "PlanNode",
+    "QueryCache",
     "QueryEngine",
     "ResultSet",
     "SectionMatch",

@@ -89,6 +89,11 @@ class XdbQuery:
     run, in server clock ticks; ``partial_ok`` (``Partial=1``) asks for
     whatever matches were collected by the deadline — rendered with a
     ``<partial>`` envelope — instead of a 504.
+
+    ``cache`` (``Cache=0`` to opt out) lets a request bypass the
+    generation-keyed result cache: the answer is always recomputed and
+    never stored.  Purely a freshness/benchmarking knob — a cached
+    answer is byte-identical by construction, so the default is on.
     """
 
     context: ContextSpec | None = None
@@ -104,6 +109,7 @@ class XdbQuery:
     trace: bool = False
     deadline_ticks: int | None = None
     partial_ok: bool = False
+    cache: bool = True
     extras: tuple[tuple[str, str], ...] = field(default=())
 
     def __post_init__(self) -> None:

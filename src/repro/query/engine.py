@@ -42,6 +42,7 @@ from repro import obs
 from repro.errors import QueryError
 from repro.obs import PlanProfiler
 from repro.query.ast import ContentSpec, ContextSpec, XdbQuery
+from repro.query.cache import QueryCache
 from repro.query.language import format_query, parse_query
 from repro.query.plan import (
     ContentFilter,
@@ -73,12 +74,51 @@ from repro.store.xmlstore import XmlStore
 __all__ = ["QueryEngine", "phrase_in"]
 
 
-class QueryEngine:
-    """Evaluates XDB queries against one :class:`XmlStore`."""
+def _eager_match(match: SectionMatch) -> SectionMatch:
+    """A fully-resolved, loader-free copy of ``match`` for the cache.
 
-    def __init__(self, store: XmlStore, use_index: bool = True) -> None:
+    Touching the lazy properties resolves them through the (still live)
+    per-query accessor; the copy then carries plain values only.  The
+    section Element may be shared across replays because
+    ``ResultSet.to_xml`` clones section children before mutating
+    anything.
+    """
+    return SectionMatch(
+        doc_id=match.doc_id,
+        file_name=match.file_name,
+        context=match.context,
+        content=match.content,
+        section=match.section,
+        source=match.source,
+        score=match.score,
+        rowid=match.rowid,
+    )
+
+
+class QueryEngine:
+    """Evaluates XDB queries against one :class:`XmlStore`.
+
+    With ``cache`` (a :class:`~repro.query.cache.QueryCache`) the engine
+    serves repeated queries from the generation-keyed result cache and
+    its plans read structural lifts through the store's shared
+    :class:`~repro.store.liftcache.LiftCache`.  Both are byte-identical
+    by construction; ``Cache=0`` on a query opts that request out.
+    Without ``cache`` (the default) execution is exactly the uncached
+    path — benchmarks and ablations construct bare engines on purpose.
+    """
+
+    def __init__(
+        self,
+        store: XmlStore,
+        use_index: bool = True,
+        cache: QueryCache | None = None,
+    ) -> None:
         self.store = store
         self.use_index = use_index
+        self.cache = cache
+        #: Cross-query lift sharing rides with result caching: a bare
+        #: engine must behave (and count work) exactly as before.
+        self._lifts = store.lift_cache if cache is not None else None
 
     # -- public entry points ------------------------------------------------
 
@@ -108,6 +148,37 @@ class QueryEngine:
         if isinstance(query, str):
             query = parse_query(query)
         budget = self._coerce_budget(query, budget)
+        key = None
+        version = None
+        # Deadline-bounded (or already-cancelled) runs bypass the cache
+        # both ways: their contract is "bound the work of THIS run", so
+        # a replayed complete answer would defeat truncation/cancellation
+        # semantics, and their own answers may be partial.  A plain
+        # worker-pool budget (no deadline, token not tripped) cannot
+        # truncate, so it stays cacheable — the pool is the hot path.
+        bounded = budget is not None and (
+            budget.deadline is not None or budget.cancelled
+        )
+        cacheable = (
+            self.cache is not None
+            and query.cache
+            and not query.explain
+            and query.deadline_ticks is None
+            and not bounded
+        )
+        if cacheable:
+            # The version stamp is captured BEFORE the plan runs: a
+            # write racing the plan leaves the entry keyed at the
+            # pre-write stamp, which no later lookup presents.
+            version = QueryCache.version_for(self.store, snapshot)
+            key = QueryCache.key_for(query, self.use_index, version)
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                obs.inc("repro_query_queries_total", kind=query.kind)
+                obs.inc("repro_query_rows_returned_total", len(hit))
+                result = ResultSet(format_query(query), cached=True)
+                result.extend(list(hit))
+                return result.limited(query.limit)
         ctx, root = self.compile(query, snapshot=snapshot, budget=budget)
         if budget is None or budget.admits("execute"):
             matches = list(root.rows())
@@ -121,7 +192,16 @@ class QueryEngine:
             result.partial = True
             result.deadline_expired = True
             obs.inc("repro_query_deadline_partials_total")
-        return result.limited(query.limit)
+        result = result.limited(query.limit)
+        if key is not None and not result.partial:
+            # Only complete answers are cacheable, resolved eagerly —
+            # the plan's accessor (and any snapshot pin) dies with this
+            # request, so a cached match may not load anything lazily.
+            self.cache.store(
+                key, [_eager_match(match) for match in result.matches],
+                version,
+            )
+        return result
 
     @staticmethod
     def _coerce_budget(
@@ -171,6 +251,19 @@ class QueryEngine:
         if ctx.profiler is not None:
             attributes["profile"] = "work-units"
             attributes["total-ticks"] = str(ctx.profiler.total_ticks)
+            # Cache annotations: how much of the plan's structural work
+            # was answered by the shared lift pool.  Explain runs always
+            # bypass the result cache (a plan tree is diagnostics), so
+            # its contribution is reported as a mode, not a count.
+            attributes["result-cache"] = (
+                "bypassed" if self.cache is not None else "off"
+            )
+            attributes["lift-cache"] = (
+                "shared" if self._lifts is not None else "private"
+            )
+            stats = ctx.accessor.stats
+            attributes["lift-cache-hits"] = str(stats.shared_hits)
+            attributes["lift-cache-misses"] = str(stats.shared_misses)
         plan_element = Element("plan", attributes)
         plan_element.append(root.explain_element())
         return Document(plan_element, name="plan.xml")
@@ -252,6 +345,15 @@ class QueryEngine:
             obs.inc(
                 "repro_store_accessor_cache_hits_total", stats.cache_hits
             )
+        if stats.shared_hits:
+            obs.inc(
+                "repro_cache_hits_total", stats.shared_hits, cache="lift"
+            )
+        if stats.shared_misses:
+            obs.inc(
+                "repro_cache_misses_total", stats.shared_misses,
+                cache="lift",
+            )
 
     # -- plan construction ------------------------------------------------------
 
@@ -279,7 +381,9 @@ class QueryEngine:
         obs.inc("repro_query_queries_total", kind=query.kind)
         profiler = PlanProfiler(wall_clock) if query.profile else None
         ctx = PlanContext(
-            self.store, self.store.new_accessor(snapshot), self.use_index,
+            self.store,
+            self.store.new_accessor(snapshot, lifts=self._lifts),
+            self.use_index,
             profiler=profiler, snapshot=snapshot, budget=budget,
         )
         kind = query.kind

@@ -26,6 +26,9 @@ precise query syntax" even in the paper):
 * ``Deadline=N`` bounds the request to N server clock ticks;
   ``Partial=1`` asks for whatever was found by the deadline (marked
   partial) instead of a 504.
+* ``Cache=0`` bypasses the result cache for this request (recompute,
+  never store).  Any other value — or omitting the key — leaves caching
+  on, which is safe because cached answers are byte-identical.
 """
 
 from __future__ import annotations
@@ -131,6 +134,7 @@ def parse_query(query_string: str) -> XdbQuery:
     trace = False
     deadline_ticks: int | None = None
     partial_ok = False
+    cache = True
     extras: list[tuple[str, str]] = []
 
     for key, value in parse_pairs(query_string):
@@ -181,6 +185,8 @@ def parse_query(query_string: str) -> XdbQuery:
                 )
         elif lowered == "partial":
             partial_ok = value.strip().lower() in {"1", "true", "yes"}
+        elif lowered == "cache":
+            cache = value.strip().lower() not in {"0", "false", "no", "off"}
         else:
             extras.append((key, value))
 
@@ -204,6 +210,7 @@ def parse_query(query_string: str) -> XdbQuery:
         trace=trace,
         deadline_ticks=deadline_ticks,
         partial_ok=partial_ok,
+        cache=cache,
         extras=tuple(extras),
     )
 
@@ -243,6 +250,8 @@ def format_query(query: XdbQuery) -> str:
         parts.append(f"Deadline={query.deadline_ticks}")
     if query.partial_ok:
         parts.append("Partial=1")
+    if not query.cache:
+        parts.append("Cache=0")
     for key, value in query.extras:
         parts.append(percent_encode(key) + "=" + percent_encode(value))
     return "&".join(parts)

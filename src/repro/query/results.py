@@ -180,6 +180,11 @@ class ResultSet:
     are a correct prefix of the full answer, not a complete one.  A
     complete answer has ``partial=False`` and renders byte-identically
     to the pre-resilience format.
+
+    ``cached`` marks an answer replayed from the generation-keyed result
+    cache.  It is *transport metadata*, deliberately not rendered by
+    :meth:`to_xml` — a cached answer must stay byte-identical to a fresh
+    one; the HTTP layer stamps its envelope (``cached="true"``) instead.
     """
 
     query_string: str
@@ -187,6 +192,7 @@ class ResultSet:
     partial: bool = False
     source_errors: dict[str, str] = field(default_factory=dict)
     deadline_expired: bool = False
+    cached: bool = False
 
     def __len__(self) -> int:
         return len(self.matches)
@@ -257,6 +263,7 @@ class ResultSet:
             partial=self.partial,
             source_errors=dict(self.source_errors),
             deadline_expired=self.deadline_expired,
+            cached=self.cached,
         )
 
     def to_xml(self) -> Document:

@@ -57,6 +57,7 @@ from repro.errors import (
 from repro import obs
 from repro.obs import NULL_TRACER, Span, Tracer
 from repro.query.ast import XdbQuery
+from repro.query.cache import QueryCache
 from repro.query.engine import QueryEngine
 from repro.query.language import format_query, parse_query
 from repro.resilience.clock import LogicalClock
@@ -173,11 +174,17 @@ class NetmarkHttpApi:
         router: "Router | None" = None,
         clock: TickSource | None = None,
         admission: AdmissionController | None = None,
+        cache: QueryCache | None = None,
     ) -> None:
         self.store = store
         self.dav = dav
         self.router = router
-        self.engine = QueryEngine(store)
+        #: With ``cache`` set, local searches are served through the
+        #: generation-keyed result cache (byte-identical, ``Cache=0``
+        #: opts a request out, hits are stamped ``cached="true"`` on the
+        #: envelope).  The cache object is shared by every worker-pool
+        #: thread; it locks internally.
+        self.engine = QueryEngine(store, cache=cache)
         #: The clock ``Deadline=`` budgets and the latency histogram run
         #: on.  Defaults to an idle logical clock (deadlines never fire
         #: unless a test advances it); a real deployment passes
@@ -405,6 +412,11 @@ class NetmarkHttpApi:
                     span.annotate(matches=len(results))
                 with tracer.span("compose"):
                     document = results.to_xml()
+        if results.cached:
+            # Transport-level stamp only: ResultSet.to_xml never renders
+            # the flag, so the body below this attribute stays
+            # byte-identical to an uncached answer.
+            document.root.attributes["cached"] = "true"
         if query.stylesheet:
             stylesheet_path = f"{STYLESHEET_FOLDER}/{query.stylesheet}"
             response = self.dav.get(stylesheet_path)

@@ -26,6 +26,15 @@ the same rows again and again while walking overlapping sections.  A
   pinned view cannot go stale because it never moves.  This is what lets
   a whole query (plan operators plus lazy match resolution) execute
   against one consistent generation while ingest runs concurrently.
+* **shared lifts** — constructed with a
+  :class:`~repro.store.liftcache.LiftCache` (cache-enabled query
+  engines pass the store's), the five structural memos additionally
+  read through the cross-query pool, so a lift one query computed is a
+  hit for the next.  The pool is keyed by the *same* write-generation
+  counter that guards the private memos (live mode) or by the pinned
+  commit LSN (snapshot mode), so shared state can never outlive a write
+  the private memos would have noticed — one source of truth, two cache
+  tiers.
 
 Accessors are cheap to construct; the query engine makes one per query,
 and the legacy :mod:`repro.store.traversal` functions make an ephemeral
@@ -42,6 +51,8 @@ from repro.ordbms import Database, RowId, Snapshot
 from repro.ordbms.table import ROWID_PSEUDO
 from repro.ordbms.textindex import TextIndex
 from repro.sgml.nodetypes import NodeType
+from repro.store.liftcache import MISS as _SHARED_MISS
+from repro.store.liftcache import LiftCache
 from repro.store.schema import XML_TABLE
 
 Row = dict[str, Any]
@@ -62,6 +73,10 @@ class AccessorStats:
     sibling_hops: int = 0
     child_lookups: int = 0
     invalidations: int = 0
+    #: Cross-query :class:`~repro.store.liftcache.LiftCache` traffic
+    #: (zero unless the accessor was built with a shared pool).
+    shared_hits: int = 0
+    shared_misses: int = 0
 
     def reset(self) -> None:
         for field_name in self.__dataclass_fields__:
@@ -72,13 +87,18 @@ class NodeAccessor:
     """Memoizing, batch-fetching view over one store's XML table."""
 
     def __init__(
-        self, database: Database, snapshot: Snapshot | None = None
+        self,
+        database: Database,
+        snapshot: Snapshot | None = None,
+        lifts: LiftCache | None = None,
     ) -> None:
         self.database = database
         self.table = database.table(XML_TABLE)
         self.stats = AccessorStats()
         #: Pinned MVCC snapshot; None means "live" (generation-guarded).
         self.snapshot = snapshot
+        #: Cross-query lift pool; None means "private memos only".
+        self._lifts = lifts
         self._generation = (
             snapshot.lsn if snapshot is not None else self.table.generation
         )
@@ -107,11 +127,42 @@ class NodeAccessor:
             self._scopes.clear()
             self._titles.clear()
             self._texts.clear()
+            if self._lifts is not None:
+                # Same tripwire, same counter: if the store's write hooks
+                # already advanced the shared pool this is a no-op; a
+                # write that bypassed the facade clears it wholesale.
+                self._lifts.observe(generation, self.database.mvcc.lsn)
 
     @property
     def generation(self) -> int:
         """The table write generation this accessor's caches reflect."""
         return self._generation
+
+    # -- shared lift pool ---------------------------------------------------
+
+    def _lift_token(self) -> tuple[str, int]:
+        """The version this accessor's reads are valid at (see LiftCache)."""
+        if self.snapshot is not None:
+            return ("lsn", self.snapshot.lsn)
+        return ("gen", self._generation)
+
+    def _lift_get(self, row: Row, kind: str, rowid: RowId) -> Any:
+        if self._lifts is None:
+            return _SHARED_MISS
+        value = self._lifts.get(
+            row["DOC_ID"], kind, rowid, self._lift_token()
+        )
+        if value is _SHARED_MISS:
+            self.stats.shared_misses += 1
+        else:
+            self.stats.shared_hits += 1
+        return value
+
+    def _lift_put(self, row: Row, kind: str, rowid: RowId, value: Any) -> None:
+        if self._lifts is not None:
+            self._lifts.put(
+                row["DOC_ID"], kind, rowid, value, self._lift_token()
+            )
 
     # -- row access ---------------------------------------------------------
 
@@ -303,6 +354,10 @@ class NodeAccessor:
         if memo is not _MISS:
             self.stats.cache_hits += 1
             return None if memo is None else self.node(memo)
+        shared = self._lift_get(row, "ancestor", rowid)
+        if shared is not _SHARED_MISS:
+            self._ancestor[rowid] = shared
+            return None if shared is None else self.node(shared)
         current = row
         found: Row | None = None
         while True:
@@ -313,7 +368,9 @@ class NodeAccessor:
                 found = parent
                 break
             current = parent
-        self._ancestor[rowid] = None if found is None else found[ROWID_PSEUDO]
+        memo = None if found is None else found[ROWID_PSEUDO]
+        self._ancestor[rowid] = memo
+        self._lift_put(row, "ancestor", rowid, memo)
         return found
 
     def governing_context(self, row: Row) -> Row | None:
@@ -329,6 +386,10 @@ class NodeAccessor:
         if memo is not _MISS:
             self.stats.cache_hits += 1
             return None if memo is None else self.node(memo)
+        shared = self._lift_get(row, "governing", rowid)
+        if shared is not _SHARED_MISS:
+            self._governing[rowid] = shared
+            return None if shared is None else self.node(shared)
         current = row
         found: Row | None = None
         while True:
@@ -348,7 +409,9 @@ class NodeAccessor:
                 found = best
                 break
             current = parent
-        self._governing[rowid] = None if found is None else found[ROWID_PSEUDO]
+        memo = None if found is None else found[ROWID_PSEUDO]
+        self._governing[rowid] = memo
+        self._lift_put(row, "governing", rowid, memo)
         return found
 
     def subtree(self, row: Row) -> list[Row]:
@@ -372,6 +435,13 @@ class NodeAccessor:
         if cached is not None:
             self.stats.cache_hits += 1
             return [self._rows[scope_rowid] for scope_rowid in cached]
+        shared = self._lift_get(context_row, "scope", rowid)
+        if shared is not _SHARED_MISS:
+            # Shared entries carry rowids only (immutable, thread-safe);
+            # the rows themselves come through this accessor's own
+            # fetch path, so snapshot pinning still applies.
+            self._scopes[rowid] = shared
+            return self.nodes(list(shared))
         scope: list[Row] = []
         sibling = self.next_sibling(context_row)
         while sibling is not None:
@@ -380,9 +450,9 @@ class NodeAccessor:
             scope.append(sibling)
             scope.extend(self.subtree(sibling))
             sibling = self.next_sibling(sibling)
-        self._scopes[rowid] = tuple(
-            scope_row[ROWID_PSEUDO] for scope_row in scope
-        )
+        rowids = tuple(scope_row[ROWID_PSEUDO] for scope_row in scope)
+        self._scopes[rowid] = rowids
+        self._lift_put(context_row, "scope", rowid, rowids)
         return scope
 
     def scope_rowids(self, context_row: Row) -> set[RowId]:
@@ -400,12 +470,17 @@ class NodeAccessor:
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
+        shared = self._lift_get(context_row, "text", rowid)
+        if shared is not _SHARED_MISS:
+            self._texts[rowid] = shared
+            return shared
         text = _joined_text(
             scope_row
             for scope_row in self.section_scope(context_row)
             if self.is_text(scope_row)
         )
         self._texts[rowid] = text
+        self._lift_put(context_row, "text", rowid, text)
         return text
 
     def context_title(self, context_row: Row) -> str:
@@ -416,12 +491,17 @@ class NodeAccessor:
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
+        shared = self._lift_get(context_row, "title", rowid)
+        if shared is not _SHARED_MISS:
+            self._titles[rowid] = shared
+            return shared
         title = _joined_text(
             descendant
             for descendant in self.subtree(context_row)
             if self.is_text(descendant)
         )
         self._titles[rowid] = title
+        self._lift_put(context_row, "title", rowid, title)
         return title
 
 

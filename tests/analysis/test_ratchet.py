@@ -1,4 +1,4 @@
-"""The baseline ratchet guard: debt may shrink, never grow."""
+"""The baseline ratchet guards: debt may shrink, banked perf may rise."""
 
 import importlib.util
 import json
@@ -21,12 +21,23 @@ def entry(content, rule="layering", path="src/repro/x.py"):
     return {"rule": rule, "path": path, "content": content, "reason": "r"}
 
 
+def bench_args(tmp_path):
+    """Point the bench-ratchet side at an isolated (empty) directory."""
+    bench_dir = tmp_path / "bench-baselines"
+    bench_dir.mkdir(exist_ok=True)
+    return [
+        "--bench-baselines", str(bench_dir),
+        "--bench-lock", str(bench_dir / "ratchets.lock"),
+    ]
+
+
 class TestRatchet:
     def test_update_then_check_roundtrips(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
         lock = tmp_path / "baseline.lock"
         write_baseline(baseline, [entry("import a"), entry("import b")])
-        args = ["--baseline", str(baseline), "--lock", str(lock)]
+        args = ["--baseline", str(baseline), "--lock", str(lock),
+                *bench_args(tmp_path)]
         assert ratchet.main([*args, "--update"]) == 0
         assert ratchet.main(args) == 0
         assert "within the locked set" in capsys.readouterr().out
@@ -35,7 +46,8 @@ class TestRatchet:
         baseline = tmp_path / "baseline.json"
         lock = tmp_path / "baseline.lock"
         write_baseline(baseline, [entry("import a")])
-        args = ["--baseline", str(baseline), "--lock", str(lock)]
+        args = ["--baseline", str(baseline), "--lock", str(lock),
+                *bench_args(tmp_path)]
         assert ratchet.main([*args, "--update"]) == 0
         write_baseline(baseline, [entry("import a"), entry("import NEW")])
         assert ratchet.main(args) == 1
@@ -46,7 +58,8 @@ class TestRatchet:
         baseline = tmp_path / "baseline.json"
         lock = tmp_path / "baseline.lock"
         write_baseline(baseline, [entry("import a"), entry("import b")])
-        args = ["--baseline", str(baseline), "--lock", str(lock)]
+        args = ["--baseline", str(baseline), "--lock", str(lock),
+                *bench_args(tmp_path)]
         assert ratchet.main([*args, "--update"]) == 0
         write_baseline(baseline, [entry("import a")])
         assert ratchet.main(args) == 0
@@ -65,3 +78,75 @@ class TestRatchet:
     def test_repo_lock_matches_the_committed_baseline(self):
         # The committed pair must be in sync: CI runs exactly this check.
         assert ratchet.main([]) == 0
+
+
+class TestBenchRatchet:
+    """Committed ``ratchet_*`` bench keys may never drop below the lock."""
+
+    def _setup(self, tmp_path, floor=5.0):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [])
+        bench_dir = tmp_path / "bench-baselines"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_fig6.json").write_text(json.dumps(
+            {"result_cache": {"ratchet_speedup_floor": floor,
+                              "hot_hit_table_calls": 0}}
+        ))
+        args = [
+            "--baseline", str(baseline),
+            "--lock", str(tmp_path / "baseline.lock"),
+            "--bench-baselines", str(bench_dir),
+            "--bench-lock", str(bench_dir / "ratchets.lock"),
+        ]
+        return args, bench_dir
+
+    def _rewrite(self, bench_dir, floor):
+        (bench_dir / "BENCH_fig6.json").write_text(json.dumps(
+            {"result_cache": {"ratchet_speedup_floor": floor,
+                              "hot_hit_table_calls": 0}}
+        ))
+
+    def test_update_banks_the_floor_and_roundtrips(self, tmp_path, capsys):
+        args, _ = self._setup(tmp_path)
+        assert ratchet.main([*args, "--update"]) == 0
+        assert ratchet.main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 bench ratchet key(s)" in out
+
+    def test_lowered_floor_fails(self, tmp_path, capsys):
+        args, bench_dir = self._setup(tmp_path, floor=5.0)
+        assert ratchet.main([*args, "--update"]) == 0
+        self._rewrite(bench_dir, floor=3.0)
+        assert ratchet.main(args) == 1
+        assert "below the locked floor" in capsys.readouterr().out
+
+    def test_raised_floor_passes_and_suggests_banking(self, tmp_path,
+                                                      capsys):
+        args, bench_dir = self._setup(tmp_path, floor=5.0)
+        assert ratchet.main([*args, "--update"]) == 0
+        self._rewrite(bench_dir, floor=8.0)
+        assert ratchet.main(args) == 0
+        assert "rose above" in capsys.readouterr().out
+
+    def test_vanished_ratchet_key_fails(self, tmp_path, capsys):
+        args, bench_dir = self._setup(tmp_path)
+        assert ratchet.main([*args, "--update"]) == 0
+        (bench_dir / "BENCH_fig6.json").write_text(json.dumps(
+            {"result_cache": {"hot_hit_table_calls": 0}}
+        ))
+        assert ratchet.main(args) == 1
+        assert "lost its banked key" in capsys.readouterr().out
+
+    def test_missing_bench_lock_with_ratchets_fails(self, tmp_path, capsys):
+        args, _ = self._setup(tmp_path)
+        # Analysis lock exists, bench lock never written.
+        baseline_lock = Path(args[3])
+        baseline_lock.write_text("")
+        assert ratchet.main(args) == 1
+        assert "--update" in capsys.readouterr().out
+
+    def test_repo_bench_lock_matches_committed_baselines(self):
+        status, _ = ratchet.check_bench_ratchets(
+            ratchet.DEFAULT_BENCH_BASELINES, ratchet.DEFAULT_BENCH_LOCK
+        )
+        assert status == 0

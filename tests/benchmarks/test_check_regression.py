@@ -34,7 +34,11 @@ BASELINE = {
         "queries_per_second": 20.0,
         "query": "Context=Budget&limit=5",
         "outcomes": [{"matches": 4, "status": "partial"}],
-    }
+    },
+    "result_cache": {
+        "ratchet_speedup_floor": 5.0,
+        "hot_hit_table_calls": 0,
+    },
 }
 
 
@@ -139,6 +143,46 @@ class TestGateVerdicts:
         by_path = {d.path: d.status for d in deltas}
         assert by_path["limit_pushdown.documents"] == "REGRESSION"
         assert by_path["limit_pushdown.brand_new_metric"] == "new"
+
+    def test_ratchet_floor_may_hold_or_rise(self, dirs):
+        """Monotone tier: equal and higher floors both pass."""
+        fresh, baselines = dirs
+        for floor in (5.0, 9.0):
+            perturbed = json.loads(json.dumps(BASELINE))
+            perturbed["result_cache"]["ratchet_speedup_floor"] = floor
+            _write(fresh, "BENCH_fig6.json", perturbed)
+            deltas, _ = _gate(fresh, baselines)
+            assert not any(
+                d.failed and d.path == "result_cache.ratchet_speedup_floor"
+                for d in deltas
+            )
+
+    def test_lowered_ratchet_floor_is_a_regression(self, dirs):
+        fresh, baselines = dirs
+        perturbed = json.loads(json.dumps(BASELINE))
+        perturbed["result_cache"]["ratchet_speedup_floor"] = 4.9
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        assert any(
+            d.failed and d.path == "result_cache.ratchet_speedup_floor"
+            for d in deltas
+        )
+
+    def test_ratchet_keys_have_no_timing_exemption(self, dirs):
+        """Even a timing-suffixed ratchet key gates without --gate-timings."""
+        fresh, baselines = dirs
+        seeded = json.loads(json.dumps(BASELINE))
+        seeded["result_cache"]["ratchet_hot_queries_per_second"] = 100.0
+        _write(baselines, "BENCH_fig6.json", seeded)
+        perturbed = json.loads(json.dumps(seeded))
+        perturbed["result_cache"]["ratchet_hot_queries_per_second"] = 50.0
+        _write(fresh, "BENCH_fig6.json", perturbed)
+        deltas, _ = _gate(fresh, baselines)
+        assert any(
+            d.failed
+            and d.path == "result_cache.ratchet_hot_queries_per_second"
+            for d in deltas
+        )
 
     def test_list_shrink_is_a_regression(self, dirs):
         """Dropped outcome rows change the list length (an exact int)."""

@@ -1,0 +1,98 @@
+"""The result cache at the HTTP surface: the stamp, the knob, the pool.
+
+The production composition root (:class:`~repro.netmark.Netmark`) runs
+with the result cache on, so these tests exercise the full stack: a
+replayed answer must differ from the original response *only* by the
+``cached="true"`` envelope attribute, ``Cache=0`` must opt a request
+out, and writes through the store must be visible on the very next
+request.
+"""
+
+from repro.netmark import Netmark
+from repro.server.workers import WorkerPool
+
+STAMP = ' cached="true"'
+SEARCH = "/search?Context=Budget"
+NEW_BUDGET_DOC = "# Late Filing\n\n## Budget\n\nEmergency budget line.\n"
+
+
+def _unstamped(body: str) -> str:
+    return body.replace(STAMP, "")
+
+
+class TestEnvelopeStamp:
+    def test_replay_is_stamped_and_otherwise_identical(self, loaded_netmark):
+        first = loaded_netmark.http_get(SEARCH)
+        second = loaded_netmark.http_get(SEARCH)
+        assert first.ok and second.ok
+        assert STAMP not in first.body
+        assert STAMP in second.body
+        assert _unstamped(second.body) == first.body
+
+    def test_stamp_lands_on_the_document_root_only(self, loaded_netmark):
+        loaded_netmark.http_get(SEARCH)
+        replay = loaded_netmark.http_get(SEARCH)
+        assert replay.body.count(STAMP) == 1
+        assert replay.body.lstrip().startswith("<results")
+
+    def test_cache_0_knob_disables_the_stamp(self, loaded_netmark):
+        loaded_netmark.http_get(SEARCH)  # warm the cache
+        opted_out = loaded_netmark.http_get(f"{SEARCH}&Cache=0")
+        again = loaded_netmark.http_get(f"{SEARCH}&Cache=0")
+        assert STAMP not in opted_out.body
+        assert STAMP not in again.body
+        assert again.body == opted_out.body
+
+
+class TestPostCommitVisibility:
+    def test_ingest_is_visible_on_the_next_request(self, loaded_netmark):
+        loaded_netmark.http_get(SEARCH)
+        loaded_netmark.ingest("late.md", NEW_BUDGET_DOC)
+        fresh = loaded_netmark.http_get(SEARCH)
+        assert STAMP not in fresh.body  # new generation: a real recompute
+        assert 'doc="late.md"' in fresh.body
+        replay = loaded_netmark.http_get(SEARCH)
+        assert STAMP in replay.body
+        assert 'doc="late.md"' in replay.body
+
+    def test_replace_is_visible_on_the_next_request(self, loaded_netmark):
+        loaded_netmark.http_get(SEARCH)
+        loaded_netmark.store.replace_text(
+            "# Overview\n\n## Budget\n\nRewritten dollars.\n", "notes.md"
+        )
+        fresh = loaded_netmark.http_get(SEARCH)
+        assert STAMP not in fresh.body
+        assert "Rewritten dollars." in fresh.body
+
+    def test_delete_is_visible_on_the_next_request(self, loaded_netmark):
+        stale = loaded_netmark.http_get(SEARCH)
+        assert 'doc="notes.md"' in stale.body
+        doomed = loaded_netmark.store.lookup_by_name("notes.md")
+        loaded_netmark.store.delete_document(doomed.doc_id)
+        fresh = loaded_netmark.http_get(SEARCH)
+        assert STAMP not in fresh.body
+        assert 'doc="notes.md"' not in fresh.body
+
+
+class TestWorkerPool:
+    def test_concurrent_replays_are_identical_modulo_stamp(
+        self, loaded_netmark
+    ):
+        with WorkerPool(loaded_netmark.api, workers=4) as pool:
+            futures = [
+                pool.submit("GET", SEARCH) for _ in range(16)
+            ]
+            bodies = [future.result(timeout=60).body for future in futures]
+        assert len({_unstamped(body) for body in bodies}) == 1
+        # The cache actually engaged under the pool.
+        assert any(STAMP in body for body in bodies)
+
+    def test_pool_races_a_writer_and_settles_fresh(self, loaded_netmark):
+        with WorkerPool(loaded_netmark.api, workers=4) as pool:
+            futures = [pool.submit("GET", SEARCH) for _ in range(8)]
+            loaded_netmark.ingest("late.md", NEW_BUDGET_DOC)
+            futures += [pool.submit("GET", SEARCH) for _ in range(8)]
+            responses = [future.result(timeout=60) for future in futures]
+        assert all(response.ok for response in responses)
+        settled = loaded_netmark.http_get(SEARCH)
+        assert 'doc="late.md"' in settled.body
